@@ -1,0 +1,124 @@
+//! `repro` — regenerate the figures of Boncz, Manegold & Kersten (VLDB 1999).
+//!
+//! ```text
+//! repro [fig3|fig4|fig9|fig10|fig11|fig12|fig13|validate|all]
+//!       [--quick|--full] [--csv DIR] [--native] [--seed N]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use monet_bench::figures;
+use monet_bench::runner::{RunOpts, Scale};
+
+const USAGE: &str = "\
+usage: repro <command> [options]
+
+commands:
+  fig3       Figure 3: stride scan on four 1990s machines
+  fig4       Figure 4: storage bytes/tuple + NSM vs DSM scan
+  fig9       Figure 9: radix-cluster sweep (bits x passes)
+  fig10      Figure 10: radix-join join phase
+  fig11      Figure 11: partitioned hash-join join phase
+  fig12      Figure 12: overall radix-join vs partitioned hash-join
+  fig13      Figure 13: overall strategy comparison
+  validate   model-vs-simulator relative errors
+  fig1       Figure 1: CPU vs DRAM trend across machine profiles
+  select     selection access paths: scan / binary search / B-tree / hash
+  skew       Zipf-skew ablation for the join strategies (extension)
+  vm         section-4 virtual-memory experiment (extension)
+  all        everything above, in order
+
+options:
+  --quick      smaller cardinalities (seconds)
+  --full       the paper's largest cardinalities (up to 64M tuples; slow)
+  --csv DIR    also write each table as CSV under DIR
+  --native     add host wall-clock columns where meaningful
+  --seed N     workload RNG seed (default 42)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command: Option<String> = None;
+    let mut opts = RunOpts::default();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => opts.scale = Scale::Quick,
+            "--full" => opts.scale = Scale::Full,
+            "--native" => opts.native = true,
+            "--csv" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => opts.csv_dir = Some(PathBuf::from(dir)),
+                    None => return usage_error("--csv requires a directory"),
+                }
+            }
+            "--seed" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(seed) => opts.seed = seed,
+                    None => return usage_error("--seed requires an integer"),
+                }
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            cmd if !cmd.starts_with('-') && command.is_none() => {
+                command = Some(cmd.to_string());
+            }
+            other => return usage_error(&format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+
+    let Some(command) = command else {
+        return usage_error("missing command");
+    };
+
+    let run_one = |name: &str| -> bool {
+        match name {
+            "fig3" => figures::fig3::run(&opts),
+            "fig4" => figures::fig4::run(&opts),
+            "fig9" => figures::fig9::run(&opts),
+            "fig10" => figures::fig10::run(&opts),
+            "fig11" => figures::fig11::run(&opts),
+            "fig12" => figures::fig12::run(&opts),
+            "fig13" => figures::fig13::run(&opts),
+            "validate" => figures::validate::run(&opts),
+            "fig1" => figures::fig1::run(&opts),
+            "select" => figures::select_paths::run(&opts),
+            "skew" => figures::skew::run(&opts),
+            "vm" => figures::vm::run(&opts),
+            _ => return false,
+        }
+        true
+    };
+
+    match command.as_str() {
+        "all" => {
+            for name in [
+                "fig1", "fig3", "fig4", "fig9", "fig10", "fig11", "fig12", "fig13",
+                "validate", "select", "skew", "vm",
+            ] {
+                println!("\n=== {name} ===\n");
+                run_one(name);
+            }
+            ExitCode::SUCCESS
+        }
+        name => {
+            if run_one(name) {
+                ExitCode::SUCCESS
+            } else {
+                usage_error(&format!("unknown command: {name}"))
+            }
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    ExitCode::FAILURE
+}

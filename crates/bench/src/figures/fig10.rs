@@ -1,0 +1,97 @@
+//! **Figure 10** — "Performance and Model of Radix-Join" (join phase only).
+//!
+//! For each cardinality, sweeps the radix bits `B` and measures the
+//! *isolated* join phase (inputs pre-clustered, caches cold — the paper
+//! measures the same way and plots clustering separately in Fig. 9).
+//!
+//! The paper "limited the execution time of each single run to 15 minutes",
+//! which in practice restricted measurements to cluster sizes well below L2;
+//! we impose the analogous guard via an operation budget per point (the
+//! nested loop is O(C²/H)) and print the model across the whole bit range.
+
+use costmodel::rjoin::rjoin_cost;
+use costmodel::{ModelMachine, ModelParams};
+use memsim::SimTracker;
+use monet_core::join::{radix_cluster, radix_join_clustered, FibHash};
+use memsim::NullTracker;
+use monet_core::strategy::plan_passes;
+use workload::join_pair;
+
+use crate::report::{fmt_card, fmt_count, fmt_ms, TextTable};
+use crate::runner::{RunOpts, Scale};
+
+/// Simulated nested-loop operation budget per measured point.
+fn op_budget(scale: Scale) -> u64 {
+    match scale {
+        Scale::Quick => 16_000_000,
+        Scale::Default => 64_000_000,
+        Scale::Full => 512_000_000,
+    }
+}
+
+/// Run the Figure 10 reproduction.
+pub fn run(opts: &RunOpts) {
+    let machine = opts.machine();
+    let model = ModelMachine::with_params(&machine, ModelParams::implementation_matched());
+    let budget = op_budget(opts.scale);
+
+    let mut t = TextTable::new(
+        "Figure 10: radix-join join phase (simulated origin2k vs model)",
+        &[
+            "C", "bits", "tuples/cluster", "ms", "model ms", "L1 miss", "model L1", "L2 miss",
+            "model L2", "TLB miss", "model TLB",
+        ],
+    );
+
+    for c in opts.join_cards() {
+        let max_bits = (c as f64).log2().ceil() as u32;
+        let (l, r) = join_pair(c, opts.seed);
+        for bits in 1..=max_bits {
+            let cl_tuples = c as f64 / (1u64 << bits) as f64;
+            let m = rjoin_cost(&model, bits, c as f64);
+            let ops = (c as f64 * cl_tuples) as u64;
+            let measured = if ops <= budget {
+                let passes = plan_passes(bits, machine.tlb.entries);
+                let lc = radix_cluster(&mut NullTracker, FibHash, l.clone(), bits, &passes);
+                let rc = radix_cluster(&mut NullTracker, FibHash, r.clone(), bits, &passes);
+                let mut trk = SimTracker::for_machine(machine);
+                let pairs = radix_join_clustered(&mut trk, FibHash, &lc, &rc);
+                assert_eq!(pairs.len(), c, "hit rate 1");
+                Some(trk.counters())
+            } else {
+                None
+            };
+            let dash = || "-".to_string();
+            t.row(vec![
+                fmt_card(c),
+                bits.to_string(),
+                format!("{cl_tuples:.1}"),
+                measured.map_or_else(dash, |s| fmt_ms(s.elapsed_ms())),
+                fmt_ms(m.total_ms()),
+                measured.map_or_else(dash, |s| fmt_count(s.l1_misses as f64)),
+                fmt_count(m.l1_misses),
+                measured.map_or_else(dash, |s| fmt_count(s.l2_misses as f64)),
+                fmt_count(m.l2_misses),
+                measured.map_or_else(dash, |s| fmt_count(s.tlb_misses as f64)),
+                fmt_count(m.tlb_misses),
+            ]);
+        }
+    }
+    super::emit(opts, &t);
+    println!(
+        "Points marked '-' exceed the nested-loop op budget (the paper similarly capped \
+         runs at 15 minutes); the model covers the full range. Performance keeps \
+         improving down to ~1-tuple clusters, where radix-join degenerates to \
+         sort/merge-join.\n"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke() {
+        run(&RunOpts { scale: Scale::Quick, ..Default::default() });
+    }
+}

@@ -1,0 +1,121 @@
+//! **Figure 3** — "Reality Check: simple in-memory scan of 200,000 tuples."
+//!
+//! Elapsed time of 200,000 one-byte reads at stride 1–256 on the four
+//! machines of the figure, simulated (points) and modelled (lines), plus the
+//! §2/§3.1 headline claims derived from the origin2k curve.
+
+use costmodel::{scan::scan_cost, ModelMachine};
+use memsim::stride::{scan_native, scan_sim, PAPER_ITERATIONS};
+use memsim::profiles;
+
+use crate::report::{fmt_ms, TextTable};
+use crate::runner::RunOpts;
+
+/// Strides printed in the summary table (the CSV gets the dense sweep).
+const TABLE_STRIDES: [usize; 12] = [1, 2, 4, 8, 16, 32, 48, 64, 96, 128, 192, 256];
+
+/// Run the Figure 3 reproduction.
+pub fn run(opts: &RunOpts) {
+    let machines = profiles::figure3_machines();
+    let iters = PAPER_ITERATIONS;
+
+    let mut headers: Vec<String> = vec!["stride".into()];
+    for m in &machines {
+        headers.push(format!("{} sim(ms)", m.name));
+        headers.push(format!("{} model(ms)", m.name));
+    }
+    if opts.native {
+        headers.push("host native(ms)".into());
+    }
+    let mut table = TextTable::new(
+        format!("Figure 3: scan of {iters} tuples, elapsed ms vs record width"),
+        &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
+
+    let dense: Vec<usize> = memsim::stride::figure3_strides();
+    let strides: Vec<usize> =
+        if opts.csv_dir.is_some() { dense } else { TABLE_STRIDES.to_vec() };
+
+    for &s in &strides {
+        if opts.csv_dir.is_none() && !TABLE_STRIDES.contains(&s) {
+            continue;
+        }
+        let mut row = vec![s.to_string()];
+        for m in &machines {
+            let sim = scan_sim(*m, iters, s);
+            let model = scan_cost(&ModelMachine::new(m), iters, s);
+            row.push(fmt_ms(sim.elapsed_ms));
+            row.push(fmt_ms(model.total_ms()));
+        }
+        if opts.native {
+            row.push(fmt_ms(scan_native(iters, s).elapsed_ms));
+        }
+        table.row(row);
+    }
+    super::emit(opts, &table);
+
+    claims(iters);
+}
+
+/// The quantitative claims §2/§3.1 make from this experiment.
+fn claims(iters: usize) {
+    let m = profiles::origin2000();
+    let ns_per_cycle = m.ns_per_cycle();
+    let cycles = |stride: usize| {
+        let p = scan_sim(m, iters, stride);
+        (
+            p.counters.elapsed_ns() / iters as f64 / ns_per_cycle,
+            p.counters.stall_fraction(),
+        )
+    };
+    let (c1, _) = cycles(1);
+    let (c8, _) = cycles(8);
+    let (c256, f256) = cycles(256);
+
+    let mut t = TextTable::new(
+        "Figure 3 claims (origin2k)",
+        &["claim", "paper", "measured (sim)"],
+    );
+    t.row(vec![
+        "cycles/iteration at stride 1".into(),
+        "4".into(),
+        format!("{c1:.1}"),
+    ]);
+    t.row(vec![
+        "cycles/iteration at stride 8".into(),
+        "10".into(),
+        format!("{c8:.1}"),
+    ]);
+    t.row(vec![
+        "cycles/iteration at stride 256".into(),
+        "(figure: ~flat max)".into(),
+        format!("{c256:.1}"),
+    ]);
+    t.row(vec![
+        "fraction of cycles stalled on memory at max stride".into(),
+        "95%".into(),
+        format!("{:.0}%", f256 * 100.0),
+    ]);
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_quickly_without_csv() {
+        // Smoke test: the harness itself must not panic.
+        run(&RunOpts { native: false, ..Default::default() });
+    }
+
+    #[test]
+    fn origin_beats_sunlx_at_stride1_much_more_than_at_stride256() {
+        let iters = 50_000;
+        let o1 = scan_sim(profiles::origin2000(), iters, 1).elapsed_ms;
+        let s1 = scan_sim(profiles::sun_lx(), iters, 1).elapsed_ms;
+        let o256 = scan_sim(profiles::origin2000(), iters, 256).elapsed_ms;
+        let s256 = scan_sim(profiles::sun_lx(), iters, 256).elapsed_ms;
+        assert!(s1 / o1 > 2.0 * (s256 / o256));
+    }
+}

@@ -1,0 +1,129 @@
+//! **Selection access paths** (`repro select`) — the §3.2 discussion as an
+//! experiment. The paper argues (with \[Ron98\] against \[LC86\]) that for
+//! point/high-selectivity selections a B-tree with cache-line-sized nodes is
+//! optimal, because hash tables and binary search "cause random memory
+//! access to the entire relation; a non cache-friendly access pattern".
+//!
+//! We measure, on the simulated Origin2000: a full scan-select, binary
+//! search over the sorted column, cache-sensitive B+-trees with 32 B (L1
+//! line), 128 B (L2 line) and 16 KB (page) nodes, the \[LC86\] T-tree, and a
+//! bucket-chained hash table — for batches of point lookups against sorted
+//! relations of growing size.
+
+use memsim::{MemTracker, SimTracker};
+use monet_core::index::{binary_search_tracked, CsBTree, TTree};
+use monet_core::join::{Bun, ChainedTable, FibHash};
+use memsim::NullTracker;
+
+use crate::report::{fmt_card, fmt_count, fmt_ms, TextTable};
+use crate::runner::{RunOpts, Scale};
+
+const LOOKUPS: usize = 10_000;
+
+/// Run the access-path comparison.
+pub fn run(opts: &RunOpts) {
+    let machine = opts.machine();
+    let cards: Vec<usize> = match opts.scale {
+        Scale::Quick => vec![65_536, 1 << 20],
+        Scale::Default => vec![65_536, 1 << 20, 1 << 22],
+        Scale::Full => vec![65_536, 1 << 20, 1 << 22, 1 << 24],
+    };
+
+    let mut t = TextTable::new(
+        format!("Selection access paths: {LOOKUPS} point lookups (simulated origin2k)"),
+        &["C", "access path", "ms", "us/lookup", "L1 miss", "L2 miss", "TLB miss"],
+    );
+
+    for c in cards {
+        let entries: Vec<(u32, u32)> = (0..c as u32).map(|i| (i * 3, i)).collect();
+        let keys: Vec<u32> = entries.iter().map(|e| e.0).collect();
+        let probes: Vec<u32> = (0..LOOKUPS as u32)
+            .map(|i| (i.wrapping_mul(2_654_435_761) % c as u32) * 3)
+            .collect();
+
+        let mut add = |name: &str, f: &mut dyn FnMut(&mut SimTracker)| {
+            let mut trk = SimTracker::for_machine(machine);
+            f(&mut trk);
+            let s = trk.counters();
+            t.row(vec![
+                fmt_card(c),
+                name.into(),
+                fmt_ms(s.elapsed_ms()),
+                format!("{:.2}", s.elapsed_ns() / 1e3 / LOOKUPS as f64),
+                fmt_count(s.l1_misses as f64),
+                fmt_count(s.l2_misses as f64),
+                fmt_count(s.tlb_misses as f64),
+            ]);
+        };
+
+        // Full scan per lookup would be absurd; scan once for the whole
+        // batch (the low-selectivity regime where scans DO win).
+        add("scan (whole batch)", &mut |trk| {
+            let mut hits = 0u64;
+            let probe_set: std::collections::HashSet<u32> = probes.iter().copied().collect();
+            for k in &keys {
+                trk.read(k as *const u32 as usize, 4);
+                trk.work(memsim::Work::ScanIter, 1);
+                if probe_set.contains(k) {
+                    hits += 1;
+                }
+            }
+            assert!(hits >= probe_set.len() as u64);
+        });
+
+        add("binary search", &mut |trk| {
+            for &p in &probes {
+                let pos = binary_search_tracked(trk, &keys, p);
+                assert_eq!(keys[pos], p);
+            }
+        });
+
+        for (name, bytes) in
+            [("B-tree 32B nodes", 32usize), ("B-tree 128B nodes", 128), ("B-tree 16KB nodes", 16384)]
+        {
+            let tree = CsBTree::with_node_bytes(&entries, bytes);
+            add(name, &mut |trk| {
+                for &p in &probes {
+                    let mut found = false;
+                    tree.lookup_eq(trk, p, |_| found = true);
+                    assert!(found);
+                }
+            });
+        }
+
+        let ttree = TTree::with_default_capacity(&entries);
+        add("T-tree 64-key nodes", &mut |trk| {
+            for &p in &probes {
+                let mut found = false;
+                ttree.lookup_eq(trk, p, |_| found = true);
+                assert!(found);
+            }
+        });
+
+        let buns: Vec<Bun> = entries.iter().map(|&(k, o)| Bun::new(o, k)).collect();
+        let table = ChainedTable::build(&mut NullTracker, FibHash, &buns, 0, 4);
+        add("hash table", &mut |trk| {
+            for &p in &probes {
+                let mut found = false;
+                table.probe(trk, FibHash, &buns, p, |_, _| found = true);
+                assert!(found);
+            }
+        });
+    }
+    super::emit(opts, &t);
+    println!(
+        "§3.2's point, measured: at large C the hash table and binary search take an \
+         L2/TLB miss on (almost) every probe; the line-sized B-tree keeps its upper \
+         levels cache-resident. Scans win only when the whole batch amortizes one pass.\n"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke() {
+        run(&RunOpts { scale: Scale::Quick, ..Default::default() });
+    }
+}

@@ -1,0 +1,123 @@
+//! **Virtual-memory experiment** (`repro vm`) — the paper's §4 claim:
+//!
+//! "Algorithms that are tuned to run well on one level of the memory, also
+//! exhibit good performance on the lower levels (e.g., radix-join has pure
+//! sequential access and consequently also runs well on virtual memory)."
+//!
+//! We constrain the Origin2000 to a resident set *smaller than one operand*
+//! and join relations that therefore live partly "on disk" (8 ms faults).
+//! Prediction: the cache-conscious algorithms — whose access patterns are
+//! sequential or confined to small regions — fault roughly once per page,
+//! while the random-access simple hash join faults once per *probe*.
+
+use memsim::{MachineConfig, SimTracker, VmConfig};
+use monet_core::join::{partitioned_hash_join, radix_join, simple_hash_join, FibHash};
+use monet_core::strategy::{bits_phash_min, bits_radix8, plan_passes};
+use workload::join_pair;
+
+use crate::report::{fmt_count, fmt_ms, TextTable};
+use crate::runner::{RunOpts, Scale};
+
+/// Run the VM experiment.
+pub fn run(opts: &RunOpts) {
+    let c = match opts.scale {
+        Scale::Quick => 131_072,
+        _ => 524_288,
+    };
+    // Each operand is c*8 bytes; give the machine half of ONE operand.
+    let mut machine: MachineConfig = opts.machine();
+    let data_pages = c * 8 / machine.tlb.page;
+    machine.vm = Some(VmConfig::new((data_pages / 2).max(8), 8_000_000.0));
+
+    let (l, r) = join_pair(c, opts.seed);
+    let mut t = TextTable::new(
+        format!(
+            "§4 virtual memory: join of two {c}-tuple BATs, resident set = {} pages \
+             (operand = {data_pages} pages), 8 ms faults",
+            (data_pages / 2).max(8)
+        ),
+        &["algorithm", "page faults", "fault stall (ms)", "total ms", "vs simple hash"],
+    );
+
+    let mut results: Vec<(String, u64, f64, f64)> = Vec::new();
+    {
+        let mut trk = SimTracker::for_machine(machine);
+        let pairs = simple_hash_join(&mut trk, FibHash, &l, &r);
+        assert_eq!(pairs.len(), c);
+        let s = trk.counters();
+        results.push(("simple hash".into(), s.page_faults, s.stall_fault_ns / 1e6, s.elapsed_ms()));
+    }
+    {
+        let bits = bits_phash_min(c);
+        let passes = plan_passes(bits, machine.tlb.entries);
+        let mut trk = SimTracker::for_machine(machine);
+        let pairs = partitioned_hash_join(&mut trk, FibHash, l.clone(), r.clone(), bits, &passes);
+        assert_eq!(pairs.len(), c);
+        let s = trk.counters();
+        results.push(("phash min".into(), s.page_faults, s.stall_fault_ns / 1e6, s.elapsed_ms()));
+    }
+    {
+        let bits = bits_radix8(c);
+        let passes = plan_passes(bits, machine.tlb.entries);
+        let mut trk = SimTracker::for_machine(machine);
+        let pairs = radix_join(&mut trk, FibHash, l.clone(), r.clone(), bits, &passes);
+        assert_eq!(pairs.len(), c);
+        let s = trk.counters();
+        results.push(("radix 8".into(), s.page_faults, s.stall_fault_ns / 1e6, s.elapsed_ms()));
+    }
+
+    let simple_ms = results[0].3;
+    for (name, faults, stall, total) in &results {
+        t.row(vec![
+            name.clone(),
+            fmt_count(*faults as f64),
+            fmt_ms(*stall),
+            fmt_ms(*total),
+            format!("{:.1}x", simple_ms / total),
+        ]);
+    }
+    super::emit(opts, &t);
+    println!(
+        "The radix algorithms' sequential, region-confined access faults ~once per \
+         data page per pass; simple hash faults on nearly every probe once the build \
+         side exceeds the resident set — I/O by virtual memory works exactly when \
+         the access pattern is already cache-conscious.\n"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radix_family_beats_simple_hash_under_paging() {
+        let c = 65_536;
+        let mut machine = memsim::profiles::origin2000();
+        let data_pages = c * 8 / machine.tlb.page; // 32 pages/operand
+        machine.vm = Some(VmConfig::new(data_pages / 2, 8_000_000.0));
+        let (l, r) = join_pair(c, 4);
+
+        let mut ts = SimTracker::for_machine(machine);
+        simple_hash_join(&mut ts, FibHash, &l, &r);
+        let simple = ts.counters();
+
+        let bits = bits_phash_min(c);
+        let passes = plan_passes(bits, machine.tlb.entries);
+        let mut tp = SimTracker::for_machine(machine);
+        partitioned_hash_join(&mut tp, FibHash, l, r, bits, &passes);
+        let phash = tp.counters();
+
+        assert!(
+            phash.page_faults * 4 < simple.page_faults,
+            "phash {} vs simple {} faults",
+            phash.page_faults,
+            simple.page_faults
+        );
+        assert!(phash.elapsed_ms() < simple.elapsed_ms());
+    }
+
+    #[test]
+    fn smoke() {
+        run(&RunOpts { scale: Scale::Quick, ..Default::default() });
+    }
+}

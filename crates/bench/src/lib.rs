@@ -1,0 +1,32 @@
+//! # monet-bench — the reproduction harness
+//!
+//! One module per figure of the paper's evaluation; the `repro` binary
+//! dispatches to them:
+//!
+//! ```text
+//! cargo run --release -p monet-bench --bin repro -- fig3      # stride scan
+//! cargo run --release -p monet-bench --bin repro -- fig4      # storage widths
+//! cargo run --release -p monet-bench --bin repro -- fig9      # radix-cluster
+//! cargo run --release -p monet-bench --bin repro -- fig10     # radix-join
+//! cargo run --release -p monet-bench --bin repro -- fig11     # partitioned hash-join
+//! cargo run --release -p monet-bench --bin repro -- fig12     # overall radix vs phash
+//! cargo run --release -p monet-bench --bin repro -- fig13     # strategy comparison
+//! cargo run --release -p monet-bench --bin repro -- validate  # model vs simulator
+//! cargo run --release -p monet-bench --bin repro -- all
+//! ```
+//!
+//! Flags: `--quick` (smaller cardinalities), `--full` (the paper's largest,
+//! needs several GB of RAM and patience), `--csv DIR` (also write CSV),
+//! `--native` (add host wall-clock columns where meaningful).
+//!
+//! Simulated numbers come from replaying the *actual implementation* through
+//! `memsim`'s Origin2000; model numbers from `costmodel`. Absolute times are
+//! nanosecond-accounted per the paper's calibration, so they are directly
+//! comparable with the published figures.
+
+pub mod figures;
+pub mod report;
+pub mod runner;
+
+pub use report::TextTable;
+pub use runner::{RunOpts, Scale};

@@ -1,0 +1,184 @@
+//! Plain-text and CSV table output for the figure harness.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple aligned text table that can also be dumped as CSV.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with padded columns.
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let sep = if i + 1 == ncol { "\n" } else { "  " };
+                let _ = write!(out, "{:>width$}{}", c, sep, width = widths[i]);
+            }
+        };
+        line(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncol - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    /// Write as CSV into `dir/<slug>.csv` (slug derived from the title).
+    pub fn write_csv(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let slug: String = self
+            .title
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect();
+        let mut s = String::new();
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let _ = writeln!(
+            s,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(s, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        fs::write(dir.join(format!("{slug}.csv")), s)
+    }
+}
+
+/// Format milliseconds with sensible precision across magnitudes.
+pub fn fmt_ms(ms: f64) -> String {
+    if ms >= 1000.0 {
+        format!("{ms:.0}")
+    } else if ms >= 10.0 {
+        format!("{ms:.1}")
+    } else {
+        format!("{ms:.3}")
+    }
+}
+
+/// Format an event count compactly (`1.23e6` style above a million, plain
+/// below — the paper's figures are log-scale, so magnitudes matter most).
+pub fn fmt_count(n: f64) -> String {
+    if n >= 1e6 {
+        format!("{:.2}e6", n / 1e6)
+    } else if n >= 1e3 {
+        format!("{:.1}e3", n / 1e3)
+    } else {
+        format!("{n:.0}")
+    }
+}
+
+/// Format a cardinality like the paper's axis ("in 1000").
+pub fn fmt_card(c: usize) -> String {
+    if c.is_multiple_of(1_000_000) {
+        format!("{}M", c / 1_000_000)
+    } else if c.is_multiple_of(1000) {
+        format!("{}k", c / 1000)
+    } else {
+        c.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new("Demo", &["a", "long-header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["100".into(), "20000".into()]);
+        let r = t.render();
+        assert!(r.contains("## Demo"));
+        assert!(r.contains("long-header"));
+        let lines: Vec<&str> = r.lines().collect();
+        // header + rule + 2 rows (+ title)
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = TextTable::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_written() {
+        let dir = std::env::temp_dir().join("monet_bench_test_csv");
+        let mut t = TextTable::new("My Table (1)", &["a", "b"]);
+        t.row(vec!["1,5".into(), "x\"y".into()]);
+        t.write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("my_table__1_.csv")).unwrap();
+        assert!(content.starts_with("a,b"));
+        assert!(content.contains("\"1,5\""));
+        assert!(content.contains("\"x\"\"y\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_ms(12345.6), "12346");
+        assert_eq!(fmt_ms(42.35), "42.4");
+        assert_eq!(fmt_ms(0.5), "0.500");
+        assert_eq!(fmt_count(2_500_000.0), "2.50e6");
+        assert_eq!(fmt_count(1500.0), "1.5e3");
+        assert_eq!(fmt_count(12.0), "12");
+        assert_eq!(fmt_card(8_000_000), "8M");
+        assert_eq!(fmt_card(15625), "15625");
+        assert_eq!(fmt_card(64_000), "64k");
+    }
+}

@@ -1,0 +1,110 @@
+//! The radix family of equi-join algorithms (§3.3) and their baselines.
+//!
+//! All algorithms operate on arrays of [`Bun`]s — the paper's 8-byte
+//! `\[OID, int\]` records (§3.4.1: "binary relations (BATs) of 8 bytes wide
+//! tuples") — joining on the `tail` value and producing a *join index*
+//! \[Val87\]: a list of `\[OID, OID\]` pairs ([`OidPair`]).
+//!
+//! Every kernel is generic over [`memsim::MemTracker`]; pass
+//! [`memsim::NullTracker`] for native speed or [`memsim::SimTracker`] to
+//! replay the algorithm's access pattern through the simulated Origin2000.
+//!
+//! | paper name (Fig. 8/13)   | function |
+//! |--------------------------|----------|
+//! | radix-cluster            | [`radix_cluster`] |
+//! | partitioned hash-join    | [`partitioned_hash_join`] |
+//! | radix-join               | [`radix_join`] |
+//! | simple hash              | [`simple_hash_join`] |
+//! | sort-merge               | [`sort_merge_join`] |
+//! | (correctness oracle)     | [`nested_loop_join`] |
+
+pub mod cluster;
+pub mod hash;
+pub mod hashtable;
+pub mod nljoin;
+pub mod parallel;
+pub mod phash;
+pub mod rjoin;
+pub mod shash;
+pub mod smjoin;
+
+pub use cluster::{cluster_bounds_from_data, radix_cluster, straightforward_cluster, ClusteredRel};
+pub use hash::{radix_of, FibHash, IdentityHash, KeyHash, MurmurHash};
+pub use hashtable::ChainedTable;
+pub use nljoin::nested_loop_join;
+pub use parallel::{par_join_clustered, par_partitioned_hash_join, par_radix_cluster};
+pub use phash::{join_clustered, partitioned_hash_join};
+pub use rjoin::{radix_join, radix_join_clustered};
+pub use shash::simple_hash_join;
+pub use smjoin::{merge_join_sorted, merge_sort_by_tail, radix_sort_by_tail, sort_merge_join,
+                 sort_merge_join_cmp};
+
+use crate::storage::Oid;
+
+/// One 8-byte BUN: `\[OID, value\]`, the unit of all join experiments.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Bun {
+    /// The tuple's object identifier.
+    pub head: Oid,
+    /// The join attribute value.
+    pub tail: u32,
+}
+
+impl Bun {
+    /// Construct a BUN.
+    #[inline]
+    pub const fn new(head: Oid, tail: u32) -> Self {
+        Self { head, tail }
+    }
+}
+
+/// One entry of a join index: the OIDs of a matching tuple pair.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OidPair {
+    /// OID from the left (outer) relation.
+    pub left: Oid,
+    /// OID from the right (inner) relation.
+    pub right: Oid,
+}
+
+impl OidPair {
+    /// Construct a pair.
+    #[inline]
+    pub const fn new(left: Oid, right: Oid) -> Self {
+        Self { left, right }
+    }
+}
+
+/// Canonicalize a join result for comparison in tests: sorted by (left,
+/// right).
+pub fn sort_pairs(mut pairs: Vec<OidPair>) -> Vec<OidPair> {
+    pairs.sort_unstable();
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bun_is_exactly_8_bytes() {
+        // §3.4.1: "BATs of 8 bytes wide tuples" — the layout claim the whole
+        // cost model rests on.
+        assert_eq!(std::mem::size_of::<Bun>(), 8);
+        assert_eq!(std::mem::align_of::<Bun>(), 4);
+    }
+
+    #[test]
+    fn oid_pair_is_exactly_8_bytes() {
+        assert_eq!(std::mem::size_of::<OidPair>(), 8);
+    }
+
+    #[test]
+    fn sort_pairs_canonicalizes() {
+        let p = vec![OidPair::new(2, 1), OidPair::new(1, 9), OidPair::new(1, 2)];
+        let s = sort_pairs(p);
+        assert_eq!(s, vec![OidPair::new(1, 2), OidPair::new(1, 9), OidPair::new(2, 1)]);
+    }
+}

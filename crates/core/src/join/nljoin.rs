@@ -1,0 +1,58 @@
+//! Nested-loop join: the O(n·m) correctness oracle.
+//!
+//! Never competitive (and the paper does not plot it), but every other join
+//! in this crate is property-tested against it, and radix-join uses the same
+//! loop *within* clusters.
+
+use memsim::{MemTracker, Work};
+
+use super::{Bun, OidPair};
+
+/// Compare every pair; emit matches in (left-position, right-position)
+/// order.
+pub fn nested_loop_join<M: MemTracker>(trk: &mut M, left: &[Bun], right: &[Bun]) -> Vec<OidPair> {
+    let mut out = Vec::new();
+    for lt in left {
+        if M::ENABLED {
+            trk.read(lt as *const Bun as usize, 8);
+        }
+        for rt in right {
+            if M::ENABLED {
+                trk.read(rt as *const Bun as usize, 8);
+                trk.work(Work::RadixCompare, 1);
+            }
+            if lt.tail == rt.tail {
+                out.push(OidPair::new(lt.head, rt.head));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::NullTracker;
+
+    #[test]
+    fn cross_product_on_all_equal() {
+        let l: Vec<Bun> = (0..3).map(|i| Bun::new(i, 7)).collect();
+        let r: Vec<Bun> = (10..14).map(|i| Bun::new(i, 7)).collect();
+        assert_eq!(nested_loop_join(&mut NullTracker, &l, &r).len(), 12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let r: Vec<Bun> = vec![Bun::new(0, 1)];
+        assert!(nested_loop_join(&mut NullTracker, &[], &r).is_empty());
+        assert!(nested_loop_join(&mut NullTracker, &r, &[]).is_empty());
+    }
+
+    #[test]
+    fn emits_left_major_order() {
+        let l = vec![Bun::new(0, 1), Bun::new(1, 2)];
+        let r = vec![Bun::new(5, 2), Bun::new(6, 1)];
+        let out = nested_loop_join(&mut NullTracker, &l, &r);
+        assert_eq!(out, vec![OidPair::new(0, 6), OidPair::new(1, 5)]);
+    }
+}

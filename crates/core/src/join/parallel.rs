@@ -1,0 +1,401 @@
+//! Parallel radix-cluster and partitioned hash-join — an extension beyond
+//! the (single-threaded) paper, following the design its successors adopted:
+//! radix partitioning parallelizes naturally because pass 1 can fan out
+//! *chunks* of the input independently (per-chunk histograms, then disjoint
+//! scatter regions), and every later pass and every cluster-pair join is
+//! embarrassingly parallel.
+//!
+//! **Determinism:** the parallel functions produce *bit-identical* output to
+//! their sequential counterparts. Pass 1 assigns scatter regions
+//! thread-major (thread 0's tuples precede thread 1's within every cluster),
+//! which reproduces the sequential stable order; later passes and the join
+//! process whole clusters, which are independent. Tests assert equality.
+//!
+//! **Instrumentation:** parallel execution is native-only (no `MemTracker`):
+//! simulating one shared memory hierarchy from multiple threads would
+//! serialize on the simulator and model a machine the paper never measured.
+//! Run the sequential kernels for simulation.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use super::cluster::ClusteredRel;
+use super::hash::{KeyHash, radix_of};
+use super::hashtable::{ChainedTable, DEFAULT_TUPLES_PER_BUCKET};
+use super::{Bun, OidPair};
+use memsim::NullTracker;
+
+/// Shared mutable pointer for provably disjoint writes across threads.
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+// SAFETY: every use partitions the target into disjoint index ranges, one
+// per thread; no two threads write the same element and nobody reads until
+// the scope joins.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Write `v` at element offset `idx`.
+    ///
+    /// A by-value method (rather than field access) so closures capture the
+    /// whole `Send` wrapper — RFC 2229 disjoint capture would otherwise
+    /// capture only the raw-pointer field, which is not `Send`.
+    ///
+    /// # Safety
+    /// `idx` must lie within the allocation, and no other thread may access
+    /// the same element concurrently.
+    unsafe fn write(self, idx: usize, v: T) {
+        // SAFETY: forwarded to the caller's contract above.
+        unsafe { self.0.add(idx).write(v) }
+    }
+}
+
+/// Parallel multi-pass radix-cluster. Equivalent to
+/// [`super::radix_cluster`] with a `NullTracker` (and asserts the same
+/// invariants); `threads = 1` simply delegates to it.
+pub fn par_radix_cluster<H: KeyHash + Send + Sync>(
+    h: H,
+    input: Vec<Bun>,
+    bits: u32,
+    pass_bits: &[u32],
+    threads: usize,
+) -> ClusteredRel {
+    assert!(threads >= 1, "need at least one thread");
+    if threads == 1 || bits == 0 || input.len() < 2 * threads {
+        return super::radix_cluster(&mut NullTracker, h, input, bits, pass_bits);
+    }
+    let total: u32 = pass_bits.iter().sum();
+    assert_eq!(total, bits, "pass bits must sum to B");
+
+    let n = input.len();
+    let mut src = input;
+    let mut dst = vec![Bun::default(); n];
+    let mut cur_bounds: Vec<u32> = vec![0, n as u32];
+    let mut remaining = bits;
+
+    for (pass_idx, &bp) in pass_bits.iter().enumerate() {
+        remaining -= bp;
+        let shift = remaining;
+        let hp = 1usize << bp;
+        let mask = (hp - 1) as u32;
+        let ncl = cur_bounds.len() - 1;
+        let mut new_bounds = vec![0u32; ncl * hp + 1];
+
+        if pass_idx == 0 {
+            // One source cluster (the whole input): parallelize by chunk.
+            par_first_pass(h, &src, &mut dst, &mut new_bounds, shift, mask, hp, threads);
+        } else {
+            // Many independent source clusters: parallelize by cluster.
+            par_cluster_pass(
+                h,
+                &src,
+                &mut dst,
+                &cur_bounds,
+                &mut new_bounds,
+                shift,
+                mask,
+                hp,
+                threads,
+            );
+        }
+        *new_bounds.last_mut().unwrap() = n as u32;
+        std::mem::swap(&mut src, &mut dst);
+        cur_bounds = new_bounds;
+    }
+    ClusteredRel { data: src, bits, bounds: cur_bounds }
+}
+
+/// Pass 1: per-thread chunk histograms, thread-major scatter offsets.
+#[allow(clippy::too_many_arguments)]
+fn par_first_pass<H: KeyHash + Send + Sync>(
+    h: H,
+    src: &[Bun],
+    dst: &mut [Bun],
+    new_bounds: &mut [u32],
+    shift: u32,
+    mask: u32,
+    hp: usize,
+    threads: usize,
+) {
+    let n = src.len();
+    let chunk = n.div_ceil(threads);
+    let ranges: Vec<(usize, usize)> =
+        (0..threads).map(|t| (t * chunk, ((t + 1) * chunk).min(n))).filter(|(a, b)| a < b).collect();
+
+    // Phase 1: per-chunk histograms.
+    let mut hists: Vec<Vec<u32>> = Vec::with_capacity(ranges.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                s.spawn(move || {
+                    let mut hist = vec![0u32; hp];
+                    for t in &src[lo..hi] {
+                        hist[((h.hash(t.tail) >> shift) & mask) as usize] += 1;
+                    }
+                    hist
+                })
+            })
+            .collect();
+        for handle in handles {
+            hists.push(handle.join().expect("histogram worker panicked"));
+        }
+    });
+
+    // Thread-major prefix sums: cluster c starts at Σ_{c'<c} total(c');
+    // within it, thread t starts after threads 0..t's contributions.
+    let mut acc = 0u32;
+    let mut offsets: Vec<Vec<u32>> = vec![vec![0u32; hp]; hists.len()];
+    for c in 0..hp {
+        new_bounds[c] = acc;
+        for (t, hist) in hists.iter().enumerate() {
+            offsets[t][c] = acc;
+            acc += hist[c];
+        }
+    }
+
+    // Phase 2: disjoint scatter.
+    let dst_ptr = SendPtr(dst.as_mut_ptr());
+    std::thread::scope(|s| {
+        for (&(lo, hi), mut offs) in ranges.iter().zip(offsets) {
+            s.spawn(move || {
+                for t in &src[lo..hi] {
+                    let idx = ((h.hash(t.tail) >> shift) & mask) as usize;
+                    let pos = offs[idx] as usize;
+                    offs[idx] += 1;
+                    // SAFETY: positions handed to this thread are the
+                    // half-open ranges reserved for (cluster, thread) pairs
+                    // above; ranges are disjoint across threads.
+                    unsafe { dst_ptr.write(pos, *t) };
+                }
+            });
+        }
+    });
+}
+
+/// Passes ≥ 2: clusters are independent; workers pull cluster indices from
+/// an atomic counter (cheap dynamic load balancing).
+#[allow(clippy::too_many_arguments)]
+fn par_cluster_pass<H: KeyHash + Send + Sync>(
+    h: H,
+    src: &[Bun],
+    dst: &mut [Bun],
+    cur_bounds: &[u32],
+    new_bounds: &mut [u32],
+    shift: u32,
+    mask: u32,
+    hp: usize,
+    threads: usize,
+) {
+    let ncl = cur_bounds.len() - 1;
+    let next = AtomicUsize::new(0);
+    let dst_ptr = SendPtr(dst.as_mut_ptr());
+    let nb_ptr = SendPtr(new_bounds.as_mut_ptr());
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(ncl) {
+            let next = &next;
+            s.spawn(move || {
+                let mut hist = vec![0u32; hp];
+                loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= ncl {
+                        break;
+                    }
+                    let lo = cur_bounds[c] as usize;
+                    let hi = cur_bounds[c + 1] as usize;
+                    hist.fill(0);
+                    for t in &src[lo..hi] {
+                        hist[((h.hash(t.tail) >> shift) & mask) as usize] += 1;
+                    }
+                    let mut acc = lo as u32;
+                    for (k, slot) in hist.iter_mut().enumerate() {
+                        let cnt = *slot;
+                        *slot = acc;
+                        // SAFETY: entries [c*hp, (c+1)*hp) belong to this
+                        // cluster only.
+                        unsafe { nb_ptr.write(c * hp + k, acc) };
+                        acc += cnt;
+                    }
+                    for t in &src[lo..hi] {
+                        let idx = ((h.hash(t.tail) >> shift) & mask) as usize;
+                        let pos = hist[idx] as usize;
+                        hist[idx] += 1;
+                        // SAFETY: positions lie in [lo, hi), owned by this
+                        // cluster, processed by exactly one worker.
+                        unsafe { dst_ptr.write(pos, *t) };
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Parallel join of two clustered relations: cluster pairs are distributed
+/// over workers in contiguous blocks, so the concatenated result preserves
+/// the sequential cluster-major order exactly.
+pub fn par_join_clustered<H: KeyHash + Send + Sync>(
+    h: H,
+    left: &ClusteredRel,
+    right: &ClusteredRel,
+    threads: usize,
+) -> Vec<OidPair> {
+    assert_eq!(left.bits, right.bits, "operands must share the radix bit count");
+    if threads <= 1 {
+        return super::join_clustered(&mut NullTracker, h, left, right);
+    }
+    let ncl = left.num_clusters();
+    let threads = threads.min(ncl.max(1));
+    let block = ncl.div_ceil(threads);
+    let mut parts: Vec<Vec<OidPair>> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * block;
+                let hi = ((t + 1) * block).min(ncl);
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut trk = NullTracker;
+                    for c in lo..hi {
+                        let lc = left.cluster(c);
+                        let rc = right.cluster(c);
+                        if lc.is_empty() || rc.is_empty() {
+                            continue;
+                        }
+                        let table = ChainedTable::build(
+                            &mut trk,
+                            h,
+                            rc,
+                            right.bits,
+                            DEFAULT_TUPLES_PER_BUCKET,
+                        );
+                        for lt in lc {
+                            table.probe(&mut trk, h, rc, lt.tail, |_, pos| {
+                                out.push(OidPair::new(lt.head, rc[pos as usize].head));
+                            });
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            parts.push(handle.join().expect("join worker panicked"));
+        }
+    });
+    let total: usize = parts.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// The complete parallel partitioned hash-join.
+pub fn par_partitioned_hash_join<H: KeyHash + Send + Sync>(
+    h: H,
+    left: Vec<Bun>,
+    right: Vec<Bun>,
+    bits: u32,
+    pass_bits: &[u32],
+    threads: usize,
+) -> Vec<OidPair> {
+    let l = par_radix_cluster(h, left, bits, pass_bits, threads);
+    let r = par_radix_cluster(h, right, bits, pass_bits, threads);
+    par_join_clustered(h, &l, &r, threads)
+}
+
+/// Sanity helper used in tests and benches: verify a parallel clustering
+/// equals the sequential one on the same input.
+pub fn assert_matches_sequential<H: KeyHash + Send + Sync>(
+    h: H,
+    input: &[Bun],
+    bits: u32,
+    pass_bits: &[u32],
+    threads: usize,
+) {
+    let seq = super::radix_cluster(&mut NullTracker, h, input.to_vec(), bits, pass_bits);
+    let par = par_radix_cluster(h, input.to_vec(), bits, pass_bits, threads);
+    assert_eq!(seq.bounds, par.bounds, "bounds must match");
+    assert_eq!(seq.data, par.data, "data order must match (stable scatter)");
+    let _ = radix_of(0, bits);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::hash::{FibHash, IdentityHash};
+    use crate::join::{nested_loop_join, partitioned_hash_join, sort_pairs};
+
+    fn keys(n: usize, seed: u64) -> Vec<Bun> {
+        let mut state = seed;
+        (0..n)
+            .map(|i| {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                Bun::new(i as u32, (z ^ (z >> 31)) as u32)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_cluster_is_bit_identical_to_sequential() {
+        let input = keys(100_000, 1);
+        for threads in [2usize, 3, 4, 8] {
+            for (bits, passes) in [(6u32, vec![6u32]), (10, vec![5, 5]), (12, vec![4, 4, 4])] {
+                assert_matches_sequential(FibHash, &input, bits, &passes, threads);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_cluster_handles_edge_shapes() {
+        // Tiny input (falls back), skewed input, single cluster.
+        assert_matches_sequential(FibHash, &keys(3, 2), 4, &[4], 8);
+        let skewed: Vec<Bun> = (0..10_000).map(|i| Bun::new(i, (i % 3) * 1000)).collect();
+        assert_matches_sequential(IdentityHash, &skewed, 8, &[4, 4], 4);
+        assert_matches_sequential(FibHash, &keys(1000, 3), 1, &[1], 4);
+    }
+
+    #[test]
+    fn parallel_join_matches_sequential_exactly() {
+        let l = keys(20_000, 4);
+        let r = keys(20_000, 5);
+        let seq = partitioned_hash_join(
+            &mut NullTracker,
+            FibHash,
+            l.clone(),
+            r.clone(),
+            8,
+            &[4, 4],
+        );
+        for threads in [2usize, 4, 7] {
+            let par = par_partitioned_hash_join(FibHash, l.clone(), r.clone(), 8, &[4, 4], threads);
+            assert_eq!(par, seq, "threads={threads}: even output order must match");
+        }
+    }
+
+    #[test]
+    fn parallel_join_correct_with_duplicates() {
+        let l: Vec<Bun> = (0..500).map(|i| Bun::new(i, i % 19)).collect();
+        let r: Vec<Bun> = (0..300).map(|i| Bun::new(i, i % 23)).collect();
+        let oracle = sort_pairs(nested_loop_join(&mut NullTracker, &l, &r));
+        let par = sort_pairs(par_partitioned_hash_join(FibHash, l, r, 5, &[5], 4));
+        assert_eq!(par, oracle);
+    }
+
+    #[test]
+    fn more_threads_than_clusters_is_fine() {
+        let l = keys(1_000, 6);
+        let r = keys(1_000, 7);
+        let par = par_partitioned_hash_join(FibHash, l.clone(), r.clone(), 1, &[1], 16);
+        let seq = partitioned_hash_join(&mut NullTracker, FibHash, l, r, 1, &[1]);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let par = par_partitioned_hash_join(FibHash, vec![], keys(10, 8), 2, &[2], 4);
+        assert!(par.is_empty());
+    }
+}

@@ -1,0 +1,212 @@
+//! Partitioned hash-join (§3.3, Figure 8): radix-cluster both relations on
+//! `B` bits, then bucket-chained hash-join each pair of matching clusters.
+//!
+//! With `B` chosen so that the inner cluster plus its hash table fits a
+//! cache level (the `phash L2`/`phash TLB`/`phash L1` strategies of §3.4.4),
+//! the random access of the hash lookup stays within that level and the
+//! join runs at CPU speed — the \[SKN94\] idea, made scalable by the
+//! multi-pass radix-cluster.
+
+use memsim::{MemTracker, Work};
+
+use super::cluster::{radix_cluster, ClusteredRel};
+use super::hash::KeyHash;
+use super::hashtable::{ChainedTable, DEFAULT_TUPLES_PER_BUCKET};
+use super::{Bun, OidPair};
+
+/// Join two already-clustered relations (the join phase in isolation —
+/// what Figure 11 measures). Builds the hash table on the *right* cluster
+/// and probes with the left, pairing clusters by radix value; empty pairs
+/// are skipped, which is the "merge step on the radix-bits" of §3.3.1.
+///
+/// # Panics
+/// Panics if the two relations were clustered on different bit counts.
+pub fn join_clustered<M: MemTracker, H: KeyHash>(
+    trk: &mut M,
+    h: H,
+    left: &ClusteredRel,
+    right: &ClusteredRel,
+) -> Vec<OidPair> {
+    assert_eq!(left.bits, right.bits, "operands must share the radix bit count");
+    let mut out: Vec<OidPair> = Vec::with_capacity(left.len());
+
+    for c in 0..left.num_clusters() {
+        let lc = left.cluster(c);
+        let rc = right.cluster(c);
+        if lc.is_empty() || rc.is_empty() {
+            continue;
+        }
+        // Per-cluster table create/destroy — the w'_h · H term of T_h.
+        ChainedTable::charge_setup(trk);
+        let table = ChainedTable::build(trk, h, rc, right.bits, DEFAULT_TUPLES_PER_BUCKET);
+        for lt in lc {
+            if M::ENABLED {
+                trk.read(lt as *const Bun as usize, 8);
+                // w_h covers build + lookup + result per (outer) tuple.
+                trk.work(Work::HashTuple, 1);
+            }
+            table.probe(trk, h, rc, lt.tail, |trk, pos| {
+                let pair = OidPair::new(lt.head, rc[pos as usize].head);
+                if M::ENABLED {
+                    let addr = out.as_ptr() as usize + out.len() * 8;
+                    trk.write(addr, 8);
+                }
+                out.push(pair);
+            });
+        }
+    }
+    out
+}
+
+/// The complete partitioned hash-join: cluster both inputs on `bits` radix
+/// bits (in `pass_bits` passes), then [`join_clustered`].
+///
+/// Equivalent to Figure 8's `partitioned-hashjoin(L, R, H)`.
+pub fn partitioned_hash_join<M: MemTracker, H: KeyHash>(
+    trk: &mut M,
+    h: H,
+    left: Vec<Bun>,
+    right: Vec<Bun>,
+    bits: u32,
+    pass_bits: &[u32],
+) -> Vec<OidPair> {
+    let l = radix_cluster(trk, h, left, bits, pass_bits);
+    let r = radix_cluster(trk, h, right, bits, pass_bits);
+    join_clustered(trk, h, &l, &r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::hash::{FibHash, IdentityHash, MurmurHash};
+    use crate::join::nljoin::nested_loop_join;
+    use crate::join::sort_pairs;
+    use memsim::{profiles, NullTracker, SimTracker};
+
+    fn shuffled_pair(n: usize, seed: u64) -> (Vec<Bun>, Vec<Bun>) {
+        // L and R over the same key set, independently permuted: hit rate 1.
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut keys: Vec<u32> = (0..n as u32).map(|k| k.wrapping_mul(2654435761)).collect();
+        for i in (1..keys.len()).rev() {
+            keys.swap(i, (next() % (i as u64 + 1)) as usize);
+        }
+        let left: Vec<Bun> = keys.iter().enumerate().map(|(i, &k)| Bun::new(i as u32, k)).collect();
+        for i in (1..keys.len()).rev() {
+            keys.swap(i, (next() % (i as u64 + 1)) as usize);
+        }
+        let right: Vec<Bun> =
+            keys.iter().enumerate().map(|(i, &k)| Bun::new(i as u32, k)).collect();
+        (left, right)
+    }
+
+    #[test]
+    fn matches_nested_loop_oracle() {
+        let (l, r) = shuffled_pair(500, 11);
+        let expect = sort_pairs(nested_loop_join(&mut NullTracker, &l, &r));
+        for bits in [0u32, 1, 3, 5, 7] {
+            let passes: Vec<u32> = if bits == 0 { vec![] } else { vec![bits] };
+            let got = sort_pairs(partitioned_hash_join(
+                &mut NullTracker,
+                FibHash,
+                l.clone(),
+                r.clone(),
+                bits,
+                &passes,
+            ));
+            assert_eq!(got, expect, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn hit_rate_one_produces_exactly_n_pairs() {
+        let (l, r) = shuffled_pair(4_096, 12);
+        let pairs =
+            partitioned_hash_join(&mut NullTracker, FibHash, l, r, 4, &[4]);
+        assert_eq!(pairs.len(), 4_096);
+    }
+
+    #[test]
+    fn duplicates_produce_cross_products() {
+        let l = vec![Bun::new(0, 7), Bun::new(1, 7), Bun::new(2, 9)];
+        let r = vec![Bun::new(10, 7), Bun::new(11, 7), Bun::new(12, 8)];
+        let got = sort_pairs(partitioned_hash_join(&mut NullTracker, MurmurHash, l.clone(), r.clone(), 2, &[2]));
+        let expect = sort_pairs(nested_loop_join(&mut NullTracker, &l, &r));
+        assert_eq!(got, expect);
+        assert_eq!(got.len(), 4);
+    }
+
+    #[test]
+    fn disjoint_inputs_produce_empty_result() {
+        let l: Vec<Bun> = (0..100).map(|i| Bun::new(i, i * 2)).collect();
+        let r: Vec<Bun> = (0..100).map(|i| Bun::new(i, i * 2 + 1)).collect();
+        let pairs = partitioned_hash_join(&mut NullTracker, FibHash, l, r, 3, &[3]);
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn empty_operands() {
+        let r: Vec<Bun> = (0..10).map(|i| Bun::new(i, i)).collect();
+        assert!(partitioned_hash_join(&mut NullTracker, FibHash, vec![], r.clone(), 2, &[2])
+            .is_empty());
+        assert!(partitioned_hash_join(&mut NullTracker, FibHash, r, vec![], 2, &[2]).is_empty());
+    }
+
+    #[test]
+    fn asymmetric_cardinalities() {
+        let l: Vec<Bun> = (0..1000).map(|i| Bun::new(i, i % 50)).collect();
+        let r: Vec<Bun> = (0..50).map(|i| Bun::new(i, i)).collect();
+        let got = sort_pairs(partitioned_hash_join(&mut NullTracker, FibHash, l.clone(), r.clone(), 3, &[3]));
+        let expect = sort_pairs(nested_loop_join(&mut NullTracker, &l, &r));
+        assert_eq!(got, expect);
+        assert_eq!(got.len(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "share the radix bit count")]
+    fn mismatched_bits_rejected() {
+        let l = radix_cluster(&mut NullTracker, FibHash, vec![Bun::new(0, 0)], 2, &[2]);
+        let r = radix_cluster(&mut NullTracker, FibHash, vec![Bun::new(0, 0)], 3, &[3]);
+        join_clustered(&mut NullTracker, FibHash, &l, &r);
+    }
+
+    #[test]
+    fn identity_hash_also_correct() {
+        let (l, r) = shuffled_pair(300, 13);
+        let got = sort_pairs(partitioned_hash_join(&mut NullTracker, IdentityHash, l.clone(), r.clone(), 4, &[2, 2]));
+        let expect = sort_pairs(nested_loop_join(&mut NullTracker, &l, &r));
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn clustering_improves_join_phase_locality() {
+        // Fig. 11's mechanism at small scale: with clusters that fit L1,
+        // the join phase takes fewer L2+mem stalls per tuple than the
+        // unclustered (bits=0) case on an out-of-cache relation.
+        let (l, r) = shuffled_pair(1 << 16, 14); // 512 KiB per side
+        let m = profiles::origin2000();
+
+        let join_stalls = |bits: u32, passes: &[u32]| {
+            let mut t = SimTracker::for_machine(m);
+            let lc = radix_cluster(&mut t, FibHash, l.clone(), bits, passes);
+            let rc = radix_cluster(&mut t, FibHash, r.clone(), bits, passes);
+            t.system_mut().reset_counters(); // isolate the join phase
+            join_clustered(&mut t, FibHash, &lc, &rc);
+            let c = t.counters();
+            c.stall_mem_ns + c.stall_tlb_ns
+        };
+
+        let unclustered = join_stalls(0, &[]);
+        let clustered = join_stalls(8, &[8]);
+        assert!(
+            clustered < unclustered / 2.0,
+            "clustered join stalls {clustered} vs unclustered {unclustered}"
+        );
+    }
+}

@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! # monet-core — the paper's primary contribution
+//!
+//! This crate implements the two pillars of Boncz, Manegold & Kersten's
+//! VLDB 1999 paper:
+//!
+//! 1. **Vertically decomposed storage** (§3.1, Figure 4): relations are
+//!    stored column-wise as Binary Association Tables ([`storage::Bat`]) of
+//!    fixed-width `\[OID, value\]` records (BUNs), with the paper's two space
+//!    optimizations — *virtual OIDs* (dense ascending OID columns are not
+//!    materialized; [`storage::Head::Void`]) and *byte encodings*
+//!    (low-cardinality columns stored as 1/2-byte codes against a dictionary;
+//!    [`storage::StrColumn`]). An NSM row-store ([`storage::RowTable`]) is
+//!    provided as the layout baseline the paper argues against.
+//!
+//! 2. **Radix algorithms for equi-join** (§3.3): the multi-pass
+//!    [`join::radix_cluster`], the [`join::partitioned_hash_join`], and the
+//!    [`join::radix_join`], together with the baselines they are compared
+//!    with in Figure 13 — non-partitioned bucket-chained hash join
+//!    ([`join::simple_hash_join`]), sort-merge join ([`join::sort_merge_join`])
+//!    and a nested-loop oracle ([`join::nested_loop_join`]).
+//!
+//! Every algorithm is generic over a [`memsim::MemTracker`], so a single
+//! implementation runs both natively (zero-overhead `NullTracker`; used by
+//! the criterion benches) and under the simulated Origin2000 (`SimTracker`;
+//! used to regenerate the paper's figures with exact miss counts).
+//!
+//! [`strategy`] implements §3.4.4's clustering strategies (`phash_L2`,
+//! `phash_TLB`, `phash_L1`, `radix_8`, …) and the pass planning rule that
+//! keeps the per-pass cluster fan-out below the TLB entry count.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use memsim::NullTracker;
+//! use monet_core::join::{partitioned_hash_join, FibHash, Bun};
+//! use monet_core::strategy::{bits_phash_tuples, plan_passes};
+//!
+//! let left: Vec<Bun> = (0..10_000).map(|i| Bun::new(i, i * 7 % 10_000)).collect();
+//! let right: Vec<Bun> = (0..10_000).map(|i| Bun::new(i, i)).collect();
+//! let bits = bits_phash_tuples(left.len(), 200);
+//! let passes = plan_passes(bits, 64);
+//! let pairs = partitioned_hash_join(&mut NullTracker, FibHash, left, right, bits, &passes);
+//! assert_eq!(pairs.len(), 10_000); // hit rate 1
+//! ```
+
+pub mod index;
+pub mod join;
+pub mod storage;
+pub mod strategy;
+
+pub use index::CsBTree;
+pub use join::{Bun, OidPair};
+pub use storage::{Bat, Column, Oid, Value};

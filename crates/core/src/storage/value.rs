@@ -1,0 +1,198 @@
+//! Dynamically typed cell values.
+//!
+//! `Value` is the convenience currency of the non-performance-critical API
+//! (building tables, inspecting results, tests). Hot paths — scans, joins,
+//! aggregates — always work on the typed column arrays directly; `Value`
+//! never appears in an inner loop.
+
+use std::fmt;
+
+use super::Oid;
+
+/// The type of a [`Value`] / column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    /// 1-byte unsigned integer (also the narrow byte-encoding width).
+    U8,
+    /// 2-byte unsigned integer (the wide byte-encoding width).
+    U16,
+    /// 4-byte signed integer.
+    I32,
+    /// 8-byte signed integer.
+    I64,
+    /// 8-byte IEEE float.
+    F64,
+    /// 4-byte object identifier.
+    Oid,
+    /// Variable-length string (stored dictionary-encoded).
+    Str,
+}
+
+impl ValueType {
+    /// Bytes one value of this type occupies in a BUN tail. Strings report
+    /// the width of their dictionary code *as stored*, which depends on the
+    /// column; this returns the conservative 2-byte default and is refined
+    /// by [`super::Column::tail_width`].
+    pub fn fixed_width(self) -> usize {
+        match self {
+            ValueType::U8 => 1,
+            ValueType::U16 => 2,
+            ValueType::I32 => 4,
+            ValueType::I64 => 8,
+            ValueType::F64 => 8,
+            ValueType::Oid => 4,
+            ValueType::Str => 2,
+        }
+    }
+}
+
+/// One dynamically typed value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 1-byte unsigned integer.
+    U8(u8),
+    /// 2-byte unsigned integer.
+    U16(u16),
+    /// 4-byte signed integer.
+    I32(i32),
+    /// 8-byte signed integer.
+    I64(i64),
+    /// 8-byte IEEE float.
+    F64(f64),
+    /// Object identifier.
+    Oid(Oid),
+    /// Owned string.
+    Str(String),
+}
+
+impl Value {
+    /// The type tag of this value.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::U8(_) => ValueType::U8,
+            Value::U16(_) => ValueType::U16,
+            Value::I32(_) => ValueType::I32,
+            Value::I64(_) => ValueType::I64,
+            Value::F64(_) => ValueType::F64,
+            Value::Oid(_) => ValueType::Oid,
+            Value::Str(_) => ValueType::Str,
+        }
+    }
+
+    /// Extract an `i32`, if that is what this is.
+    pub fn as_i32(&self) -> Option<i32> {
+        match self {
+            Value::I32(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extract an `i64`, widening from the integer types.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::U8(v) => Some(*v as i64),
+            Value::U16(v) => Some(*v as i64),
+            Value::I32(v) => Some(*v as i64),
+            Value::I64(v) => Some(*v),
+            Value::Oid(v) => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// Extract an `f64`, widening from the numeric types.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            other => other.as_i64().map(|v| v as f64),
+        }
+    }
+
+    /// Extract a string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::U8(v) => write!(f, "{v}"),
+            Value::U16(v) => write!(f, "{v}"),
+            Value::I32(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Oid(v) => write!(f, "{v}@"),
+            Value::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I32(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_tags_and_widths() {
+        assert_eq!(Value::I32(1).value_type(), ValueType::I32);
+        assert_eq!(ValueType::I32.fixed_width(), 4);
+        assert_eq!(ValueType::U8.fixed_width(), 1);
+        assert_eq!(ValueType::F64.fixed_width(), 8);
+        assert_eq!(ValueType::Oid.fixed_width(), 4);
+    }
+
+    #[test]
+    fn widening_accessors() {
+        assert_eq!(Value::U8(200).as_i64(), Some(200));
+        assert_eq!(Value::I32(-5).as_f64(), Some(-5.0));
+        assert_eq!(Value::Str("x".into()).as_i64(), None);
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::F64(1.5).as_f64(), Some(1.5));
+    }
+
+    #[test]
+    fn from_conversions() {
+        assert_eq!(Value::from(3), Value::I32(3));
+        assert_eq!(Value::from("ab"), Value::Str("ab".into()));
+        assert_eq!(Value::from(2.5), Value::F64(2.5));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::I32(42).to_string(), "42");
+        assert_eq!(Value::Oid(7).to_string(), "7@");
+        assert_eq!(Value::Str("MAIL".into()).to_string(), "MAIL");
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # costmodel — the paper's analytical main-memory cost model (§3.4)
+//!
+//! Boncz, Manegold & Kersten's methodological contribution (over \[LN96\],
+//! \[WK90\]) is to model query cost not with per-procedure "magical" factors
+//! but by *mimicking the memory access pattern of the algorithm* and counting
+//! cache-miss events and CPU cycles:
+//!
+//! ```text
+//! T = T_cpu + M_L1·l_L2 + M_L2·l_Mem + M_TLB·l_TLB
+//! ```
+//!
+//! This crate implements those models:
+//!
+//! * [`scan`]   — the §2 stride-scan model `T(s)` behind Figure 3;
+//! * [`cluster`] — `T_c(P, B, C)` for the multi-pass radix-cluster (Fig. 9);
+//! * [`rjoin`]  — `T_r(B, C)` for the radix-join phase (Fig. 10);
+//! * [`phash`]  — `T_h(B, C)` for the partitioned hash-join phase (Fig. 11);
+//! * [`plan`]   — combined cluster+join costs, the §3.4.4 strategy
+//!   diagonals, and exhaustive `(algorithm, B, P)` optimization (the "best"
+//!   line of Figure 12).
+//!
+//! The inequality directions in the published formulas are garbled by PDF
+//! extraction; the reconstruction used here (documented per function and in
+//! DESIGN.md §4) makes every miss model continuous at its boundary and
+//! monotone, and is validated against the trace-driven simulator by the
+//! `repro -- validate` harness.
+//!
+//! Everything is pure `f64` math over a [`ModelMachine`] — no simulation, no
+//! data. Costs come back as [`ModelCost`] so CPU and stall components stay
+//! inspectable, exactly like the paper's stacked figures.
+
+pub mod cluster;
+pub mod machine;
+pub mod phash;
+pub mod plan;
+pub mod rjoin;
+pub mod scan;
+
+pub use machine::{ModelCost, ModelMachine, ModelParams};

@@ -1,0 +1,210 @@
+//! Combined cluster+join costs, strategy evaluation, and model-driven plan
+//! search — §3.4.4 and Figures 12–13.
+//!
+//! "Radix-cluster gets cheaper for less radix B bits, whereas both
+//! radix-join and partitioned hash-join get more expensive. Putting together
+//! the experimental data … we determine the optimum number of B for relation
+//! cardinality and join-algorithm." [`best_plan`] performs exactly that
+//! optimization over the *model* instead of experimental data, which is what
+//! a query optimizer would ship.
+
+use monet_core::strategy::{plan_passes, Algorithm, JoinPlan, Strategy};
+
+use crate::cluster::cluster_cost;
+use crate::machine::{ModelCost, ModelMachine};
+use crate::phash::phash_cost;
+use crate::rjoin::rjoin_cost;
+
+/// Cost of radix-clustering **both** operands on `pass_bits`.
+pub fn both_cluster_cost(m: &ModelMachine, pass_bits: &[u32], c: f64) -> ModelCost {
+    cluster_cost(m, pass_bits, c) + cluster_cost(m, pass_bits, c)
+}
+
+/// Total cost (cluster both + join) of a partitioned hash-join at `bits`.
+pub fn phash_total(m: &ModelMachine, bits: u32, pass_bits: &[u32], c: f64) -> ModelCost {
+    both_cluster_cost(m, pass_bits, c) + phash_cost(m, bits, c)
+}
+
+/// Total cost (cluster both + join) of a radix-join at `bits`.
+pub fn radix_total(m: &ModelMachine, bits: u32, pass_bits: &[u32], c: f64) -> ModelCost {
+    both_cluster_cost(m, pass_bits, c) + rjoin_cost(m, bits, c)
+}
+
+/// Simple (non-partitioned) hash join: no clustering, one table over C.
+pub fn simple_hash_total(m: &ModelMachine, c: f64) -> ModelCost {
+    phash_cost(m, 0, c)
+}
+
+/// Sort-merge join model (our extension — the paper plots it but gives no
+/// formula): LSB radix-sort is four 8-bit scatter passes per relation with
+/// the same access pattern as a cluster pass, followed by a sequential
+/// 3-stream merge.
+pub fn sort_merge_total(m: &ModelMachine, c: f64) -> ModelCost {
+    let sort_one = cluster_cost(m, &[8, 8, 8, 8], c);
+    let merge_cpu = 2.0 * c * m.work.merge_tuple_ns;
+    let merge = ModelCost::assemble(
+        merge_cpu,
+        m.params.join_seq_streams * m.rel_l1_lines(c),
+        m.params.join_seq_streams * m.rel_l2_lines(c),
+        m.params.join_seq_streams * m.rel_pages(c),
+        &m.lat,
+    );
+    sort_one + sort_one + merge
+}
+
+/// Evaluate a resolved [`JoinPlan`]'s total model cost.
+pub fn plan_cost(m: &ModelMachine, plan: &JoinPlan, c: f64) -> ModelCost {
+    match plan.algorithm {
+        Algorithm::PartitionedHash => phash_total(m, plan.bits, &plan.pass_bits, c),
+        Algorithm::Radix => radix_total(m, plan.bits, &plan.pass_bits, c),
+        Algorithm::SimpleHash => simple_hash_total(m, c),
+        Algorithm::SortMerge => sort_merge_total(m, c),
+    }
+}
+
+/// Evaluate one of the paper's named strategies at cardinality `c` on the
+/// machine `cfg` (needed to resolve the strategy's bit formula).
+pub fn strategy_cost(
+    m: &ModelMachine,
+    cfg: &memsim::MachineConfig,
+    strategy: Strategy,
+    c: usize,
+) -> (JoinPlan, ModelCost) {
+    let plan = strategy.plan(c, cfg);
+    let cost = plan_cost(m, &plan, c as f64);
+    (plan, cost)
+}
+
+/// The model-optimal plan: exhaustive search over algorithm and `B`
+/// (with TLB-limited even pass splits), i.e. the "best" line of Figure 12.
+pub fn best_plan(m: &ModelMachine, cfg: &memsim::MachineConfig, c: usize) -> (JoinPlan, ModelCost) {
+    let cf = c as f64;
+    let max_bits = (cf.log2().ceil() as u32).min(26);
+    let mut best: Option<(JoinPlan, ModelCost)> = None;
+    let mut consider = |plan: JoinPlan, cost: ModelCost| {
+        if best.as_ref().is_none_or(|(_, b)| cost.total_ns() < b.total_ns()) {
+            best = Some((plan, cost));
+        }
+    };
+
+    consider(
+        JoinPlan { algorithm: Algorithm::SimpleHash, bits: 0, pass_bits: vec![] },
+        simple_hash_total(m, cf),
+    );
+    consider(
+        JoinPlan { algorithm: Algorithm::SortMerge, bits: 0, pass_bits: vec![] },
+        sort_merge_total(m, cf),
+    );
+    for bits in 1..=max_bits {
+        let passes = plan_passes(bits, cfg.tlb.entries);
+        consider(
+            JoinPlan { algorithm: Algorithm::PartitionedHash, bits, pass_bits: passes.clone() },
+            phash_total(m, bits, &passes, cf),
+        );
+        consider(
+            JoinPlan { algorithm: Algorithm::Radix, bits, pass_bits: passes.clone() },
+            radix_total(m, bits, &passes, cf),
+        );
+    }
+    best.expect("at least the baselines were considered")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::profiles;
+
+    fn setup() -> (ModelMachine, memsim::MachineConfig) {
+        let cfg = profiles::origin2000();
+        (ModelMachine::new(&cfg), cfg)
+    }
+
+    #[test]
+    fn cache_conscious_beats_random_access_at_scale() {
+        // Figure 13's headline: for every large cardinality, the radix
+        // strategies beat simple hash and sort-merge.
+        let (m, cfg) = setup();
+        for c in [250_000usize, 1_000_000, 8_000_000] {
+            let simple = simple_hash_total(&m, c as f64).total_ms();
+            let smerge = sort_merge_total(&m, c as f64).total_ms();
+            let (_, pmin) = strategy_cost(&m, &cfg, Strategy::PhashMin, c);
+            assert!(
+                pmin.total_ms() < simple && pmin.total_ms() < smerge,
+                "C={c}: phash min {} vs simple {simple} / sort-merge {smerge}",
+                pmin.total_ms()
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_relations_need_no_partitioning() {
+        // Left edge of Fig. 13: when everything fits in cache, simple hash
+        // is at least as good as partitioning (clustering is pure overhead).
+        let (m, cfg) = setup();
+        let c = 2_000; // 24 KB inner + table: fits L1
+        let simple = simple_hash_total(&m, c as f64).total_ms();
+        let (_, pl1) = strategy_cost(&m, &cfg, Strategy::PhashL1, c);
+        assert!(simple <= pl1.total_ms() * 1.05);
+        let (best, _) = best_plan(&m, &cfg, c);
+        assert_eq!(best.algorithm, Algorithm::SimpleHash);
+    }
+
+    #[test]
+    fn strategy_ordering_matches_figure12() {
+        // At 8M tuples: phash TLB < phash L2 (the paper stresses the TLB
+        // improvement over [SKN94]); phash min is the per-algorithm best.
+        let (m, cfg) = setup();
+        let c = 8_000_000;
+        let t = |s: Strategy| strategy_cost(&m, &cfg, s, c).1.total_ms();
+        assert!(t(Strategy::PhashTlb) < t(Strategy::PhashL2));
+        assert!(t(Strategy::PhashMin) <= t(Strategy::PhashTlb));
+        // The paper's measured data puts phash min marginally below phash
+        // L1; the model prices the extra clustering pass slightly higher.
+        // Same ballpark is what we assert.
+        assert!(t(Strategy::PhashMin) <= t(Strategy::PhashL1) * 1.6);
+        assert!(t(Strategy::RadixMin) <= t(Strategy::Radix8) * 1.05);
+    }
+
+    #[test]
+    fn best_plan_picks_partitioned_variants_at_scale() {
+        let (m, cfg) = setup();
+        for c in [1_000_000usize, 8_000_000] {
+            let (plan, cost) = best_plan(&m, &cfg, c);
+            assert!(
+                matches!(plan.algorithm, Algorithm::PartitionedHash | Algorithm::Radix),
+                "C={c} picked {:?}",
+                plan.algorithm
+            );
+            assert!(plan.bits > 0);
+            // The chosen plan can't be worse than any named strategy.
+            for s in Strategy::ALL {
+                let (_, sc) = strategy_cost(&m, &cfg, s, c);
+                assert!(
+                    cost.total_ns() <= sc.total_ns() * 1.0001,
+                    "best worse than {} at C={c}",
+                    s.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn best_plan_respects_tlb_pass_limit() {
+        let (m, cfg) = setup();
+        let (plan, _) = best_plan(&m, &cfg, 8_000_000);
+        for &bp in &plan.pass_bits {
+            assert!(bp <= 6, "pass of {bp} bits exceeds the 64-entry TLB limit");
+        }
+        assert_eq!(plan.pass_bits.iter().sum::<u32>(), plan.bits);
+    }
+
+    #[test]
+    fn totals_decompose() {
+        let (m, _) = setup();
+        let c = 1e6;
+        let passes = [5u32, 5];
+        let total = phash_total(&m, 10, &passes, c);
+        let parts = both_cluster_cost(&m, &passes, c) + phash_cost(&m, 10, c);
+        assert!((total.total_ns() - parts.total_ns()).abs() < 1e-6);
+    }
+}

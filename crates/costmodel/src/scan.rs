@@ -1,0 +1,94 @@
+//! The §2 stride-scan model behind Figure 3:
+//!
+//! ```text
+//! T(s) = T_CPU + T_L2(s) + T_Mem(s)
+//! T_L2(s)  = M_L1(s)·l_L2,  M_L1(s) = min(s / LS_L1, 1)
+//! T_Mem(s) = M_L2(s)·l_Mem, M_L2(s) = min(s / LS_L2, 1)
+//! ```
+//!
+//! per iteration. We add the (for the paper's strides negligible) TLB term
+//! `min(s/‖Pg‖, 1)·l_TLB` so that the model tracks the simulator exactly at
+//! page-sized strides too.
+
+use crate::machine::{ModelCost, ModelMachine};
+
+/// Predicted misses per iteration at stride `s`.
+pub fn misses_per_iter(m: &ModelMachine, stride: usize) -> (f64, f64, f64) {
+    let s = stride as f64;
+    let l1 = (s / m.l1_line).min(1.0);
+    let l2 = (s / m.l2_line).min(1.0);
+    let tlb = (s / m.page).min(1.0);
+    (l1, l2, tlb)
+}
+
+/// Predicted cost of `iters` scan iterations at stride `s`.
+pub fn scan_cost(m: &ModelMachine, iters: usize, stride: usize) -> ModelCost {
+    let n = iters as f64;
+    let (l1, l2, tlb) = misses_per_iter(m, stride);
+    ModelCost::assemble(n * m.work.scan_iter_ns, n * l1, n * l2, n * tlb, &m.lat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::profiles;
+
+    fn origin() -> ModelMachine {
+        ModelMachine::new(&profiles::origin2000())
+    }
+
+    #[test]
+    fn miss_rates_ramp_and_saturate() {
+        let m = origin();
+        let (l1, l2, _) = misses_per_iter(&m, 8);
+        assert!((l1 - 0.25).abs() < 1e-12);
+        assert!((l2 - 0.0625).abs() < 1e-12);
+        let (l1, l2, _) = misses_per_iter(&m, 32);
+        assert_eq!(l1, 1.0);
+        assert!((l2 - 0.25).abs() < 1e-12);
+        let (l1, l2, _) = misses_per_iter(&m, 200);
+        assert_eq!(l1, 1.0);
+        assert_eq!(l2, 1.0);
+    }
+
+    #[test]
+    fn model_matches_simulator_within_tolerance() {
+        // The model is exact in the steady state; the simulator adds only
+        // cold-start effects (first touch of each page/line).
+        let cfg = profiles::origin2000();
+        let m = origin();
+        let iters = 100_000;
+        for stride in [1usize, 8, 16, 32, 64, 128, 256] {
+            let sim = memsim::stride::scan_sim(cfg, iters, stride);
+            let model = scan_cost(&m, iters, stride);
+            let rel = (model.total_ms() - sim.elapsed_ms).abs() / sim.elapsed_ms;
+            assert!(
+                rel < 0.05,
+                "stride {stride}: model {} ms vs sim {} ms (rel {rel})",
+                model.total_ms(),
+                sim.elapsed_ms
+            );
+        }
+    }
+
+    #[test]
+    fn stride1_vs_stride8_cycle_claim() {
+        // §3.1: stride 8 ⇒ ~10 cycles/iter; stride 1 ⇒ ~4 cycles (of which
+        // memory is ~6 cycles at stride 8 on the model's terms).
+        let m = origin();
+        let per_iter_cycles = |s: usize| scan_cost(&m, 1, s).total_ns() / 4.0; // 4 ns/cycle
+        let c1 = per_iter_cycles(1);
+        let c8 = per_iter_cycles(8);
+        assert!((3.5..=5.5).contains(&c1), "stride-1 {c1} cycles");
+        assert!((8.0..=12.0).contains(&c8), "stride-8 {c8} cycles");
+    }
+
+    #[test]
+    fn flat_beyond_l2_line() {
+        let m = origin();
+        let a = scan_cost(&m, 1000, 128).total_ns();
+        let b = scan_cost(&m, 1000, 256).total_ns();
+        // Only the TLB term grows (256/16384 vs 128/16384 of 228 ns).
+        assert!((b - a) < 1000.0 * 2.0 * 228.0 * (128.0 / 16384.0) + 1e-6);
+    }
+}

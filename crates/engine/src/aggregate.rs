@@ -1,0 +1,197 @@
+//! Scan aggregates — the "simple aggregation (e.g. Max or Sum)" of §2,
+//! whose memory behaviour is entirely determined by the scanned column's
+//! stride (Figure 3).
+
+use memsim::{track_read, MemTracker, Work};
+use monet_core::storage::{Bat, Oid};
+
+use crate::EngineError;
+
+fn positions<'a>(bat: &Bat, cands: Option<&'a [Oid]>) -> Result<Positions<'a>, EngineError> {
+    match cands {
+        None => Ok(Positions::All(bat.len())),
+        Some(c) => {
+            if !bat.head_is_void() {
+                return Err(EngineError::Storage(
+                    monet_core::storage::StorageError::NonVoidHead,
+                ));
+            }
+            Ok(Positions::Cands(c, seqbase(bat)))
+        }
+    }
+}
+
+fn seqbase(bat: &Bat) -> Oid {
+    match bat.head() {
+        monet_core::storage::Head::Void { seqbase } => *seqbase,
+        monet_core::storage::Head::Oids(_) => unreachable!("checked by positions()"),
+    }
+}
+
+enum Positions<'a> {
+    All(usize),
+    Cands(&'a [Oid], Oid),
+}
+
+impl Positions<'_> {
+    fn for_each(self, mut f: impl FnMut(usize)) {
+        match self {
+            Positions::All(n) => (0..n).for_each(f),
+            Positions::Cands(c, base) => c.iter().for_each(|&oid| f((oid - base) as usize)),
+        }
+    }
+}
+
+/// `SUM` over an `I32` tail, optionally restricted to candidate OIDs
+/// (which requires a void head for positional access).
+pub fn sum_i32<M: MemTracker>(
+    trk: &mut M,
+    bat: &Bat,
+    cands: Option<&[Oid]>,
+) -> Result<i64, EngineError> {
+    let data = bat.tail().as_i32().ok_or(EngineError::UnsupportedType {
+        op: "sum_i32",
+        ty: bat.tail().value_type(),
+    })?;
+    let mut sum = 0i64;
+    positions(bat, cands)?.for_each(|i| {
+        if M::ENABLED {
+            track_read(trk, &data[i]);
+            trk.work(Work::ScanIter, 1);
+        }
+        sum += data[i] as i64;
+    });
+    Ok(sum)
+}
+
+/// `SUM` over an `F64` tail.
+pub fn sum_f64<M: MemTracker>(
+    trk: &mut M,
+    bat: &Bat,
+    cands: Option<&[Oid]>,
+) -> Result<f64, EngineError> {
+    let data = bat.tail().as_f64().ok_or(EngineError::UnsupportedType {
+        op: "sum_f64",
+        ty: bat.tail().value_type(),
+    })?;
+    let mut sum = 0f64;
+    positions(bat, cands)?.for_each(|i| {
+        if M::ENABLED {
+            track_read(trk, &data[i]);
+            trk.work(Work::ScanIter, 1);
+        }
+        sum += data[i];
+    });
+    Ok(sum)
+}
+
+/// `MAX` over an `I32` tail (`None` when no qualifying tuples).
+pub fn max_i32<M: MemTracker>(
+    trk: &mut M,
+    bat: &Bat,
+    cands: Option<&[Oid]>,
+) -> Result<Option<i32>, EngineError> {
+    let data = bat.tail().as_i32().ok_or(EngineError::UnsupportedType {
+        op: "max_i32",
+        ty: bat.tail().value_type(),
+    })?;
+    let mut max: Option<i32> = None;
+    positions(bat, cands)?.for_each(|i| {
+        if M::ENABLED {
+            track_read(trk, &data[i]);
+            trk.work(Work::ScanIter, 1);
+        }
+        max = Some(max.map_or(data[i], |m| m.max(data[i])));
+    });
+    Ok(max)
+}
+
+/// `MIN` over an `I32` tail.
+pub fn min_i32<M: MemTracker>(
+    trk: &mut M,
+    bat: &Bat,
+    cands: Option<&[Oid]>,
+) -> Result<Option<i32>, EngineError> {
+    let data = bat.tail().as_i32().ok_or(EngineError::UnsupportedType {
+        op: "min_i32",
+        ty: bat.tail().value_type(),
+    })?;
+    let mut min: Option<i32> = None;
+    positions(bat, cands)?.for_each(|i| {
+        if M::ENABLED {
+            track_read(trk, &data[i]);
+            trk.work(Work::ScanIter, 1);
+        }
+        min = Some(min.map_or(data[i], |m| m.min(data[i])));
+    });
+    Ok(min)
+}
+
+/// `COUNT` (trivially the candidate count or the BAT length; provided for
+/// pipeline completeness).
+pub fn count(bat: &Bat, cands: Option<&[Oid]>) -> usize {
+    cands.map_or(bat.len(), |c| c.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::NullTracker;
+    use monet_core::storage::Column;
+
+    fn bat() -> Bat {
+        Bat::with_void_head(10, Column::I32(vec![4, -2, 9, 9, 1]))
+    }
+
+    #[test]
+    fn full_aggregates() {
+        let b = bat();
+        assert_eq!(sum_i32(&mut NullTracker, &b, None).unwrap(), 21);
+        assert_eq!(max_i32(&mut NullTracker, &b, None).unwrap(), Some(9));
+        assert_eq!(min_i32(&mut NullTracker, &b, None).unwrap(), Some(-2));
+        assert_eq!(count(&b, None), 5);
+    }
+
+    #[test]
+    fn candidate_restricted_aggregates() {
+        let b = bat();
+        let cands = vec![10, 12, 14]; // values 4, 9, 1
+        assert_eq!(sum_i32(&mut NullTracker, &b, Some(&cands)).unwrap(), 14);
+        assert_eq!(max_i32(&mut NullTracker, &b, Some(&cands)).unwrap(), Some(9));
+        assert_eq!(count(&b, Some(&cands)), 3);
+    }
+
+    #[test]
+    fn empty_candidates() {
+        let b = bat();
+        assert_eq!(sum_i32(&mut NullTracker, &b, Some(&[])).unwrap(), 0);
+        assert_eq!(max_i32(&mut NullTracker, &b, Some(&[])).unwrap(), None);
+    }
+
+    #[test]
+    fn f64_sum() {
+        let b = Bat::with_void_head(0, Column::F64(vec![1.5, 2.5]));
+        assert!((sum_f64(&mut NullTracker, &b, None).unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrong_type_errors() {
+        let b = Bat::with_void_head(0, Column::F64(vec![1.0]));
+        assert!(matches!(
+            sum_i32(&mut NullTracker, &b, None),
+            Err(EngineError::UnsupportedType { .. })
+        ));
+    }
+
+    #[test]
+    fn candidates_on_materialized_head_rejected() {
+        let b = Bat::new(
+            monet_core::storage::Head::Oids(vec![3, 1]),
+            Column::I32(vec![10, 20]),
+        )
+        .unwrap();
+        assert!(sum_i32(&mut NullTracker, &b, Some(&[1])).is_err());
+        // But full scans are fine.
+        assert_eq!(sum_i32(&mut NullTracker, &b, None).unwrap(), 30);
+    }
+}

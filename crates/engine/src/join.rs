@@ -1,0 +1,189 @@
+//! Join dispatch from BATs to the radix kernels.
+//!
+//! Converts BAT operands into the 8-byte [`Bun`] arrays the kernels work on,
+//! picks (or accepts) a [`JoinPlan`], and returns the join index. Includes
+//! the §3.1 void fast path: joining an OID tail against a void head is pure
+//! positional lookup — no clustering, no hashing, no per-tuple search.
+
+use memsim::{track_read, MemTracker, Work};
+use monet_core::join::{
+    self as kernels, Bun, FibHash, OidPair,
+};
+use monet_core::storage::{Bat, Column, Head};
+use monet_core::strategy::{heuristic_plan, Algorithm, JoinPlan};
+
+use crate::EngineError;
+
+/// A join result: the `\[OID, OID\]` join index of \[Val87\].
+pub type JoinIndex = Vec<OidPair>;
+
+/// View a BAT as join tuples (`[head OID, u32 key]`).
+///
+/// Supported tails: `I32` (bit-cast to `u32`; equality is preserved) and
+/// `Oid`.
+pub fn buns_of(bat: &Bat) -> Result<Vec<Bun>, EngineError> {
+    let n = bat.len();
+    match bat.tail() {
+        Column::I32(v) => {
+            Ok((0..n).map(|i| Bun::new(bat.head_oid(i), v[i] as u32)).collect())
+        }
+        Column::Oid(v) => Ok((0..n).map(|i| Bun::new(bat.head_oid(i), v[i])).collect()),
+        other => Err(EngineError::UnsupportedType {
+            op: "join",
+            ty: other.value_type(),
+        }),
+    }
+}
+
+/// The void positional fast path: `left.tail` holds OIDs into `right`'s
+/// void head. Every left tuple joins (at most) positionally — "effectively
+/// eliminating all join cost".
+pub fn void_positional_join<M: MemTracker>(
+    trk: &mut M,
+    left: &Bat,
+    right: &Bat,
+) -> Result<JoinIndex, EngineError> {
+    let Head::Void { seqbase } = right.head() else {
+        return Err(EngineError::Storage(
+            monet_core::storage::StorageError::NonVoidHead,
+        ));
+    };
+    let tails = left.tail().as_oid().ok_or(EngineError::UnsupportedType {
+        op: "void_positional_join",
+        ty: left.tail().value_type(),
+    })?;
+    let mut out = JoinIndex::with_capacity(left.len());
+    for (i, &oid) in tails.iter().enumerate() {
+        if M::ENABLED {
+            track_read(trk, &tails[i]);
+            trk.work(Work::ScanIter, 1);
+        }
+        if let Some(pos) = oid.checked_sub(*seqbase) {
+            if (pos as usize) < right.len() {
+                out.push(OidPair::new(left.head_oid(i), oid));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Execute `left ⋈ right` on tail equality with an explicit plan.
+pub fn join_bats_with_plan<M: MemTracker>(
+    trk: &mut M,
+    left: &Bat,
+    right: &Bat,
+    plan: &JoinPlan,
+) -> Result<JoinIndex, EngineError> {
+    // Void fast path first: an OID tail meeting a void head needs no
+    // algorithm at all.
+    if right.head_is_void() && matches!(left.tail(), Column::Oid(_)) {
+        return void_positional_join(trk, left, right);
+    }
+    let l = buns_of(left)?;
+    let r = buns_of(right)?;
+    let h = FibHash;
+    Ok(match plan.algorithm {
+        Algorithm::PartitionedHash => {
+            kernels::partitioned_hash_join(trk, h, l, r, plan.bits, &plan.pass_bits)
+        }
+        Algorithm::Radix => kernels::radix_join(trk, h, l, r, plan.bits, &plan.pass_bits),
+        Algorithm::SimpleHash => kernels::simple_hash_join(trk, h, &l, &r),
+        Algorithm::SortMerge => kernels::sort_merge_join(trk, l, r),
+    })
+}
+
+/// Execute `left ⋈ right`, picking a plan with the cache heuristics of
+/// `monet_core::strategy` for the given machine.
+pub fn join_bats<M: MemTracker>(
+    trk: &mut M,
+    left: &Bat,
+    right: &Bat,
+    machine: &memsim::MachineConfig,
+) -> Result<JoinIndex, EngineError> {
+    let plan = heuristic_plan(right.len(), machine);
+    join_bats_with_plan(trk, left, right, &plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::{profiles, NullTracker};
+    use monet_core::join::sort_pairs;
+
+    fn bat_i32(seqbase: u32, vals: Vec<i32>) -> Bat {
+        Bat::with_void_head(seqbase, Column::I32(vals))
+    }
+
+    #[test]
+    fn auto_join_matches_expectation() {
+        let l = bat_i32(0, vec![3, 1, 4, 1, 5]);
+        let r = bat_i32(100, vec![1, 5, 9]);
+        let idx =
+            join_bats(&mut NullTracker, &l, &r, &profiles::origin2000()).unwrap();
+        let got = sort_pairs(idx);
+        assert_eq!(
+            got,
+            vec![
+                OidPair::new(1, 100),
+                OidPair::new(3, 100),
+                OidPair::new(4, 101)
+            ]
+        );
+    }
+
+    #[test]
+    fn all_plans_agree() {
+        let l = bat_i32(0, (0..500).map(|i| i % 60).collect());
+        let r = bat_i32(0, (0..200).map(|i| i % 75).collect());
+        let mk = |algorithm, bits: u32| JoinPlan {
+            algorithm,
+            bits,
+            pass_bits: if bits == 0 { vec![] } else { vec![bits] },
+        };
+        let reference = sort_pairs(
+            join_bats_with_plan(&mut NullTracker, &l, &r, &mk(Algorithm::SimpleHash, 0)).unwrap(),
+        );
+        for plan in [
+            mk(Algorithm::PartitionedHash, 4),
+            mk(Algorithm::Radix, 5),
+            mk(Algorithm::SortMerge, 0),
+        ] {
+            let got =
+                sort_pairs(join_bats_with_plan(&mut NullTracker, &l, &r, &plan).unwrap());
+            assert_eq!(got, reference, "{plan:?}");
+        }
+    }
+
+    #[test]
+    fn negative_i32_keys_join_correctly() {
+        let l = bat_i32(0, vec![-1, -2, 3]);
+        let r = bat_i32(10, vec![-2, 3, -7]);
+        let got = sort_pairs(
+            join_bats(&mut NullTracker, &l, &r, &profiles::origin2000()).unwrap(),
+        );
+        assert_eq!(got, vec![OidPair::new(1, 10), OidPair::new(2, 11)]);
+    }
+
+    #[test]
+    fn void_fast_path_is_positional() {
+        // left: join index tail pointing into right's void head.
+        let l = Bat::with_void_head(0, Column::Oid(vec![1003, 1001, 2000]));
+        let r = bat_i32(1000, vec![10, 20, 30, 40]);
+        let got = void_positional_join(&mut NullTracker, &l, &r).unwrap();
+        // OID 2000 is out of range: dropped.
+        assert_eq!(got, vec![OidPair::new(0, 1003), OidPair::new(1, 1001)]);
+        // join_bats dispatches to the same path.
+        let auto = join_bats(&mut NullTracker, &l, &r, &profiles::origin2000()).unwrap();
+        assert_eq!(auto, got);
+    }
+
+    #[test]
+    fn unsupported_tail_type_errors() {
+        let l = Bat::with_void_head(0, Column::F64(vec![1.0]));
+        let r = bat_i32(0, vec![1]);
+        assert!(matches!(
+            join_bats(&mut NullTracker, &l, &r, &profiles::origin2000()),
+            Err(EngineError::UnsupportedType { .. })
+        ));
+    }
+}

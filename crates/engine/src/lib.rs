@@ -1,0 +1,76 @@
+#![warn(missing_docs)]
+
+//! # engine — query operators over BATs (§3.2)
+//!
+//! The operator repertoire §3.2 analyses, implemented over the vertically
+//! decomposed storage of `monet-core`:
+//!
+//! * [`select`] — scan selections (optimal locality), including the §3.1
+//!   byte-encoded fast path where a string predicate is re-mapped once to a
+//!   code comparison;
+//! * [`aggregate`] — `SUM`/`MIN`/`MAX`/`COUNT` scans, with candidate lists;
+//! * [`candidates`] — AND/OR/AND-NOT combinators over candidate OID lists;
+//! * [`group`] — hash-grouping (the cache-friendly choice when the group
+//!   count is small, per §3.2) and sort-grouping (the sort/merge baseline);
+//! * [`join`] — dispatch from BATs to the radix join kernels, including the
+//!   void-head positional fast path that "effectively eliminat\[es\] all join
+//!   cost" for tuple-reconstruction joins;
+//! * [`reconstruct`] — positional tuple reconstruction from candidate OIDs;
+//! * [`query`] — a composed select→join→group→aggregate pipeline used by the
+//!   examples (a drill-down-style OLAP query).
+//!
+//! Scan-shaped operators are generic over [`memsim::MemTracker`] so the
+//! examples can show their stride behaviour on the simulated Origin2000.
+
+pub mod aggregate;
+pub mod candidates;
+pub mod group;
+pub mod join;
+pub mod query;
+pub mod reconstruct;
+pub mod select;
+
+pub use join::{join_bats, JoinIndex};
+pub use query::{grouped_sum_where, GroupedSum};
+
+use monet_core::storage::StorageError;
+use std::fmt;
+
+/// Errors from engine operators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Underlying storage error.
+    Storage(StorageError),
+    /// Operator applied to a column type it does not support.
+    UnsupportedType {
+        /// The operator.
+        op: &'static str,
+        /// The offending column type.
+        ty: monet_core::storage::ValueType,
+    },
+    /// A selection constant does not occur in the dictionary (the selection
+    /// result is provably empty; callers may treat this as non-fatal).
+    ConstantNotInDictionary(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Storage(e) => write!(f, "storage error: {e}"),
+            EngineError::UnsupportedType { op, ty } => {
+                write!(f, "{op} does not support {ty:?} columns")
+            }
+            EngineError::ConstantNotInDictionary(s) => {
+                write!(f, "constant {s:?} not in dictionary")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}

@@ -1,0 +1,238 @@
+//! Machine descriptions: cache and TLB geometry, miss latencies, and the
+//! per-operation CPU work costs the paper calibrates in §3.4.
+
+/// Geometry of one cache level.
+///
+/// All sizes are in bytes and must be powers of two; `assoc` is the number of
+/// ways per set (1 = direct mapped). The Origin2000's L1 is
+/// `CacheConfig::new(32 * 1024, 32, 2)` — 1024 lines of 32 bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity: usize,
+    /// Line size in bytes.
+    pub line: usize,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+}
+
+impl CacheConfig {
+    /// Create a cache geometry.
+    ///
+    /// The line size and the derived *set count* must be powers of two
+    /// (the set index is a bit mask); capacity and associativity may be
+    /// any consistent values — real L1s are often 48 KB / 12-way.
+    ///
+    /// # Panics
+    /// Panics if the line size is not a power of two, if the capacity is
+    /// not an exact multiple of `line * assoc`, or if the set count is not
+    /// a power of two.
+    pub fn new(capacity: usize, line: usize, assoc: usize) -> Self {
+        assert!(line.is_power_of_two(), "cache line size must be a power of two");
+        assert!(assoc > 0, "associativity must be positive");
+        assert!(
+            capacity.is_multiple_of(line * assoc) && capacity > 0,
+            "capacity must be a positive multiple of line * assoc"
+        );
+        let cfg = Self { capacity, line, assoc };
+        assert!(cfg.lines() >= assoc, "cache must have at least one set");
+        assert!(cfg.sets().is_power_of_two(), "set count must be a power of two");
+        cfg
+    }
+
+    /// Number of cache lines (`|Li|` in the paper's notation).
+    #[inline]
+    pub fn lines(&self) -> usize {
+        self.capacity / self.line
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub fn sets(&self) -> usize {
+        self.lines() / self.assoc
+    }
+}
+
+/// Geometry of the translation lookaside buffer.
+///
+/// The Origin2000 has 64 entries over 16 KiB pages; `‖TLB‖` — the memory
+/// range the TLB can cover — is `entries * page`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Number of TLB entries (fully associative).
+    pub entries: usize,
+    /// Page size in bytes (power of two).
+    pub page: usize,
+}
+
+impl TlbConfig {
+    /// Create a TLB geometry, validating power-of-two page size.
+    pub fn new(entries: usize, page: usize) -> Self {
+        assert!(entries > 0, "TLB must have entries");
+        assert!(page.is_power_of_two(), "page size must be a power of two");
+        Self { entries, page }
+    }
+
+    /// Memory range covered by the TLB in bytes (`‖TLB‖`).
+    #[inline]
+    pub fn span(&self) -> usize {
+        self.entries * self.page
+    }
+}
+
+/// Miss penalties in nanoseconds, exactly as the paper's model uses them:
+/// an access that misses L1 pays `l2_ns` (the L2 access), one that also
+/// misses L2 additionally pays `mem_ns`, and a TLB miss pays `tlb_ns` on top.
+/// L1 *hits* are folded into CPU work, again following the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Latencies {
+    /// Cost of an L2 access (paid per L1 miss). Paper calibration: 24 ns.
+    pub l2_ns: f64,
+    /// Cost of a main-memory access (paid per L2 miss). Paper: 412 ns.
+    pub mem_ns: f64,
+    /// Cost of a TLB miss (OS trap + walk on the R10000). Paper: 228 ns.
+    pub tlb_ns: f64,
+}
+
+/// Per-operation CPU work, the `w` constants of §3.4 (nanoseconds per event).
+///
+/// These are *pure CPU* costs — they include L1-hit data access but no cache
+/// miss penalties, which the simulator accounts separately.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkCosts {
+    /// `w_c`: radix-cluster work per tuple per pass (hash, histogram,
+    /// scatter). Paper calibration: 50 ns.
+    pub cluster_tuple_ns: f64,
+    /// `w_r`: radix-join join-predicate check (one comparison in the
+    /// per-cluster nested loop). Paper: 24 ns.
+    pub radix_compare_ns: f64,
+    /// `w'_r`: radix-join result-tuple creation. Paper: 240 ns.
+    pub radix_result_ns: f64,
+    /// `w_h`: hash-join work per tuple (build + probe + result amortized).
+    /// Paper: 680 ns.
+    pub hash_tuple_ns: f64,
+    /// `w'_h`: hash-table creation/destruction per cluster. Paper: 3600 ns.
+    pub hash_cluster_ns: f64,
+    /// CPU work of one iteration of the §2 scan experiment. Paper: 4 cycles
+    /// on the Origin2000 (16 ns at 250 MHz).
+    pub scan_iter_ns: f64,
+    /// Sort-merge: per-tuple work of one radix-sort pass (not calibrated by
+    /// the paper; we reuse `w_c` since the inner loop is the same scatter).
+    pub sort_tuple_ns: f64,
+    /// Sort-merge: per-tuple work of the merge phase (comparison-driven; we
+    /// reuse `w_r`).
+    pub merge_tuple_ns: f64,
+}
+
+/// Virtual-memory level: physical memory as a page cache over disk-resident
+/// data (the paper's §4: "treat management of disk-resident data as memory
+/// with a large granularity"). `None` (the default everywhere) models
+/// memory-resident workloads, as in the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VmConfig {
+    /// Physical pages available to the process (LRU-replaced).
+    pub resident_pages: usize,
+    /// Cost of a (hard) page fault in nanoseconds. A 1999 disk seek+read is
+    /// ~10 ms; sequential faults benefit from read-ahead in reality, which
+    /// this single constant deliberately ignores (documented simplification
+    /// — it *understates* the sequential-access advantage the paper claims
+    /// for the radix algorithms).
+    pub fault_ns: f64,
+}
+
+impl VmConfig {
+    /// Construct, validating positivity.
+    pub fn new(resident_pages: usize, fault_ns: f64) -> Self {
+        assert!(resident_pages > 0, "need at least one resident page");
+        assert!(fault_ns > 0.0, "fault cost must be positive");
+        Self { resident_pages, fault_ns }
+    }
+}
+
+/// A complete simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineConfig {
+    /// Human-readable name, e.g. `"origin2k"`.
+    pub name: &'static str,
+    /// CPU clock in MHz (used only to convert cycles ↔ ns in reports).
+    pub cpu_mhz: f64,
+    /// L1 data cache. `None` models early machines (e.g. the 1992 SunLX in
+    /// Fig. 3, for which the paper lists only an L2 line size).
+    pub l1: Option<CacheConfig>,
+    /// L2 cache.
+    pub l2: CacheConfig,
+    /// TLB.
+    pub tlb: TlbConfig,
+    /// Optional virtual-memory level (§4 extension); `None` = all data
+    /// memory-resident.
+    pub vm: Option<VmConfig>,
+    /// Miss penalties.
+    pub lat: Latencies,
+    /// Calibrated per-operation CPU work.
+    pub work: WorkCosts,
+}
+
+impl MachineConfig {
+    /// Nanoseconds per CPU cycle.
+    #[inline]
+    pub fn ns_per_cycle(&self) -> f64 {
+        1000.0 / self.cpu_mhz
+    }
+
+    /// L1 line size; falls back to the L2 line size for machines without an
+    /// L1 (the cost model's `min(s/LS_L1, 1)` term then coincides with L2).
+    #[inline]
+    pub fn l1_line(&self) -> usize {
+        self.l1.map_or(self.l2.line, |c| c.line)
+    }
+
+    /// Memory span covered by the TLB (`‖TLB‖`).
+    #[inline]
+    pub fn tlb_span(&self) -> usize {
+        self.tlb.span()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_config_derived_quantities() {
+        let c = CacheConfig::new(32 * 1024, 32, 2);
+        assert_eq!(c.lines(), 1024);
+        assert_eq!(c.sets(), 512);
+        let l2 = CacheConfig::new(4 * 1024 * 1024, 128, 2);
+        assert_eq!(l2.lines(), 32768);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of line")]
+    fn cache_config_rejects_inconsistent_capacity() {
+        CacheConfig::new(3000, 32, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn cache_config_rejects_non_pow2_line() {
+        CacheConfig::new(4096, 48, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn cache_config_rejects_non_pow2_sets() {
+        CacheConfig::new(3 * 32 * 2, 32, 2); // 3 sets
+    }
+
+    #[test]
+    fn cache_config_accepts_modern_48k_12way() {
+        let c = CacheConfig::new(48 * 1024, 64, 12);
+        assert_eq!(c.sets(), 64);
+    }
+
+    #[test]
+    fn tlb_span() {
+        let t = TlbConfig::new(64, 16 * 1024);
+        assert_eq!(t.span(), 1 << 20);
+    }
+}

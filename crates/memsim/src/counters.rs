@@ -1,0 +1,190 @@
+//! Event counters — the software analogue of the R10000 hardware counters
+//! the paper reads via \[Sil97\].
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Counts of memory events plus the simulated-time decomposition.
+///
+/// `elapsed_ns()` reproduces the paper's cost equation
+/// `T = T_cpu + M_L1·l_L2 + M_L2·l_Mem + M_TLB·l_TLB`: the stall fields are
+/// accumulated by [`crate::MemorySystem`] as `misses × latency`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EventCounters {
+    /// Read accesses issued (one per `touch`, regardless of lines spanned).
+    pub reads: u64,
+    /// Write accesses issued.
+    pub writes: u64,
+    /// Cache lines inspected (an access spanning two lines counts twice).
+    pub line_accesses: u64,
+    /// L1 data-cache misses.
+    pub l1_misses: u64,
+    /// L2 cache misses.
+    pub l2_misses: u64,
+    /// TLB misses.
+    pub tlb_misses: u64,
+    /// Page faults (only when a [`crate::VmConfig`] level is configured).
+    pub page_faults: u64,
+    /// Pure CPU work in nanoseconds (the `w` constants of §3.4).
+    pub cpu_ns: f64,
+    /// Stall time from L1 misses (`M_L1 · l_L2`).
+    pub stall_l2_ns: f64,
+    /// Stall time from L2 misses (`M_L2 · l_Mem`).
+    pub stall_mem_ns: f64,
+    /// Stall time from TLB misses (`M_TLB · l_TLB`).
+    pub stall_tlb_ns: f64,
+    /// Stall time from page faults (VM level only).
+    pub stall_fault_ns: f64,
+}
+
+impl EventCounters {
+    /// Total simulated elapsed time in nanoseconds.
+    #[inline]
+    pub fn elapsed_ns(&self) -> f64 {
+        self.cpu_ns + self.stall_l2_ns + self.stall_mem_ns + self.stall_tlb_ns
+            + self.stall_fault_ns
+    }
+
+    /// Total simulated elapsed time in milliseconds (the unit of the paper's
+    /// figures).
+    #[inline]
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed_ns() / 1e6
+    }
+
+    /// Fraction of elapsed time spent stalled on the memory system — the
+    /// quantity behind the paper's "95% of its cycles waiting for memory"
+    /// claim in §2.
+    pub fn stall_fraction(&self) -> f64 {
+        let e = self.elapsed_ns();
+        if e == 0.0 {
+            0.0
+        } else {
+            (e - self.cpu_ns) / e
+        }
+    }
+
+    /// True if no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+impl Add for EventCounters {
+    type Output = Self;
+    fn add(self, o: Self) -> Self {
+        Self {
+            reads: self.reads + o.reads,
+            writes: self.writes + o.writes,
+            line_accesses: self.line_accesses + o.line_accesses,
+            l1_misses: self.l1_misses + o.l1_misses,
+            l2_misses: self.l2_misses + o.l2_misses,
+            tlb_misses: self.tlb_misses + o.tlb_misses,
+            page_faults: self.page_faults + o.page_faults,
+            cpu_ns: self.cpu_ns + o.cpu_ns,
+            stall_l2_ns: self.stall_l2_ns + o.stall_l2_ns,
+            stall_mem_ns: self.stall_mem_ns + o.stall_mem_ns,
+            stall_tlb_ns: self.stall_tlb_ns + o.stall_tlb_ns,
+            stall_fault_ns: self.stall_fault_ns + o.stall_fault_ns,
+        }
+    }
+}
+
+impl AddAssign for EventCounters {
+    fn add_assign(&mut self, o: Self) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for EventCounters {
+    type Output = Self;
+    /// Delta between two snapshots (`after - before`). Saturating on the
+    /// counter fields so a misordered pair cannot underflow.
+    fn sub(self, o: Self) -> Self {
+        Self {
+            reads: self.reads.saturating_sub(o.reads),
+            writes: self.writes.saturating_sub(o.writes),
+            line_accesses: self.line_accesses.saturating_sub(o.line_accesses),
+            l1_misses: self.l1_misses.saturating_sub(o.l1_misses),
+            l2_misses: self.l2_misses.saturating_sub(o.l2_misses),
+            tlb_misses: self.tlb_misses.saturating_sub(o.tlb_misses),
+            page_faults: self.page_faults.saturating_sub(o.page_faults),
+            cpu_ns: self.cpu_ns - o.cpu_ns,
+            stall_l2_ns: self.stall_l2_ns - o.stall_l2_ns,
+            stall_mem_ns: self.stall_mem_ns - o.stall_mem_ns,
+            stall_tlb_ns: self.stall_tlb_ns - o.stall_tlb_ns,
+            stall_fault_ns: self.stall_fault_ns - o.stall_fault_ns,
+        }
+    }
+}
+
+impl fmt::Display for EventCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.3} ms (cpu {:.3} ms, stalls L2 {:.3} / mem {:.3} / TLB {:.3} ms) \
+             | L1 miss {} | L2 miss {} | TLB miss {}",
+            self.elapsed_ms(),
+            self.cpu_ns / 1e6,
+            self.stall_l2_ns / 1e6,
+            self.stall_mem_ns / 1e6,
+            self.stall_tlb_ns / 1e6,
+            self.l1_misses,
+            self.l2_misses,
+            self.tlb_misses,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EventCounters {
+        EventCounters {
+            reads: 10,
+            writes: 5,
+            line_accesses: 15,
+            l1_misses: 4,
+            l2_misses: 2,
+            tlb_misses: 1,
+            cpu_ns: 100.0,
+            stall_l2_ns: 96.0,
+            stall_mem_ns: 824.0,
+            stall_tlb_ns: 228.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn elapsed_is_cpu_plus_stalls() {
+        let c = sample();
+        assert!((c.elapsed_ns() - 1248.0).abs() < 1e-9);
+        assert!((c.elapsed_ms() - 1248.0e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_fraction() {
+        let c = sample();
+        assert!((c.stall_fraction() - (1148.0 / 1248.0)).abs() < 1e-9);
+        assert_eq!(EventCounters::default().stall_fraction(), 0.0);
+    }
+
+    #[test]
+    fn add_and_sub_roundtrip() {
+        let a = sample();
+        let b = sample();
+        let s = a + b;
+        assert_eq!(s.l1_misses, 8);
+        let d = s - a;
+        assert_eq!(d.l1_misses, b.l1_misses);
+        assert!((d.cpu_ns - b.cpu_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sub_saturates_counters() {
+        let d = EventCounters::default() - sample();
+        assert_eq!(d.l1_misses, 0);
+        assert_eq!(d.reads, 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! The paper's §2 "reality check": sequentially scan an in-memory buffer,
+//! reading one byte per iteration at a configurable stride (Figure 3).
+//!
+//! This mimics a read-only scan of a one-byte column in a table whose
+//! record width equals the stride — e.g. a zero-selectivity selection or a
+//! simple `MAX`/`SUM` aggregate. The experiment exists in two forms:
+//!
+//! * [`scan_sim`] — replay of the address stream through a simulated machine,
+//!   reproducing the figure for all four 1990s machines;
+//! * [`scan_native`] — the same loop over a real buffer on the host CPU,
+//!   wall-clock timed, showing the effect persists on modern hardware.
+
+use std::time::Instant;
+
+use crate::config::MachineConfig;
+use crate::counters::EventCounters;
+use crate::system::{Access, MemorySystem};
+use crate::tracker::Work;
+
+/// Number of iterations used throughout the paper's Figure 3.
+pub const PAPER_ITERATIONS: usize = 200_000;
+
+/// One measured point of the stride sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct StridePoint {
+    /// Record width in bytes (the X axis of Fig. 3).
+    pub stride: usize,
+    /// Elapsed milliseconds for all iterations (the Y axis of Fig. 3).
+    pub elapsed_ms: f64,
+    /// Full event breakdown (simulated runs only; zeroed for native runs).
+    pub counters: EventCounters,
+}
+
+/// Simulate the scan of `iters` one-byte reads at `stride` on `machine`,
+/// starting with cold caches (the paper's stated starting condition).
+pub fn scan_sim(machine: MachineConfig, iters: usize, stride: usize) -> StridePoint {
+    assert!(stride > 0, "stride must be positive");
+    let mut sys = MemorySystem::new(machine);
+    // A page-aligned base keeps page-boundary behaviour identical across
+    // runs; any constant works since the simulator sees raw addresses.
+    let base: u64 = 1 << 30;
+    let iter_ns = machine.work.scan_iter_ns;
+    for i in 0..iters {
+        sys.touch(base + (i * stride) as u64, 1, Access::Read);
+        sys.cpu_ns(iter_ns);
+    }
+    let _ = Work::ScanIter; // unit of the per-iteration charge above
+    let counters = sys.counters();
+    StridePoint { stride, elapsed_ms: counters.elapsed_ms(), counters }
+}
+
+/// Simulate the full Figure 3 sweep for one machine.
+pub fn scan_sweep_sim(
+    machine: MachineConfig,
+    iters: usize,
+    strides: impl IntoIterator<Item = usize>,
+) -> Vec<StridePoint> {
+    strides.into_iter().map(|s| scan_sim(machine, iters, s)).collect()
+}
+
+/// The stride values plotted in Figure 3 (1..256 with denser sampling at the
+/// cache-line transition points).
+pub fn figure3_strides() -> Vec<usize> {
+    let mut v: Vec<usize> = (1..=32).collect();
+    v.extend((36..=256).step_by(4));
+    v
+}
+
+/// Run the scan natively on the host: `iters` one-byte reads at `stride`
+/// over a freshly written buffer, wall-clock timed.
+///
+/// The accumulated sum is returned through the point's `counters.cpu_ns`
+/// being zero and is consumed internally via `black_box`, preventing the
+/// compiler from deleting the loop.
+pub fn scan_native(iters: usize, stride: usize) -> StridePoint {
+    assert!(stride > 0, "stride must be positive");
+    let len = iters * stride;
+    // Touch every page on allocation so the measurement excludes page
+    // faults, matching "the buffer was in memory".
+    let buf = vec![1u8; len];
+    let mut sum = 0u64;
+    let start = Instant::now();
+    let mut idx = 0usize;
+    for _ in 0..iters {
+        // Safety: idx = i*stride < iters*stride = len by construction.
+        sum += unsafe { *buf.get_unchecked(idx) } as u64;
+        idx += stride;
+    }
+    let elapsed = start.elapsed();
+    std::hint::black_box(sum);
+    StridePoint {
+        stride,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        counters: EventCounters::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+
+    #[test]
+    fn miss_rates_saturate_at_line_sizes() {
+        // The figure's mechanism: L1 miss rate reaches 1/iter at the L1 line
+        // size, L2 at the L2 line size; beyond that, performance is flat.
+        let m = profiles::origin2000();
+        let iters = 20_000;
+        let at = |s: usize| scan_sim(m, iters, s);
+
+        let s1 = at(1);
+        // Stride 1: one L1 miss per 32 iterations.
+        assert_eq!(s1.counters.l1_misses as usize, iters / 32);
+
+        let s32 = at(32);
+        assert_eq!(s32.counters.l1_misses as usize, iters);
+        // At stride 32, L2 misses once per 4 iterations (128/32).
+        assert_eq!(s32.counters.l2_misses as usize, iters / 4);
+
+        let s128 = at(128);
+        assert_eq!(s128.counters.l1_misses as usize, iters);
+        assert_eq!(s128.counters.l2_misses as usize, iters);
+
+        let s256 = at(256);
+        assert_eq!(s256.counters.l2_misses as usize, iters);
+        // Flat beyond the L2 line size:
+        assert!((s256.elapsed_ms - s128.elapsed_ms).abs() / s128.elapsed_ms < 0.05);
+    }
+
+    #[test]
+    fn cost_grows_monotonically_up_to_l2_line() {
+        let m = profiles::origin2000();
+        let pts = scan_sweep_sim(m, 10_000, [1, 8, 16, 32, 64, 128]);
+        for w in pts.windows(2) {
+            assert!(
+                w[1].elapsed_ms > w[0].elapsed_ms,
+                "stride {} -> {} must increase cost",
+                w[0].stride,
+                w[1].stride
+            );
+        }
+    }
+
+    #[test]
+    fn stall_fraction_at_max_stride_matches_papers_95_percent_claim() {
+        let m = profiles::origin2000();
+        let p = scan_sim(m, 50_000, 256);
+        // 4 cycles of work vs ~660 ns of stalls: >90% of time is memory.
+        assert!(
+            p.counters.stall_fraction() > 0.9,
+            "stall fraction {}",
+            p.counters.stall_fraction()
+        );
+    }
+
+    #[test]
+    fn newer_machine_is_faster_at_stride_1_but_not_at_stride_256() {
+        // Fig. 3's punchline: the origin2k beats the sunLX by ~an order of
+        // magnitude at stride 1 (CPU-bound), but by far less at stride 256
+        // (memory-bound).
+        let iters = 20_000;
+        let new1 = scan_sim(profiles::origin2000(), iters, 1).elapsed_ms;
+        let old1 = scan_sim(profiles::sun_lx(), iters, 1).elapsed_ms;
+        let new256 = scan_sim(profiles::origin2000(), iters, 256).elapsed_ms;
+        let old256 = scan_sim(profiles::sun_lx(), iters, 256).elapsed_ms;
+        let speedup_small = old1 / new1;
+        let speedup_large = old256 / new256;
+        assert!(speedup_small > 4.0, "stride-1 speedup {speedup_small}");
+        assert!(speedup_large < speedup_small / 2.0, "stride-256 speedup {speedup_large}");
+    }
+
+    #[test]
+    fn stride8_vs_stride1_cycle_costs_match_paper_section_3_1() {
+        // §3.1: on the Origin2000 a stride-8 scan costs ~10 cycles/iteration,
+        // a stride-1 scan ~4 cycles. Check we land in that neighbourhood.
+        let m = profiles::origin2000();
+        let iters = 100_000;
+        let cyc = |s: usize| {
+            scan_sim(m, iters, s).counters.elapsed_ns() / iters as f64 / m.ns_per_cycle()
+        };
+        let c1 = cyc(1);
+        let c8 = cyc(8);
+        assert!((3.0..=6.0).contains(&c1), "stride-1 cycles {c1}");
+        assert!((8.0..=13.0).contains(&c8), "stride-8 cycles {c8}");
+    }
+
+    #[test]
+    fn native_scan_runs_and_is_positive() {
+        let p = scan_native(10_000, 64);
+        assert!(p.elapsed_ms >= 0.0);
+        assert_eq!(p.stride, 64);
+    }
+
+    #[test]
+    fn figure3_strides_cover_the_axis() {
+        let s = figure3_strides();
+        assert_eq!(*s.first().unwrap(), 1);
+        assert_eq!(*s.last().unwrap(), 256);
+        assert!(s.contains(&32) && s.contains(&128));
+    }
+}

@@ -1,0 +1,139 @@
+//! Unique uniform random keys and join pairs (§3.4.1's workload).
+//!
+//! Uniqueness is guaranteed by construction: keys are produced by a keyed
+//! 32-bit Feistel permutation of `0..n` (a bijection on `u32`), then the
+//! *order* is shuffled. The result is a uniformly pseudo-random set of
+//! distinct 32-bit values — statistically indistinguishable, for the cache
+//! behaviour under study, from true random draws without replacement, and
+//! exactly reproducible per seed.
+
+use monet_core::join::Bun;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A keyed 32-bit Feistel permutation (4 rounds over 16-bit halves).
+/// Bijective on `u32` for any key material.
+fn feistel32(x: u32, keys: &[u32; 4]) -> u32 {
+    let mut l = x >> 16;
+    let mut r = x & 0xFFFF;
+    for &k in keys {
+        let f = (r.wrapping_mul(0x9E3B).wrapping_add(k) ^ (r >> 7)) & 0xFFFF;
+        let nl = r;
+        r = l ^ f;
+        l = nl;
+    }
+    (l << 16) | r
+}
+
+/// `n` distinct pseudo-random `u32` keys, uniformly spread over the 32-bit
+/// space, in shuffled order.
+pub fn unique_random_keys(n: usize, seed: u64) -> Vec<u32> {
+    assert!(n <= u32::MAX as usize, "at most 2^32 unique keys exist");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keys: [u32; 4] = rng.random();
+    let mut v: Vec<u32> = (0..n as u32).map(|i| feistel32(i, &keys)).collect();
+    shuffle(&mut v, rng.random());
+    v
+}
+
+/// Fisher–Yates shuffle with a deterministic seed.
+pub fn shuffle<T>(v: &mut [T], seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..v.len()).rev() {
+        let j = rng.random_range(0..=i);
+        v.swap(i, j);
+    }
+}
+
+/// A BAT of `n` unique uniform random tuples: OIDs `0..n`, random tails.
+pub fn unique_random_buns(n: usize, seed: u64) -> Vec<Bun> {
+    unique_random_keys(n, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, k)| Bun::new(i as u32, k))
+        .collect()
+}
+
+/// The §3.4.1 join workload: two `n`-tuple relations over the *same* unique
+/// key set, independently shuffled — join hit-rate exactly one, result
+/// cardinality exactly `n`.
+pub fn join_pair(n: usize, seed: u64) -> (Vec<Bun>, Vec<Bun>) {
+    let keys = unique_random_keys(n, seed);
+    let left: Vec<Bun> = keys.iter().enumerate().map(|(i, &k)| Bun::new(i as u32, k)).collect();
+    let mut rkeys = keys;
+    shuffle(&mut rkeys, seed ^ 0xDEAD_BEEF_CAFE_F00D);
+    let right: Vec<Bun> = rkeys.iter().enumerate().map(|(i, &k)| Bun::new(i as u32, k)).collect();
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn keys_are_unique_and_deterministic() {
+        let a = unique_random_keys(100_000, 42);
+        let b = unique_random_keys(100_000, 42);
+        assert_eq!(a, b, "same seed, same keys");
+        let set: HashSet<u32> = a.iter().copied().collect();
+        assert_eq!(set.len(), a.len(), "all keys distinct");
+        let c = unique_random_keys(1000, 43);
+        assert_ne!(&a[..1000], &c[..], "different seed, different keys");
+    }
+
+    #[test]
+    fn keys_spread_over_the_32bit_space() {
+        // Uniformity smoke test: bucket the keys by their top 3 bits; no
+        // bucket may deviate wildly from the mean.
+        let keys = unique_random_keys(80_000, 7);
+        let mut buckets = [0usize; 8];
+        for k in keys {
+            buckets[(k >> 29) as usize] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!(
+                (8_000..=12_000).contains(&b),
+                "bucket {i} holds {b} of 80000"
+            );
+        }
+    }
+
+    #[test]
+    fn feistel_is_bijective_on_a_sample() {
+        let keys = [1u32, 2, 3, 4];
+        let out: HashSet<u32> = (0..1 << 16).map(|i| feistel32(i, &keys)).collect();
+        assert_eq!(out.len(), 1 << 16);
+    }
+
+    #[test]
+    fn join_pair_has_hit_rate_one() {
+        let (l, r) = join_pair(10_000, 99);
+        assert_eq!(l.len(), 10_000);
+        assert_eq!(r.len(), 10_000);
+        let lk: HashSet<u32> = l.iter().map(|t| t.tail).collect();
+        let rk: HashSet<u32> = r.iter().map(|t| t.tail).collect();
+        assert_eq!(lk, rk, "same key set on both sides");
+        assert_eq!(lk.len(), 10_000);
+        // But in different order (overwhelmingly likely).
+        assert!(l.iter().zip(&r).any(|(a, b)| a.tail != b.tail));
+    }
+
+    #[test]
+    fn buns_carry_dense_oids() {
+        let b = unique_random_buns(1000, 5);
+        for (i, t) in b.iter().enumerate() {
+            assert_eq!(t.head, i as u32);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<u32> = (0..1000).collect();
+        shuffle(&mut v, 1);
+        let mut s = v.clone();
+        s.sort_unstable();
+        assert_eq!(s, (0..1000).collect::<Vec<u32>>());
+        assert_ne!(v, s, "seed 1 must actually move something");
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # workload — synthetic data generators for the reproduction
+//!
+//! §3.4.1 fixes the experimental workload precisely: "binary relations
+//! (BATs) of 8 bytes wide tuples and varying cardinalities, consisting of
+//! uniformly distributed unique random numbers. In the join-experiments, the
+//! join hit-rate is one, and the result of a join is a BAT that contains the
+//! \[OID,OID\] combinations of matching tuples (i.e., a join-index)."
+//!
+//! * [`gen`] — unique uniform random keys and hit-rate-1 join pairs, fully
+//!   deterministic per seed.
+//! * [`zipf`] — Zipf-skewed keys (an ablation extension; the paper assumes
+//!   uniqueness).
+//! * [`item`] — the Figure 4 "Item" table (a lineitem-like relation) used by
+//!   the storage experiments and examples.
+
+pub mod gen;
+pub mod item;
+pub mod zipf;
+
+pub use gen::{join_pair, shuffle, unique_random_buns, unique_random_keys};
+pub use item::{item_rows, item_table, ItemRow, SHIPMODES};
+pub use zipf::ZipfGenerator;

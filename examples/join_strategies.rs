@@ -1,0 +1,80 @@
+//! Compare every §3.4.4 join strategy on one workload — a miniature
+//! Figure 13 you can point at your own cardinality:
+//!
+//! ```text
+//! cargo run --release --example join_strategies -- [cardinality]
+//! ```
+
+use std::time::Instant;
+
+use monet_mem::core::join::{
+    partitioned_hash_join, radix_join, simple_hash_join, sort_merge_join, FibHash,
+};
+use monet_mem::core::strategy::{Algorithm, Strategy};
+use monet_mem::costmodel::plan::{best_plan, plan_cost};
+use monet_mem::costmodel::{ModelMachine, ModelParams};
+use monet_mem::memsim::{profiles, NullTracker, SimTracker};
+use monet_mem::workload::join_pair;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(250_000);
+    let machine = profiles::origin2000();
+    let model = ModelMachine::with_params(&machine, ModelParams::implementation_matched());
+    let (l, r) = join_pair(n, 1);
+
+    println!("join of two {n}-tuple BATs, hit rate 1\n");
+    println!(
+        "{:<12} {:>4} {:>7} {:>12} {:>12} {:>12}",
+        "strategy", "B", "passes", "sim ms", "model ms", "native ms"
+    );
+
+    /// One strategy, executed under any tracker.
+    fn exec<M: monet_mem::memsim::MemTracker>(
+        trk: &mut M,
+        plan: &monet_mem::core::strategy::JoinPlan,
+        l: Vec<monet_mem::core::join::Bun>,
+        r: Vec<monet_mem::core::join::Bun>,
+    ) -> Vec<monet_mem::core::join::OidPair> {
+        match plan.algorithm {
+            Algorithm::PartitionedHash => {
+                partitioned_hash_join(trk, FibHash, l, r, plan.bits, &plan.pass_bits)
+            }
+            Algorithm::Radix => radix_join(trk, FibHash, l, r, plan.bits, &plan.pass_bits),
+            Algorithm::SimpleHash => simple_hash_join(trk, FibHash, &l, &r),
+            Algorithm::SortMerge => sort_merge_join(trk, l, r),
+        }
+    }
+
+    for s in Strategy::ALL {
+        let plan = s.plan(n, &machine);
+
+        let mut sim = SimTracker::for_machine(machine);
+        let pairs = exec(&mut sim, &plan, l.clone(), r.clone());
+        assert_eq!(pairs.len(), n);
+
+        let t0 = Instant::now();
+        let native = exec(&mut NullTracker, &plan, l.clone(), r.clone());
+        let native_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(native.len(), n);
+
+        let mc = plan_cost(&model, &plan, n as f64);
+        println!(
+            "{:<12} {:>4} {:>7} {:>12.1} {:>12.1} {:>12.1}",
+            s.name(),
+            plan.bits,
+            plan.pass_bits.len(),
+            sim.counters().elapsed_ms(),
+            mc.total_ms(),
+            native_ms
+        );
+    }
+
+    let (best, cost) = best_plan(&model, &machine, n);
+    println!(
+        "\nmodel-optimal plan: {:?} with B={} ({} passes) — predicted {:.1} ms",
+        best.algorithm,
+        best.bits,
+        best.pass_bits.len(),
+        cost.total_ms()
+    );
+}

@@ -1,0 +1,58 @@
+//! The §2 "reality check" as a runnable demo: watch a decade of CPU progress
+//! evaporate when the access stride grows — then check your own machine.
+//!
+//! ```text
+//! cargo run --release --example memory_wall
+//! ```
+
+use monet_mem::memsim::stride::{scan_native, scan_sim, PAPER_ITERATIONS};
+use monet_mem::memsim::profiles;
+
+fn main() {
+    let machines = profiles::figure3_machines();
+    let strides = [1usize, 8, 32, 128, 256];
+
+    println!("simulated elapsed ms for {PAPER_ITERATIONS} one-byte reads (Figure 3):\n");
+    print!("{:>8}", "stride");
+    for m in &machines {
+        print!("{:>10}", m.name);
+    }
+    println!("{:>12}", "(host)");
+    for &s in &strides {
+        print!("{s:>8}");
+        for m in &machines {
+            print!("{:>10.1}", scan_sim(*m, PAPER_ITERATIONS, s).elapsed_ms);
+        }
+        println!("{:>12.2}", scan_native(PAPER_ITERATIONS, s).elapsed_ms);
+    }
+
+    // The punchline, computed rather than asserted.
+    let origin = profiles::origin2000();
+    let lx = profiles::sun_lx();
+    let speedup_1 = scan_sim(lx, PAPER_ITERATIONS, 1).elapsed_ms
+        / scan_sim(origin, PAPER_ITERATIONS, 1).elapsed_ms;
+    let speedup_256 = scan_sim(lx, PAPER_ITERATIONS, 256).elapsed_ms
+        / scan_sim(origin, PAPER_ITERATIONS, 256).elapsed_ms;
+    println!(
+        "\n1992 SunLX → 1998 Origin2000 speedup: {speedup_1:.1}x at stride 1, \
+         only {speedup_256:.1}x at stride 256."
+    );
+    let frac = scan_sim(origin, PAPER_ITERATIONS, 256).counters.stall_fraction();
+    println!(
+        "At full stride the Origin2000 spends {:.0}% of its cycles waiting for memory — \
+         \"all advances in CPU power are neutralized due to the memory access bottleneck.\"",
+        frac * 100.0
+    );
+
+    // And the modern extension profile: the wall has only grown.
+    let modern = profiles::modern();
+    let m1 = scan_sim(modern, PAPER_ITERATIONS, 1).elapsed_ms;
+    let m256 = scan_sim(modern, PAPER_ITERATIONS, 256).elapsed_ms;
+    println!(
+        "\nextension — a ~4 GHz present-day profile: stride 1 = {m1:.2} ms, \
+         stride 256 = {m256:.1} ms ({:.0}x penalty vs the Origin2000's {:.0}x).",
+        m256 / m1,
+        scan_sim(origin, PAPER_ITERATIONS, 256).elapsed_ms
+            / scan_sim(origin, PAPER_ITERATIONS, 1).elapsed_ms
+    );
+}

@@ -1,0 +1,92 @@
+//! Property tests for the analytical cost model: structural soundness over
+//! the whole parameter space, not just the figure points — the properties a
+//! query optimizer consuming the model depends on.
+
+use proptest::prelude::*;
+
+use monet_mem::core::strategy::plan_passes;
+use monet_mem::costmodel::cluster::{cluster_cost, cluster_cost_even};
+use monet_mem::costmodel::phash::phash_cost;
+use monet_mem::costmodel::plan::{phash_total, radix_total};
+use monet_mem::costmodel::rjoin::rjoin_cost;
+use monet_mem::costmodel::scan::scan_cost;
+use monet_mem::costmodel::ModelMachine;
+use monet_mem::memsim::profiles;
+
+fn model() -> ModelMachine {
+    ModelMachine::new(&profiles::origin2000())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn all_costs_are_finite_and_positive(bits in 0u32..26, log_c in 10u32..27) {
+        let m = model();
+        let c = (1u64 << log_c) as f64;
+        for cost in [rjoin_cost(&m, bits, c), phash_cost(&m, bits, c)] {
+            prop_assert!(cost.total_ns().is_finite());
+            prop_assert!(cost.total_ns() > 0.0);
+            prop_assert!(cost.l1_misses >= 0.0);
+            prop_assert!(cost.l2_misses >= 0.0);
+            prop_assert!(cost.tlb_misses >= 0.0);
+        }
+        if bits >= 1 {
+            let cl = cluster_cost_even(&m, 1 + bits / 7, bits.max(1 + bits / 7), c);
+            prop_assert!(cl.total_ns().is_finite() && cl.total_ns() > 0.0);
+        }
+    }
+
+    #[test]
+    fn costs_are_monotone_in_cardinality(bits in 1u32..22, log_c in 12u32..25) {
+        let m = model();
+        let c1 = (1u64 << log_c) as f64;
+        let c2 = c1 * 2.0;
+        prop_assert!(rjoin_cost(&m, bits, c2).total_ns() > rjoin_cost(&m, bits, c1).total_ns());
+        prop_assert!(phash_cost(&m, bits, c2).total_ns() > phash_cost(&m, bits, c1).total_ns());
+        prop_assert!(
+            cluster_cost(&m, &[bits.min(6)], c2).total_ns()
+                > cluster_cost(&m, &[bits.min(6)], c1).total_ns()
+        );
+    }
+
+    #[test]
+    fn radix_join_phase_is_monotone_decreasing_in_bits(bits in 1u32..24, log_c in 14u32..25) {
+        // Fig. 10's global statement, as a property.
+        let m = model();
+        let c = (1u64 << log_c) as f64;
+        prop_assert!(
+            rjoin_cost(&m, bits + 1, c).total_ns() < rjoin_cost(&m, bits, c).total_ns(),
+            "bits {} -> {} must improve the isolated radix-join", bits, bits + 1
+        );
+    }
+
+    #[test]
+    fn scan_cost_is_monotone_in_stride_up_to_line(s in 1usize..128) {
+        let m = model();
+        let a = scan_cost(&m, 1000, s).total_ns();
+        let b = scan_cost(&m, 1000, s + 1).total_ns();
+        prop_assert!(b >= a, "stride {} -> {} must not get cheaper", s, s + 1);
+    }
+
+    #[test]
+    fn totals_dominate_their_phases(bits in 1u32..20, log_c in 14u32..24) {
+        let m = model();
+        let c = (1u64 << log_c) as f64;
+        let passes = plan_passes(bits, 64);
+        prop_assert!(phash_total(&m, bits, &passes, c).total_ns() >= phash_cost(&m, bits, c).total_ns());
+        prop_assert!(radix_total(&m, bits, &passes, c).total_ns() >= rjoin_cost(&m, bits, c).total_ns());
+    }
+
+    #[test]
+    fn even_split_is_never_beaten_badly_by_uneven(bits in 4u32..13, log_c in 16u32..23) {
+        // §3.4.2: "performance strongly depends on even distribution of
+        // bits" — the model must agree that an even split is at least as
+        // good as the most skewed 2-pass split (within rounding).
+        let m = model();
+        let c = (1u64 << log_c) as f64;
+        let even = cluster_cost(&m, &[bits / 2, bits - bits / 2], c).total_ns();
+        let skewed = cluster_cost(&m, &[bits - 1, 1], c).total_ns();
+        prop_assert!(even <= skewed * 1.0001, "even {} vs skewed {}", even, skewed);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the selection access paths: the cache-sensitive
+//! B+-tree must agree with a `BTreeMap`-based oracle on arbitrary key sets,
+//! fanouts and probe patterns — including duplicates and misses.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+use monet_mem::core::index::{binary_search_tracked, CsBTree, TTree};
+use monet_mem::memsim::NullTracker;
+
+/// Sorted entries with duplicates: keys drawn from a small domain.
+fn entries(max_len: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec(0u32..500, 0..max_len).prop_map(|mut keys| {
+        keys.sort_unstable();
+        keys.into_iter().enumerate().map(|(i, k)| (k, i as u32)).collect()
+    })
+}
+
+fn oracle(entries: &[(u32, u32)]) -> BTreeMap<u32, Vec<u32>> {
+    let mut m: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    for &(k, o) in entries {
+        m.entry(k).or_default().push(o);
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn lookup_matches_btreemap(e in entries(300), fanout in 2usize..40, probe in 0u32..600) {
+        let tree = CsBTree::new(&e, fanout);
+        let m = oracle(&e);
+        let mut got = vec![];
+        tree.lookup_eq(&mut NullTracker, probe, |o| got.push(o));
+        let expect = m.get(&probe).cloned().unwrap_or_default();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn range_matches_btreemap(e in entries(300), fanout in 2usize..40, a in 0u32..600, b in 0u32..600) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        let tree = CsBTree::new(&e, fanout);
+        let m = oracle(&e);
+        let mut got = vec![];
+        tree.range(&mut NullTracker, lo, hi, |k, o| got.push((k, o)));
+        let expect: Vec<(u32, u32)> = m
+            .range(lo..=hi)
+            .flat_map(|(&k, oids)| oids.iter().map(move |&o| (k, o)))
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn lower_bound_agrees_with_binary_search(e in entries(300), fanout in 2usize..40, probe in 0u32..600) {
+        let keys: Vec<u32> = e.iter().map(|x| x.0).collect();
+        let tree = CsBTree::new(&e, fanout);
+        prop_assert_eq!(
+            tree.lower_bound(&mut NullTracker, probe),
+            binary_search_tracked(&mut NullTracker, &keys, probe)
+        );
+    }
+
+    #[test]
+    fn ttree_lookup_matches_btreemap(e in entries(300), cap in 1usize..40, probe in 0u32..600) {
+        let tree = TTree::new(&e, cap);
+        let m = oracle(&e);
+        let mut got = vec![];
+        tree.lookup_eq(&mut NullTracker, probe, |o| got.push(o));
+        let expect = m.get(&probe).cloned().unwrap_or_default();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn ttree_and_btree_agree(e in entries(200), cap in 2usize..30, probe in 0u32..600) {
+        let tt = TTree::new(&e, cap);
+        let bt = CsBTree::new(&e, cap.max(2));
+        let mut a = vec![];
+        tt.lookup_eq(&mut NullTracker, probe, |o| a.push(o));
+        let mut b = vec![];
+        bt.lookup_eq(&mut NullTracker, probe, |o| b.push(o));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn node_bytes_constructor_never_underflows(e in entries(100), bytes in 1usize..64) {
+        // Even degenerate byte budgets must yield a working tree.
+        let tree = CsBTree::with_node_bytes(&e, bytes);
+        prop_assert!(tree.fanout() >= 2);
+        let m = oracle(&e);
+        for (&k, oids) in m.iter().take(5) {
+            let mut got = vec![];
+            tree.lookup_eq(&mut NullTracker, k, |o| got.push(o));
+            prop_assert_eq!(&got, oids);
+        }
+    }
+}

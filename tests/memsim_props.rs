@@ -1,0 +1,152 @@
+//! Property tests for the memory-hierarchy simulator: the optimized
+//! implementations must agree with trivially correct reference models on
+//! arbitrary access streams. The whole reproduction leans on these
+//! components, so they get the adversarial treatment.
+
+use proptest::prelude::*;
+
+use monet_mem::memsim::{Access, CacheConfig, MemorySystem, SetAssocCache, Tlb, TlbConfig};
+
+/// Reference set-associative LRU cache: per-set Vec, most recent at the
+/// back. Obviously correct, unoptimized.
+struct RefCache {
+    sets: Vec<Vec<u64>>,
+    assoc: usize,
+    line_shift: u32,
+    set_mask: u64,
+}
+
+impl RefCache {
+    fn new(cfg: CacheConfig) -> Self {
+        Self {
+            sets: vec![Vec::new(); cfg.sets()],
+            assoc: cfg.assoc,
+            line_shift: cfg.line.trailing_zeros(),
+            set_mask: cfg.sets() as u64 - 1,
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set = &mut self.sets[(line & self.set_mask) as usize];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            set.remove(pos);
+            set.push(line);
+            true
+        } else {
+            if set.len() == self.assoc {
+                set.remove(0);
+            }
+            set.push(line);
+            false
+        }
+    }
+}
+
+/// Reference fully-associative LRU TLB.
+struct RefTlb {
+    pages: Vec<u64>,
+    entries: usize,
+    page_shift: u32,
+}
+
+impl RefTlb {
+    fn new(cfg: TlbConfig) -> Self {
+        Self { pages: Vec::new(), entries: cfg.entries, page_shift: cfg.page.trailing_zeros() }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let page = addr >> self.page_shift;
+        if let Some(pos) = self.pages.iter().position(|&p| p == page) {
+            self.pages.remove(pos);
+            self.pages.push(page);
+            true
+        } else {
+            if self.pages.len() == self.entries {
+                self.pages.remove(0);
+            }
+            self.pages.push(page);
+            false
+        }
+    }
+}
+
+fn addr_stream(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    // Mixed locality: small offsets within a few regions to exercise both
+    // hits and conflict evictions.
+    prop::collection::vec((0u64..8, 0u64..4096), 1..max_len)
+        .prop_map(|v| v.into_iter().map(|(region, off)| region * 65_536 + off).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cache_matches_reference_lru(stream in addr_stream(400), assoc_pow in 0u32..3) {
+        let cfg = CacheConfig::new(1 << 12, 64, 1 << assoc_pow);
+        let mut fast = SetAssocCache::new(cfg);
+        let mut slow = RefCache::new(cfg);
+        for (i, &a) in stream.iter().enumerate() {
+            prop_assert_eq!(fast.access_addr(a), slow.access(a), "divergence at access {}", i);
+        }
+    }
+
+    #[test]
+    fn tlb_matches_reference_lru(stream in addr_stream(400)) {
+        let cfg = TlbConfig::new(8, 4096);
+        let mut fast = Tlb::new(cfg);
+        let mut slow = RefTlb::new(cfg);
+        for (i, &a) in stream.iter().enumerate() {
+            prop_assert_eq!(fast.access(a), slow.access(a), "divergence at access {}", i);
+        }
+    }
+
+    #[test]
+    fn counters_are_consistent_on_any_stream(stream in addr_stream(300)) {
+        let mut sys = MemorySystem::new(monet_mem::memsim::profiles::origin2000());
+        for &a in &stream {
+            sys.touch(a, 4, Access::Read);
+        }
+        let c = sys.counters();
+        // Structural invariants that hold for every access stream:
+        prop_assert!(c.l2_misses <= c.l1_misses, "L2 misses only happen below L1 misses");
+        prop_assert!(c.l1_misses <= c.line_accesses);
+        prop_assert!(c.tlb_misses <= c.line_accesses);
+        prop_assert_eq!(c.reads, stream.len() as u64);
+        prop_assert!(c.elapsed_ns() >= 0.0);
+        let lat = sys.machine().lat;
+        prop_assert!((c.stall_mem_ns - c.l2_misses as f64 * lat.mem_ns).abs() < 1e-6);
+    }
+
+    #[test]
+    fn repeated_stream_second_round_never_misses_more(stream in addr_stream(200)) {
+        // Warm caches can only help: replaying the identical stream must not
+        // produce more misses than the cold round.
+        let mut sys = MemorySystem::new(monet_mem::memsim::profiles::origin2000());
+        for &a in &stream {
+            sys.touch(a, 1, Access::Read);
+        }
+        let cold = sys.counters();
+        for &a in &stream {
+            sys.touch(a, 1, Access::Read);
+        }
+        let warm = sys.counters() - cold;
+        prop_assert!(warm.l1_misses <= cold.l1_misses);
+        prop_assert!(warm.l2_misses <= cold.l2_misses);
+        prop_assert!(warm.tlb_misses <= cold.tlb_misses);
+    }
+
+    #[test]
+    fn counter_algebra_roundtrips(
+        a_reads in 0u64..1000, b_reads in 0u64..1000,
+        a_ns in 0.0f64..1e6, b_ns in 0.0f64..1e6,
+    ) {
+        use monet_mem::memsim::EventCounters;
+        let a = EventCounters { reads: a_reads, cpu_ns: a_ns, ..Default::default() };
+        let b = EventCounters { reads: b_reads, cpu_ns: b_ns, ..Default::default() };
+        let sum = a + b;
+        let back = sum - a;
+        prop_assert_eq!(back.reads, b.reads);
+        prop_assert!((back.cpu_ns - b.cpu_ns).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,179 @@
+//! Cross-crate integration: workload → storage → engine operators →
+//! join kernels, validated against naive row-at-a-time computation.
+
+use monet_mem::core::join::{sort_pairs, OidPair};
+use monet_mem::core::storage::{Bat, Column, Value};
+use monet_mem::core::strategy::{Algorithm, JoinPlan};
+use monet_mem::engine::aggregate::{max_i32, sum_f64, sum_i32};
+use monet_mem::engine::group::{hash_group_sum_f64, sort_group_sum_f64};
+use monet_mem::engine::join::{join_bats, join_bats_with_plan};
+use monet_mem::engine::reconstruct::reconstruct;
+use monet_mem::engine::select::{range_select_f64, range_select_i32, select_eq_str};
+use monet_mem::engine::grouped_sum_where;
+use monet_mem::memsim::{profiles, NullTracker};
+use monet_mem::workload::{item_rows, item_table};
+
+const N: usize = 20_000;
+const SEED: u64 = 1234;
+
+#[test]
+fn selection_matches_row_scan() {
+    let table = item_table(N, SEED);
+    let rows = item_rows(N, SEED);
+
+    let qty = table.bat("qty").unwrap();
+    let got = range_select_i32(&mut NullTracker, qty, 10, 20).unwrap();
+    let expect: Vec<u32> = rows
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| (10..=20).contains(&r.qty))
+        .map(|(i, _)| table.seqbase() + i as u32)
+        .collect();
+    assert_eq!(got, expect);
+    assert!(!got.is_empty());
+}
+
+#[test]
+fn encoded_string_selection_matches_row_scan() {
+    let table = item_table(N, SEED);
+    let rows = item_rows(N, SEED);
+    let ship = table.bat("shipmode").unwrap();
+    let got = select_eq_str(&mut NullTracker, ship, "REG AIR").unwrap();
+    let expect: Vec<u32> = rows
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.shipmode == "REG AIR")
+        .map(|(i, _)| table.seqbase() + i as u32)
+        .collect();
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn aggregates_match_row_scan() {
+    let table = item_table(N, SEED);
+    let rows = item_rows(N, SEED);
+
+    let qty_sum = sum_i32(&mut NullTracker, table.bat("qty").unwrap(), None).unwrap();
+    assert_eq!(qty_sum, rows.iter().map(|r| r.qty as i64).sum::<i64>());
+
+    let price_sum = sum_f64(&mut NullTracker, table.bat("price").unwrap(), None).unwrap();
+    let expect: f64 = rows.iter().map(|r| r.price).sum();
+    assert!((price_sum - expect).abs() < 1e-6 * expect);
+
+    let qmax = max_i32(&mut NullTracker, table.bat("qty").unwrap(), None).unwrap();
+    assert_eq!(qmax, rows.iter().map(|r| r.qty).max());
+}
+
+#[test]
+fn filtered_aggregate_via_candidates_matches_row_scan() {
+    let table = item_table(N, SEED);
+    let rows = item_rows(N, SEED);
+
+    let cands =
+        range_select_f64(&mut NullTracker, table.bat("discnt").unwrap(), 0.05, 0.10).unwrap();
+    let got = sum_f64(&mut NullTracker, table.bat("price").unwrap(), Some(&cands)).unwrap();
+    let expect: f64 =
+        rows.iter().filter(|r| (0.05..=0.10).contains(&r.discnt)).map(|r| r.price).sum();
+    assert!((got - expect).abs() < 1e-6 * expect.max(1.0));
+}
+
+#[test]
+fn grouped_query_matches_row_scan_and_group_variants_agree() {
+    let table = item_table(N, SEED);
+    let rows = item_rows(N, SEED);
+
+    let mut got =
+        grouped_sum_where(&mut NullTracker, &table, "shipmode", "price", "discnt", 0.0, 0.05)
+            .unwrap();
+    got.sort_by(|a, b| a.key.cmp(&b.key));
+
+    let mut expect: std::collections::BTreeMap<String, f64> = Default::default();
+    for r in &rows {
+        if (0.0..=0.05).contains(&r.discnt) {
+            *expect.entry(r.shipmode.clone()).or_default() += r.price;
+        }
+    }
+    assert_eq!(got.len(), expect.len());
+    for g in &got {
+        let e = expect[&g.key];
+        assert!((g.sum - e).abs() < 1e-6 * e.abs().max(1.0), "{}: {} vs {e}", g.key, g.sum);
+    }
+
+    // Hash- and sort-grouping agree on the full table too.
+    let keys = table.bat("shipmode").unwrap();
+    let vals = table.bat("price").unwrap();
+    let a = hash_group_sum_f64(&mut NullTracker, keys, vals).unwrap();
+    let b = sort_group_sum_f64(&mut NullTracker, keys, vals).unwrap();
+    assert_eq!(a.len(), b.len());
+    for ((ka, va), (kb, vb)) in a.iter().zip(&b) {
+        assert_eq!(ka, kb);
+        assert!((va - vb).abs() < 1e-9 * va.abs().max(1.0));
+    }
+}
+
+#[test]
+fn reconstruct_roundtrip() {
+    let table = item_table(1_000, SEED);
+    let cands =
+        range_select_i32(&mut NullTracker, table.bat("qty").unwrap(), 1, 5).unwrap();
+    let sub = reconstruct(&mut NullTracker, table.bat("qty").unwrap(), &cands).unwrap();
+    assert_eq!(sub.len(), cands.len());
+    for (i, &cand) in cands.iter().enumerate() {
+        let (oid, v) = sub.bun(i);
+        assert_eq!(oid, cand);
+        let full = table.tuple(oid).unwrap();
+        assert_eq!(v, full[3], "qty is column 3");
+        if let Value::I32(q) = v {
+            assert!((1..=5).contains(&q));
+        } else {
+            panic!("qty must be I32");
+        }
+    }
+}
+
+#[test]
+fn engine_join_agrees_with_plans_and_machine_choice() {
+    // Two foreign-key-ish columns.
+    let l = Bat::with_void_head(0, Column::I32((0..5_000).map(|i| i % 997).collect()));
+    let r = Bat::with_void_head(9_000, Column::I32((0..997).collect()));
+    let auto = sort_pairs(
+        join_bats(&mut NullTracker, &l, &r, &profiles::origin2000()).unwrap(),
+    );
+    assert_eq!(auto.len(), 5_000);
+
+    for algorithm in [
+        Algorithm::SimpleHash,
+        Algorithm::PartitionedHash,
+        Algorithm::Radix,
+        Algorithm::SortMerge,
+    ] {
+        let bits = if matches!(algorithm, Algorithm::PartitionedHash | Algorithm::Radix) {
+            6
+        } else {
+            0
+        };
+        let plan = JoinPlan {
+            algorithm,
+            bits,
+            pass_bits: if bits == 0 { vec![] } else { vec![3, 3] },
+        };
+        let got =
+            sort_pairs(join_bats_with_plan(&mut NullTracker, &l, &r, &plan).unwrap());
+        assert_eq!(got, auto, "{algorithm:?}");
+    }
+
+    // Spot-check a pair against first principles.
+    let first = auto.iter().find(|p| p.left == 0).unwrap();
+    assert_eq!(*first, OidPair::new(0, 9_000), "qty 0 joins key 0 at seqbase 9000");
+}
+
+#[test]
+fn dictionary_survives_decomposition_and_reconstruction() {
+    let table = item_table(2_000, SEED);
+    let ship = table.bat("shipmode").unwrap();
+    let cands = select_eq_str(&mut NullTracker, ship, "TRUCK").unwrap();
+    let sub = reconstruct(&mut NullTracker, ship, &cands).unwrap();
+    for i in 0..sub.len() {
+        assert_eq!(sub.tail_value(i), Value::Str("TRUCK".into()));
+    }
+}
