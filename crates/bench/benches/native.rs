@@ -7,6 +7,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+use engine::reconstruct::fetch_i32;
+use engine::select::{range_select_i32, select_eq_str};
 use memsim::{profiles, NullTracker, SimTracker};
 use monet_core::index::{binary_search_tracked, CsBTree};
 use monet_core::join::{
@@ -16,8 +18,6 @@ use monet_core::join::{
 };
 use monet_core::storage::{Bat, Column};
 use monet_core::strategy::{bits_phash_min, bits_radix8, plan_passes, Strategy};
-use engine::reconstruct::fetch_i32;
-use engine::select::{range_select_i32, select_eq_str};
 use workload::{item_table, join_pair, unique_random_buns};
 
 /// Figure 3 on the host: one-byte reads at growing stride.
@@ -47,7 +47,8 @@ fn bench_radix_cluster(c: &mut Criterion) {
     let mut g = c.benchmark_group("radix_cluster");
     g.sample_size(20);
     let input = unique_random_buns(1 << 18, 1);
-    for (bits, passes) in [(4u32, vec![4u32]), (12, vec![12]), (12, vec![6, 6]), (18, vec![6, 6, 6])]
+    for (bits, passes) in
+        [(4u32, vec![4u32]), (12, vec![12]), (12, vec![6, 6]), (18, vec![6, 6, 6])]
     {
         let name = format!("B{}_P{}", bits, passes.len());
         g.throughput(Throughput::Elements(input.len() as u64));
@@ -121,9 +122,7 @@ fn bench_joins(c: &mut Criterion) {
         b.iter(|| sort_merge_join(&mut NullTracker, black_box(l.clone()), black_box(r.clone())))
     });
     g.bench_function("sort_merge_cmp", |b| {
-        b.iter(|| {
-            sort_merge_join_cmp(&mut NullTracker, black_box(l.clone()), black_box(r.clone()))
-        })
+        b.iter(|| sort_merge_join_cmp(&mut NullTracker, black_box(l.clone()), black_box(r.clone())))
     });
     g.finish();
 }
@@ -273,8 +272,11 @@ fn bench_reconstruct_void_vs_hash(c: &mut Criterion) {
     });
     g.bench_function("hash_join_equivalent", |b| {
         // The reconstruction expressed as a join: cands ⋈ [oid, value].
-        let left: Vec<monet_core::join::Bun> =
-            cands.iter().enumerate().map(|(i, &o)| monet_core::join::Bun::new(i as u32, o)).collect();
+        let left: Vec<monet_core::join::Bun> = cands
+            .iter()
+            .enumerate()
+            .map(|(i, &o)| monet_core::join::Bun::new(i as u32, o))
+            .collect();
         let right: Vec<monet_core::join::Bun> =
             (0..n as u32).map(|o| monet_core::join::Bun::new(o, o)).collect();
         b.iter(|| simple_hash_join(&mut NullTracker, FibHash, black_box(&left), black_box(&right)))

@@ -27,6 +27,7 @@ commands:
   select     selection access paths: scan / binary search / B-tree / hash
   skew       Zipf-skew ablation for the join strategies (extension)
   vm         section-4 virtual-memory experiment (extension)
+  query      composed query pipelines through the cost-model-driven executor
   all        everything above, in order
 
 options:
@@ -92,6 +93,7 @@ fn main() -> ExitCode {
             "select" => figures::select_paths::run(&opts),
             "skew" => figures::skew::run(&opts),
             "vm" => figures::vm::run(&opts),
+            "query" => figures::query_pipeline::run(&opts),
             _ => return false,
         }
         true
@@ -100,8 +102,8 @@ fn main() -> ExitCode {
     match command.as_str() {
         "all" => {
             for name in [
-                "fig1", "fig3", "fig4", "fig9", "fig10", "fig11", "fig12", "fig13",
-                "validate", "select", "skew", "vm",
+                "fig1", "fig3", "fig4", "fig9", "fig10", "fig11", "fig12", "fig13", "validate",
+                "select", "skew", "vm", "query",
             ] {
                 println!("\n=== {name} ===\n");
                 run_one(name);

@@ -11,9 +11,9 @@
 
 use costmodel::rjoin::rjoin_cost;
 use costmodel::{ModelMachine, ModelParams};
+use memsim::NullTracker;
 use memsim::SimTracker;
 use monet_core::join::{radix_cluster, radix_join_clustered, FibHash};
-use memsim::NullTracker;
 use monet_core::strategy::plan_passes;
 use workload::join_pair;
 
@@ -38,8 +38,17 @@ pub fn run(opts: &RunOpts) {
     let mut t = TextTable::new(
         "Figure 10: radix-join join phase (simulated origin2k vs model)",
         &[
-            "C", "bits", "tuples/cluster", "ms", "model ms", "L1 miss", "model L1", "L2 miss",
-            "model L2", "TLB miss", "model TLB",
+            "C",
+            "bits",
+            "tuples/cluster",
+            "ms",
+            "model ms",
+            "L1 miss",
+            "model L1",
+            "L2 miss",
+            "model L2",
+            "TLB miss",
+            "model TLB",
         ],
     );
 

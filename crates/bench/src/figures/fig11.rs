@@ -26,8 +26,17 @@ pub fn run(opts: &RunOpts) {
     let mut t = TextTable::new(
         "Figure 11: partitioned hash-join join phase (simulated origin2k vs model)",
         &[
-            "C", "bits", "strategy", "ms", "model ms", "L1 miss", "model L1", "L2 miss",
-            "model L2", "TLB miss", "model TLB",
+            "C",
+            "bits",
+            "strategy",
+            "ms",
+            "model ms",
+            "L1 miss",
+            "model L1",
+            "L2 miss",
+            "model L2",
+            "TLB miss",
+            "model TLB",
         ],
     );
 

@@ -6,9 +6,7 @@
 use costmodel::plan::{phash_total, radix_total};
 use costmodel::{ModelMachine, ModelParams};
 use memsim::SimTracker;
-use monet_core::join::{
-    join_clustered, radix_cluster, radix_join_clustered, FibHash,
-};
+use monet_core::join::{join_clustered, radix_cluster, radix_join_clustered, FibHash};
 use monet_core::strategy::{self, plan_passes};
 use workload::join_pair;
 

@@ -5,8 +5,8 @@
 //! §2/§3.1 headline claims derived from the origin2k curve.
 
 use costmodel::{scan::scan_cost, ModelMachine};
-use memsim::stride::{scan_native, scan_sim, PAPER_ITERATIONS};
 use memsim::profiles;
+use memsim::stride::{scan_native, scan_sim, PAPER_ITERATIONS};
 
 use crate::report::{fmt_ms, TextTable};
 use crate::runner::RunOpts;
@@ -33,8 +33,7 @@ pub fn run(opts: &RunOpts) {
     );
 
     let dense: Vec<usize> = memsim::stride::figure3_strides();
-    let strides: Vec<usize> =
-        if opts.csv_dir.is_some() { dense } else { TABLE_STRIDES.to_vec() };
+    let strides: Vec<usize> = if opts.csv_dir.is_some() { dense } else { TABLE_STRIDES.to_vec() };
 
     for &s in &strides {
         if opts.csv_dir.is_none() && !TABLE_STRIDES.contains(&s) {
@@ -63,29 +62,15 @@ fn claims(iters: usize) {
     let ns_per_cycle = m.ns_per_cycle();
     let cycles = |stride: usize| {
         let p = scan_sim(m, iters, stride);
-        (
-            p.counters.elapsed_ns() / iters as f64 / ns_per_cycle,
-            p.counters.stall_fraction(),
-        )
+        (p.counters.elapsed_ns() / iters as f64 / ns_per_cycle, p.counters.stall_fraction())
     };
     let (c1, _) = cycles(1);
     let (c8, _) = cycles(8);
     let (c256, f256) = cycles(256);
 
-    let mut t = TextTable::new(
-        "Figure 3 claims (origin2k)",
-        &["claim", "paper", "measured (sim)"],
-    );
-    t.row(vec![
-        "cycles/iteration at stride 1".into(),
-        "4".into(),
-        format!("{c1:.1}"),
-    ]);
-    t.row(vec![
-        "cycles/iteration at stride 8".into(),
-        "10".into(),
-        format!("{c8:.1}"),
-    ]);
+    let mut t = TextTable::new("Figure 3 claims (origin2k)", &["claim", "paper", "measured (sim)"]);
+    t.row(vec!["cycles/iteration at stride 1".into(), "4".into(), format!("{c1:.1}")]);
+    t.row(vec!["cycles/iteration at stride 8".into(), "10".into(), format!("{c8:.1}")]);
     t.row(vec![
         "cycles/iteration at stride 256".into(),
         "(figure: ~flat max)".into(),

@@ -7,6 +7,8 @@
 //! every column, and then demonstrate the §3.1 consequence: the simulated
 //! cost of scanning one attribute under NSM vs DSM.
 
+use engine::exec::{execute, ExecOptions, QueryOutput};
+use engine::plan::{Pred, Query};
 use engine::select::select_eq_str;
 use memsim::{NullTracker, SimTracker};
 use workload::item_table;
@@ -66,10 +68,18 @@ fn scan_demo(opts: &RunOpts) {
     let table = item_table(n, opts.seed);
     let machine = opts.machine();
 
-    // DSM: stride-1 scan over the encoded shipmode column.
+    // DSM: stride-1 scan over the encoded shipmode column, composed through
+    // the plan API (the executor runs the same scan-select kernel).
     let ship = table.bat("shipmode").expect("item table has shipmode");
+    let plan = Query::scan(&table)
+        .filter(Pred::eq_str("shipmode", "MAIL"))
+        .build()
+        .expect("plan validates");
     let mut dsm_trk = SimTracker::for_machine(machine);
-    let dsm_hits = select_eq_str(&mut dsm_trk, ship, "MAIL").expect("MAIL in dictionary");
+    let executed = execute(&mut dsm_trk, &plan, &ExecOptions::cost_model(machine)).expect("runs");
+    let QueryOutput::Oids(dsm_hits) = executed.output else {
+        unreachable!("bare select yields OIDs")
+    };
     let dsm = dsm_trk.counters();
 
     // NSM: the same one-byte attribute inside the full record.

@@ -24,8 +24,16 @@ pub fn run(opts: &RunOpts) {
     let mut t = TextTable::new(
         format!("Figure 9: radix-cluster of {c} tuples (simulated origin2k vs model)"),
         &[
-            "bits", "passes", "ms", "model ms", "L1 miss", "model L1", "L2 miss", "model L2",
-            "TLB miss", "model TLB",
+            "bits",
+            "passes",
+            "ms",
+            "model ms",
+            "L1 miss",
+            "model L1",
+            "L2 miss",
+            "model L2",
+            "TLB miss",
+            "model TLB",
         ],
     );
 

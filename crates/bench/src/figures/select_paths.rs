@@ -10,10 +10,10 @@
 //! bucket-chained hash table — for batches of point lookups against sorted
 //! relations of growing size.
 
+use memsim::NullTracker;
 use memsim::{MemTracker, SimTracker};
 use monet_core::index::{binary_search_tracked, CsBTree, TTree};
 use monet_core::join::{Bun, ChainedTable, FibHash};
-use memsim::NullTracker;
 
 use crate::report::{fmt_card, fmt_count, fmt_ms, TextTable};
 use crate::runner::{RunOpts, Scale};
@@ -37,9 +37,8 @@ pub fn run(opts: &RunOpts) {
     for c in cards {
         let entries: Vec<(u32, u32)> = (0..c as u32).map(|i| (i * 3, i)).collect();
         let keys: Vec<u32> = entries.iter().map(|e| e.0).collect();
-        let probes: Vec<u32> = (0..LOOKUPS as u32)
-            .map(|i| (i.wrapping_mul(2_654_435_761) % c as u32) * 3)
-            .collect();
+        let probes: Vec<u32> =
+            (0..LOOKUPS as u32).map(|i| (i.wrapping_mul(2_654_435_761) % c as u32) * 3).collect();
 
         let mut add = |name: &str, f: &mut dyn FnMut(&mut SimTracker)| {
             let mut trk = SimTracker::for_machine(machine);
@@ -78,9 +77,11 @@ pub fn run(opts: &RunOpts) {
             }
         });
 
-        for (name, bytes) in
-            [("B-tree 32B nodes", 32usize), ("B-tree 128B nodes", 128), ("B-tree 16KB nodes", 16384)]
-        {
+        for (name, bytes) in [
+            ("B-tree 32B nodes", 32usize),
+            ("B-tree 128B nodes", 128),
+            ("B-tree 16KB nodes", 16384),
+        ] {
             let tree = CsBTree::with_node_bytes(&entries, bytes);
             add(name, &mut |trk| {
                 for &p in &probes {

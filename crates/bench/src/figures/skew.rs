@@ -21,14 +21,17 @@ use crate::runner::{RunOpts, Scale};
 
 /// Build the skewed workload: `(probe side with one tuple per key,
 /// build side with C Zipf-distributed keys)`.
-fn workload_at(c: usize, s: f64, seed: u64) -> (Vec<monet_core::join::Bun>, Vec<monet_core::join::Bun>) {
+fn workload_at(
+    c: usize,
+    s: f64,
+    seed: u64,
+) -> (Vec<monet_core::join::Bun>, Vec<monet_core::join::Bun>) {
     let domain = c / 4;
     let mut zipf = ZipfGenerator::new(domain, s, seed);
     let right = zipf.buns(c, seed ^ 1);
     // One probe tuple per distinct domain key (the dictionary zipf::buns
     // uses), shuffled.
-    let mut keys: Vec<u32> =
-        (0..domain as u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+    let mut keys: Vec<u32> = (0..domain as u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
     shuffle(&mut keys, seed ^ 1); // same dictionary permutation as buns()
     let mut probe_keys = keys;
     shuffle(&mut probe_keys, seed ^ 2);
@@ -101,14 +104,8 @@ mod tests {
         let right = zipf.buns(500, 9);
         let left = zipf.buns(300, 10);
         let expect = sort_pairs(nested_loop_join(&mut NullTracker, &left, &right));
-        let got = sort_pairs(partitioned_hash_join(
-            &mut NullTracker,
-            FibHash,
-            left,
-            right,
-            4,
-            &[4],
-        ));
+        let got =
+            sort_pairs(partitioned_hash_join(&mut NullTracker, FibHash, left, right, 4, &[4]));
         assert_eq!(got, expect);
     }
 

@@ -10,9 +10,7 @@ use costmodel::scan::scan_cost;
 use costmodel::{ModelMachine, ModelParams};
 use memsim::stride::scan_sim;
 use memsim::{NullTracker, SimTracker};
-use monet_core::join::{
-    join_clustered, radix_cluster, radix_join_clustered, FibHash,
-};
+use monet_core::join::{join_clustered, radix_cluster, radix_join_clustered, FibHash};
 use monet_core::strategy::plan_passes;
 use workload::{join_pair, unique_random_buns};
 

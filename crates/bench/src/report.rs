@@ -86,11 +86,8 @@ impl TextTable {
                 c.to_string()
             }
         };
-        let _ = writeln!(
-            s,
-            "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
-        );
+        let _ =
+            writeln!(s, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
         for row in &self.rows {
             let _ = writeln!(s, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         }

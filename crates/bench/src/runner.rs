@@ -3,8 +3,8 @@
 use std::path::PathBuf;
 
 use memsim::{profiles, EventCounters, MachineConfig, SimTracker};
-use monet_core::join::{radix_cluster, ClusteredRel, FibHash};
 use monet_core::join::Bun;
+use monet_core::join::{radix_cluster, ClusteredRel, FibHash};
 
 /// How big to run the experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

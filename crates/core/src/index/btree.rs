@@ -37,10 +37,7 @@ impl CsBTree {
     /// Panics if `fanout < 2` or the input is not sorted.
     pub fn new(entries: &[(u32, Oid)], fanout: usize) -> Self {
         assert!(fanout >= 2, "fanout must be at least 2");
-        assert!(
-            entries.windows(2).all(|w| w[0].0 <= w[1].0),
-            "entries must be sorted by key"
-        );
+        assert!(entries.windows(2).all(|w| w[0].0 <= w[1].0), "entries must be sorted by key");
         let keys: Vec<u32> = entries.iter().map(|e| e.0).collect();
         let oids: Vec<Oid> = entries.iter().map(|e| e.1).collect();
         let mut levels = vec![keys];
@@ -116,12 +113,7 @@ impl CsBTree {
     }
 
     /// Invoke `on_match(oid)` for every entry with exactly this key.
-    pub fn lookup_eq<M: MemTracker>(
-        &self,
-        trk: &mut M,
-        key: u32,
-        mut on_match: impl FnMut(Oid),
-    ) {
+    pub fn lookup_eq<M: MemTracker>(&self, trk: &mut M, key: u32, mut on_match: impl FnMut(Oid)) {
         let keys = &self.levels[0];
         let mut pos = self.lower_bound(trk, key);
         while pos < keys.len() {
@@ -229,18 +221,14 @@ mod tests {
                     expect,
                     "fanout {fanout} probe {probe}"
                 );
-                assert_eq!(
-                    binary_search_tracked(&mut NullTracker, &keys, probe),
-                    expect
-                );
+                assert_eq!(binary_search_tracked(&mut NullTracker, &keys, probe), expect);
             }
         }
     }
 
     #[test]
     fn lookup_eq_finds_all_duplicates() {
-        let e: Vec<(u32, Oid)> =
-            [(5, 0), (7, 1), (7, 2), (7, 3), (9, 4)].to_vec();
+        let e: Vec<(u32, Oid)> = [(5, 0), (7, 1), (7, 2), (7, 3), (9, 4)].to_vec();
         let t = CsBTree::new(&e, 2);
         let mut hits = vec![];
         t.lookup_eq(&mut NullTracker, 7, |o| hits.push(o));

@@ -53,10 +53,7 @@ impl TTree {
     /// Panics if `node_capacity == 0` or the input is not sorted.
     pub fn new(entries: &[(u32, Oid)], node_capacity: usize) -> Self {
         assert!(node_capacity > 0, "node capacity must be positive");
-        assert!(
-            entries.windows(2).all(|w| w[0].0 <= w[1].0),
-            "entries must be sorted by key"
-        );
+        assert!(entries.windows(2).all(|w| w[0].0 <= w[1].0), "entries must be sorted by key");
         let nblocks = entries.len().div_ceil(node_capacity);
         let mut nodes = Vec::with_capacity(nblocks);
         let mut order = vec![NONE; nblocks];
@@ -99,10 +96,7 @@ impl TTree {
         let node = &mut nodes[idx as usize];
         node.left = left;
         node.right = right;
-        node
-            .keys
-            .windows(2)
-            .for_each(|w| debug_assert!(w[0] <= w[1], "block sorted"));
+        node.keys.windows(2).for_each(|w| debug_assert!(w[0] <= w[1], "block sorted"));
         idx
     }
 

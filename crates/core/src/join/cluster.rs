@@ -73,9 +73,7 @@ impl ClusteredRel {
             return false;
         }
         (0..self.num_clusters()).all(|c| {
-            self.cluster(c)
-                .iter()
-                .all(|t| radix_of(h.hash(t.tail), self.bits) == c as u32)
+            self.cluster(c).iter().all(|t| radix_of(h.hash(t.tail), self.bits) == c as u32)
         })
     }
 }

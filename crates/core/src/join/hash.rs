@@ -100,10 +100,7 @@ mod tests {
         for k in 0..6400u32 {
             counts[radix_of(FibHash.hash(k), bits) as usize] += 1;
         }
-        let (&min, &max) = (
-            counts.iter().min().unwrap(),
-            counts.iter().max().unwrap(),
-        );
+        let (&min, &max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
         assert!(min > 0, "every bucket used");
         assert!(max < 3 * 100, "no bucket more than 3x the mean");
     }

@@ -36,8 +36,9 @@ pub use parallel::{par_join_clustered, par_partitioned_hash_join, par_radix_clus
 pub use phash::{join_clustered, partitioned_hash_join};
 pub use rjoin::{radix_join, radix_join_clustered};
 pub use shash::simple_hash_join;
-pub use smjoin::{merge_join_sorted, merge_sort_by_tail, radix_sort_by_tail, sort_merge_join,
-                 sort_merge_join_cmp};
+pub use smjoin::{
+    merge_join_sorted, merge_sort_by_tail, radix_sort_by_tail, sort_merge_join, sort_merge_join_cmp,
+};
 
 use crate::storage::Oid;
 

@@ -19,7 +19,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use super::cluster::ClusteredRel;
-use super::hash::{KeyHash, radix_of};
+use super::hash::{radix_of, KeyHash};
 use super::hashtable::{ChainedTable, DEFAULT_TUPLES_PER_BUCKET};
 use super::{Bun, OidPair};
 use memsim::NullTracker;
@@ -118,8 +118,10 @@ fn par_first_pass<H: KeyHash + Send + Sync>(
 ) {
     let n = src.len();
     let chunk = n.div_ceil(threads);
-    let ranges: Vec<(usize, usize)> =
-        (0..threads).map(|t| (t * chunk, ((t + 1) * chunk).min(n))).filter(|(a, b)| a < b).collect();
+    let ranges: Vec<(usize, usize)> = (0..threads)
+        .map(|t| (t * chunk, ((t + 1) * chunk).min(n)))
+        .filter(|(a, b)| a < b)
+        .collect();
 
     // Phase 1: per-chunk histograms.
     let mut hists: Vec<Vec<u32>> = Vec::with_capacity(ranges.len());
@@ -361,14 +363,8 @@ mod tests {
     fn parallel_join_matches_sequential_exactly() {
         let l = keys(20_000, 4);
         let r = keys(20_000, 5);
-        let seq = partitioned_hash_join(
-            &mut NullTracker,
-            FibHash,
-            l.clone(),
-            r.clone(),
-            8,
-            &[4, 4],
-        );
+        let seq =
+            partitioned_hash_join(&mut NullTracker, FibHash, l.clone(), r.clone(), 8, &[4, 4]);
         for threads in [2usize, 4, 7] {
             let par = par_partitioned_hash_join(FibHash, l.clone(), r.clone(), 8, &[4, 4], threads);
             assert_eq!(par, seq, "threads={threads}: even output order must match");

@@ -127,8 +127,7 @@ mod tests {
     #[test]
     fn hit_rate_one_produces_exactly_n_pairs() {
         let (l, r) = shuffled_pair(4_096, 12);
-        let pairs =
-            partitioned_hash_join(&mut NullTracker, FibHash, l, r, 4, &[4]);
+        let pairs = partitioned_hash_join(&mut NullTracker, FibHash, l, r, 4, &[4]);
         assert_eq!(pairs.len(), 4_096);
     }
 
@@ -136,7 +135,14 @@ mod tests {
     fn duplicates_produce_cross_products() {
         let l = vec![Bun::new(0, 7), Bun::new(1, 7), Bun::new(2, 9)];
         let r = vec![Bun::new(10, 7), Bun::new(11, 7), Bun::new(12, 8)];
-        let got = sort_pairs(partitioned_hash_join(&mut NullTracker, MurmurHash, l.clone(), r.clone(), 2, &[2]));
+        let got = sort_pairs(partitioned_hash_join(
+            &mut NullTracker,
+            MurmurHash,
+            l.clone(),
+            r.clone(),
+            2,
+            &[2],
+        ));
         let expect = sort_pairs(nested_loop_join(&mut NullTracker, &l, &r));
         assert_eq!(got, expect);
         assert_eq!(got.len(), 4);
@@ -153,8 +159,9 @@ mod tests {
     #[test]
     fn empty_operands() {
         let r: Vec<Bun> = (0..10).map(|i| Bun::new(i, i)).collect();
-        assert!(partitioned_hash_join(&mut NullTracker, FibHash, vec![], r.clone(), 2, &[2])
-            .is_empty());
+        assert!(
+            partitioned_hash_join(&mut NullTracker, FibHash, vec![], r.clone(), 2, &[2]).is_empty()
+        );
         assert!(partitioned_hash_join(&mut NullTracker, FibHash, r, vec![], 2, &[2]).is_empty());
     }
 
@@ -162,7 +169,14 @@ mod tests {
     fn asymmetric_cardinalities() {
         let l: Vec<Bun> = (0..1000).map(|i| Bun::new(i, i % 50)).collect();
         let r: Vec<Bun> = (0..50).map(|i| Bun::new(i, i)).collect();
-        let got = sort_pairs(partitioned_hash_join(&mut NullTracker, FibHash, l.clone(), r.clone(), 3, &[3]));
+        let got = sort_pairs(partitioned_hash_join(
+            &mut NullTracker,
+            FibHash,
+            l.clone(),
+            r.clone(),
+            3,
+            &[3],
+        ));
         let expect = sort_pairs(nested_loop_join(&mut NullTracker, &l, &r));
         assert_eq!(got, expect);
         assert_eq!(got.len(), 1000);
@@ -179,7 +193,14 @@ mod tests {
     #[test]
     fn identity_hash_also_correct() {
         let (l, r) = shuffled_pair(300, 13);
-        let got = sort_pairs(partitioned_hash_join(&mut NullTracker, IdentityHash, l.clone(), r.clone(), 4, &[2, 2]));
+        let got = sort_pairs(partitioned_hash_join(
+            &mut NullTracker,
+            IdentityHash,
+            l.clone(),
+            r.clone(),
+            4,
+            &[2, 2],
+        ));
         let expect = sort_pairs(nested_loop_join(&mut NullTracker, &l, &r));
         assert_eq!(got, expect);
     }

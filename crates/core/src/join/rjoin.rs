@@ -146,10 +146,7 @@ mod tests {
         };
         let c4 = cpu_at(4);
         let c8 = cpu_at(8);
-        assert!(
-            c4 > 8.0 * c8,
-            "16x fewer comparisons expected: {c4} vs {c8}"
-        );
+        assert!(c4 > 8.0 * c8, "16x fewer comparisons expected: {c4} vs {c8}");
     }
 
     #[test]

@@ -61,16 +61,10 @@ mod tests {
     #[test]
     fn agrees_with_partitioned_variant() {
         let l: Vec<Bun> = (0..2000u32).map(|i| Bun::new(i, i.wrapping_mul(7919) % 3000)).collect();
-        let r: Vec<Bun> = (0..2000u32).map(|i| Bun::new(i, i.wrapping_mul(104729) % 3000)).collect();
+        let r: Vec<Bun> =
+            (0..2000u32).map(|i| Bun::new(i, i.wrapping_mul(104729) % 3000)).collect();
         let a = sort_pairs(simple_hash_join(&mut NullTracker, MurmurHash, &l, &r));
-        let b = sort_pairs(partitioned_hash_join(
-            &mut NullTracker,
-            MurmurHash,
-            l,
-            r,
-            5,
-            &[5],
-        ));
+        let b = sort_pairs(partitioned_hash_join(&mut NullTracker, MurmurHash, l, r, 5, &[5]));
         assert_eq!(a, b);
     }
 
@@ -108,9 +102,6 @@ mod tests {
         let part_ms = tp.counters().elapsed_ms();
 
         assert_eq!(simple.len(), part.len());
-        assert!(
-            part_ms < simple_ms,
-            "partitioned {part_ms} ms should beat simple {simple_ms} ms"
-        );
+        assert!(part_ms < simple_ms, "partitioned {part_ms} ms should beat simple {simple_ms} ms");
     }
 }

@@ -55,11 +55,7 @@ pub fn radix_sort_by_tail<M: MemTracker>(trk: &mut M, input: Vec<Bun>) -> Vec<Bu
 
 /// Merge two relations already sorted by `tail`, producing all matching
 /// OID pairs (duplicate runs yield cross products).
-pub fn merge_join_sorted<M: MemTracker>(
-    trk: &mut M,
-    left: &[Bun],
-    right: &[Bun],
-) -> Vec<OidPair> {
+pub fn merge_join_sorted<M: MemTracker>(trk: &mut M, left: &[Bun], right: &[Bun]) -> Vec<OidPair> {
     debug_assert!(left.windows(2).all(|w| w[0].tail <= w[1].tail), "left not sorted");
     debug_assert!(right.windows(2).all(|w| w[0].tail <= w[1].tail), "right not sorted");
     let mut out = Vec::new();
@@ -78,8 +74,7 @@ pub fn merge_join_sorted<M: MemTracker>(
         } else {
             // Cross product of the equal-key runs.
             let i_end = left[i..].iter().position(|t| t.tail != lv).map_or(left.len(), |k| i + k);
-            let j_end =
-                right[j..].iter().position(|t| t.tail != rv).map_or(right.len(), |k| j + k);
+            let j_end = right[j..].iter().position(|t| t.tail != rv).map_or(right.len(), |k| j + k);
             for lt in &left[i..i_end] {
                 for rt in &right[j..j_end] {
                     if M::ENABLED {

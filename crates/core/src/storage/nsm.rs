@@ -274,13 +274,8 @@ mod tests {
     #[test]
     fn roundtrip_values() {
         let mut t = RowTable::new(schema());
-        t.push_row(&[
-            Value::U8(3),
-            Value::I32(-7),
-            Value::F64(14.25),
-            Value::Str("hello".into()),
-        ])
-        .unwrap();
+        t.push_row(&[Value::U8(3), Value::I32(-7), Value::F64(14.25), Value::Str("hello".into())])
+            .unwrap();
         assert_eq!(t.get(0, 0).unwrap(), Value::U8(3));
         assert_eq!(t.get(0, 1).unwrap(), Value::I32(-7));
         assert_eq!(t.get(0, 2).unwrap(), Value::F64(14.25));
@@ -342,19 +337,13 @@ mod tests {
             trk2.read(base + i, 1);
         }
         let dsm_misses = trk2.counters().l1_misses;
-        assert!(
-            nsm_misses > dsm_misses * 10,
-            "NSM {nsm_misses} vs DSM {dsm_misses} misses"
-        );
+        assert!(nsm_misses > dsm_misses * 10, "NSM {nsm_misses} vs DSM {dsm_misses} misses");
     }
 
     #[test]
     fn arity_mismatch_rejected() {
         let mut t = RowTable::new(schema());
-        assert!(matches!(
-            t.push_row(&[Value::U8(1)]),
-            Err(StorageError::ArityMismatch { .. })
-        ));
+        assert!(matches!(t.push_row(&[Value::U8(1)]), Err(StorageError::ArityMismatch { .. })));
     }
 
     #[test]

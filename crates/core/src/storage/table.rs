@@ -238,12 +238,7 @@ mod tests {
             .column("qty", ColType::I32)
             .column("price", ColType::F64)
             .column("shipmode", ColType::Str);
-        let rows = [
-            (1, 92.80, "SHIP"),
-            (3, 37.50, "AIR"),
-            (2, 11.50, "MAIL"),
-            (6, 75.00, "AIR"),
-        ];
+        let rows = [(1, 92.80, "SHIP"), (3, 37.50, "AIR"), (2, 11.50, "MAIL"), (6, 75.00, "AIR")];
         for (q, p, s) in rows {
             b.push_row(&[Value::I32(q), Value::F64(p), Value::from(s)]).unwrap();
         }

@@ -178,9 +178,7 @@ impl Strategy {
             Strategy::PhashL2 => (Algorithm::PartitionedHash, bits_phash_l2(cardinality, m)),
             Strategy::PhashTlb => (Algorithm::PartitionedHash, bits_phash_tlb(cardinality, m)),
             Strategy::PhashL1 => (Algorithm::PartitionedHash, bits_phash_l1(cardinality, m)),
-            Strategy::Phash256 => {
-                (Algorithm::PartitionedHash, bits_phash_tuples(cardinality, 256))
-            }
+            Strategy::Phash256 => (Algorithm::PartitionedHash, bits_phash_tuples(cardinality, 256)),
             Strategy::PhashMin => (Algorithm::PartitionedHash, bits_phash_min(cardinality)),
             Strategy::Radix8 => (Algorithm::Radix, bits_radix8(cardinality)),
             Strategy::RadixMin => (Algorithm::Radix, bits_radix_min(cardinality)),

@@ -30,22 +30,15 @@ use crate::machine::{ModelCost, ModelMachine};
 /// level's line count. See module docs.
 fn cache_misses(seq_streams: f64, rel_lines: f64, c: f64, hp: f64, lines: f64) -> f64 {
     let base = seq_streams * rel_lines;
-    let extra = if hp <= lines {
-        c * hp / lines
-    } else {
-        c * (1.0 + (hp / lines).log2())
-    };
+    let extra = if hp <= lines { c * hp / lines } else { c * (1.0 + (hp / lines).log2()) };
     base + extra
 }
 
 /// TLB-miss count for one pass. See module docs.
 fn tlb_misses(seq_streams: f64, rel_pages: f64, c: f64, hp: f64, tlb_entries: f64) -> f64 {
     let base = seq_streams * rel_pages;
-    let extra = if hp <= tlb_entries {
-        rel_pages * hp / tlb_entries
-    } else {
-        c * (1.0 - tlb_entries / hp)
-    };
+    let extra =
+        if hp <= tlb_entries { rel_pages * hp / tlb_entries } else { c * (1.0 - tlb_entries / hp) };
     base + extra
 }
 
@@ -150,7 +143,9 @@ mod tests {
         let m = origin();
         let c = 8e6;
         let best = |b: u32| {
-            (1..=4).map(|p| cluster_cost_even(&m, p, b.max(p), c).total_ms()).fold(f64::MAX, f64::min)
+            (1..=4)
+                .map(|p| cluster_cost_even(&m, p, b.max(p), c).total_ms())
+                .fold(f64::MAX, f64::min)
         };
         assert!(best(6) < best(12));
         assert!(best(12) < best(18));

@@ -109,6 +109,18 @@ pub fn best_plan(m: &ModelMachine, cfg: &memsim::MachineConfig, c: usize) -> (Jo
     best.expect("at least the baselines were considered")
 }
 
+/// Executor-facing planner entry point: the model-optimal plan for joining
+/// two relations of `cardinality` tuples each on machine `cfg`.
+///
+/// This is the seam `engine::exec` calls so that physical join choice lives
+/// in the cost model rather than at call sites. It builds the
+/// implementation-matched [`ModelMachine`] (our clustering re-reads its input
+/// for the histogram pass) and runs the exhaustive [`best_plan`] search.
+pub fn plan_join(cfg: &memsim::MachineConfig, cardinality: usize) -> (JoinPlan, ModelCost) {
+    let m = ModelMachine::with_params(cfg, crate::machine::ModelParams::implementation_matched());
+    best_plan(&m, cfg, cardinality.max(1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +208,25 @@ mod tests {
             assert!(bp <= 6, "pass of {bp} bits exceeds the 64-entry TLB limit");
         }
         assert_eq!(plan.pass_bits.iter().sum::<u32>(), plan.bits);
+    }
+
+    #[test]
+    fn plan_join_matches_best_plan_and_tolerates_degenerate_input() {
+        let (m, cfg) = setup();
+        for c in [1usize, 1_000, 1_000_000] {
+            let (plan, cost) = plan_join(&cfg, c);
+            let model = ModelMachine::with_params(
+                &cfg,
+                crate::machine::ModelParams::implementation_matched(),
+            );
+            let (expect, expect_cost) = best_plan(&model, &cfg, c.max(1));
+            assert_eq!(plan, expect, "C={c}");
+            assert!((cost.total_ns() - expect_cost.total_ns()).abs() < 1e-9);
+        }
+        // plan_join uses implementation-matched params, so it may differ from
+        // the default-params best_plan — but never from its own model.
+        let (_, default_cost) = best_plan(&m, &cfg, 1_000_000);
+        assert!(default_cost.total_ns() > 0.0);
     }
 
     #[test]

@@ -12,9 +12,7 @@ fn positions<'a>(bat: &Bat, cands: Option<&'a [Oid]>) -> Result<Positions<'a>, E
         None => Ok(Positions::All(bat.len())),
         Some(c) => {
             if !bat.head_is_void() {
-                return Err(EngineError::Storage(
-                    monet_core::storage::StorageError::NonVoidHead,
-                ));
+                return Err(EngineError::Storage(monet_core::storage::StorageError::NonVoidHead));
             }
             Ok(Positions::Cands(c, seqbase(bat)))
         }
@@ -49,10 +47,10 @@ pub fn sum_i32<M: MemTracker>(
     bat: &Bat,
     cands: Option<&[Oid]>,
 ) -> Result<i64, EngineError> {
-    let data = bat.tail().as_i32().ok_or(EngineError::UnsupportedType {
-        op: "sum_i32",
-        ty: bat.tail().value_type(),
-    })?;
+    let data = bat
+        .tail()
+        .as_i32()
+        .ok_or(EngineError::UnsupportedType { op: "sum_i32", ty: bat.tail().value_type() })?;
     let mut sum = 0i64;
     positions(bat, cands)?.for_each(|i| {
         if M::ENABLED {
@@ -70,10 +68,10 @@ pub fn sum_f64<M: MemTracker>(
     bat: &Bat,
     cands: Option<&[Oid]>,
 ) -> Result<f64, EngineError> {
-    let data = bat.tail().as_f64().ok_or(EngineError::UnsupportedType {
-        op: "sum_f64",
-        ty: bat.tail().value_type(),
-    })?;
+    let data = bat
+        .tail()
+        .as_f64()
+        .ok_or(EngineError::UnsupportedType { op: "sum_f64", ty: bat.tail().value_type() })?;
     let mut sum = 0f64;
     positions(bat, cands)?.for_each(|i| {
         if M::ENABLED {
@@ -91,10 +89,10 @@ pub fn max_i32<M: MemTracker>(
     bat: &Bat,
     cands: Option<&[Oid]>,
 ) -> Result<Option<i32>, EngineError> {
-    let data = bat.tail().as_i32().ok_or(EngineError::UnsupportedType {
-        op: "max_i32",
-        ty: bat.tail().value_type(),
-    })?;
+    let data = bat
+        .tail()
+        .as_i32()
+        .ok_or(EngineError::UnsupportedType { op: "max_i32", ty: bat.tail().value_type() })?;
     let mut max: Option<i32> = None;
     positions(bat, cands)?.for_each(|i| {
         if M::ENABLED {
@@ -112,10 +110,10 @@ pub fn min_i32<M: MemTracker>(
     bat: &Bat,
     cands: Option<&[Oid]>,
 ) -> Result<Option<i32>, EngineError> {
-    let data = bat.tail().as_i32().ok_or(EngineError::UnsupportedType {
-        op: "min_i32",
-        ty: bat.tail().value_type(),
-    })?;
+    let data = bat
+        .tail()
+        .as_i32()
+        .ok_or(EngineError::UnsupportedType { op: "min_i32", ty: bat.tail().value_type() })?;
     let mut min: Option<i32> = None;
     positions(bat, cands)?.for_each(|i| {
         if M::ENABLED {
@@ -185,11 +183,8 @@ mod tests {
 
     #[test]
     fn candidates_on_materialized_head_rejected() {
-        let b = Bat::new(
-            monet_core::storage::Head::Oids(vec![3, 1]),
-            Column::I32(vec![10, 20]),
-        )
-        .unwrap();
+        let b = Bat::new(monet_core::storage::Head::Oids(vec![3, 1]), Column::I32(vec![10, 20]))
+            .unwrap();
         assert!(sum_i32(&mut NullTracker, &b, Some(&[1])).is_err());
         // But full scans are fine.
         assert_eq!(sum_i32(&mut NullTracker, &b, None).unwrap(), 30);

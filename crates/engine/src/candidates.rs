@@ -112,8 +112,7 @@ mod tests {
 
         let n = 10_000;
         let qty = Bat::with_void_head(0, Column::I32((0..n).map(|i| i % 50).collect()));
-        let price =
-            Bat::with_void_head(0, Column::F64((0..n).map(|i| (i % 97) as f64).collect()));
+        let price = Bat::with_void_head(0, Column::F64((0..n).map(|i| (i % 97) as f64).collect()));
 
         let c1 = range_select_i32(&mut NullTracker, &qty, 10, 20).unwrap();
         let c2 = range_select_f64(&mut NullTracker, &price, 30.0, 60.0).unwrap();

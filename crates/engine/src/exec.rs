@@ -1,0 +1,1000 @@
+//! The physical query layer: a cost-model-driven executor for
+//! [`LogicalPlan`]s.
+//!
+//! [`execute`] lowers each logical node onto the operator kernels of this
+//! crate — scan-selects, candidate combinators, positional fetches, the radix
+//! join family, hash-grouping — and makes every *physical* decision itself:
+//!
+//! * **Joins** ask the paper's analytical cost model
+//!   ([`costmodel::plan::plan_join`], the exhaustive Figure 12 search over
+//!   algorithm × radix bits × pass layout) which kernel to run, or the
+//!   cache-size heuristics of [`monet_core::strategy::heuristic_plan`] when
+//!   [`Planner::Heuristic`] is selected. Call sites never pick bits.
+//! * **Selections** run as scan-selects (optimal stride locality, §3.2) and
+//!   are priced with the §2 stride-scan model so the report shows what the
+//!   executor expects them to cost.
+//! * **Grouping** uses the direct-indexed hash kernel (the group domain of an
+//!   encoded key is ≤ 65536 codes, so the table fits the cache — the paper's
+//!   argument for hash over sort grouping).
+//!
+//! Every operator records rows-in/rows-out and, when running under a
+//! counting [`MemTracker`], the simulated event counters it consumed — the
+//! returned [`ExecReport`] prints as a per-operator table.
+//!
+//! A selection constant missing from a column's dictionary makes that
+//! predicate provably empty; the executor treats it as zero rows, not as an
+//! error (see [`EngineError::ConstantNotInDictionary`]).
+
+use std::fmt;
+
+use costmodel::plan::{best_plan, plan_cost};
+use costmodel::scan::scan_cost;
+use costmodel::ModelMachine;
+use costmodel::ModelParams;
+use memsim::{track_read, EventCounters, MachineConfig, MemTracker, Work};
+use monet_core::join::OidPair;
+use monet_core::storage::{Bat, Column, DecomposedTable, Oid};
+use monet_core::strategy::{heuristic_plan, JoinPlan};
+
+use crate::aggregate::{max_i32, min_i32, sum_f64, sum_i32};
+use crate::candidates::{intersect, union};
+use crate::group::hash_group_multi_sum_f64;
+use crate::join::join_bats_with_plan;
+use crate::plan::{Agg, LogicalPlan, PlanNode, Pred};
+use crate::reconstruct::{fetch_f64, fetch_i32, fetch_str, fetch_u8, reconstruct};
+use crate::select::{range_select_f64, range_select_i32, select_eq_str};
+use crate::EngineError;
+
+/// How the executor chooses physical join plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Planner {
+    /// Exhaustive search over the paper's analytical cost model
+    /// ([`costmodel::plan::best_plan`]) — what a query optimizer would ship.
+    CostModel,
+    /// The cache-size heuristics of [`monet_core::strategy::heuristic_plan`]
+    /// (no model evaluation; cheaper to plan, coarser choices).
+    Heuristic,
+}
+
+impl Planner {
+    fn name(self) -> &'static str {
+        match self {
+            Planner::CostModel => "cost model",
+            Planner::Heuristic => "heuristic",
+        }
+    }
+}
+
+/// Executor configuration: the machine whose memory hierarchy the cost model
+/// prices, and the planner flavour.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Machine the cost model plans for (usually the machine you run on; the
+    /// examples use the simulated Origin2000 so model and simulator agree).
+    pub machine: MachineConfig,
+    /// Physical-plan chooser.
+    pub planner: Planner,
+}
+
+impl ExecOptions {
+    /// Cost-model-driven execution on `machine`.
+    pub fn cost_model(machine: MachineConfig) -> Self {
+        Self { machine, planner: Planner::CostModel }
+    }
+
+    /// Heuristic execution on `machine`.
+    pub fn heuristic(machine: MachineConfig) -> Self {
+        Self { machine, planner: Planner::Heuristic }
+    }
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        Self::cost_model(memsim::profiles::origin2000())
+    }
+}
+
+/// What one operator did.
+#[derive(Debug, Clone)]
+pub struct OpReport {
+    /// Operator name, e.g. `select(item)` or `join[qty = id]`.
+    pub op: String,
+    /// Rows entering the operator.
+    pub rows_in: usize,
+    /// Rows leaving the operator.
+    pub rows_out: usize,
+    /// The physical decision taken and/or its model-predicted cost.
+    pub detail: String,
+    /// Simulated memory-system events consumed by this operator, when the
+    /// tracker counts ([`None`] under `NullTracker`).
+    pub counters: Option<EventCounters>,
+}
+
+/// Per-operator execution trace, returned alongside every query result.
+#[derive(Debug, Clone, Default)]
+pub struct ExecReport {
+    /// Operators in execution order.
+    pub ops: Vec<OpReport>,
+    /// Planner that made the physical choices.
+    pub planner: &'static str,
+}
+
+impl ExecReport {
+    /// Total simulated milliseconds across operators (0 under `NullTracker`).
+    pub fn simulated_ms(&self) -> f64 {
+        self.ops.iter().filter_map(|o| o.counters.as_ref()).map(|c| c.elapsed_ms()).sum()
+    }
+}
+
+impl fmt::Display for ExecReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let simulated = self.ops.iter().any(|o| o.counters.is_some());
+        writeln!(f, "physical plan (planner: {}):", self.planner)?;
+        write!(f, "{:>2}  {:<24} {:>10} {:>10}", "#", "operator", "rows in", "rows out")?;
+        if simulated {
+            write!(f, " {:>9} {:>9} {:>9} {:>9}", "sim ms", "L1 miss", "L2 miss", "TLB miss")?;
+        }
+        writeln!(f, "  decision")?;
+        for (i, op) in self.ops.iter().enumerate() {
+            write!(f, "{:>2}  {:<24} {:>10} {:>10}", i + 1, op.op, op.rows_in, op.rows_out)?;
+            if simulated {
+                match &op.counters {
+                    Some(c) => write!(
+                        f,
+                        " {:>9.2} {:>9} {:>9} {:>9}",
+                        c.elapsed_ms(),
+                        c.l1_misses,
+                        c.l2_misses,
+                        c.tlb_misses
+                    )?,
+                    None => write!(f, " {:>9} {:>9} {:>9} {:>9}", "-", "-", "-", "-")?,
+                }
+            }
+            writeln!(f, "  {}", op.detail)?;
+        }
+        Ok(())
+    }
+}
+
+/// One computed aggregate value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggValue {
+    /// An integer sum.
+    I64(i64),
+    /// A float sum (grouped sums are always `F64`).
+    F64(f64),
+    /// A min/max (`None` when no rows qualified).
+    MaybeI32(Option<i32>),
+    /// A row count.
+    Count(usize),
+}
+
+impl AggValue {
+    /// The value as `f64` (`NaN` for an empty min/max).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            AggValue::I64(v) => *v as f64,
+            AggValue::F64(v) => *v,
+            AggValue::MaybeI32(v) => v.map_or(f64::NAN, |x| x as f64),
+            AggValue::Count(v) => *v as f64,
+        }
+    }
+}
+
+impl fmt::Display for AggValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggValue::I64(v) => write!(f, "{v}"),
+            AggValue::F64(v) => write!(f, "{v:.2}"),
+            AggValue::MaybeI32(Some(v)) => write!(f, "{v}"),
+            AggValue::MaybeI32(None) => write!(f, "null"),
+            AggValue::Count(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// One row of a grouped aggregation: decoded key plus one value per
+/// aggregate, in the order they were added to the [`crate::plan::Query`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupRow {
+    /// Decoded group key.
+    pub key: String,
+    /// Aggregate values.
+    pub values: Vec<AggValue>,
+}
+
+/// The result rows of an executed plan; the variant follows the plan shape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutput {
+    /// `group_by` + aggregates: one row per occurring group, ascending by
+    /// key code.
+    Groups(Vec<GroupRow>),
+    /// Aggregates without grouping: one value per aggregate.
+    Aggregates(Vec<AggValue>),
+    /// Bare scan/filter: qualifying OIDs, ascending.
+    Oids(Vec<Oid>),
+    /// Join without aggregation: the `[OID, OID]` join index.
+    JoinIndex(Vec<OidPair>),
+}
+
+/// A query result: output rows plus the per-operator execution trace.
+#[derive(Debug, Clone)]
+pub struct Executed {
+    /// The result rows.
+    pub output: QueryOutput,
+    /// What each operator did and what it chose.
+    pub report: ExecReport,
+}
+
+/// Rows flowing between operators during execution.
+enum Stream<'a> {
+    /// Rows of one table, optionally restricted to candidate OIDs.
+    Table { table: &'a DecomposedTable, cands: Option<Vec<Oid>> },
+    /// Aligned row pairs produced by a join.
+    Joined { left: &'a DecomposedTable, right: &'a DecomposedTable, pairs: Vec<OidPair> },
+}
+
+impl Stream<'_> {
+    fn rows(&self) -> usize {
+        match self {
+            Stream::Table { table, cands } => cands.as_ref().map_or(table.len(), Vec::len),
+            Stream::Joined { pairs, .. } => pairs.len(),
+        }
+    }
+}
+
+/// Execute a validated plan, returning results and the per-operator report.
+///
+/// Generic over [`MemTracker`]: run with `NullTracker` for native speed or a
+/// `SimTracker` to attribute simulated miss counts to each operator in the
+/// report.
+pub fn execute<M: MemTracker>(
+    trk: &mut M,
+    plan: &LogicalPlan<'_>,
+    opts: &ExecOptions,
+) -> Result<Executed, EngineError> {
+    let mut report = ExecReport { ops: Vec::new(), planner: opts.planner.name() };
+    let model = ModelMachine::new(&opts.machine);
+
+    let stream = exec_node(trk, &plan.root, opts, &model, &mut report)?;
+    let output = match stream {
+        Output::Stream(Stream::Table { table, cands }) => QueryOutput::Oids(
+            cands.unwrap_or_else(|| (0..table.len() as Oid).map(|i| table.seqbase() + i).collect()),
+        ),
+        Output::Stream(Stream::Joined { pairs, .. }) => QueryOutput::JoinIndex(pairs),
+        Output::Final(out) => out,
+    };
+    Ok(Executed { output, report })
+}
+
+/// Either still-flowing rows or the final aggregated output.
+enum Output<'a> {
+    Stream(Stream<'a>),
+    Final(QueryOutput),
+}
+
+fn exec_node<'a, M: MemTracker>(
+    trk: &mut M,
+    node: &PlanNode<'a>,
+    opts: &ExecOptions,
+    model: &ModelMachine,
+    report: &mut ExecReport,
+) -> Result<Output<'a>, EngineError> {
+    match node {
+        PlanNode::Scan { table } => {
+            report.ops.push(OpReport {
+                op: format!("scan({})", table.name()),
+                rows_in: table.len(),
+                rows_out: table.len(),
+                detail: format!(
+                    "virtual: {} void BATs, {} B/tuple; no data touched until a kernel runs",
+                    table.columns().len(),
+                    table.bytes_per_tuple()
+                ),
+                counters: None,
+            });
+            Ok(Output::Stream(Stream::Table { table, cands: None }))
+        }
+        PlanNode::Filter { input, pred } => {
+            let upstream = expect_stream(exec_node(trk, input, opts, model, report)?)?;
+            let Stream::Table { table, cands } = upstream else {
+                return Err(EngineError::Plan(crate::plan::PlanError::Unsupported(
+                    "filter over a join result",
+                )));
+            };
+            let before = trk.counters_snapshot();
+            let selected = eval_pred(trk, table, pred)?;
+            let merged = match cands {
+                Some(prior) => intersect(&prior, &selected),
+                None => selected,
+            };
+            report.ops.push(OpReport {
+                op: format!("select({})", table.name()),
+                rows_in: table.len(),
+                rows_out: merged.len(),
+                detail: format!(
+                    "scan-select [{pred}]; model {:.2} ms",
+                    pred_model_ms(model, table, pred)
+                ),
+                counters: delta(trk, before),
+            });
+            Ok(Output::Stream(Stream::Table { table, cands: Some(merged) }))
+        }
+        PlanNode::Join { input, right, left_col, right_col } => {
+            let left_stream = expect_stream(exec_node(trk, input, opts, model, report)?)?;
+            let right_stream = expect_stream(exec_node(trk, right, opts, model, report)?)?;
+            let (Stream::Table { table: lt, cands: lc }, Stream::Table { table: rt, cands: rc }) =
+                (left_stream, right_stream)
+            else {
+                return Err(EngineError::Plan(crate::plan::PlanError::Unsupported("nested joins")));
+            };
+            let before = trk.counters_snapshot();
+            let lbat = key_bat(trk, lt, left_col, &lc)?;
+            let rbat = key_bat(trk, rt, right_col, &rc)?;
+
+            // The physical decision: the executor, not the caller, asks the
+            // planner which algorithm/bits to use for this inner cardinality.
+            let inner = rbat.as_bat().len();
+            let outer = lbat.as_bat().len();
+            let (jplan, predicted) = choose_join(opts, outer, inner);
+            let pairs = join_bats_with_plan(trk, lbat.as_bat(), rbat.as_bat(), &jplan)?;
+
+            report.ops.push(OpReport {
+                op: format!("join[{left_col} = {right_col}]"),
+                rows_in: outer + inner,
+                rows_out: pairs.len(),
+                detail: join_detail(opts.planner, &jplan, predicted),
+                counters: delta(trk, before),
+            });
+            Ok(Output::Stream(Stream::Joined { left: lt, right: rt, pairs }))
+        }
+        PlanNode::GroupAgg { input, key, aggs } => {
+            let stream = expect_stream(exec_node(trk, input, opts, model, report)?)?;
+            let rows_in = stream.rows();
+            let before = trk.counters_snapshot();
+            let (output, op, detail) = match key {
+                Some(key) => {
+                    let (rows, domain) = grouped_aggs(trk, &stream, key, aggs)?;
+                    let n = rows.len();
+                    (
+                        QueryOutput::Groups(rows),
+                        format!("group({key})"),
+                        format!(
+                            "hash-group: direct-indexed, {domain}-slot table ({} occupied) fits cache",
+                            n
+                        ),
+                    )
+                }
+                None => {
+                    let vals = scalar_aggs(trk, &stream, aggs)?;
+                    let labels: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
+                    (
+                        QueryOutput::Aggregates(vals),
+                        "aggregate".to_owned(),
+                        format!("scan aggregate [{}]", labels.join(", ")),
+                    )
+                }
+            };
+            let rows_out = match &output {
+                QueryOutput::Groups(g) => g.len(),
+                _ => 1,
+            };
+            report.ops.push(OpReport {
+                op,
+                rows_in,
+                rows_out,
+                detail,
+                counters: delta(trk, before),
+            });
+            Ok(Output::Final(output))
+        }
+    }
+}
+
+fn expect_stream(out: Output<'_>) -> Result<Stream<'_>, EngineError> {
+    match out {
+        Output::Stream(s) => Ok(s),
+        // The builder always places GroupAgg at the root; a hand-built tree
+        // can violate that, and gets an error rather than a panic.
+        Output::Final(_) => Err(EngineError::Plan(crate::plan::PlanError::Unsupported(
+            "aggregation below another operator",
+        ))),
+    }
+}
+
+fn delta<M: MemTracker>(trk: &M, before: Option<EventCounters>) -> Option<EventCounters> {
+    match (trk.counters_snapshot(), before) {
+        (Some(after), Some(before)) => Some(after - before),
+        _ => None,
+    }
+}
+
+/// Evaluate a predicate tree to a candidate OID list. A constant missing
+/// from a dictionary makes that leaf provably empty (not an error).
+fn eval_pred<M: MemTracker>(
+    trk: &mut M,
+    table: &DecomposedTable,
+    pred: &Pred,
+) -> Result<Vec<Oid>, EngineError> {
+    match pred {
+        Pred::RangeI32 { col, lo, hi } => range_select_i32(trk, table.bat(col)?, *lo, *hi),
+        Pred::RangeF64 { col, lo, hi } => range_select_f64(trk, table.bat(col)?, *lo, *hi),
+        Pred::EqStr { col, value } => match select_eq_str(trk, table.bat(col)?, value) {
+            Err(EngineError::ConstantNotInDictionary(_)) => Ok(Vec::new()),
+            other => other,
+        },
+        Pred::And(a, b) => {
+            let ca = eval_pred(trk, table, a)?;
+            if ca.is_empty() {
+                return Ok(ca); // short-circuit: AND with empty is empty
+            }
+            let cb = eval_pred(trk, table, b)?;
+            Ok(intersect(&ca, &cb))
+        }
+        Pred::Or(a, b) => {
+            let ca = eval_pred(trk, table, a)?;
+            let cb = eval_pred(trk, table, b)?;
+            Ok(union(&ca, &cb))
+        }
+    }
+}
+
+/// Model-predicted cost of evaluating `pred` by scan-selects, in ms: one
+/// stride-scan per leaf (§2's scan model).
+fn pred_model_ms(model: &ModelMachine, table: &DecomposedTable, pred: &Pred) -> f64 {
+    match pred {
+        Pred::RangeI32 { .. } => scan_cost(model, table.len(), 4).total_ms(),
+        Pred::RangeF64 { .. } => scan_cost(model, table.len(), 8).total_ms(),
+        Pred::EqStr { col, .. } => {
+            let stride = table.bat(col).map_or(1, |b| b.tail().tail_width());
+            scan_cost(model, table.len(), stride).total_ms()
+        }
+        Pred::And(a, b) | Pred::Or(a, b) => {
+            pred_model_ms(model, table, a) + pred_model_ms(model, table, b)
+        }
+    }
+}
+
+/// Pick the physical join plan. The algorithm and radix bits follow the
+/// *inner* relation (cache residency of the build side is what the paper's
+/// strategies key on), but the model is symmetric in C, so the predicted
+/// cost prices the chosen plan at the larger of the two cardinalities —
+/// otherwise an asymmetric join would be quoted at the dimension's size.
+fn choose_join(opts: &ExecOptions, outer: usize, inner: usize) -> (JoinPlan, Option<f64>) {
+    match opts.planner {
+        Planner::CostModel => {
+            let model =
+                ModelMachine::with_params(&opts.machine, ModelParams::implementation_matched());
+            let (plan, _) = best_plan(&model, &opts.machine, inner.max(1));
+            let c = outer.max(inner).max(1) as f64;
+            let ms = plan_cost(&model, &plan, c).total_ms();
+            (plan, Some(ms))
+        }
+        Planner::Heuristic => (heuristic_plan(inner, &opts.machine), None),
+    }
+}
+
+fn join_detail(planner: Planner, plan: &JoinPlan, predicted: Option<f64>) -> String {
+    let mut s = format!(
+        "{}: {:?} B={} passes={:?}",
+        planner.name(),
+        plan.algorithm,
+        plan.bits,
+        plan.pass_bits
+    );
+    if let Some(ms) = predicted {
+        s.push_str(&format!(", predicted {ms:.2} ms"));
+    }
+    s
+}
+
+/// A borrowed or freshly materialized BAT.
+enum BatCow<'b> {
+    Borrowed(&'b Bat),
+    Owned(Bat),
+}
+
+impl BatCow<'_> {
+    fn as_bat(&self) -> &Bat {
+        match self {
+            BatCow::Borrowed(b) => b,
+            BatCow::Owned(b) => b,
+        }
+    }
+}
+
+/// The join-key column of `table`, restricted to `cands` when present. The
+/// restricted BAT keeps the original OIDs as a materialized head, so the
+/// join index stays in table-OID space.
+fn key_bat<'b, M: MemTracker>(
+    trk: &mut M,
+    table: &'b DecomposedTable,
+    col: &str,
+    cands: &Option<Vec<Oid>>,
+) -> Result<BatCow<'b>, EngineError> {
+    let bat = table.bat(col)?;
+    match cands {
+        None => Ok(BatCow::Borrowed(bat)),
+        // reconstruct keeps the original OIDs as a materialized head, so the
+        // join index stays in table-OID space; a non-joinable tail type is
+        // caught by the join kernel dispatch (builder-validated plans never
+        // reach it).
+        Some(cands) => Ok(BatCow::Owned(reconstruct(trk, bat, cands)?)),
+    }
+}
+
+/// The surviving row OIDs of a stream, projected once per side so the key
+/// gather and every aggregate column share them instead of re-materializing
+/// the join-pair projection per column.
+enum RowOids<'s> {
+    /// Single-table stream: the candidate list (or `None` = all rows).
+    Table(Option<&'s [Oid]>),
+    /// Join stream: per-side OID projections of the pair list.
+    Joined { left: Vec<Oid>, right: Vec<Oid> },
+}
+
+impl RowOids<'_> {
+    /// The OIDs a column owned by the given side should be gathered at.
+    fn for_side(&self, is_left: bool) -> Option<&[Oid]> {
+        match self {
+            RowOids::Table(cands) => *cands,
+            RowOids::Joined { left, right } => Some(if is_left { left } else { right }),
+        }
+    }
+}
+
+fn row_oids<'s>(stream: &'s Stream<'_>) -> RowOids<'s> {
+    match stream {
+        Stream::Table { cands, .. } => RowOids::Table(cands.as_deref()),
+        Stream::Joined { pairs, .. } => RowOids::Joined {
+            left: pairs.iter().map(|p| p.left).collect(),
+            right: pairs.iter().map(|p| p.right).collect(),
+        },
+    }
+}
+
+/// Resolve which table of the stream owns `col`. Validation guaranteed it
+/// exists on one side.
+fn resolve_col<'a>(stream: &Stream<'a>, col: &str) -> (&'a DecomposedTable, bool) {
+    match stream {
+        Stream::Table { table, .. } => (table, true),
+        Stream::Joined { left, right, .. } => {
+            if left.bat(col).is_ok() {
+                (left, true)
+            } else {
+                (right, false)
+            }
+        }
+    }
+}
+
+/// Gather a column's values as `f64` at the stream's surviving rows
+/// (borrowing the whole column when the stream is an unrestricted scan).
+fn f64_values<'b, M: MemTracker>(
+    trk: &mut M,
+    bat: &'b Bat,
+    oids: Option<&[Oid]>,
+) -> Result<BatCow<'b>, EngineError> {
+    let vals: Vec<f64> = match (oids, bat.tail()) {
+        (None, Column::F64(_)) => return Ok(BatCow::Borrowed(bat)),
+        (None, Column::I32(v)) => v
+            .iter()
+            .map(|x| {
+                if M::ENABLED {
+                    track_read(trk, x);
+                    trk.work(Work::ScanIter, 1);
+                }
+                *x as f64
+            })
+            .collect(),
+        (Some(oids), Column::F64(_)) => fetch_f64(trk, bat, oids)?,
+        (Some(oids), Column::I32(_)) => {
+            fetch_i32(trk, bat, oids)?.into_iter().map(|x| x as f64).collect()
+        }
+        (_, other) => {
+            return Err(EngineError::UnsupportedType {
+                op: "aggregate input",
+                ty: other.value_type(),
+            })
+        }
+    };
+    Ok(BatCow::Owned(Bat::with_void_head(0, Column::F64(vals))))
+}
+
+/// Compute grouped aggregates in a single grouping pass; returns the rows
+/// (ascending by key code) and the direct-index domain used by the kernel.
+fn grouped_aggs<M: MemTracker>(
+    trk: &mut M,
+    stream: &Stream<'_>,
+    key: &str,
+    aggs: &[Agg],
+) -> Result<(Vec<GroupRow>, usize), EngineError> {
+    let oids = row_oids(stream);
+    let (key_table, key_is_left) = resolve_col(stream, key);
+    let key_src = key_table.bat(key)?;
+
+    // Materialize the key codes at the surviving rows (borrow when the
+    // stream is the whole table).
+    let keys: BatCow<'_> = match oids.for_side(key_is_left) {
+        None => BatCow::Borrowed(key_src),
+        Some(oids) => {
+            let tail = match key_src.tail() {
+                Column::Str(_) => Column::Str(fetch_str(trk, key_src, oids)?),
+                Column::U8(_) => Column::U8(fetch_u8(trk, key_src, oids)?),
+                other => {
+                    return Err(EngineError::UnsupportedType {
+                        op: "group key",
+                        ty: other.value_type(),
+                    })
+                }
+            };
+            BatCow::Owned(Bat::with_void_head(0, tail))
+        }
+    };
+    let domain = match keys.as_bat().tail() {
+        Column::U8(_) => 256,
+        Column::Str(sc) => {
+            if sc.codes.width() == 1 {
+                256
+            } else {
+                65536
+            }
+        }
+        _ => unreachable!("validated group key type"),
+    };
+
+    // Gather every SUM column once, then group keys + all columns in a
+    // single pass (COUNT falls out of the kernel's per-group counts).
+    let mut value_bats: Vec<BatCow<'_>> = Vec::new();
+    let mut sum_col_of_agg: Vec<Option<usize>> = Vec::with_capacity(aggs.len());
+    for agg in aggs {
+        match agg {
+            Agg::Sum(col) => {
+                let (table, is_left) = resolve_col(stream, col);
+                sum_col_of_agg.push(Some(value_bats.len()));
+                value_bats.push(f64_values(trk, table.bat(col)?, oids.for_side(is_left))?);
+            }
+            Agg::Count => sum_col_of_agg.push(None),
+            Agg::Min(_) | Agg::Max(_) => {
+                return Err(EngineError::Plan(crate::plan::PlanError::Unsupported(
+                    "min/max under group_by is not implemented",
+                )))
+            }
+        }
+    }
+    let value_refs: Vec<&Bat> = value_bats.iter().map(BatCow::as_bat).collect();
+    let grouped = hash_group_multi_sum_f64(trk, keys.as_bat(), &value_refs)?;
+
+    let decode = |code: u32| -> String {
+        match keys.as_bat().tail() {
+            Column::Str(sc) => sc.dict.decode(code).to_owned(),
+            _ => code.to_string(),
+        }
+    };
+    let rows = grouped
+        .codes
+        .iter()
+        .enumerate()
+        .map(|(g, &code)| GroupRow {
+            key: decode(code),
+            values: sum_col_of_agg
+                .iter()
+                .map(|col| match col {
+                    Some(c) => AggValue::F64(grouped.sums[*c][g]),
+                    None => AggValue::Count(grouped.counts[g] as usize),
+                })
+                .collect(),
+        })
+        .collect();
+    Ok((rows, domain))
+}
+
+/// Compute ungrouped aggregates over the stream.
+fn scalar_aggs<M: MemTracker>(
+    trk: &mut M,
+    stream: &Stream<'_>,
+    aggs: &[Agg],
+) -> Result<Vec<AggValue>, EngineError> {
+    let oids = row_oids(stream);
+    let mut out = Vec::with_capacity(aggs.len());
+    for agg in aggs {
+        let value = match (agg, stream) {
+            (Agg::Count, s) => AggValue::Count(s.rows()),
+            (agg, Stream::Table { table, cands }) => {
+                let col = agg.column().expect("non-count aggs read a column");
+                let bat = table.bat(col)?;
+                let cands = cands.as_deref();
+                match (agg, bat.tail()) {
+                    (Agg::Sum(_), Column::F64(_)) => AggValue::F64(sum_f64(trk, bat, cands)?),
+                    (Agg::Sum(_), _) => AggValue::I64(sum_i32(trk, bat, cands)?),
+                    (Agg::Min(_), _) => AggValue::MaybeI32(min_i32(trk, bat, cands)?),
+                    (Agg::Max(_), _) => AggValue::MaybeI32(max_i32(trk, bat, cands)?),
+                    (Agg::Count, _) => unreachable!("handled above"),
+                }
+            }
+            (agg, joined @ Stream::Joined { .. }) => {
+                let col = agg.column().expect("non-count aggs read a column");
+                let (table, is_left) = resolve_col(joined, col);
+                let bat = table.bat(col)?;
+                let side = oids.for_side(is_left).expect("joined streams have oids");
+                match (agg, bat.tail()) {
+                    (Agg::Sum(_), Column::F64(_)) => {
+                        let vals = fetch_f64(trk, bat, side)?;
+                        let b = Bat::with_void_head(0, Column::F64(vals));
+                        AggValue::F64(sum_f64(trk, &b, None)?)
+                    }
+                    (Agg::Sum(_), _) => {
+                        let vals = fetch_i32(trk, bat, side)?;
+                        let b = Bat::with_void_head(0, Column::I32(vals));
+                        AggValue::I64(sum_i32(trk, &b, None)?)
+                    }
+                    (Agg::Min(_), _) | (Agg::Max(_), _) => {
+                        let vals = fetch_i32(trk, bat, side)?;
+                        let b = Bat::with_void_head(0, Column::I32(vals));
+                        if matches!(agg, Agg::Min(_)) {
+                            AggValue::MaybeI32(min_i32(trk, &b, None)?)
+                        } else {
+                            AggValue::MaybeI32(max_i32(trk, &b, None)?)
+                        }
+                    }
+                    (Agg::Count, _) => unreachable!("handled above"),
+                }
+            }
+        };
+        out.push(value);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{PlanNode, Query};
+    use memsim::{profiles, NullTracker, SimTracker};
+    use monet_core::storage::{ColType, TableBuilder, Value};
+
+    fn item() -> DecomposedTable {
+        let mut b = TableBuilder::new("item", 100)
+            .column("qty", ColType::I32)
+            .column("price", ColType::F64)
+            .column("discnt", ColType::F64)
+            .column("shipmode", ColType::Str);
+        let rows = [
+            (1, 10.0, 0.00, "AIR"),
+            (2, 20.0, 0.10, "MAIL"),
+            (3, 40.0, 0.10, "AIR"),
+            (4, 80.0, 0.00, "SHIP"),
+            (5, 160.0, 0.05, "MAIL"),
+        ];
+        for (q, p, d, s) in rows {
+            b.push_row(&[Value::I32(q), Value::F64(p), Value::F64(d), Value::from(s)]).unwrap();
+        }
+        b.finish()
+    }
+
+    fn run(q: Query<'_>) -> Executed {
+        let plan = q.build().unwrap();
+        execute(&mut NullTracker, &plan, &ExecOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn grouped_sum_pipeline() {
+        let t = item();
+        let r = run(Query::scan(&t)
+            .filter(Pred::range_f64("discnt", 0.05, 0.10))
+            .group_by("shipmode")
+            .agg(Agg::sum("price"))
+            .agg(Agg::count()));
+        let QueryOutput::Groups(mut rows) = r.output else { panic!("groups") };
+        rows.sort_by(|a, b| a.key.cmp(&b.key));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].key, "AIR");
+        assert_eq!(rows[0].values, vec![AggValue::F64(40.0), AggValue::Count(1)]);
+        assert_eq!(rows[1].key, "MAIL");
+        assert_eq!(rows[1].values, vec![AggValue::F64(180.0), AggValue::Count(2)]);
+        // Report covers scan, select, group.
+        assert_eq!(r.report.ops.len(), 3);
+        assert_eq!(r.report.ops[1].rows_out, 3);
+        assert_eq!(r.report.ops[2].rows_out, 2);
+    }
+
+    #[test]
+    fn missing_dictionary_constant_is_an_empty_selection() {
+        let t = item();
+        // "WALRUS" is not in the shipmode dictionary: provably empty, and
+        // per the ConstantNotInDictionary doc contract NOT an error.
+        let r = run(Query::scan(&t)
+            .filter(Pred::eq_str("shipmode", "WALRUS"))
+            .group_by("shipmode")
+            .agg(Agg::sum("price")));
+        assert_eq!(r.output, QueryOutput::Groups(vec![]));
+
+        // Same under OR: the empty leaf contributes nothing.
+        let r = run(Query::scan(&t)
+            .filter(Pred::eq_str("shipmode", "WALRUS").or(Pred::eq_str("shipmode", "SHIP"))));
+        assert_eq!(r.output, QueryOutput::Oids(vec![103]));
+    }
+
+    #[test]
+    fn bare_select_and_scalar_aggregates() {
+        let t = item();
+        let r = run(Query::scan(&t).filter(Pred::range_i32("qty", 2, 4)));
+        assert_eq!(r.output, QueryOutput::Oids(vec![101, 102, 103]));
+
+        let r = run(Query::scan(&t)
+            .filter(Pred::range_i32("qty", 2, 4))
+            .agg(Agg::sum("qty"))
+            .agg(Agg::sum("price"))
+            .agg(Agg::min("qty"))
+            .agg(Agg::max("qty"))
+            .agg(Agg::count()));
+        assert_eq!(
+            r.output,
+            QueryOutput::Aggregates(vec![
+                AggValue::I64(9),
+                AggValue::F64(140.0),
+                AggValue::MaybeI32(Some(2)),
+                AggValue::MaybeI32(Some(4)),
+                AggValue::Count(3),
+            ])
+        );
+    }
+
+    #[test]
+    fn full_table_scan_without_filter() {
+        let t = item();
+        let r = run(Query::scan(&t));
+        assert_eq!(r.output, QueryOutput::Oids(vec![100, 101, 102, 103, 104]));
+        let r = run(Query::scan(&t).group_by("shipmode").agg(Agg::count()));
+        let QueryOutput::Groups(rows) = r.output else { panic!("groups") };
+        assert_eq!(rows.len(), 3);
+        let total: usize = rows
+            .iter()
+            .map(|r| match r.values[0] {
+                AggValue::Count(c) => c,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn join_is_planned_by_the_cost_model() {
+        let t = item();
+        let mut b =
+            TableBuilder::new("qtyinfo", 0).column("q", ColType::I32).column("bonus", ColType::F64);
+        for (q, f) in [(2, 1.0), (3, 2.0), (4, 4.0), (9, 8.0)] {
+            b.push_row(&[Value::I32(q), Value::F64(f)]).unwrap();
+        }
+        let info = b.finish();
+
+        let plan = Query::scan(&t)
+            .filter(Pred::range_i32("qty", 2, 9))
+            .join(&info, ("qty", "q"))
+            .agg(Agg::sum("bonus"))
+            .agg(Agg::sum("price"))
+            .build()
+            .unwrap();
+        let r = execute(&mut NullTracker, &plan, &ExecOptions::default()).unwrap();
+        // qty 2, 3, 4 match; bonus 1+2+4, price 20+40+80.
+        assert_eq!(
+            r.output,
+            QueryOutput::Aggregates(vec![AggValue::F64(7.0), AggValue::F64(140.0)])
+        );
+        let join_op = r.report.ops.iter().find(|o| o.op.starts_with("join")).unwrap();
+        assert!(join_op.detail.starts_with("cost model:"), "{}", join_op.detail);
+        assert!(join_op.detail.contains("predicted"), "{}", join_op.detail);
+        assert_eq!(join_op.rows_out, 3);
+
+        // The heuristic planner takes the other path and agrees on results.
+        let r2 = execute(&mut NullTracker, &plan, &ExecOptions::heuristic(profiles::origin2000()))
+            .unwrap();
+        assert_eq!(r.output, r2.output);
+        let join_op2 = r2.report.ops.iter().find(|o| o.op.starts_with("join")).unwrap();
+        assert!(join_op2.detail.starts_with("heuristic:"), "{}", join_op2.detail);
+    }
+
+    #[test]
+    fn join_index_output_and_grouped_join() {
+        let t = item();
+        let mut b = TableBuilder::new("dim", 50).column("q", ColType::I32);
+        for q in [1, 2, 5] {
+            b.push_row(&[Value::I32(q)]).unwrap();
+        }
+        let dim = b.finish();
+
+        let r = run(Query::scan(&t).join(&dim, ("qty", "q")));
+        let QueryOutput::JoinIndex(mut pairs) = r.output else { panic!("join index") };
+        pairs.sort_by_key(|p| (p.left, p.right));
+        assert_eq!(pairs.len(), 3);
+        assert_eq!((pairs[0].left, pairs[0].right), (100, 50));
+        assert_eq!((pairs[1].left, pairs[1].right), (101, 51));
+        assert_eq!((pairs[2].left, pairs[2].right), (104, 52));
+
+        // Grouping a join result on a left-side key.
+        let r = run(Query::scan(&t)
+            .join(&dim, ("qty", "q"))
+            .group_by("shipmode")
+            .agg(Agg::sum("price")));
+        let QueryOutput::Groups(mut rows) = r.output else { panic!("groups") };
+        rows.sort_by(|a, b| a.key.cmp(&b.key));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].key, "AIR");
+        assert_eq!(rows[0].values, vec![AggValue::F64(10.0)]);
+        assert_eq!(rows[1].key, "MAIL");
+        assert_eq!(rows[1].values, vec![AggValue::F64(180.0)]);
+    }
+
+    #[test]
+    fn simulated_execution_attributes_counters_per_op() {
+        let t = item();
+        let plan = Query::scan(&t)
+            .filter(Pred::range_f64("discnt", 0.0, 0.10))
+            .group_by("shipmode")
+            .agg(Agg::sum("price"))
+            .build()
+            .unwrap();
+        let mut trk = SimTracker::for_machine(profiles::origin2000());
+        let r = execute(&mut trk, &plan, &ExecOptions::default()).unwrap();
+        let select = &r.report.ops[1];
+        assert!(select.counters.is_some());
+        assert!(select.counters.as_ref().unwrap().reads > 0);
+        assert!(r.report.simulated_ms() > 0.0);
+        // The rendered report carries the simulated columns.
+        let text = r.report.to_string();
+        assert!(text.contains("sim ms"), "{text}");
+        assert!(text.contains("scan-select"), "{text}");
+    }
+
+    #[test]
+    fn hand_built_invalid_tree_errors_instead_of_panicking() {
+        // PlanNode fields are public; an aggregate below another operator
+        // (impossible via the builder) must surface as an error.
+        let t = item();
+        let inner = Query::scan(&t).group_by("shipmode").agg(Agg::count()).build().unwrap();
+        let bad = LogicalPlan {
+            root: PlanNode::Filter {
+                input: Box::new(inner.root),
+                pred: Pred::range_i32("qty", 0, 1),
+            },
+        };
+        let err = execute(&mut NullTracker, &bad, &ExecOptions::default()).unwrap_err();
+        assert!(matches!(err, EngineError::Plan(_)), "{err:?}");
+    }
+
+    #[test]
+    fn asymmetric_join_is_priced_at_the_larger_cardinality() {
+        // 5 fact rows against a 2-row dimension: the *plan* follows the tiny
+        // inner side (simple hash), but the quote must not be the 2x2 cost.
+        let t = item();
+        let mut b = TableBuilder::new("dim", 0).column("q", ColType::I32);
+        for q in [1, 2] {
+            b.push_row(&[Value::I32(q)]).unwrap();
+        }
+        let dim = b.finish();
+        let plan = Query::scan(&t).join(&dim, ("qty", "q")).build().unwrap();
+        let r = execute(&mut NullTracker, &plan, &ExecOptions::default()).unwrap();
+        let join_op = r.report.ops.iter().find(|o| o.op.starts_with("join")).unwrap();
+
+        let (jp, _) = costmodel::plan::plan_join(&memsim::profiles::origin2000(), 2);
+        let model = ModelMachine::with_params(
+            &memsim::profiles::origin2000(),
+            ModelParams::implementation_matched(),
+        );
+        let expect_ms = plan_cost(&model, &jp, 5.0).total_ms();
+        assert!(
+            join_op.detail.contains(&format!("predicted {expect_ms:.2} ms")),
+            "detail {:?} should price the outer side (expected {expect_ms:.2})",
+            join_op.detail
+        );
+    }
+
+    #[test]
+    fn report_renders_without_simulation_too() {
+        let t = item();
+        let r = run(Query::scan(&t).filter(Pred::range_i32("qty", 1, 3)));
+        let text = r.report.to_string();
+        assert!(!text.contains("sim ms"), "{text}");
+        assert!(text.contains("select(item)"), "{text}");
+    }
+}

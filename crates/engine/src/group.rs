@@ -65,6 +65,61 @@ impl CodesView<'_> {
     }
 }
 
+/// The result of one multi-aggregate grouping pass: for every occurring
+/// group (ascending by key code) its code, its row count, and the sum of
+/// each aggregated column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupedSums {
+    /// Occurring key codes, ascending.
+    pub codes: Vec<u32>,
+    /// Rows per group, aligned with `codes`.
+    pub counts: Vec<u64>,
+    /// One sum column per input values column: `sums[col][group]`.
+    pub sums: Vec<Vec<f64>>,
+}
+
+/// Hash-group (direct-indexed for encoded keys) with `COUNT` and any number
+/// of `SUM(F64)` columns accumulated in a **single pass** over the keys —
+/// the multi-aggregate core behind [`hash_group_sum_f64`].
+pub fn hash_group_multi_sum_f64<M: MemTracker>(
+    trk: &mut M,
+    keys: &Bat,
+    values: &[&Bat],
+) -> Result<GroupedSums, EngineError> {
+    let codes = codes_of(keys, "hash_group_multi_sum_f64")?;
+    let mut cols: Vec<&[f64]> = Vec::with_capacity(values.len());
+    for v in values {
+        assert_eq!(keys.len(), v.len(), "group keys and values must align");
+        cols.push(v.tail().as_f64().ok_or(EngineError::UnsupportedType {
+            op: "hash_group_multi_sum_f64",
+            ty: v.tail().value_type(),
+        })?);
+    }
+    let domain = codes.domain();
+    let mut counts = vec![0u64; domain];
+    let mut sums = vec![vec![0f64; domain]; cols.len()];
+    for i in 0..codes.len() {
+        if M::ENABLED {
+            codes.track(trk, i);
+            trk.work(Work::HashTuple, 1);
+        }
+        let c = codes.get(i) as usize;
+        counts[c] += 1;
+        for (col, sum) in cols.iter().zip(&mut sums) {
+            if M::ENABLED {
+                track_read(trk, &col[i]);
+            }
+            sum[c] += col[i];
+        }
+    }
+    let occurring: Vec<u32> = (0..domain as u32).filter(|&c| counts[c as usize] > 0).collect();
+    Ok(GroupedSums {
+        counts: occurring.iter().map(|&c| counts[c as usize]).collect(),
+        sums: sums.iter().map(|col| occurring.iter().map(|&c| col[c as usize]).collect()).collect(),
+        codes: occurring,
+    })
+}
+
 /// Hash-group (direct-indexed for encoded keys) + `SUM` of an `F64` column.
 ///
 /// Returns `(code, sum)` for every occurring group, ascending by code.
@@ -73,25 +128,12 @@ pub fn hash_group_sum_f64<M: MemTracker>(
     keys: &Bat,
     values: &Bat,
 ) -> Result<GroupSums, EngineError> {
-    assert_eq!(keys.len(), values.len(), "group keys and values must align");
-    let codes = codes_of(keys, "hash_group_sum_f64")?;
-    let vals = values.tail().as_f64().ok_or(EngineError::UnsupportedType {
-        op: "hash_group_sum_f64",
-        ty: values.tail().value_type(),
-    })?;
-    let mut sums = vec![0f64; codes.domain()];
-    let mut seen = vec![false; codes.domain()];
-    for (i, v) in vals.iter().enumerate() {
-        if M::ENABLED {
-            codes.track(trk, i);
-            track_read(trk, v);
-            trk.work(Work::HashTuple, 1);
-        }
-        let c = codes.get(i) as usize;
-        sums[c] += *v;
-        seen[c] = true;
-    }
-    Ok((0..codes.domain()).filter(|&c| seen[c]).map(|c| (c as u32, sums[c])).collect())
+    let grouped = hash_group_multi_sum_f64(trk, keys, &[values])?;
+    Ok(grouped
+        .codes
+        .into_iter()
+        .zip(grouped.sums.into_iter().next().expect("one column"))
+        .collect())
 }
 
 /// Sort-group + `SUM`: sorts `(code, value)` pairs then merges runs — the
@@ -165,6 +207,22 @@ mod tests {
         let a = hash_group_sum_f64(&mut NullTracker, &keys(), &values()).unwrap();
         let b = sort_group_sum_f64(&mut NullTracker, &keys(), &values()).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn multi_sum_is_one_pass_over_any_number_of_columns() {
+        let k = keys();
+        let v1 = values();
+        let v2 = Bat::with_void_head(0, Column::F64(vec![1.0; 6]));
+        let g = hash_group_multi_sum_f64(&mut NullTracker, &k, &[&v1, &v2]).unwrap();
+        assert_eq!(g.codes, vec![0, 1, 2]);
+        assert_eq!(g.counts, vec![3, 2, 1]);
+        assert_eq!(g.sums[0], vec![37.0, 18.0, 8.0]);
+        assert_eq!(g.sums[1], vec![3.0, 2.0, 1.0]);
+        // Zero value columns: still groups and counts.
+        let g = hash_group_multi_sum_f64(&mut NullTracker, &k, &[]).unwrap();
+        assert_eq!(g.counts, vec![3, 2, 1]);
+        assert!(g.sums.is_empty());
     }
 
     #[test]

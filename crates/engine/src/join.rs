@@ -6,9 +6,7 @@
 //! positional lookup — no clustering, no hashing, no per-tuple search.
 
 use memsim::{track_read, MemTracker, Work};
-use monet_core::join::{
-    self as kernels, Bun, FibHash, OidPair,
-};
+use monet_core::join::{self as kernels, Bun, FibHash, OidPair};
 use monet_core::storage::{Bat, Column, Head};
 use monet_core::strategy::{heuristic_plan, Algorithm, JoinPlan};
 
@@ -24,14 +22,9 @@ pub type JoinIndex = Vec<OidPair>;
 pub fn buns_of(bat: &Bat) -> Result<Vec<Bun>, EngineError> {
     let n = bat.len();
     match bat.tail() {
-        Column::I32(v) => {
-            Ok((0..n).map(|i| Bun::new(bat.head_oid(i), v[i] as u32)).collect())
-        }
+        Column::I32(v) => Ok((0..n).map(|i| Bun::new(bat.head_oid(i), v[i] as u32)).collect()),
         Column::Oid(v) => Ok((0..n).map(|i| Bun::new(bat.head_oid(i), v[i])).collect()),
-        other => Err(EngineError::UnsupportedType {
-            op: "join",
-            ty: other.value_type(),
-        }),
+        other => Err(EngineError::UnsupportedType { op: "join", ty: other.value_type() }),
     }
 }
 
@@ -44,9 +37,7 @@ pub fn void_positional_join<M: MemTracker>(
     right: &Bat,
 ) -> Result<JoinIndex, EngineError> {
     let Head::Void { seqbase } = right.head() else {
-        return Err(EngineError::Storage(
-            monet_core::storage::StorageError::NonVoidHead,
-        ));
+        return Err(EngineError::Storage(monet_core::storage::StorageError::NonVoidHead));
     };
     let tails = left.tail().as_oid().ok_or(EngineError::UnsupportedType {
         op: "void_positional_join",
@@ -118,17 +109,9 @@ mod tests {
     fn auto_join_matches_expectation() {
         let l = bat_i32(0, vec![3, 1, 4, 1, 5]);
         let r = bat_i32(100, vec![1, 5, 9]);
-        let idx =
-            join_bats(&mut NullTracker, &l, &r, &profiles::origin2000()).unwrap();
+        let idx = join_bats(&mut NullTracker, &l, &r, &profiles::origin2000()).unwrap();
         let got = sort_pairs(idx);
-        assert_eq!(
-            got,
-            vec![
-                OidPair::new(1, 100),
-                OidPair::new(3, 100),
-                OidPair::new(4, 101)
-            ]
-        );
+        assert_eq!(got, vec![OidPair::new(1, 100), OidPair::new(3, 100), OidPair::new(4, 101)]);
     }
 
     #[test]
@@ -148,8 +131,7 @@ mod tests {
             mk(Algorithm::Radix, 5),
             mk(Algorithm::SortMerge, 0),
         ] {
-            let got =
-                sort_pairs(join_bats_with_plan(&mut NullTracker, &l, &r, &plan).unwrap());
+            let got = sort_pairs(join_bats_with_plan(&mut NullTracker, &l, &r, &plan).unwrap());
             assert_eq!(got, reference, "{plan:?}");
         }
     }
@@ -158,9 +140,7 @@ mod tests {
     fn negative_i32_keys_join_correctly() {
         let l = bat_i32(0, vec![-1, -2, 3]);
         let r = bat_i32(10, vec![-2, 3, -7]);
-        let got = sort_pairs(
-            join_bats(&mut NullTracker, &l, &r, &profiles::origin2000()).unwrap(),
-        );
+        let got = sort_pairs(join_bats(&mut NullTracker, &l, &r, &profiles::origin2000()).unwrap());
         assert_eq!(got, vec![OidPair::new(1, 10), OidPair::new(2, 11)]);
     }
 

@@ -16,21 +16,31 @@
 //!   void-head positional fast path that "effectively eliminat\[es\] all join
 //!   cost" for tuple-reconstruction joins;
 //! * [`reconstruct`] — positional tuple reconstruction from candidate OIDs;
-//! * [`query`] — a composed select→join→group→aggregate pipeline used by the
-//!   examples (a drill-down-style OLAP query).
+//! * [`plan`] — the **logical layer**: a fluent [`plan::Query`] builder with
+//!   typed predicates/aggregates, validated into a [`plan::LogicalPlan`];
+//! * [`exec`] — the **physical layer**: lowers logical plans onto the
+//!   kernels, choosing join algorithm and radix bits from the paper's cost
+//!   model ([`costmodel::plan::best_plan`]) and returning an
+//!   [`exec::ExecReport`] with per-operator rows and simulated miss counts;
+//! * [`query`] — `grouped_sum_where`, the original composed pipeline, kept
+//!   as a thin compatibility wrapper over the builder + executor.
 //!
 //! Scan-shaped operators are generic over [`memsim::MemTracker`] so the
 //! examples can show their stride behaviour on the simulated Origin2000.
 
 pub mod aggregate;
 pub mod candidates;
+pub mod exec;
 pub mod group;
 pub mod join;
+pub mod plan;
 pub mod query;
 pub mod reconstruct;
 pub mod select;
 
+pub use exec::{execute, ExecOptions, ExecReport, Executed, Planner, QueryOutput};
 pub use join::{join_bats, JoinIndex};
+pub use plan::{Agg, LogicalPlan, PlanError, Pred, Query};
 pub use query::{grouped_sum_where, GroupedSum};
 
 use monet_core::storage::StorageError;
@@ -49,8 +59,11 @@ pub enum EngineError {
         ty: monet_core::storage::ValueType,
     },
     /// A selection constant does not occur in the dictionary (the selection
-    /// result is provably empty; callers may treat this as non-fatal).
+    /// result is provably empty; callers may treat this as non-fatal — the
+    /// plan executor ([`exec`]) does, yielding zero rows).
     ConstantNotInDictionary(String),
+    /// A plan failed validation in the logical layer.
+    Plan(plan::PlanError),
 }
 
 impl fmt::Display for EngineError {
@@ -63,6 +76,7 @@ impl fmt::Display for EngineError {
             EngineError::ConstantNotInDictionary(s) => {
                 write!(f, "constant {s:?} not in dictionary")
             }
+            EngineError::Plan(e) => write!(f, "invalid plan: {e}"),
         }
     }
 }
@@ -72,5 +86,11 @@ impl std::error::Error for EngineError {}
 impl From<StorageError> for EngineError {
     fn from(e: StorageError) -> Self {
         EngineError::Storage(e)
+    }
+}
+
+impl From<plan::PlanError> for EngineError {
+    fn from(e: plan::PlanError) -> Self {
+        EngineError::Plan(e)
     }
 }

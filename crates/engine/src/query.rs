@@ -1,14 +1,17 @@
 //! A composed OLAP-style pipeline over a decomposed table — the kind of
-//! drill-down query (\[BRK98\]) that motivated Monet's design, assembled from
-//! the §3.2 operators: scan-select → positional reconstruction → hash-group
-//! → aggregate.
+//! drill-down query (\[BRK98\]) that motivated Monet's design.
+//!
+//! [`grouped_sum_where`] predates the composable plan API and is kept as a
+//! compatibility wrapper: it now builds a [`crate::plan::Query`] and runs it
+//! through the cost-model-driven executor ([`crate::exec::execute`]), which
+//! lowers it onto the same §3.2 operators the hand-written version composed:
+//! scan-select → positional reconstruction → direct-indexed hash-group.
 
 use memsim::MemTracker;
-use monet_core::storage::{Bat, Column, DecomposedTable};
+use monet_core::storage::DecomposedTable;
 
-use crate::group::hash_group_sum_f64;
-use crate::reconstruct::{fetch_f64, fetch_str};
-use crate::select::range_select_f64;
+use crate::exec::{execute, AggValue, ExecOptions, QueryOutput};
+use crate::plan::{Agg, Pred, Query};
 use crate::EngineError;
 
 /// One result row of [`grouped_sum_where`].
@@ -21,13 +24,18 @@ pub struct GroupedSum {
 }
 
 /// `SELECT group_col, SUM(value_col) FROM table WHERE lo ≤ filter_col ≤ hi
-/// GROUP BY group_col` — entirely over vertically decomposed storage:
+/// GROUP BY group_col`, as a thin wrapper over the plan builder. Prefer the
+/// builder directly for new code — it composes (joins, multiple aggregates,
+/// AND/OR predicates) and returns a per-operator [`crate::exec::ExecReport`]:
 ///
-/// 1. scan-select on the (stride-8) `F64` filter column → candidate OIDs;
-/// 2. positional fetch of the (stride-1) encoded group column and the value
-///    column at those OIDs (tuple reconstruction, zero join cost);
-/// 3. direct-indexed hash-grouping with running sums (fits L1: ≤ 256
-///    groups for a byte-encoded key, per §3.2's argument).
+/// ```ignore
+/// let plan = Query::scan(&table)
+///     .filter(Pred::range_f64(filter_col, lo, hi))
+///     .group_by(group_col)
+///     .agg(Agg::sum(value_col))
+///     .build()?;
+/// let executed = execute(trk, &plan, &ExecOptions::default())?;
+/// ```
 pub fn grouped_sum_where<M: MemTracker>(
     trk: &mut M,
     table: &DecomposedTable,
@@ -37,23 +45,25 @@ pub fn grouped_sum_where<M: MemTracker>(
     lo: f64,
     hi: f64,
 ) -> Result<Vec<GroupedSum>, EngineError> {
-    let filter = table.bat(filter_col)?;
-    let cands = range_select_f64(trk, filter, lo, hi)?;
-
-    let group = table.bat(group_col)?;
-    let values = table.bat(value_col)?;
-    let gcodes = fetch_str(trk, group, &cands)?;
-    let gvals = fetch_f64(trk, values, &cands)?;
-
-    let keys = Bat::with_void_head(0, Column::Str(gcodes));
-    let vals = Bat::with_void_head(0, Column::F64(gvals));
-    let grouped = hash_group_sum_f64(trk, &keys, &vals)?;
-
-    let dict = &keys.tail().as_str_col().expect("built above").dict;
-    Ok(grouped
-        .into_iter()
-        .map(|(code, sum)| GroupedSum { key: dict.decode(code).to_owned(), sum })
-        .collect())
+    let plan = Query::scan(table)
+        .filter(Pred::range_f64(filter_col, lo, hi))
+        .group_by(group_col)
+        .agg(Agg::sum(value_col))
+        .build()?;
+    let executed = execute(trk, &plan, &ExecOptions::default())?;
+    match executed.output {
+        QueryOutput::Groups(rows) => Ok(rows
+            .into_iter()
+            .map(|row| {
+                let sum = match row.values.first() {
+                    Some(AggValue::F64(v)) => *v,
+                    other => unreachable!("grouped sum yields F64, got {other:?}"),
+                };
+                GroupedSum { key: row.key, sum }
+            })
+            .collect()),
+        other => unreachable!("grouped plan yields groups, got {other:?}"),
+    }
 }
 
 #[cfg(test)]
@@ -83,16 +93,8 @@ mod tests {
     #[test]
     fn pipeline_filters_groups_and_sums() {
         let t = table();
-        let mut rows = grouped_sum_where(
-            &mut NullTracker,
-            &t,
-            "mode",
-            "price",
-            "discnt",
-            0.05,
-            0.10,
-        )
-        .unwrap();
+        let mut rows =
+            grouped_sum_where(&mut NullTracker, &t, "mode", "price", "discnt", 0.05, 0.10).unwrap();
         rows.sort_by(|a, b| a.key.cmp(&b.key));
         assert_eq!(
             rows,
@@ -125,15 +127,15 @@ mod tests {
     fn empty_selection_is_fine() {
         let t = table();
         let rows =
-            grouped_sum_where(&mut NullTracker, &t, "mode", "price", "discnt", 0.5, 0.9)
-                .unwrap();
+            grouped_sum_where(&mut NullTracker, &t, "mode", "price", "discnt", 0.5, 0.9).unwrap();
         assert!(rows.is_empty());
     }
 
     #[test]
     fn missing_column_errors() {
         let t = table();
-        assert!(grouped_sum_where(&mut NullTracker, &t, "nope", "price", "discnt", 0.0, 1.0)
-            .is_err());
+        assert!(
+            grouped_sum_where(&mut NullTracker, &t, "nope", "price", "discnt", 0.0, 1.0).is_err()
+        );
     }
 }

@@ -26,10 +26,10 @@ pub fn fetch_i32<M: MemTracker>(
     cands: &[Oid],
 ) -> Result<Vec<i32>, EngineError> {
     let base = void_base(bat)?;
-    let data = bat.tail().as_i32().ok_or(EngineError::UnsupportedType {
-        op: "fetch_i32",
-        ty: bat.tail().value_type(),
-    })?;
+    let data = bat
+        .tail()
+        .as_i32()
+        .ok_or(EngineError::UnsupportedType { op: "fetch_i32", ty: bat.tail().value_type() })?;
     Ok(cands
         .iter()
         .map(|&oid| {
@@ -50,10 +50,61 @@ pub fn fetch_f64<M: MemTracker>(
     cands: &[Oid],
 ) -> Result<Vec<f64>, EngineError> {
     let base = void_base(bat)?;
-    let data = bat.tail().as_f64().ok_or(EngineError::UnsupportedType {
-        op: "fetch_f64",
-        ty: bat.tail().value_type(),
-    })?;
+    let data = bat
+        .tail()
+        .as_f64()
+        .ok_or(EngineError::UnsupportedType { op: "fetch_f64", ty: bat.tail().value_type() })?;
+    Ok(cands
+        .iter()
+        .map(|&oid| {
+            let v = &data[(oid - base) as usize];
+            if M::ENABLED {
+                track_read(trk, v);
+                trk.work(Work::ScanIter, 1);
+            }
+            *v
+        })
+        .collect())
+}
+
+/// Gather `Oid` values (join indices, selection vectors) at the candidate
+/// OIDs.
+pub fn fetch_oid<M: MemTracker>(
+    trk: &mut M,
+    bat: &Bat,
+    cands: &[Oid],
+) -> Result<Vec<Oid>, EngineError> {
+    let base = void_base(bat)?;
+    let data = bat
+        .tail()
+        .as_oid()
+        .ok_or(EngineError::UnsupportedType { op: "fetch_oid", ty: bat.tail().value_type() })?;
+    Ok(cands
+        .iter()
+        .map(|&oid| {
+            let v = &data[(oid - base) as usize];
+            if M::ENABLED {
+                track_read(trk, v);
+                trk.work(Work::ScanIter, 1);
+            }
+            *v
+        })
+        .collect())
+}
+
+/// Gather `U8` values (already-encoded codes) at the candidate OIDs.
+pub fn fetch_u8<M: MemTracker>(
+    trk: &mut M,
+    bat: &Bat,
+    cands: &[Oid],
+) -> Result<Vec<u8>, EngineError> {
+    let base = void_base(bat)?;
+    let data = match bat.tail() {
+        Column::U8(v) => v,
+        other => {
+            return Err(EngineError::UnsupportedType { op: "fetch_u8", ty: other.value_type() })
+        }
+    };
     Ok(cands
         .iter()
         .map(|&oid| {
@@ -76,10 +127,10 @@ pub fn fetch_str<M: MemTracker>(
     cands: &[Oid],
 ) -> Result<StrColumn, EngineError> {
     let base = void_base(bat)?;
-    let sc = bat.tail().as_str_col().ok_or(EngineError::UnsupportedType {
-        op: "fetch_str",
-        ty: bat.tail().value_type(),
-    })?;
+    let sc = bat
+        .tail()
+        .as_str_col()
+        .ok_or(EngineError::UnsupportedType { op: "fetch_str", ty: bat.tail().value_type() })?;
     let codes = match &sc.codes {
         Codes::U8(v) => Codes::U8(
             cands
@@ -122,11 +173,10 @@ pub fn reconstruct<M: MemTracker>(
         Column::I32(_) => Column::I32(fetch_i32(trk, bat, cands)?),
         Column::F64(_) => Column::F64(fetch_f64(trk, bat, cands)?),
         Column::Str(_) => Column::Str(fetch_str(trk, bat, cands)?),
+        Column::U8(_) => Column::U8(fetch_u8(trk, bat, cands)?),
+        Column::Oid(_) => Column::Oid(fetch_oid(trk, bat, cands)?),
         other => {
-            return Err(EngineError::UnsupportedType {
-                op: "reconstruct",
-                ty: other.value_type(),
-            })
+            return Err(EngineError::UnsupportedType { op: "reconstruct", ty: other.value_type() })
         }
     };
     Ok(Bat::new(Head::Oids(cands.to_vec()), tail)?)
@@ -159,10 +209,7 @@ mod tests {
 
     #[test]
     fn str_fetch_keeps_encoding() {
-        let b = Bat::with_void_head(
-            0,
-            Column::Str(StrColumn::from_strs(["AIR", "MAIL", "SHIP"])),
-        );
+        let b = Bat::with_void_head(0, Column::Str(StrColumn::from_strs(["AIR", "MAIL", "SHIP"])));
         let sc = fetch_str(&mut NullTracker, &b, &[2, 0]).unwrap();
         assert_eq!(sc.get(0), "SHIP");
         assert_eq!(sc.get(1), "AIR");

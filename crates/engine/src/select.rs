@@ -70,10 +70,10 @@ pub fn select_eq_str<M: MemTracker>(
     bat: &Bat,
     needle: &str,
 ) -> Result<CandList, EngineError> {
-    let sc = bat.tail().as_str_col().ok_or(EngineError::UnsupportedType {
-        op: "select_eq_str",
-        ty: bat.tail().value_type(),
-    })?;
+    let sc = bat
+        .tail()
+        .as_str_col()
+        .ok_or(EngineError::UnsupportedType { op: "select_eq_str", ty: bat.tail().value_type() })?;
     let Some(code) = sc.dict.code_of(needle) else {
         return Err(EngineError::ConstantNotInDictionary(needle.to_owned()));
     };
@@ -127,10 +127,7 @@ pub fn select_eq_u8<M: MemTracker>(
             }
             Ok(out)
         }
-        other => Err(EngineError::UnsupportedType {
-            op: "select_eq_u8",
-            ty: other.value_type(),
-        }),
+        other => Err(EngineError::UnsupportedType { op: "select_eq_u8", ty: other.value_type() }),
     }
 }
 

@@ -41,8 +41,7 @@ impl EventCounters {
     /// Total simulated elapsed time in nanoseconds.
     #[inline]
     pub fn elapsed_ns(&self) -> f64 {
-        self.cpu_ns + self.stall_l2_ns + self.stall_mem_ns + self.stall_tlb_ns
-            + self.stall_fault_ns
+        self.cpu_ns + self.stall_l2_ns + self.stall_mem_ns + self.stall_tlb_ns + self.stall_fault_ns
     }
 
     /// Total simulated elapsed time in milliseconds (the unit of the paper's

@@ -65,5 +65,7 @@ pub use config::{CacheConfig, Latencies, MachineConfig, TlbConfig, VmConfig, Wor
 pub use counters::EventCounters;
 pub use system::{Access, MemorySystem};
 pub use tlb::Tlb;
-pub use tracker::{track_read, track_read_slice, track_write, track_write_slice, MemTracker,
-                  NullTracker, SimTracker, Work};
+pub use tracker::{
+    track_read, track_read_slice, track_write, track_write_slice, MemTracker, NullTracker,
+    SimTracker, Work,
+};

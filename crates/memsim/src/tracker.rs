@@ -75,6 +75,13 @@ pub trait MemTracker {
 
     /// Raw CPU-time charge (rarely needed; prefer [`work`](Self::work)).
     fn cpu_ns(&mut self, ns: f64);
+
+    /// Event counters accumulated so far, when this tracker counts anything
+    /// (`None` for [`NullTracker`]). Consumers such as the query executor use
+    /// before/after snapshots to attribute simulated cost per operator.
+    fn counters_snapshot(&self) -> Option<EventCounters> {
+        None
+    }
 }
 
 /// Track a read of one `T` value.
@@ -189,6 +196,10 @@ impl MemTracker for SimTracker {
     #[inline]
     fn cpu_ns(&mut self, ns: f64) {
         self.sys.cpu_ns(ns);
+    }
+
+    fn counters_snapshot(&self) -> Option<EventCounters> {
+        Some(self.sys.counters())
     }
 }
 

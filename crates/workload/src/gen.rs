@@ -92,10 +92,7 @@ mod tests {
             buckets[(k >> 29) as usize] += 1;
         }
         for (i, &b) in buckets.iter().enumerate() {
-            assert!(
-                (8_000..=12_000).contains(&b),
-                "bucket {i} holds {b} of 80000"
-            );
+            assert!((8_000..=12_000).contains(&b), "bucket {i} holds {b} of 80000");
         }
     }
 

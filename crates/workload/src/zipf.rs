@@ -51,7 +51,8 @@ impl ZipfGenerator {
     /// A BAT of `len` tuples whose tails are Zipf-sampled from a shuffled
     /// key dictionary (so the hot key is not numerically smallest).
     pub fn buns(&mut self, len: usize, key_seed: u64) -> Vec<Bun> {
-        let mut dict: Vec<u32> = (0..self.domain() as u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+        let mut dict: Vec<u32> =
+            (0..self.domain() as u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
         super::gen::shuffle(&mut dict, key_seed);
         (0..len).map(|i| Bun::new(i as u32, dict[self.sample()])).collect()
     }

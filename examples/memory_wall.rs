@@ -5,8 +5,8 @@
 //! cargo run --release --example memory_wall
 //! ```
 
-use monet_mem::memsim::stride::{scan_native, scan_sim, PAPER_ITERATIONS};
 use monet_mem::memsim::profiles;
+use monet_mem::memsim::stride::{scan_native, scan_sim, PAPER_ITERATIONS};
 
 fn main() {
     let machines = profiles::figure3_machines();

@@ -2,20 +2,25 @@
 //! what vertical decomposition + byte encodings buy (§3.1, \[BRK98\]):
 //!
 //! ```sql
-//! SELECT shipmode, SUM(price) FROM Item
+//! SELECT shipmode, SUM(price), COUNT(*) FROM Item
 //! WHERE 0.05 <= discnt AND discnt <= 0.10
 //! GROUP BY shipmode
 //! ```
 //!
-//! The whole pipeline touches a stride-8 `F64` column, a stride-1 encoded
-//! column, and a stride-8 value column — never the 52+-byte record an NSM
-//! system would drag through the cache.
+//! The query is written against the composable plan API — `Query::scan(..)
+//! .filter(..).group_by(..).agg(..)` — and the *executor* makes every
+//! physical decision from the paper's cost model; the per-operator
+//! `ExecReport` shows rows in/out and, on the simulated Origin2000, where
+//! the misses went. The whole pipeline touches a stride-8 `F64` column, a
+//! stride-1 encoded column, and a stride-8 value column — never the
+//! 52+-byte record an NSM system would drag through the cache.
 //!
 //! ```text
 //! cargo run --release --example olap_drilldown
 //! ```
 
-use monet_mem::engine::{grouped_sum_where, query::GroupedSum};
+use monet_mem::engine::exec::{execute, AggValue, ExecOptions, QueryOutput};
+use monet_mem::engine::plan::{Agg, Pred, Query};
 use monet_mem::memsim::{profiles, NullTracker, SimTracker};
 use monet_mem::workload::{item_rows, item_table};
 
@@ -23,38 +28,58 @@ fn main() {
     let n = 500_000;
     let table = item_table(n, 7);
     println!("Item table: {n} rows, decomposed into {} BATs", table.columns().len());
-    println!("bytes per logical tuple in BAT storage: {} (NSM record: {})\n",
+    println!(
+        "bytes per logical tuple in BAT storage: {} (NSM record: {})\n",
         table.bytes_per_tuple(),
-        table.to_nsm().record_width().max(80));
+        table.to_nsm().record_width().max(80)
+    );
 
-    // Run the query on the engine (native).
-    let mut rows =
-        grouped_sum_where(&mut NullTracker, &table, "shipmode", "price", "discnt", 0.05, 0.10)
-            .expect("query runs");
+    // The logical plan: what to compute, nothing about how.
+    let plan = Query::scan(&table)
+        .filter(Pred::range_f64("discnt", 0.05, 0.10))
+        .group_by("shipmode")
+        .agg(Agg::sum("price"))
+        .agg(Agg::count())
+        .build()
+        .expect("plan validates");
+    println!("logical plan:\n{}", plan.explain());
+
+    // Run natively; the executor picks the physical strategy.
+    let executed = execute(&mut NullTracker, &plan, &ExecOptions::default()).expect("query runs");
+    let QueryOutput::Groups(mut rows) = executed.output else {
+        unreachable!("grouped plan yields groups")
+    };
     rows.sort_by(|a, b| a.key.cmp(&b.key));
 
     // Independently compute the answer from the raw rows.
-    let mut expect: std::collections::BTreeMap<String, f64> = Default::default();
+    let mut expect: std::collections::BTreeMap<String, (f64, usize)> = Default::default();
     for r in item_rows(n, 7) {
         if (0.05..=0.10).contains(&r.discnt) {
-            *expect.entry(r.shipmode).or_default() += r.price;
+            let e = expect.entry(r.shipmode).or_default();
+            e.0 += r.price;
+            e.1 += 1;
         }
     }
-    println!("{:<10} {:>16} {:>16}", "shipmode", "SUM(price)", "naive check");
-    for GroupedSum { key, sum } in &rows {
-        let reference = expect.get(key).copied().unwrap_or(0.0);
-        assert!((sum - reference).abs() < 1e-6 * reference.abs().max(1.0));
-        println!("{key:<10} {sum:>16.2} {reference:>16.2}");
+    println!("{:<10} {:>16} {:>10} {:>16}", "shipmode", "SUM(price)", "COUNT", "naive check");
+    for row in &rows {
+        let (sum, cnt) = match (&row.values[0], &row.values[1]) {
+            (AggValue::F64(s), AggValue::Count(c)) => (*s, *c),
+            other => unreachable!("sum+count columns, got {other:?}"),
+        };
+        let (ref_sum, ref_cnt) = expect.get(&row.key).copied().unwrap_or((0.0, 0));
+        assert!((sum - ref_sum).abs() < 1e-6 * ref_sum.abs().max(1.0));
+        assert_eq!(cnt, ref_cnt);
+        println!("{:<10} {:>16.2} {:>10} {:>16.2}", row.key, sum, cnt, ref_sum);
     }
 
-    // Now the same pipeline on the simulated Origin2000, to see where the
-    // cycles go.
+    // Now the same plan on the simulated Origin2000: the report attributes
+    // the simulated misses to each operator.
     let mut trk = SimTracker::for_machine(profiles::origin2000());
-    let _ =
-        grouped_sum_where(&mut trk, &table, "shipmode", "price", "discnt", 0.05, 0.10).unwrap();
+    let executed = execute(&mut trk, &plan, &ExecOptions::default()).unwrap();
+    println!("\n{}", executed.report);
     let c = trk.counters();
     println!(
-        "\nsimulated origin2k: {:.1} ms total, {:.0}% stalled on memory \
+        "simulated origin2k: {:.1} ms total, {:.0}% stalled on memory \
          ({} L1 / {} L2 / {} TLB misses)",
         c.elapsed_ms(),
         c.stall_fraction() * 100.0,

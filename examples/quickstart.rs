@@ -1,5 +1,7 @@
-//! Quickstart: join two columns the Monet way, natively and under the
-//! simulated Origin2000.
+//! Quickstart: join two columns the Monet way — the physical plan chosen by
+//! the paper's cost model, not by the caller — natively and under the
+//! simulated Origin2000; then the same idea one level up, through the
+//! composable query API.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -7,10 +9,15 @@
 
 use std::time::Instant;
 
-use monet_mem::core::join::{partitioned_hash_join, FibHash};
-use monet_mem::core::strategy::heuristic_plan;
+use monet_mem::core::join::{
+    partitioned_hash_join, radix_join, simple_hash_join, sort_merge_join, FibHash,
+};
+use monet_mem::core::strategy::Algorithm;
+use monet_mem::costmodel::plan::plan_join;
+use monet_mem::engine::exec::{execute, ExecOptions, QueryOutput};
+use monet_mem::engine::plan::{Agg, Pred, Query};
 use monet_mem::memsim::{profiles, NullTracker, SimTracker};
-use monet_mem::workload::join_pair;
+use monet_mem::workload::{item_table, join_pair};
 
 fn main() {
     let machine = profiles::origin2000();
@@ -20,26 +27,45 @@ fn main() {
     let (left, right) = join_pair(n, 42);
     println!("joining two BATs of {n} tuples (8-byte [OID,int] BUNs, hit rate 1)");
 
-    // Let the strategy heuristics pick bits and passes for this machine.
-    let plan = heuristic_plan(n, &machine);
+    // Ask the cost model — not a hand-tuned constant — for the plan: it
+    // searches algorithm x radix bits x pass layout (the Figure 12 "best").
+    let (plan, predicted) = plan_join(&machine, n);
     println!(
-        "plan: {:?} on B={} radix bits in {} pass(es) {:?}",
+        "cost-model plan: {:?} on B={} radix bits in {} pass(es) {:?}, predicted {:.1} ms",
         plan.algorithm,
         plan.bits,
         plan.pass_bits.len(),
-        plan.pass_bits
+        plan.pass_bits,
+        predicted.total_ms()
     );
 
-    // 1) Native run: the exact same code, zero instrumentation overhead.
+    /// Run the chosen kernel under any tracker.
+    fn exec_plan<M: monet_mem::memsim::MemTracker>(
+        trk: &mut M,
+        plan: &monet_mem::core::strategy::JoinPlan,
+        l: &[monet_mem::core::join::Bun],
+        r: &[monet_mem::core::join::Bun],
+    ) -> Vec<monet_mem::core::join::OidPair> {
+        match plan.algorithm {
+            Algorithm::PartitionedHash => partitioned_hash_join(
+                trk,
+                FibHash,
+                l.to_vec(),
+                r.to_vec(),
+                plan.bits,
+                &plan.pass_bits,
+            ),
+            Algorithm::Radix => {
+                radix_join(trk, FibHash, l.to_vec(), r.to_vec(), plan.bits, &plan.pass_bits)
+            }
+            Algorithm::SimpleHash => simple_hash_join(trk, FibHash, l, r),
+            Algorithm::SortMerge => sort_merge_join(trk, l.to_vec(), r.to_vec()),
+        }
+    }
+
+    // 1) Native run: the exact same kernel, zero instrumentation overhead.
     let t0 = Instant::now();
-    let pairs = partitioned_hash_join(
-        &mut NullTracker,
-        FibHash,
-        left.clone(),
-        right.clone(),
-        plan.bits,
-        &plan.pass_bits,
-    );
+    let pairs = exec_plan(&mut NullTracker, &plan, &left, &right);
     let native = t0.elapsed();
     assert_eq!(pairs.len(), n);
     println!(
@@ -52,10 +78,14 @@ fn main() {
     // 2) Simulated run: replay on the paper's 250 MHz Origin2000, with the
     //    hardware-counter readings the paper reports.
     let mut trk = SimTracker::for_machine(machine);
-    let pairs = partitioned_hash_join(&mut trk, FibHash, left, right, plan.bits, &plan.pass_bits);
+    let pairs = exec_plan(&mut trk, &plan, &left, &right);
     assert_eq!(pairs.len(), n);
     let c = trk.counters();
-    println!("simulated origin2k: {:>8.1} ms", c.elapsed_ms());
+    println!(
+        "simulated origin2k: {:>8.1} ms (model predicted {:.1})",
+        c.elapsed_ms(),
+        predicted.total_ms()
+    );
     println!(
         "  events: {} L1 misses, {} L2 misses, {} TLB misses",
         c.l1_misses, c.l2_misses, c.tlb_misses
@@ -70,5 +100,25 @@ fn main() {
     println!(
         "  {:.0}% of simulated cycles wait on the memory system — the paper's bottleneck.",
         c.stall_fraction() * 100.0
+    );
+
+    // 3) The same planning discipline, one level up: a composed query whose
+    //    executor consults the cost model for you.
+    let table = item_table(100_000, 42);
+    let query = Query::scan(&table)
+        .filter(Pred::range_i32("qty", 10, 40))
+        .group_by("shipmode")
+        .agg(Agg::sum("price"))
+        .build()
+        .expect("plan validates");
+    let executed = execute(&mut NullTracker, &query, &ExecOptions::default()).unwrap();
+    let groups = match executed.output {
+        QueryOutput::Groups(g) => g.len(),
+        _ => unreachable!("grouped query"),
+    };
+    println!(
+        "\ncomposable API: SELECT shipmode, SUM(price) WHERE 10<=qty<=40 GROUP BY shipmode \
+         -> {groups} groups\n{}",
+        executed.report
     );
 }

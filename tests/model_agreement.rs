@@ -2,9 +2,7 @@
 //! (costmodel) must track the trace-driven simulator (memsim) running the
 //! real algorithms (monet-core) — the paper's own validation methodology.
 
-use monet_mem::core::join::{
-    join_clustered, radix_cluster, radix_join_clustered, FibHash,
-};
+use monet_mem::core::join::{join_clustered, radix_cluster, radix_join_clustered, FibHash};
 use monet_mem::core::strategy::plan_passes;
 use monet_mem::costmodel::cluster::cluster_cost;
 use monet_mem::costmodel::phash::phash_cost;
@@ -45,13 +43,9 @@ fn cluster_elapsed_time_tracks_simulator() {
     let m = model();
     let c = 400_000usize;
     let input = unique_random_buns(c, 5);
-    for (bits, pass_bits) in [
-        (4u32, vec![4u32]),
-        (8, vec![8]),
-        (10, vec![5, 5]),
-        (14, vec![7, 7]),
-        (15, vec![5, 5, 5]),
-    ] {
+    for (bits, pass_bits) in
+        [(4u32, vec![4u32]), (8, vec![8]), (10, vec![5, 5]), (14, vec![7, 7]), (15, vec![5, 5, 5])]
+    {
         let mut trk = SimTracker::for_machine(machine);
         radix_cluster(&mut trk, FibHash, input.clone(), bits, &pass_bits);
         let sim = trk.counters();
@@ -121,12 +115,7 @@ fn model_predicts_the_measured_phash_optimum_region() {
         }
     }
     let diff = (sim_best.0 as i64 - model_best.0 as i64).abs();
-    assert!(
-        diff <= 2,
-        "simulated optimum B={} vs model optimum B={}",
-        sim_best.0,
-        model_best.0
-    );
+    assert!(diff <= 2, "simulated optimum B={} vs model optimum B={}", sim_best.0, model_best.0);
 }
 
 #[test]
@@ -144,8 +133,8 @@ fn tlb_explosion_point_matches_model_prediction() {
         trk.counters().tlb_misses as f64
     };
     let sim_jump = tlb_at(9) / tlb_at(6).max(1.0);
-    let model_jump = cluster_cost(&m, &[9], c as f64).tlb_misses
-        / cluster_cost(&m, &[6], c as f64).tlb_misses;
+    let model_jump =
+        cluster_cost(&m, &[9], c as f64).tlb_misses / cluster_cost(&m, &[6], c as f64).tlb_misses;
     assert!(sim_jump > 10.0, "simulated TLB jump {sim_jump}");
     assert!(model_jump > 10.0, "modelled TLB jump {model_jump}");
 }

@@ -1,15 +1,18 @@
 //! Cross-crate integration: workload → storage → engine operators →
-//! join kernels, validated against naive row-at-a-time computation.
+//! join kernels, validated against naive row-at-a-time computation — plus
+//! the composable plan API against both.
 
 use monet_mem::core::join::{sort_pairs, OidPair};
 use monet_mem::core::storage::{Bat, Column, Value};
 use monet_mem::core::strategy::{Algorithm, JoinPlan};
 use monet_mem::engine::aggregate::{max_i32, sum_f64, sum_i32};
+use monet_mem::engine::exec::{execute, AggValue, ExecOptions, QueryOutput};
 use monet_mem::engine::group::{hash_group_sum_f64, sort_group_sum_f64};
+use monet_mem::engine::grouped_sum_where;
 use monet_mem::engine::join::{join_bats, join_bats_with_plan};
+use monet_mem::engine::plan::{Agg, Pred, Query};
 use monet_mem::engine::reconstruct::reconstruct;
 use monet_mem::engine::select::{range_select_f64, range_select_i32, select_eq_str};
-use monet_mem::engine::grouped_sum_where;
 use monet_mem::memsim::{profiles, NullTracker};
 use monet_mem::workload::{item_rows, item_table};
 
@@ -114,8 +117,7 @@ fn grouped_query_matches_row_scan_and_group_variants_agree() {
 #[test]
 fn reconstruct_roundtrip() {
     let table = item_table(1_000, SEED);
-    let cands =
-        range_select_i32(&mut NullTracker, table.bat("qty").unwrap(), 1, 5).unwrap();
+    let cands = range_select_i32(&mut NullTracker, table.bat("qty").unwrap(), 1, 5).unwrap();
     let sub = reconstruct(&mut NullTracker, table.bat("qty").unwrap(), &cands).unwrap();
     assert_eq!(sub.len(), cands.len());
     for (i, &cand) in cands.iter().enumerate() {
@@ -136,35 +138,89 @@ fn engine_join_agrees_with_plans_and_machine_choice() {
     // Two foreign-key-ish columns.
     let l = Bat::with_void_head(0, Column::I32((0..5_000).map(|i| i % 997).collect()));
     let r = Bat::with_void_head(9_000, Column::I32((0..997).collect()));
-    let auto = sort_pairs(
-        join_bats(&mut NullTracker, &l, &r, &profiles::origin2000()).unwrap(),
-    );
+    let auto = sort_pairs(join_bats(&mut NullTracker, &l, &r, &profiles::origin2000()).unwrap());
     assert_eq!(auto.len(), 5_000);
 
-    for algorithm in [
-        Algorithm::SimpleHash,
-        Algorithm::PartitionedHash,
-        Algorithm::Radix,
-        Algorithm::SortMerge,
-    ] {
-        let bits = if matches!(algorithm, Algorithm::PartitionedHash | Algorithm::Radix) {
-            6
-        } else {
-            0
-        };
-        let plan = JoinPlan {
-            algorithm,
-            bits,
-            pass_bits: if bits == 0 { vec![] } else { vec![3, 3] },
-        };
-        let got =
-            sort_pairs(join_bats_with_plan(&mut NullTracker, &l, &r, &plan).unwrap());
+    for algorithm in
+        [Algorithm::SimpleHash, Algorithm::PartitionedHash, Algorithm::Radix, Algorithm::SortMerge]
+    {
+        let bits =
+            if matches!(algorithm, Algorithm::PartitionedHash | Algorithm::Radix) { 6 } else { 0 };
+        let plan =
+            JoinPlan { algorithm, bits, pass_bits: if bits == 0 { vec![] } else { vec![3, 3] } };
+        let got = sort_pairs(join_bats_with_plan(&mut NullTracker, &l, &r, &plan).unwrap());
         assert_eq!(got, auto, "{algorithm:?}");
     }
 
     // Spot-check a pair against first principles.
     let first = auto.iter().find(|p| p.left == 0).unwrap();
     assert_eq!(*first, OidPair::new(0, 9_000), "qty 0 joins key 0 at seqbase 9000");
+}
+
+#[test]
+fn builder_query_matches_wrapper_and_row_scan() {
+    let table = item_table(N, SEED);
+    let rows = item_rows(N, SEED);
+
+    // The old 7-positional-argument entry point, now a wrapper...
+    let mut via_wrapper =
+        grouped_sum_where(&mut NullTracker, &table, "shipmode", "price", "discnt", 0.02, 0.07)
+            .unwrap();
+    via_wrapper.sort_by(|a, b| a.key.cmp(&b.key));
+
+    // ...and the builder it wraps, with an extra COUNT column.
+    let plan = Query::scan(&table)
+        .filter(Pred::range_f64("discnt", 0.02, 0.07))
+        .group_by("shipmode")
+        .agg(Agg::sum("price"))
+        .agg(Agg::count())
+        .build()
+        .unwrap();
+    let executed = execute(&mut NullTracker, &plan, &ExecOptions::default()).unwrap();
+    let QueryOutput::Groups(mut via_builder) = executed.output else { panic!("groups") };
+    via_builder.sort_by(|a, b| a.key.cmp(&b.key));
+
+    // The executor reported every operator of the pipeline.
+    assert_eq!(executed.report.ops.len(), 3, "scan, select, group");
+    assert!(executed.report.ops[1].rows_out <= executed.report.ops[1].rows_in);
+
+    // Both agree with each other and with the naive row scan.
+    let mut expect: std::collections::BTreeMap<String, (f64, usize)> = Default::default();
+    for r in &rows {
+        if (0.02..=0.07).contains(&r.discnt) {
+            let e = expect.entry(r.shipmode.clone()).or_default();
+            e.0 += r.price;
+            e.1 += 1;
+        }
+    }
+    assert_eq!(via_wrapper.len(), expect.len());
+    assert_eq!(via_builder.len(), expect.len());
+    for (w, b) in via_wrapper.iter().zip(&via_builder) {
+        assert_eq!(w.key, b.key);
+        let (esum, ecnt) = expect[&w.key];
+        assert!((w.sum - esum).abs() < 1e-6 * esum.abs().max(1.0));
+        match (&b.values[0], &b.values[1]) {
+            (AggValue::F64(s), AggValue::Count(c)) => {
+                assert!((s - esum).abs() < 1e-6 * esum.abs().max(1.0));
+                assert_eq!(*c, ecnt);
+            }
+            other => panic!("sum+count, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn builder_join_agrees_with_direct_kernel_calls() {
+    // item ⋈ item on the supp key, via the API (executor-planned) and via
+    // the hand-wired kernel dispatch.
+    let table = item_table(3_000, SEED);
+    let plan = Query::scan(&table).join(&table, ("supp", "supp")).build().unwrap();
+    let executed = execute(&mut NullTracker, &plan, &ExecOptions::default()).unwrap();
+    let QueryOutput::JoinIndex(got) = executed.output else { panic!("join index") };
+
+    let supp = table.bat("supp").unwrap();
+    let expect = join_bats(&mut NullTracker, supp, supp, &profiles::origin2000()).unwrap();
+    assert_eq!(sort_pairs(got), sort_pairs(expect));
 }
 
 #[test]

@@ -1,0 +1,210 @@
+//! Property tests for the composable query API: plans built with
+//! `Query::scan(..).filter(..).join(..).group_by(..).agg(..)` and run by the
+//! cost-model-driven executor must produce *identical* results to
+//! hand-composed operator calls — and planner-chosen joins must agree with
+//! the nested-loop oracle — on arbitrary tables and predicates. Builder
+//! validation errors are pinned below the property block.
+
+use proptest::prelude::*;
+
+use monet_mem::core::join::{nested_loop_join, sort_pairs, Bun, OidPair};
+use monet_mem::core::storage::{Bat, ColType, Column, DecomposedTable, TableBuilder, Value};
+use monet_mem::engine::exec::{execute, AggValue, ExecOptions, QueryOutput};
+use monet_mem::engine::group::hash_group_sum_f64;
+use monet_mem::engine::plan::{Agg, PlanError, Pred, Query};
+use monet_mem::engine::reconstruct::{fetch_f64, fetch_str};
+use monet_mem::engine::select::range_select_f64;
+use monet_mem::memsim::{profiles, NullTracker, SimTracker};
+
+const MODES: [&str; 5] = ["AIR", "MAIL", "SHIP", "RAIL", "FOB"];
+
+/// Rows for a small fact table: (key, value, discount-code, mode index).
+fn fact_rows(max_len: usize) -> impl Strategy<Value = Vec<(i32, f64, f64, usize)>> {
+    prop::collection::vec(
+        (0i32..64, 0u32..1000, 0u32..20, 0usize..MODES.len())
+            .prop_map(|(k, v, d, m)| (k, v as f64 / 10.0, d as f64 / 100.0, m)),
+        0..max_len,
+    )
+}
+
+fn fact_table(rows: &[(i32, f64, f64, usize)], seqbase: u32) -> DecomposedTable {
+    let mut b = TableBuilder::new("fact", seqbase)
+        .column("key", ColType::I32)
+        .column("value", ColType::F64)
+        .column("discnt", ColType::F64)
+        .column("mode", ColType::Str);
+    for &(k, v, d, m) in rows {
+        b.push_row(&[Value::I32(k), Value::F64(v), Value::F64(d), Value::from(MODES[m])]).unwrap();
+    }
+    b.finish()
+}
+
+/// A bare keys table for the join oracle.
+fn key_table(keys: &[i32], seqbase: u32) -> DecomposedTable {
+    let mut b = TableBuilder::new("keys", seqbase).column("k", ColType::I32);
+    for &k in keys {
+        b.push_row(&[Value::I32(k)]).unwrap();
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn builder_pipeline_equals_hand_composed_operators(
+        rows in fact_rows(200),
+        bounds in (0u32..20, 0u32..20),
+    ) {
+        let (a, b) = bounds;
+        let (lo, hi) = ((a.min(b)) as f64 / 100.0, (a.max(b)) as f64 / 100.0);
+        let table = fact_table(&rows, 500);
+
+        // Through the API: the executor composes and picks strategies.
+        let plan = Query::scan(&table)
+            .filter(Pred::range_f64("discnt", lo, hi))
+            .group_by("mode")
+            .agg(Agg::sum("value"))
+            .build()
+            .unwrap();
+        let executed = execute(&mut NullTracker, &plan, &ExecOptions::default()).unwrap();
+        let QueryOutput::Groups(got) = executed.output else { panic!("groups") };
+
+        // Hand-composed: the exact operator calls the old code wired up.
+        let cands =
+            range_select_f64(&mut NullTracker, table.bat("discnt").unwrap(), lo, hi).unwrap();
+        let gcodes =
+            fetch_str(&mut NullTracker, table.bat("mode").unwrap(), &cands).unwrap();
+        let gvals =
+            fetch_f64(&mut NullTracker, table.bat("value").unwrap(), &cands).unwrap();
+        let keys = Bat::with_void_head(0, Column::Str(gcodes));
+        let vals = Bat::with_void_head(0, Column::F64(gvals));
+        let grouped = hash_group_sum_f64(&mut NullTracker, &keys, &vals).unwrap();
+        let dict = &keys.tail().as_str_col().unwrap().dict;
+
+        prop_assert_eq!(got.len(), grouped.len());
+        for (row, (code, sum)) in got.iter().zip(&grouped) {
+            prop_assert_eq!(&row.key, dict.decode(*code));
+            let got_sum = match &row.values[0] {
+                AggValue::F64(v) => *v,
+                other => panic!("sum yields F64, got {other:?}"),
+            };
+            prop_assert!((got_sum - sum).abs() <= 1e-9 * sum.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn planner_chosen_joins_match_nested_loop_oracle(
+        lkeys in prop::collection::vec(0i32..48, 0..120),
+        rkeys in prop::collection::vec(0i32..48, 0..80),
+    ) {
+        let lt = key_table(&lkeys, 0);
+        let rt = key_table(&rkeys, 10_000);
+
+        for opts in [
+            ExecOptions::default(),                         // cost model
+            ExecOptions::heuristic(profiles::origin2000()), // cache heuristics
+        ] {
+            let plan = Query::scan(&lt).join(&rt, ("k", "k")).build().unwrap();
+            let executed = execute(&mut NullTracker, &plan, &opts).unwrap();
+            let QueryOutput::JoinIndex(got) = executed.output else { panic!("join index") };
+
+            // Oracle: nested loop over the same [OID, key] tuples.
+            let lb: Vec<Bun> =
+                lkeys.iter().enumerate().map(|(i, &k)| Bun::new(i as u32, k as u32)).collect();
+            let rb: Vec<Bun> = rkeys
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| Bun::new(10_000 + i as u32, k as u32))
+                .collect();
+            let expect = sort_pairs(nested_loop_join(&mut NullTracker, &lb, &rb));
+            prop_assert_eq!(sort_pairs(got), expect);
+        }
+    }
+
+    #[test]
+    fn executor_is_identical_under_simulation(
+        rows in fact_rows(120),
+        hi in 0u32..20,
+    ) {
+        // The tracker must never change results, only count events.
+        let table = fact_table(&rows, 0);
+        let plan = Query::scan(&table)
+            .filter(Pred::range_f64("discnt", 0.0, hi as f64 / 100.0))
+            .group_by("mode")
+            .agg(Agg::sum("value"))
+            .agg(Agg::count())
+            .build()
+            .unwrap();
+        let native = execute(&mut NullTracker, &plan, &ExecOptions::default()).unwrap();
+        let mut trk = SimTracker::for_machine(profiles::origin2000());
+        let simulated = execute(&mut trk, &plan, &ExecOptions::default()).unwrap();
+        prop_assert_eq!(native.output, simulated.output);
+    }
+
+    #[test]
+    fn composed_predicates_match_scan_filtering(
+        rows in fact_rows(200),
+        kr in (0i32..64, 0i32..64),
+        mode in 0usize..MODES.len(),
+    ) {
+        let (ka, kb) = kr;
+        let (klo, khi) = (ka.min(kb), ka.max(kb));
+        let table = fact_table(&rows, 100);
+        let pred = Pred::range_i32("key", klo, khi).and(Pred::eq_str("mode", MODES[mode]));
+        let plan = Query::scan(&table).filter(pred).build().unwrap();
+        let executed = execute(&mut NullTracker, &plan, &ExecOptions::default()).unwrap();
+        let QueryOutput::Oids(got) = executed.output else { panic!("oids") };
+
+        let expect: Vec<u32> = rows
+            .iter()
+            .enumerate()
+            .filter(|(_, &(k, _, _, m))| (klo..=khi).contains(&k) && m == mode)
+            .map(|(i, _)| 100 + i as u32)
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+}
+
+#[test]
+fn join_index_spot_check() {
+    // Deterministic anchor alongside the property: 2 x 2 match.
+    let lt = key_table(&[7, 3, 7], 0);
+    let rt = key_table(&[7, 9], 100);
+    let plan = Query::scan(&lt).join(&rt, ("k", "k")).build().unwrap();
+    let executed = execute(&mut NullTracker, &plan, &ExecOptions::default()).unwrap();
+    let QueryOutput::JoinIndex(got) = executed.output else { panic!("join index") };
+    assert_eq!(sort_pairs(got), vec![OidPair::new(0, 100), OidPair::new(2, 100)]);
+}
+
+#[test]
+fn builder_rejects_unknown_columns_and_type_mismatches() {
+    let table = key_table(&[1, 2, 3], 0);
+
+    let err = Query::scan(&table).filter(Pred::range_i32("missing", 0, 1)).build().unwrap_err();
+    assert!(matches!(err, PlanError::UnknownColumn { ref column, .. } if column == "missing"));
+
+    let err = Query::scan(&table).filter(Pred::eq_str("k", "AIR")).build().unwrap_err();
+    assert!(matches!(err, PlanError::ColumnType { ref column, .. } if column == "k"));
+
+    let err = Query::scan(&table).group_by("k").agg(Agg::count()).build().unwrap_err();
+    assert!(matches!(err, PlanError::ColumnType { .. }), "I32 is not a groupable key: {err:?}");
+
+    let err = Query::scan(&table).agg(Agg::min("missing")).build().unwrap_err();
+    assert!(matches!(err, PlanError::UnknownColumn { .. }));
+}
+
+#[test]
+fn dictionary_miss_is_empty_not_error() {
+    // The executor-level contract for the ConstantNotInDictionary bugfix.
+    let rows = vec![(1, 1.0, 0.0, 0), (2, 2.0, 0.0, 1)];
+    let table = fact_table(&rows, 0);
+    let plan = Query::scan(&table)
+        .filter(Pred::eq_str("mode", "ZEPPELIN"))
+        .group_by("mode")
+        .agg(Agg::sum("value"))
+        .build()
+        .unwrap();
+    let executed = execute(&mut NullTracker, &plan, &ExecOptions::default()).unwrap();
+    assert_eq!(executed.output, QueryOutput::Groups(vec![]));
+}
