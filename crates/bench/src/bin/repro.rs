@@ -3,13 +3,14 @@
 //! ```text
 //! repro [fig3|fig4|fig9|fig10|fig11|fig12|fig13|validate|all]
 //!       [--quick|--full] [--csv DIR] [--native] [--seed N]
+//!       [--threads N|auto]
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use monet_bench::figures;
-use monet_bench::runner::{RunOpts, Scale};
+use monet_bench::runner::{RunOpts, Scale, ThreadsOpt};
 
 const USAGE: &str = "\
 usage: repro <command> [options]
@@ -28,14 +29,17 @@ commands:
   skew       Zipf-skew ablation for the join strategies (extension)
   vm         section-4 virtual-memory experiment (extension)
   query      composed query pipelines through the cost-model-driven executor
+  parallel   parallel-scaling sweep: measured vs model-predicted speedup
   all        everything above, in order
 
 options:
-  --quick      smaller cardinalities (seconds)
-  --full       the paper's largest cardinalities (up to 64M tuples; slow)
-  --csv DIR    also write each table as CSV under DIR
-  --native     add host wall-clock columns where meaningful
-  --seed N     workload RNG seed (default 42)
+  --quick       smaller cardinalities (seconds)
+  --full        the paper's largest cardinalities (up to 64M tuples; slow)
+  --csv DIR     also write each table as CSV under DIR
+  --native      add host wall-clock columns where meaningful
+  --seed N      workload RNG seed (default 42)
+  --threads T   executor parallelism for `query`: a count, or `auto` to let
+                the parallel cost model pick per operator (default 1)
 ";
 
 fn main() -> ExitCode {
@@ -61,6 +65,17 @@ fn main() -> ExitCode {
                 match args.get(i).and_then(|s| s.parse().ok()) {
                     Some(seed) => opts.seed = seed,
                     None => return usage_error("--seed requires an integer"),
+                }
+            }
+            "--threads" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("auto") => opts.threads = ThreadsOpt::Auto,
+                    Some(n) => match n.parse::<usize>() {
+                        Ok(n) if n >= 1 => opts.threads = ThreadsOpt::Fixed(n),
+                        _ => return usage_error("--threads requires a count >= 1 or `auto`"),
+                    },
+                    None => return usage_error("--threads requires a count or `auto`"),
                 }
             }
             "-h" | "--help" => {
@@ -94,6 +109,7 @@ fn main() -> ExitCode {
             "skew" => figures::skew::run(&opts),
             "vm" => figures::vm::run(&opts),
             "query" => figures::query_pipeline::run(&opts),
+            "parallel" => figures::par_scaling::run(&opts),
             _ => return false,
         }
         true
@@ -103,7 +119,7 @@ fn main() -> ExitCode {
         "all" => {
             for name in [
                 "fig1", "fig3", "fig4", "fig9", "fig10", "fig11", "fig12", "fig13", "validate",
-                "select", "skew", "vm", "query",
+                "select", "skew", "vm", "query", "parallel",
             ] {
                 println!("\n=== {name} ===\n");
                 run_one(name);

@@ -15,7 +15,7 @@ use monet_core::storage::{ColType, DecomposedTable, TableBuilder, Value};
 use workload::item_table;
 
 use crate::report::{fmt_card, fmt_count, fmt_ms, TextTable};
-use crate::runner::{RunOpts, Scale};
+use crate::runner::{RunOpts, Scale, ThreadsOpt};
 
 /// Run the composed-pipeline experiment.
 pub fn run(opts: &RunOpts) {
@@ -56,6 +56,20 @@ pub fn run(opts: &RunOpts) {
         // Cross-check: identical rows natively.
         let native = execute(&mut NullTracker, plan, &ExecOptions::cost_model(machine)).unwrap();
         assert_eq!(native.output, executed.output, "tracker must not change results");
+
+        // Parallel native execution (`--threads N|auto`): the per-operator
+        // thread counts land in the report, and the rows must be
+        // bit-identical to the sequential run.
+        if opts.threads != ThreadsOpt::Seq {
+            let popts = ExecOptions::cost_model(machine).with_threads(opts.threads.exec_threads());
+            let parallel = execute(&mut NullTracker, plan, &popts).unwrap();
+            assert_eq!(
+                parallel.output, native.output,
+                "parallel execution must match sequential bit for bit"
+            );
+            println!("native parallel run ({:?}):", opts.threads);
+            println!("{}", parallel.report);
+        }
 
         let mut t = TextTable::new(
             format!("{name}: per-operator simulated cost (origin2k)"),
@@ -119,5 +133,13 @@ mod tests {
     #[test]
     fn smoke() {
         run(&RunOpts { scale: Scale::Quick, ..Default::default() });
+    }
+
+    #[test]
+    fn smoke_parallel() {
+        // Exercises the bit-identity assertion inside run() for both the
+        // fixed and model-chosen thread paths.
+        run(&RunOpts { scale: Scale::Quick, threads: ThreadsOpt::Fixed(4), ..Default::default() });
+        run(&RunOpts { scale: Scale::Quick, threads: ThreadsOpt::Auto, ..Default::default() });
     }
 }

@@ -19,6 +19,29 @@ pub enum Scale {
     Full,
 }
 
+/// The `--threads` driver flag: how parallel-capable experiments execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ThreadsOpt {
+    /// Sequential execution (the default; matches the paper's machines).
+    #[default]
+    Seq,
+    /// A fixed thread count.
+    Fixed(usize),
+    /// Thread counts chosen per-operator by `costmodel::parallel`.
+    Auto,
+}
+
+impl ThreadsOpt {
+    /// The executor setting this flag maps to.
+    pub fn exec_threads(self) -> engine::exec::Threads {
+        match self {
+            ThreadsOpt::Seq => engine::exec::Threads::Fixed(1),
+            ThreadsOpt::Fixed(n) => engine::exec::Threads::Fixed(n.max(1)),
+            ThreadsOpt::Auto => engine::exec::Threads::Auto,
+        }
+    }
+}
+
 /// Options shared by all figure harnesses.
 #[derive(Debug, Clone)]
 pub struct RunOpts {
@@ -30,11 +53,20 @@ pub struct RunOpts {
     pub native: bool,
     /// RNG seed for all generated workloads.
     pub seed: u64,
+    /// Degree of parallelism for the executor-driven experiments
+    /// (`--threads N` / `--threads auto`).
+    pub threads: ThreadsOpt,
 }
 
 impl Default for RunOpts {
     fn default() -> Self {
-        Self { scale: Scale::Default, csv_dir: None, native: false, seed: 42 }
+        Self {
+            scale: Scale::Default,
+            csv_dir: None,
+            native: false,
+            seed: 42,
+            threads: ThreadsOpt::Seq,
+        }
     }
 }
 

@@ -32,7 +32,10 @@ pub use cluster::{cluster_bounds_from_data, radix_cluster, straightforward_clust
 pub use hash::{radix_of, FibHash, IdentityHash, KeyHash, MurmurHash};
 pub use hashtable::ChainedTable;
 pub use nljoin::nested_loop_join;
-pub use parallel::{par_join_clustered, par_partitioned_hash_join, par_radix_cluster};
+pub use parallel::{
+    par_join_clustered, par_partitioned_hash_join, par_radix_cluster, par_radix_join,
+    par_radix_join_clustered,
+};
 pub use phash::{join_clustered, partitioned_hash_join};
 pub use rjoin::{radix_join, radix_join_clustered};
 pub use shash::simple_hash_join;

@@ -60,7 +60,11 @@ pub fn par_radix_cluster<H: KeyHash + Send + Sync>(
     threads: usize,
 ) -> ClusteredRel {
     assert!(threads >= 1, "need at least one thread");
-    if threads == 1 || bits == 0 || input.len() < 2 * threads {
+    // Clamp so every worker gets at least two tuples; empty or tiny inputs
+    // (including threads > tuple count) run sequentially instead of spawning
+    // idle scoped threads.
+    let threads = threads.min(input.len() / 2).max(1);
+    if threads == 1 || bits == 0 {
         return super::radix_cluster(&mut NullTracker, h, input, bits, pass_bits);
     }
     let total: u32 = pass_bits.iter().sum();
@@ -231,6 +235,65 @@ fn par_cluster_pass<H: KeyHash + Send + Sync>(
     });
 }
 
+/// Distribute cluster pairs over workers in contiguous blocks and merge the
+/// per-worker results thread-major, so the concatenated output preserves the
+/// sequential cluster-major order exactly. `seq` handles the clamped shapes
+/// (one thread or fewer clusters than workers); `per_cluster` joins one
+/// non-empty cluster pair into the worker's output.
+fn par_cluster_pairs<F, S>(
+    left: &ClusteredRel,
+    right: &ClusteredRel,
+    threads: usize,
+    seq: S,
+    per_cluster: F,
+) -> Vec<OidPair>
+where
+    F: Fn(&[Bun], &[Bun], &mut Vec<OidPair>) + Send + Sync,
+    S: FnOnce() -> Vec<OidPair>,
+{
+    assert_eq!(left.bits, right.bits, "operands must share the radix bit count");
+    let ncl = left.num_clusters();
+    // Clamp to the cluster count (a worker owns at least one cluster pair);
+    // one-thread or zero-cluster shapes delegate instead of spawning idle
+    // scoped threads.
+    let threads = threads.min(ncl);
+    if threads <= 1 {
+        return seq();
+    }
+    let block = ncl.div_ceil(threads);
+    let per_cluster = &per_cluster;
+    let mut parts: Vec<Vec<OidPair>> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * block;
+                let hi = ((t + 1) * block).min(ncl);
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    for c in lo..hi {
+                        let lc = left.cluster(c);
+                        let rc = right.cluster(c);
+                        if lc.is_empty() || rc.is_empty() {
+                            continue;
+                        }
+                        per_cluster(lc, rc, &mut out);
+                    }
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            parts.push(handle.join().expect("cluster-pair join worker panicked"));
+        }
+    });
+    let total: usize = parts.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
 /// Parallel join of two clustered relations: cluster pairs are distributed
 /// over workers in contiguous blocks, so the concatenated result preserves
 /// the sequential cluster-major order exactly.
@@ -240,55 +303,62 @@ pub fn par_join_clustered<H: KeyHash + Send + Sync>(
     right: &ClusteredRel,
     threads: usize,
 ) -> Vec<OidPair> {
-    assert_eq!(left.bits, right.bits, "operands must share the radix bit count");
-    if threads <= 1 {
-        return super::join_clustered(&mut NullTracker, h, left, right);
-    }
-    let ncl = left.num_clusters();
-    let threads = threads.min(ncl.max(1));
-    let block = ncl.div_ceil(threads);
-    let mut parts: Vec<Vec<OidPair>> = Vec::with_capacity(threads);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let lo = t * block;
-                let hi = ((t + 1) * block).min(ncl);
-                s.spawn(move || {
-                    let mut out = Vec::new();
-                    let mut trk = NullTracker;
-                    for c in lo..hi {
-                        let lc = left.cluster(c);
-                        let rc = right.cluster(c);
-                        if lc.is_empty() || rc.is_empty() {
-                            continue;
-                        }
-                        let table = ChainedTable::build(
-                            &mut trk,
-                            h,
-                            rc,
-                            right.bits,
-                            DEFAULT_TUPLES_PER_BUCKET,
-                        );
-                        for lt in lc {
-                            table.probe(&mut trk, h, rc, lt.tail, |_, pos| {
-                                out.push(OidPair::new(lt.head, rc[pos as usize].head));
-                            });
-                        }
+    par_cluster_pairs(
+        left,
+        right,
+        threads,
+        || super::join_clustered(&mut NullTracker, h, left, right),
+        |lc, rc, out| {
+            let mut trk = NullTracker;
+            let table = ChainedTable::build(&mut trk, h, rc, right.bits, DEFAULT_TUPLES_PER_BUCKET);
+            for lt in lc {
+                table.probe(&mut trk, h, rc, lt.tail, |_, pos| {
+                    out.push(OidPair::new(lt.head, rc[pos as usize].head));
+                });
+            }
+        },
+    )
+}
+
+/// Parallel radix-join phase: per-cluster nested loops on the same
+/// block schedule as [`par_join_clustered`], so the concatenated result
+/// reproduces the sequential [`super::radix_join_clustered`] order exactly.
+pub fn par_radix_join_clustered<H: KeyHash + Send + Sync>(
+    h: H,
+    left: &ClusteredRel,
+    right: &ClusteredRel,
+    threads: usize,
+) -> Vec<OidPair> {
+    par_cluster_pairs(
+        left,
+        right,
+        threads,
+        || super::radix_join_clustered(&mut NullTracker, h, left, right),
+        |lc, rc, out| {
+            for lt in lc {
+                for rt in rc {
+                    if lt.tail == rt.tail {
+                        out.push(OidPair::new(lt.head, rt.head));
                     }
-                    out
-                })
-            })
-            .collect();
-        for handle in handles {
-            parts.push(handle.join().expect("join worker panicked"));
-        }
-    });
-    let total: usize = parts.iter().map(Vec::len).sum();
-    let mut out = Vec::with_capacity(total);
-    for p in parts {
-        out.extend(p);
-    }
-    out
+                }
+            }
+        },
+    )
+}
+
+/// The complete parallel radix-join: cluster both inputs in parallel, then
+/// nested-loop each cluster pair across workers.
+pub fn par_radix_join<H: KeyHash + Send + Sync>(
+    h: H,
+    left: Vec<Bun>,
+    right: Vec<Bun>,
+    bits: u32,
+    pass_bits: &[u32],
+    threads: usize,
+) -> Vec<OidPair> {
+    let l = par_radix_cluster(h, left, bits, pass_bits, threads);
+    let r = par_radix_cluster(h, right, bits, pass_bits, threads);
+    par_radix_join_clustered(h, &l, &r, threads)
 }
 
 /// The complete parallel partitioned hash-join.
@@ -393,5 +463,58 @@ mod tests {
     fn empty_inputs() {
         let par = par_partitioned_hash_join(FibHash, vec![], keys(10, 8), 2, &[2], 4);
         assert!(par.is_empty());
+    }
+
+    #[test]
+    fn empty_input_clusters_without_panicking_at_any_thread_count() {
+        for threads in [1usize, 2, 8, 64] {
+            let c = par_radix_cluster(FibHash, Vec::new(), 6, &[3, 3], threads);
+            assert!(c.data.is_empty());
+            assert_eq!(c.bits, 6);
+            let seq =
+                super::super::radix_cluster(&mut NullTracker, FibHash, Vec::new(), 6, &[3, 3]);
+            assert_eq!(c.bounds, seq.bounds);
+            // Joining two empty clustered relations is also a no-op.
+            assert!(par_join_clustered(FibHash, &c, &seq, threads).is_empty());
+            assert!(par_radix_join_clustered(FibHash, &c, &seq, threads).is_empty());
+        }
+    }
+
+    #[test]
+    fn more_threads_than_tuples_clamps_to_sequential() {
+        // 3 tuples, 64 threads: must not spawn 64 workers over nothing and
+        // must match the sequential clustering bit for bit.
+        for n in [1usize, 2, 3, 5] {
+            let input = keys(n, 11);
+            for threads in [n + 1, 16, 64] {
+                assert_matches_sequential(FibHash, &input, 4, &[4], threads);
+            }
+        }
+        // Same for the join: 2 tuples a side, 32 threads.
+        let l = keys(2, 12);
+        let r = keys(2, 13);
+        let seq = partitioned_hash_join(&mut NullTracker, FibHash, l.clone(), r.clone(), 1, &[1]);
+        assert_eq!(par_partitioned_hash_join(FibHash, l, r, 1, &[1], 32), seq);
+    }
+
+    #[test]
+    fn parallel_radix_join_matches_sequential_exactly() {
+        use crate::join::radix_join;
+        let l = keys(10_000, 14);
+        let r = keys(10_000, 15);
+        let seq = radix_join(&mut NullTracker, FibHash, l.clone(), r.clone(), 10, &[5, 5]);
+        for threads in [1usize, 2, 4, 7] {
+            let par = par_radix_join(FibHash, l.clone(), r.clone(), 10, &[5, 5], threads);
+            assert_eq!(par, seq, "threads={threads}: output order must match");
+        }
+    }
+
+    #[test]
+    fn parallel_radix_join_correct_with_duplicates() {
+        let l: Vec<Bun> = (0..400).map(|i| Bun::new(i, i % 17)).collect();
+        let r: Vec<Bun> = (0..250).map(|i| Bun::new(i, i % 13)).collect();
+        let oracle = sort_pairs(nested_loop_join(&mut NullTracker, &l, &r));
+        let par = sort_pairs(par_radix_join(FibHash, l, r, 4, &[4], 4));
+        assert_eq!(par, oracle);
     }
 }

@@ -19,7 +19,11 @@
 //! * [`phash`]  — `T_h(B, C)` for the partitioned hash-join phase (Fig. 11);
 //! * [`plan`]   — combined cluster+join costs, the §3.4.4 strategy
 //!   diagonals, and exhaustive `(algorithm, B, P)` optimization (the "best"
-//!   line of Figure 12).
+//!   line of Figure 12);
+//! * [`parallel`] — the multi-core extension: a fork-overhead-aware speedup
+//!   model that picks per-operator thread counts, and
+//!   [`parallel::plan_join_parallel`], the `(JoinPlan, threads)` planner
+//!   entry point the executor uses.
 //!
 //! The inequality directions in the published formulas are garbled by PDF
 //! extraction; the reconstruction used here (documented per function and in
@@ -33,9 +37,11 @@
 
 pub mod cluster;
 pub mod machine;
+pub mod parallel;
 pub mod phash;
 pub mod plan;
 pub mod rjoin;
 pub mod scan;
 
 pub use machine::{ModelCost, ModelMachine, ModelParams};
+pub use parallel::{ParPlan, ParallelModel};

@@ -131,6 +131,67 @@ pub fn count(bat: &Bat, cands: Option<&[Oid]>) -> usize {
     cands.map_or(bat.len(), |c| c.len())
 }
 
+/// Parallel `SUM(I32)`: chunked fan-out with an exact `i64` partial-sum
+/// merge. Integer addition is associative, so the result is bit-identical to
+/// [`sum_i32`] at any thread count (unlike `F64` sums, which the executor
+/// therefore keeps sequential).
+pub fn par_sum_i32(bat: &Bat, cands: Option<&[Oid]>, threads: usize) -> Result<i64, EngineError> {
+    let parts =
+        par_chunks(bat, cands, threads, |chunk| sum_i32(&mut memsim::NullTracker, bat, chunk))?;
+    Ok(parts.into_iter().sum())
+}
+
+/// Parallel `MAX(I32)` (exact merge; bit-identical to [`max_i32`]).
+pub fn par_max_i32(
+    bat: &Bat,
+    cands: Option<&[Oid]>,
+    threads: usize,
+) -> Result<Option<i32>, EngineError> {
+    let parts =
+        par_chunks(bat, cands, threads, |chunk| max_i32(&mut memsim::NullTracker, bat, chunk))?;
+    Ok(parts.into_iter().flatten().max())
+}
+
+/// Parallel `MIN(I32)` (exact merge; bit-identical to [`min_i32`]).
+pub fn par_min_i32(
+    bat: &Bat,
+    cands: Option<&[Oid]>,
+    threads: usize,
+) -> Result<Option<i32>, EngineError> {
+    let parts =
+        par_chunks(bat, cands, threads, |chunk| min_i32(&mut memsim::NullTracker, bat, chunk))?;
+    Ok(parts.into_iter().flatten().min())
+}
+
+/// Run a sequential aggregate kernel over contiguous chunks of the scanned
+/// positions (candidate sublists, or synthesized void-OID ranges for a full
+/// scan), returning per-chunk results thread-major.
+fn par_chunks<T: Send>(
+    bat: &Bat,
+    cands: Option<&[Oid]>,
+    threads: usize,
+    f: impl Fn(Option<&[Oid]>) -> Result<T, EngineError> + Sync,
+) -> Result<Vec<T>, EngineError> {
+    // Restricting a kernel to a chunk requires positional access, i.e. the
+    // same void head the candidate path needs; fall back to one sequential
+    // call otherwise.
+    let parts = match cands {
+        Some(c) => crate::par::fan_out(c.len(), threads, |lo, hi| f(Some(&c[lo..hi]))),
+        None if bat.head_is_void() && threads > 1 => {
+            let base = match bat.head() {
+                monet_core::storage::Head::Void { seqbase } => *seqbase,
+                monet_core::storage::Head::Oids(_) => unreachable!("checked head_is_void"),
+            };
+            crate::par::fan_out(bat.len(), threads, |lo, hi| {
+                let chunk: Vec<Oid> = (lo..hi).map(|i| base + i as Oid).collect();
+                f(Some(&chunk))
+            })
+        }
+        None => vec![f(None)],
+    };
+    parts.into_iter().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,5 +249,36 @@ mod tests {
         assert!(sum_i32(&mut NullTracker, &b, Some(&[1])).is_err());
         // But full scans are fine.
         assert_eq!(sum_i32(&mut NullTracker, &b, None).unwrap(), 30);
+    }
+
+    #[test]
+    fn parallel_i32_aggregates_are_bit_identical_to_sequential() {
+        let vals: Vec<i32> =
+            (0..9999i64).map(|i| ((i * 2654435761) % 5000) as i32 - 2500).collect();
+        let b = Bat::with_void_head(1000, Column::I32(vals));
+        let cands: Vec<Oid> = (1000..10_999).filter(|o| o % 7 != 0).collect();
+        for threads in [1usize, 2, 4, 7, 64] {
+            for c in [None, Some(cands.as_slice())] {
+                assert_eq!(
+                    par_sum_i32(&b, c, threads).unwrap(),
+                    sum_i32(&mut NullTracker, &b, c).unwrap(),
+                    "threads={threads}"
+                );
+                assert_eq!(
+                    par_max_i32(&b, c, threads).unwrap(),
+                    max_i32(&mut NullTracker, &b, c).unwrap()
+                );
+                assert_eq!(
+                    par_min_i32(&b, c, threads).unwrap(),
+                    min_i32(&mut NullTracker, &b, c).unwrap()
+                );
+            }
+        }
+        // Empty candidate lists and materialized heads fall back cleanly.
+        assert_eq!(par_sum_i32(&b, Some(&[]), 4).unwrap(), 0);
+        assert_eq!(par_min_i32(&b, Some(&[]), 4).unwrap(), None);
+        let m = Bat::new(monet_core::storage::Head::Oids(vec![3, 1]), Column::I32(vec![10, 20]))
+            .unwrap();
+        assert_eq!(par_sum_i32(&m, None, 8).unwrap(), 30);
     }
 }

@@ -24,9 +24,28 @@
 //! A selection constant missing from a column's dictionary makes that
 //! predicate provably empty; the executor treats it as zero rows, not as an
 //! error (see [`EngineError::ConstantNotInDictionary`]).
+//!
+//! # Parallel execution
+//!
+//! [`ExecOptions::threads`] opens the multi-core axis: with
+//! [`Threads::Fixed`]`(n)` every parallel-capable operator fans out over `n`
+//! threads, and with [`Threads::Auto`] the degree of parallelism becomes a
+//! *physical decision of the cost model*, chosen per operator by
+//! [`costmodel::parallel::ParallelModel`] (speedup = work / max per-thread
+//! share, against a per-thread fork overhead) — just like the join algorithm
+//! and radix bits. Results are **bit-identical** to sequential execution at
+//! every thread count: selections and gathers merge chunk results
+//! thread-major, the radix join kernels reproduce the sequential scatter and
+//! cluster-pair order, and `f64` aggregate accumulation preserves the
+//! sequential per-group addition order (see
+//! [`crate::group::par_hash_group_multi_sum_f64`]). Simulated runs
+//! (`SimTracker`) are pinned to one thread: threading a single shared
+//! simulated memory hierarchy would serialize on the simulator and model a
+//! machine the paper never measured.
 
 use std::fmt;
 
+use costmodel::parallel::{algorithm_parallelizes, ParallelModel};
 use costmodel::plan::{best_plan, plan_cost};
 use costmodel::scan::scan_cost;
 use costmodel::ModelMachine;
@@ -36,13 +55,19 @@ use monet_core::join::OidPair;
 use monet_core::storage::{Bat, Column, DecomposedTable, Oid};
 use monet_core::strategy::{heuristic_plan, JoinPlan};
 
-use crate::aggregate::{max_i32, min_i32, sum_f64, sum_i32};
+use crate::aggregate::{max_i32, min_i32, par_max_i32, par_min_i32, par_sum_i32, sum_f64, sum_i32};
 use crate::candidates::{intersect, union};
-use crate::group::hash_group_multi_sum_f64;
-use crate::join::join_bats_with_plan;
+use crate::group::{hash_group_multi_sum_f64, par_hash_group_multi_sum_f64};
+use crate::join::{join_bats_with_plan, par_join_bats_with_plan};
 use crate::plan::{Agg, LogicalPlan, PlanNode, Pred};
-use crate::reconstruct::{fetch_f64, fetch_i32, fetch_str, fetch_u8, reconstruct};
-use crate::select::{range_select_f64, range_select_i32, select_eq_str};
+use crate::reconstruct::{
+    fetch_f64, fetch_i32, fetch_str, fetch_u8, par_fetch_f64, par_fetch_i32, par_fetch_str,
+    par_fetch_u8, reconstruct,
+};
+use crate::select::{
+    par_range_select_f64, par_range_select_i32, par_select_eq_str, range_select_f64,
+    range_select_i32, select_eq_str,
+};
 use crate::EngineError;
 
 /// How the executor chooses physical join plans.
@@ -65,8 +90,21 @@ impl Planner {
     }
 }
 
+/// How many threads parallel-capable operators may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Threads {
+    /// Per-operator thread counts chosen by the parallel cost model
+    /// ([`costmodel::parallel`]), capped at the host's available
+    /// parallelism. The model never picks a count it prices slower than
+    /// sequential.
+    Auto,
+    /// A fixed thread count for every parallel-capable operator (1 = fully
+    /// sequential, the default).
+    Fixed(usize),
+}
+
 /// Executor configuration: the machine whose memory hierarchy the cost model
-/// prices, and the planner flavour.
+/// prices, the planner flavour, and the degree of parallelism.
 #[derive(Debug, Clone, Copy)]
 pub struct ExecOptions {
     /// Machine the cost model plans for (usually the machine you run on; the
@@ -74,23 +112,70 @@ pub struct ExecOptions {
     pub machine: MachineConfig,
     /// Physical-plan chooser.
     pub planner: Planner,
+    /// Degree of parallelism. Results are bit-identical at every setting;
+    /// simulated runs are pinned to one thread regardless (see the
+    /// [module docs](self)).
+    pub threads: Threads,
 }
 
 impl ExecOptions {
     /// Cost-model-driven execution on `machine`.
     pub fn cost_model(machine: MachineConfig) -> Self {
-        Self { machine, planner: Planner::CostModel }
+        Self { machine, planner: Planner::CostModel, threads: Threads::Fixed(1) }
     }
 
     /// Heuristic execution on `machine`.
     pub fn heuristic(machine: MachineConfig) -> Self {
-        Self { machine, planner: Planner::Heuristic }
+        Self { machine, planner: Planner::Heuristic, threads: Threads::Fixed(1) }
+    }
+
+    /// Set the degree of parallelism.
+    pub fn with_threads(mut self, threads: Threads) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
         Self::cost_model(memsim::profiles::origin2000())
+    }
+}
+
+/// Upper bound on what [`Threads::Auto`] will ever spawn, on top of the
+/// host's reported available parallelism.
+const MAX_AUTO_THREADS: usize = 32;
+
+/// Resolve one operator's thread count (and, under [`Threads::Auto`], the
+/// model-predicted speedup): `seq_ns` is the operator's sequential model
+/// quote, `items` its uniform work items. Simulated runs pin to one thread.
+fn op_threads<M: MemTracker>(
+    opts: &ExecOptions,
+    seq_ns: f64,
+    items: usize,
+) -> (usize, Option<f64>) {
+    if M::ENABLED {
+        return (1, None);
+    }
+    match opts.threads {
+        Threads::Fixed(n) => (n.max(1), None),
+        Threads::Auto => {
+            let cap = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(MAX_AUTO_THREADS);
+            let plan = ParallelModel::for_machine(&opts.machine, cap).best_threads(seq_ns, items);
+            (plan.threads, Some(plan.speedup()))
+        }
+    }
+}
+
+/// Render an operator's parallelism decision for the report detail.
+fn threads_detail(threads: usize, speedup: Option<f64>) -> String {
+    match (threads, speedup) {
+        (1, _) => String::new(),
+        (n, Some(s)) => format!("; threads={n} (model {s:.1}x)"),
+        (n, None) => format!("; threads={n}"),
     }
 }
 
@@ -303,7 +388,13 @@ fn exec_node<'a, M: MemTracker>(
                 )));
             };
             let before = trk.counters_snapshot();
-            let selected = eval_pred(trk, table, pred)?;
+            let model_ms = pred_model_ms(model, table, pred);
+            let (threads, speedup) = op_threads::<M>(opts, model_ms * 1e6, table.len());
+            let selected = if threads > 1 {
+                par_eval_pred(table, pred, threads)?
+            } else {
+                eval_pred(trk, table, pred)?
+            };
             let merged = match cands {
                 Some(prior) => intersect(&prior, &selected),
                 None => selected,
@@ -313,8 +404,8 @@ fn exec_node<'a, M: MemTracker>(
                 rows_in: table.len(),
                 rows_out: merged.len(),
                 detail: format!(
-                    "scan-select [{pred}]; model {:.2} ms",
-                    pred_model_ms(model, table, pred)
+                    "scan-select [{pred}]; model {model_ms:.2} ms{}",
+                    threads_detail(threads, speedup)
                 ),
                 counters: delta(trk, before),
             });
@@ -333,17 +424,31 @@ fn exec_node<'a, M: MemTracker>(
             let rbat = key_bat(trk, rt, right_col, &rc)?;
 
             // The physical decision: the executor, not the caller, asks the
-            // planner which algorithm/bits to use for this inner cardinality.
+            // planner which algorithm/bits to use for this inner cardinality
+            // — and the parallel model how many threads are worth forking.
             let inner = rbat.as_bat().len();
             let outer = lbat.as_bat().len();
-            let (jplan, predicted) = choose_join(opts, outer, inner);
-            let pairs = join_bats_with_plan(trk, lbat.as_bat(), rbat.as_bat(), &jplan)?;
+            let (jplan, predicted, seq_ns) = choose_join(opts, outer, inner);
+            let (threads, speedup) = if algorithm_parallelizes(jplan.algorithm) {
+                op_threads::<M>(opts, seq_ns, outer + inner)
+            } else {
+                (1, None)
+            };
+            let pairs = if threads > 1 {
+                par_join_bats_with_plan(lbat.as_bat(), rbat.as_bat(), &jplan, threads)?
+            } else {
+                join_bats_with_plan(trk, lbat.as_bat(), rbat.as_bat(), &jplan)?
+            };
 
             report.ops.push(OpReport {
                 op: format!("join[{left_col} = {right_col}]"),
                 rows_in: outer + inner,
                 rows_out: pairs.len(),
-                detail: join_detail(opts.planner, &jplan, predicted),
+                detail: format!(
+                    "{}{}",
+                    join_detail(opts.planner, &jplan, predicted),
+                    threads_detail(threads, speedup)
+                ),
                 counters: delta(trk, before),
             });
             Ok(Output::Stream(Stream::Joined { left: lt, right: rt, pairs }))
@@ -352,26 +457,45 @@ fn exec_node<'a, M: MemTracker>(
             let stream = expect_stream(exec_node(trk, input, opts, model, report)?)?;
             let rows_in = stream.rows();
             let before = trk.counters_snapshot();
+            // Parallel quote: only the *gathers* split work across threads
+            // (one 8-byte-stride pass per materialized column plus the
+            // keys); the accumulation kernel itself re-reads its input per
+            // worker (see `par_hash_group_multi_sum_f64`), so it must not be
+            // sold to the model as divisible. An unrestricted scan stream
+            // borrows every column — nothing materializes, so Auto keeps it
+            // sequential. A deliberate lower bound: gathers access randomly,
+            // so this only *under*-forks.
+            let materializes = !matches!(&stream, Stream::Table { cands: None, .. });
+            let gather_ns = if materializes {
+                scan_cost(model, rows_in.max(1), 8).total_ns() * (aggs.len() + 1) as f64
+            } else {
+                0.0
+            };
+            let (threads, speedup) = op_threads::<M>(opts, gather_ns, rows_in);
             let (output, op, detail) = match key {
                 Some(key) => {
-                    let (rows, domain) = grouped_aggs(trk, &stream, key, aggs)?;
+                    let (rows, domain) = grouped_aggs(trk, &stream, key, aggs, threads)?;
                     let n = rows.len();
                     (
                         QueryOutput::Groups(rows),
                         format!("group({key})"),
                         format!(
-                            "hash-group: direct-indexed, {domain}-slot table ({} occupied) fits cache",
-                            n
+                            "hash-group: direct-indexed, {domain}-slot table ({n} occupied) fits cache{}",
+                            threads_detail(threads, speedup)
                         ),
                     )
                 }
                 None => {
-                    let vals = scalar_aggs(trk, &stream, aggs)?;
+                    let vals = scalar_aggs(trk, &stream, aggs, threads)?;
                     let labels: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
                     (
                         QueryOutput::Aggregates(vals),
                         "aggregate".to_owned(),
-                        format!("scan aggregate [{}]", labels.join(", ")),
+                        format!(
+                            "scan aggregate [{}]{}",
+                            labels.join(", "),
+                            threads_detail(threads, speedup)
+                        ),
                     )
                 }
             };
@@ -439,6 +563,36 @@ fn eval_pred<M: MemTracker>(
     }
 }
 
+/// Parallel twin of [`eval_pred`]: leaves fan out over chunked scan-selects
+/// (bit-identical candidate lists), combinators compose the same way.
+fn par_eval_pred(
+    table: &DecomposedTable,
+    pred: &Pred,
+    threads: usize,
+) -> Result<Vec<Oid>, EngineError> {
+    match pred {
+        Pred::RangeI32 { col, lo, hi } => par_range_select_i32(table.bat(col)?, *lo, *hi, threads),
+        Pred::RangeF64 { col, lo, hi } => par_range_select_f64(table.bat(col)?, *lo, *hi, threads),
+        Pred::EqStr { col, value } => match par_select_eq_str(table.bat(col)?, value, threads) {
+            Err(EngineError::ConstantNotInDictionary(_)) => Ok(Vec::new()),
+            other => other,
+        },
+        Pred::And(a, b) => {
+            let ca = par_eval_pred(table, a, threads)?;
+            if ca.is_empty() {
+                return Ok(ca);
+            }
+            let cb = par_eval_pred(table, b, threads)?;
+            Ok(intersect(&ca, &cb))
+        }
+        Pred::Or(a, b) => {
+            let ca = par_eval_pred(table, a, threads)?;
+            let cb = par_eval_pred(table, b, threads)?;
+            Ok(union(&ca, &cb))
+        }
+    }
+}
+
 /// Model-predicted cost of evaluating `pred` by scan-selects, in ms: one
 /// stride-scan per leaf (§2's scan model).
 fn pred_model_ms(model: &ModelMachine, table: &DecomposedTable, pred: &Pred) -> f64 {
@@ -460,17 +614,23 @@ fn pred_model_ms(model: &ModelMachine, table: &DecomposedTable, pred: &Pred) -> 
 /// strategies key on), but the model is symmetric in C, so the predicted
 /// cost prices the chosen plan at the larger of the two cardinalities —
 /// otherwise an asymmetric join would be quoted at the dimension's size.
-fn choose_join(opts: &ExecOptions, outer: usize, inner: usize) -> (JoinPlan, Option<f64>) {
+/// Returns the plan, the cost quote shown for the cost-model planner, and
+/// the model's sequential nanoseconds (always computed — the parallel model
+/// prices the *chosen* plan whichever planner chose it).
+fn choose_join(opts: &ExecOptions, outer: usize, inner: usize) -> (JoinPlan, Option<f64>, f64) {
+    let model = ModelMachine::with_params(&opts.machine, ModelParams::implementation_matched());
+    let c = outer.max(inner).max(1) as f64;
     match opts.planner {
         Planner::CostModel => {
-            let model =
-                ModelMachine::with_params(&opts.machine, ModelParams::implementation_matched());
             let (plan, _) = best_plan(&model, &opts.machine, inner.max(1));
-            let c = outer.max(inner).max(1) as f64;
-            let ms = plan_cost(&model, &plan, c).total_ms();
-            (plan, Some(ms))
+            let ns = plan_cost(&model, &plan, c).total_ns();
+            (plan, Some(ns / 1e6), ns)
         }
-        Planner::Heuristic => (heuristic_plan(inner, &opts.machine), None),
+        Planner::Heuristic => {
+            let plan = heuristic_plan(inner, &opts.machine);
+            let ns = plan_cost(&model, &plan, c).total_ns();
+            (plan, None, ns)
+        }
     }
 }
 
@@ -570,13 +730,21 @@ fn resolve_col<'a>(stream: &Stream<'a>, col: &str) -> (&'a DecomposedTable, bool
 
 /// Gather a column's values as `f64` at the stream's surviving rows
 /// (borrowing the whole column when the stream is an unrestricted scan).
+/// `threads > 1` fans the gather out in chunks — `i32 → f64` conversion is
+/// exact, so the materialized vector is bit-identical either way.
 fn f64_values<'b, M: MemTracker>(
     trk: &mut M,
     bat: &'b Bat,
     oids: Option<&[Oid]>,
+    threads: usize,
 ) -> Result<BatCow<'b>, EngineError> {
     let vals: Vec<f64> = match (oids, bat.tail()) {
         (None, Column::F64(_)) => return Ok(BatCow::Borrowed(bat)),
+        (None, Column::I32(v)) if threads > 1 => {
+            crate::par::fan_out_concat(v.len(), threads, |lo, hi| {
+                v[lo..hi].iter().map(|&x| x as f64).collect()
+            })
+        }
         (None, Column::I32(v)) => v
             .iter()
             .map(|x| {
@@ -587,7 +755,11 @@ fn f64_values<'b, M: MemTracker>(
                 *x as f64
             })
             .collect(),
+        (Some(oids), Column::F64(_)) if threads > 1 => par_fetch_f64(bat, oids, threads)?,
         (Some(oids), Column::F64(_)) => fetch_f64(trk, bat, oids)?,
+        (Some(oids), Column::I32(_)) if threads > 1 => {
+            par_fetch_i32(bat, oids, threads)?.into_iter().map(|x| x as f64).collect()
+        }
         (Some(oids), Column::I32(_)) => {
             fetch_i32(trk, bat, oids)?.into_iter().map(|x| x as f64).collect()
         }
@@ -603,11 +775,14 @@ fn f64_values<'b, M: MemTracker>(
 
 /// Compute grouped aggregates in a single grouping pass; returns the rows
 /// (ascending by key code) and the direct-index domain used by the kernel.
+/// `threads > 1` (native only) parallelizes the gathers and the group
+/// kernel; the output is bit-identical to the sequential pass.
 fn grouped_aggs<M: MemTracker>(
     trk: &mut M,
     stream: &Stream<'_>,
     key: &str,
     aggs: &[Agg],
+    threads: usize,
 ) -> Result<(Vec<GroupRow>, usize), EngineError> {
     let oids = row_oids(stream);
     let (key_table, key_is_left) = resolve_col(stream, key);
@@ -618,10 +793,12 @@ fn grouped_aggs<M: MemTracker>(
     let keys: BatCow<'_> = match oids.for_side(key_is_left) {
         None => BatCow::Borrowed(key_src),
         Some(oids) => {
-            let tail = match key_src.tail() {
-                Column::Str(_) => Column::Str(fetch_str(trk, key_src, oids)?),
-                Column::U8(_) => Column::U8(fetch_u8(trk, key_src, oids)?),
-                other => {
+            let tail = match (key_src.tail(), threads > 1) {
+                (Column::Str(_), true) => Column::Str(par_fetch_str(key_src, oids, threads)?),
+                (Column::Str(_), false) => Column::Str(fetch_str(trk, key_src, oids)?),
+                (Column::U8(_), true) => Column::U8(par_fetch_u8(key_src, oids, threads)?),
+                (Column::U8(_), false) => Column::U8(fetch_u8(trk, key_src, oids)?),
+                (other, _) => {
                     return Err(EngineError::UnsupportedType {
                         op: "group key",
                         ty: other.value_type(),
@@ -652,7 +829,7 @@ fn grouped_aggs<M: MemTracker>(
             Agg::Sum(col) => {
                 let (table, is_left) = resolve_col(stream, col);
                 sum_col_of_agg.push(Some(value_bats.len()));
-                value_bats.push(f64_values(trk, table.bat(col)?, oids.for_side(is_left))?);
+                value_bats.push(f64_values(trk, table.bat(col)?, oids.for_side(is_left), threads)?);
             }
             Agg::Count => sum_col_of_agg.push(None),
             Agg::Min(_) | Agg::Max(_) => {
@@ -663,7 +840,11 @@ fn grouped_aggs<M: MemTracker>(
         }
     }
     let value_refs: Vec<&Bat> = value_bats.iter().map(BatCow::as_bat).collect();
-    let grouped = hash_group_multi_sum_f64(trk, keys.as_bat(), &value_refs)?;
+    let grouped = if threads > 1 {
+        par_hash_group_multi_sum_f64(keys.as_bat(), &value_refs, threads)?
+    } else {
+        hash_group_multi_sum_f64(trk, keys.as_bat(), &value_refs)?
+    };
 
     let decode = |code: u32| -> String {
         match keys.as_bat().tail() {
@@ -689,11 +870,15 @@ fn grouped_aggs<M: MemTracker>(
     Ok((rows, domain))
 }
 
-/// Compute ungrouped aggregates over the stream.
+/// Compute ungrouped aggregates over the stream. `threads > 1` (native
+/// only) fans out the gathers and the exact (`i32`) aggregates; `f64` sums
+/// always accumulate sequentially to preserve the fp addition order, so the
+/// result is bit-identical at every thread count.
 fn scalar_aggs<M: MemTracker>(
     trk: &mut M,
     stream: &Stream<'_>,
     aggs: &[Agg],
+    threads: usize,
 ) -> Result<Vec<AggValue>, EngineError> {
     let oids = row_oids(stream);
     let mut out = Vec::with_capacity(aggs.len());
@@ -704,12 +889,15 @@ fn scalar_aggs<M: MemTracker>(
                 let col = agg.column().expect("non-count aggs read a column");
                 let bat = table.bat(col)?;
                 let cands = cands.as_deref();
-                match (agg, bat.tail()) {
-                    (Agg::Sum(_), Column::F64(_)) => AggValue::F64(sum_f64(trk, bat, cands)?),
-                    (Agg::Sum(_), _) => AggValue::I64(sum_i32(trk, bat, cands)?),
-                    (Agg::Min(_), _) => AggValue::MaybeI32(min_i32(trk, bat, cands)?),
-                    (Agg::Max(_), _) => AggValue::MaybeI32(max_i32(trk, bat, cands)?),
-                    (Agg::Count, _) => unreachable!("handled above"),
+                match (agg, bat.tail(), threads > 1) {
+                    (Agg::Sum(_), Column::F64(_), _) => AggValue::F64(sum_f64(trk, bat, cands)?),
+                    (Agg::Sum(_), _, true) => AggValue::I64(par_sum_i32(bat, cands, threads)?),
+                    (Agg::Sum(_), _, false) => AggValue::I64(sum_i32(trk, bat, cands)?),
+                    (Agg::Min(_), _, true) => AggValue::MaybeI32(par_min_i32(bat, cands, threads)?),
+                    (Agg::Min(_), _, false) => AggValue::MaybeI32(min_i32(trk, bat, cands)?),
+                    (Agg::Max(_), _, true) => AggValue::MaybeI32(par_max_i32(bat, cands, threads)?),
+                    (Agg::Max(_), _, false) => AggValue::MaybeI32(max_i32(trk, bat, cands)?),
+                    (Agg::Count, _, _) => unreachable!("handled above"),
                 }
             }
             (agg, joined @ Stream::Joined { .. }) => {
@@ -719,22 +907,29 @@ fn scalar_aggs<M: MemTracker>(
                 let side = oids.for_side(is_left).expect("joined streams have oids");
                 match (agg, bat.tail()) {
                     (Agg::Sum(_), Column::F64(_)) => {
-                        let vals = fetch_f64(trk, bat, side)?;
+                        let vals = if threads > 1 {
+                            par_fetch_f64(bat, side, threads)?
+                        } else {
+                            fetch_f64(trk, bat, side)?
+                        };
                         let b = Bat::with_void_head(0, Column::F64(vals));
                         AggValue::F64(sum_f64(trk, &b, None)?)
                     }
-                    (Agg::Sum(_), _) => {
-                        let vals = fetch_i32(trk, bat, side)?;
-                        let b = Bat::with_void_head(0, Column::I32(vals));
-                        AggValue::I64(sum_i32(trk, &b, None)?)
-                    }
-                    (Agg::Min(_), _) | (Agg::Max(_), _) => {
-                        let vals = fetch_i32(trk, bat, side)?;
-                        let b = Bat::with_void_head(0, Column::I32(vals));
-                        if matches!(agg, Agg::Min(_)) {
-                            AggValue::MaybeI32(min_i32(trk, &b, None)?)
+                    (Agg::Sum(_), _) | (Agg::Min(_), _) | (Agg::Max(_), _) => {
+                        let vals = if threads > 1 {
+                            par_fetch_i32(bat, side, threads)?
                         } else {
-                            AggValue::MaybeI32(max_i32(trk, &b, None)?)
+                            fetch_i32(trk, bat, side)?
+                        };
+                        let b = Bat::with_void_head(0, Column::I32(vals));
+                        match agg {
+                            Agg::Sum(_) if threads > 1 => {
+                                AggValue::I64(par_sum_i32(&b, None, threads)?)
+                            }
+                            Agg::Sum(_) => AggValue::I64(sum_i32(trk, &b, None)?),
+                            Agg::Min(_) => AggValue::MaybeI32(min_i32(trk, &b, None)?),
+                            Agg::Max(_) => AggValue::MaybeI32(max_i32(trk, &b, None)?),
+                            Agg::Count => unreachable!("handled above"),
                         }
                     }
                     (Agg::Count, _) => unreachable!("handled above"),
@@ -996,5 +1191,58 @@ mod tests {
         let text = r.report.to_string();
         assert!(!text.contains("sim ms"), "{text}");
         assert!(text.contains("select(item)"), "{text}");
+    }
+
+    #[test]
+    fn fixed_threads_match_sequential_and_are_reported() {
+        let t = item();
+        let mut b =
+            TableBuilder::new("qtyinfo", 0).column("q", ColType::I32).column("bonus", ColType::F64);
+        for (q, f) in [(1, 0.5), (2, 1.0), (3, 2.0), (4, 4.0), (5, 8.5)] {
+            b.push_row(&[Value::I32(q), Value::F64(f)]).unwrap();
+        }
+        let info = b.finish();
+        let plan = Query::scan(&t)
+            .filter(Pred::range_i32("qty", 1, 4))
+            .join(&info, ("qty", "q"))
+            .group_by("shipmode")
+            .agg(Agg::sum("bonus"))
+            .agg(Agg::count())
+            .build()
+            .unwrap();
+        let seq = execute(&mut NullTracker, &plan, &ExecOptions::default()).unwrap();
+        for n in [2usize, 4, 7] {
+            let opts = ExecOptions::default().with_threads(Threads::Fixed(n));
+            let par = execute(&mut NullTracker, &plan, &opts).unwrap();
+            assert_eq!(par.output, seq.output, "threads={n}");
+            // The select, at least, fans out on a fixed setting and says so.
+            let select = par.report.ops.iter().find(|o| o.op.starts_with("select")).unwrap();
+            assert!(select.detail.contains(&format!("threads={n}")), "{}", select.detail);
+        }
+    }
+
+    #[test]
+    fn auto_threads_stay_sequential_for_tiny_inputs_and_under_simulation() {
+        let t = item();
+        let plan = Query::scan(&t)
+            .filter(Pred::range_f64("discnt", 0.0, 0.10))
+            .group_by("shipmode")
+            .agg(Agg::sum("price"))
+            .build()
+            .unwrap();
+        // 5 rows: the fork overhead dwarfs the work, Auto must pick 1.
+        let opts = ExecOptions::default().with_threads(Threads::Auto);
+        let r = execute(&mut NullTracker, &plan, &opts).unwrap();
+        for op in &r.report.ops {
+            assert!(!op.detail.contains("threads="), "tiny input forked: {}", op.detail);
+        }
+        // Under the simulator, even Fixed(8) pins to one thread.
+        let mut trk = SimTracker::for_machine(profiles::origin2000());
+        let opts = ExecOptions::default().with_threads(Threads::Fixed(8));
+        let sim = execute(&mut trk, &plan, &opts).unwrap();
+        assert_eq!(sim.output, r.output);
+        for op in &sim.report.ops {
+            assert!(!op.detail.contains("threads="), "simulated run forked: {}", op.detail);
+        }
     }
 }

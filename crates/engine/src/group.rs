@@ -120,6 +120,77 @@ pub fn hash_group_multi_sum_f64<M: MemTracker>(
     })
 }
 
+/// Parallel multi-aggregate grouping, **bit-identical** to
+/// [`hash_group_multi_sum_f64`] at every thread count.
+///
+/// Row-chunked fan-out with per-thread partial sums would merge each group's
+/// `f64` sum in a different association order than the sequential kernel —
+/// not bit-identical. Instead the fan-out is over the *group domain*: each
+/// worker owns a contiguous range of key codes, scans the whole input, and
+/// accumulates only its own groups. Per group, additions happen in row order
+/// — exactly the sequential order — so sums (and counts) match bit for bit,
+/// and the domain slices concatenate thread-major into the final arrays.
+/// Workers re-read the (sequential-bandwidth-friendly) key and value arrays,
+/// trading redundant streaming reads for cache-resident accumulators and a
+/// determinism guarantee; `COUNT` alone would not need this, but `SUM(F64)`
+/// does.
+pub fn par_hash_group_multi_sum_f64(
+    keys: &Bat,
+    values: &[&Bat],
+    threads: usize,
+) -> Result<GroupedSums, EngineError> {
+    let codes = codes_of(keys, "par_hash_group_multi_sum_f64")?;
+    if threads <= 1 || codes.len() < 2 {
+        return hash_group_multi_sum_f64(&mut memsim::NullTracker, keys, values);
+    }
+    let mut cols: Vec<&[f64]> = Vec::with_capacity(values.len());
+    for v in values {
+        assert_eq!(keys.len(), v.len(), "group keys and values must align");
+        cols.push(v.tail().as_f64().ok_or(EngineError::UnsupportedType {
+            op: "par_hash_group_multi_sum_f64",
+            ty: v.tail().value_type(),
+        })?);
+    }
+    let domain = codes.domain();
+    let n = codes.len();
+
+    // Each part: (code range start, counts over the range, sums per column).
+    type Part = (usize, Vec<u64>, Vec<Vec<f64>>);
+    let parts: Vec<Part> = crate::par::fan_out(domain, threads, |glo, ghi| {
+        let mut counts = vec![0u64; ghi - glo];
+        let mut sums = vec![vec![0f64; ghi - glo]; cols.len()];
+        for i in 0..n {
+            let c = codes.get(i) as usize;
+            if c < glo || c >= ghi {
+                continue;
+            }
+            counts[c - glo] += 1;
+            for (col, sum) in cols.iter().zip(&mut sums) {
+                sum[c - glo] += col[i];
+            }
+        }
+        (glo, counts, sums)
+    });
+
+    // Stitch the domain slices back together (they partition 0..domain in
+    // order) and project the occurring groups exactly as the sequential
+    // kernel does.
+    let mut counts = vec![0u64; domain];
+    let mut sums = vec![vec![0f64; domain]; cols.len()];
+    for (glo, pc, ps) in parts {
+        counts[glo..glo + pc.len()].copy_from_slice(&pc);
+        for (full, part) in sums.iter_mut().zip(ps) {
+            full[glo..glo + part.len()].copy_from_slice(&part);
+        }
+    }
+    let occurring: Vec<u32> = (0..domain as u32).filter(|&c| counts[c as usize] > 0).collect();
+    Ok(GroupedSums {
+        counts: occurring.iter().map(|&c| counts[c as usize]).collect(),
+        sums: sums.iter().map(|col| occurring.iter().map(|&c| col[c as usize]).collect()).collect(),
+        codes: occurring,
+    })
+}
+
 /// Hash-group (direct-indexed for encoded keys) + `SUM` of an `F64` column.
 ///
 /// Returns `(code, sum)` for every occurring group, ascending by code.
@@ -239,6 +310,31 @@ mod tests {
         let v = Bat::with_void_head(0, Column::F64(vec![]));
         assert!(hash_group_sum_f64(&mut NullTracker, &k, &v).unwrap().is_empty());
         assert!(sort_group_sum_f64(&mut NullTracker, &k, &v).unwrap().is_empty());
+        assert!(par_hash_group_multi_sum_f64(&k, &[&v], 8).unwrap().codes.is_empty());
+    }
+
+    #[test]
+    fn parallel_grouping_is_bit_identical_to_sequential() {
+        // Values deliberately not exactly representable: bit-identity must
+        // come from preserving the per-group fp addition order, not luck.
+        let n = 7001usize;
+        let k = Bat::with_void_head(0, Column::U8((0..n).map(|i| (i % 23) as u8).collect()));
+        let v1 = Bat::with_void_head(0, Column::F64((0..n).map(|i| i as f64 / 7.0).collect()));
+        let v2 = Bat::with_void_head(
+            0,
+            Column::F64((0..n).map(|i| (i * i % 97) as f64 * 0.1).collect()),
+        );
+        let seq = hash_group_multi_sum_f64(&mut NullTracker, &k, &[&v1, &v2]).unwrap();
+        for threads in [1usize, 2, 4, 7, 64, 1000] {
+            let par = par_hash_group_multi_sum_f64(&k, &[&v1, &v2], threads).unwrap();
+            assert_eq!(par.codes, seq.codes, "threads={threads}");
+            assert_eq!(par.counts, seq.counts, "threads={threads}");
+            for (pc, sc) in par.sums.iter().zip(&seq.sums) {
+                for (p, s) in pc.iter().zip(sc) {
+                    assert_eq!(p.to_bits(), s.to_bits(), "threads={threads}: fp order differs");
+                }
+            }
+        }
     }
 
     #[test]

@@ -83,6 +83,39 @@ pub fn join_bats_with_plan<M: MemTracker>(
     })
 }
 
+/// Execute `left ⋈ right` with an explicit plan on `threads` threads —
+/// bit-identical output to [`join_bats_with_plan`] (native-only; the
+/// executor pins simulated runs to one thread).
+///
+/// The partitioned algorithms lower onto the parallel radix kernels of
+/// [`monet_core::join::parallel`]; the unpartitioned baselines (simple hash,
+/// sort-merge) and the void positional fast path have no disjoint partitions
+/// to fan out over and run sequentially regardless of `threads`.
+pub fn par_join_bats_with_plan(
+    left: &Bat,
+    right: &Bat,
+    plan: &JoinPlan,
+    threads: usize,
+) -> Result<JoinIndex, EngineError> {
+    if threads <= 1 {
+        return join_bats_with_plan(&mut memsim::NullTracker, left, right, plan);
+    }
+    if right.head_is_void() && matches!(left.tail(), Column::Oid(_)) {
+        return void_positional_join(&mut memsim::NullTracker, left, right);
+    }
+    let l = buns_of(left)?;
+    let r = buns_of(right)?;
+    let h = FibHash;
+    Ok(match plan.algorithm {
+        Algorithm::PartitionedHash => {
+            kernels::par_partitioned_hash_join(h, l, r, plan.bits, &plan.pass_bits, threads)
+        }
+        Algorithm::Radix => kernels::par_radix_join(h, l, r, plan.bits, &plan.pass_bits, threads),
+        Algorithm::SimpleHash => kernels::simple_hash_join(&mut memsim::NullTracker, h, &l, &r),
+        Algorithm::SortMerge => kernels::sort_merge_join(&mut memsim::NullTracker, l, r),
+    })
+}
+
 /// Execute `left ⋈ right`, picking a plan with the cache heuristics of
 /// `monet_core::strategy` for the given machine.
 pub fn join_bats<M: MemTracker>(
@@ -155,6 +188,34 @@ mod tests {
         // join_bats dispatches to the same path.
         let auto = join_bats(&mut NullTracker, &l, &r, &profiles::origin2000()).unwrap();
         assert_eq!(auto, got);
+    }
+
+    #[test]
+    fn parallel_join_dispatch_is_bit_identical_per_algorithm() {
+        let l = bat_i32(0, (0..4000).map(|i| i % 600).collect());
+        let r = bat_i32(500, (0..3000).map(|i| i % 750).collect());
+        let mk = |algorithm, bits: u32| JoinPlan {
+            algorithm,
+            bits,
+            pass_bits: if bits == 0 { vec![] } else { vec![bits] },
+        };
+        for plan in [
+            mk(Algorithm::PartitionedHash, 4),
+            mk(Algorithm::Radix, 6),
+            mk(Algorithm::SimpleHash, 0),
+            mk(Algorithm::SortMerge, 0),
+        ] {
+            let seq = join_bats_with_plan(&mut NullTracker, &l, &r, &plan).unwrap();
+            for threads in [1usize, 2, 4, 7] {
+                let par = par_join_bats_with_plan(&l, &r, &plan, threads).unwrap();
+                assert_eq!(par, seq, "{plan:?} threads={threads}");
+            }
+        }
+        // The void fast path stays positional under the parallel entry too.
+        let lv = Bat::with_void_head(0, Column::Oid(vec![502, 500]));
+        let seq = void_positional_join(&mut NullTracker, &lv, &r).unwrap();
+        let plan = mk(Algorithm::PartitionedHash, 2);
+        assert_eq!(par_join_bats_with_plan(&lv, &r, &plan, 4).unwrap(), seq);
     }
 
     #[test]

@@ -19,9 +19,11 @@
 //! * [`plan`] — the **logical layer**: a fluent [`plan::Query`] builder with
 //!   typed predicates/aggregates, validated into a [`plan::LogicalPlan`];
 //! * [`exec`] — the **physical layer**: lowers logical plans onto the
-//!   kernels, choosing join algorithm and radix bits from the paper's cost
-//!   model ([`costmodel::plan::best_plan`]) and returning an
-//!   [`exec::ExecReport`] with per-operator rows and simulated miss counts;
+//!   kernels, choosing join algorithm, radix bits *and degree of
+//!   parallelism* from the paper's cost model
+//!   ([`costmodel::plan::best_plan`], [`costmodel::parallel`]) and returning
+//!   an [`exec::ExecReport`] with per-operator rows and simulated miss
+//!   counts; parallel execution is bit-identical to sequential;
 //! * [`query`] — `grouped_sum_where`, the original composed pipeline, kept
 //!   as a thin compatibility wrapper over the builder + executor.
 //!
@@ -33,12 +35,13 @@ pub mod candidates;
 pub mod exec;
 pub mod group;
 pub mod join;
+mod par;
 pub mod plan;
 pub mod query;
 pub mod reconstruct;
 pub mod select;
 
-pub use exec::{execute, ExecOptions, ExecReport, Executed, Planner, QueryOutput};
+pub use exec::{execute, ExecOptions, ExecReport, Executed, Planner, QueryOutput, Threads};
 pub use join::{join_bats, JoinIndex};
 pub use plan::{Agg, LogicalPlan, PlanError, Pred, Query};
 pub use query::{grouped_sum_where, GroupedSum};

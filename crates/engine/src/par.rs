@@ -1,0 +1,84 @@
+//! Chunked fan-out plumbing for the parallel operator paths.
+//!
+//! Every parallel operator in this crate follows the same determinism
+//! discipline as [`monet_core::join::parallel`]: the input index space is
+//! split into at most `threads` contiguous chunks, each worker produces its
+//! chunk's result independently, and results are merged **thread-major**
+//! (chunk 0's output precedes chunk 1's). Because chunks partition the index
+//! space in order, the merged output is bit-identical to what the sequential
+//! kernel produces — integer outputs trivially, and per-element outputs
+//! (gathers) because every element is computed exactly as the sequential
+//! code computes it.
+//!
+//! Parallel execution is native-only: none of these helpers take a
+//! [`memsim::MemTracker`], because simulating one shared memory hierarchy
+//! from several threads would serialize on the simulator and model a machine
+//! the paper never measured. The executor pins simulated runs to one thread.
+
+/// Run `f(lo, hi)` over at most `threads` contiguous chunks of `0..n` and
+/// return the per-chunk results in chunk order. Clamps so every worker gets
+/// a non-empty range; `threads <= 1` (or `n <= 1`) runs inline without
+/// spawning.
+pub(crate) fn fan_out<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, usize) -> R + Sync,
+{
+    let threads = threads.min(n).max(1);
+    if threads == 1 {
+        return vec![f(0, n)];
+    }
+    let chunk = n.div_ceil(threads);
+    let ranges: Vec<(usize, usize)> = (0..threads)
+        .map(|t| (t * chunk, ((t + 1) * chunk).min(n)))
+        .filter(|(a, b)| a < b)
+        .collect();
+    let mut parts = Vec::with_capacity(ranges.len());
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranges.iter().map(|&(lo, hi)| s.spawn(move || f(lo, hi))).collect();
+        for h in handles {
+            parts.push(h.join().expect("fan-out worker panicked"));
+        }
+    });
+    parts
+}
+
+/// [`fan_out`] for `Vec`-producing workers, concatenated thread-major.
+pub(crate) fn fan_out_concat<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, usize) -> Vec<R> + Sync,
+{
+    let parts = fan_out(n, threads, f);
+    let total: usize = parts.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_the_range_in_order() {
+        for n in [0usize, 1, 2, 7, 100, 101] {
+            for threads in [1usize, 2, 3, 7, 64] {
+                let got = fan_out_concat(n, threads, |lo, hi| (lo..hi).collect::<Vec<_>>());
+                let expect: Vec<usize> = (0..n).collect();
+                assert_eq!(got, expect, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let parts = fan_out(10, 1, |lo, hi| (lo, hi));
+        assert_eq!(parts, vec![(0, 10)]);
+        let parts = fan_out(0, 8, |lo, hi| (lo, hi));
+        assert_eq!(parts, vec![(0, 0)], "empty input must not spawn workers");
+    }
+}

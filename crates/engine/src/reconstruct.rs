@@ -162,6 +162,62 @@ pub fn fetch_str<M: MemTracker>(
     Ok(StrColumn { codes, dict: sc.dict.clone() })
 }
 
+/// Parallel gather of `I32` values: the candidate list fans out in
+/// contiguous chunks, each gathered by the sequential kernel, merged
+/// thread-major — bit-identical to [`fetch_i32`] (native-only).
+pub fn par_fetch_i32(bat: &Bat, cands: &[Oid], threads: usize) -> Result<Vec<i32>, EngineError> {
+    collect_chunks(cands, threads, |chunk| fetch_i32(&mut memsim::NullTracker, bat, chunk))
+}
+
+/// Parallel gather of `F64` values (bit-identical to [`fetch_f64`]).
+pub fn par_fetch_f64(bat: &Bat, cands: &[Oid], threads: usize) -> Result<Vec<f64>, EngineError> {
+    collect_chunks(cands, threads, |chunk| fetch_f64(&mut memsim::NullTracker, bat, chunk))
+}
+
+/// Parallel gather of `U8` codes (bit-identical to [`fetch_u8`]).
+pub fn par_fetch_u8(bat: &Bat, cands: &[Oid], threads: usize) -> Result<Vec<u8>, EngineError> {
+    collect_chunks(cands, threads, |chunk| fetch_u8(&mut memsim::NullTracker, bat, chunk))
+}
+
+/// Parallel gather of an encoded string column, preserving the encoding
+/// (bit-identical to [`fetch_str`]).
+pub fn par_fetch_str(bat: &Bat, cands: &[Oid], threads: usize) -> Result<StrColumn, EngineError> {
+    let sc = bat
+        .tail()
+        .as_str_col()
+        .ok_or(EngineError::UnsupportedType { op: "par_fetch_str", ty: bat.tail().value_type() })?;
+    let codes = match &sc.codes {
+        Codes::U8(_) => Codes::U8(collect_chunks(cands, threads, |chunk| {
+            fetch_str(&mut memsim::NullTracker, bat, chunk).map(|s| match s.codes {
+                Codes::U8(v) => v,
+                Codes::U16(_) => unreachable!("gather preserves the code width"),
+            })
+        })?),
+        Codes::U16(_) => Codes::U16(collect_chunks(cands, threads, |chunk| {
+            fetch_str(&mut memsim::NullTracker, bat, chunk).map(|s| match s.codes {
+                Codes::U16(v) => v,
+                Codes::U8(_) => unreachable!("gather preserves the code width"),
+            })
+        })?),
+    };
+    Ok(StrColumn { codes, dict: sc.dict.clone() })
+}
+
+/// Fan a candidate list out over contiguous chunks, run the (fallible)
+/// sequential gather per chunk, and concatenate thread-major.
+fn collect_chunks<T: Send>(
+    cands: &[Oid],
+    threads: usize,
+    f: impl Fn(&[Oid]) -> Result<Vec<T>, EngineError> + Sync,
+) -> Result<Vec<T>, EngineError> {
+    let parts = crate::par::fan_out(cands.len(), threads, |lo, hi| f(&cands[lo..hi]));
+    let mut out = Vec::with_capacity(cands.len());
+    for p in parts {
+        out.extend(p?);
+    }
+    Ok(out)
+}
+
 /// Reconstruct a sub-BAT: candidates become the (materialized) head, the
 /// gathered values the tail.
 pub fn reconstruct<M: MemTracker>(
@@ -229,5 +285,35 @@ mod tests {
     fn empty_candidates_yield_empty() {
         assert!(fetch_i32(&mut NullTracker, &bat(), &[]).unwrap().is_empty());
         assert_eq!(reconstruct(&mut NullTracker, &bat(), &[]).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn parallel_fetches_are_bit_identical_to_sequential() {
+        let n = 5000usize;
+        let bi = Bat::with_void_head(100, Column::I32((0..n as i32).map(|i| i * 3).collect()));
+        let bf = Bat::with_void_head(100, Column::F64((0..n).map(|i| i as f64 / 7.0).collect()));
+        let bs = Bat::with_void_head(
+            100,
+            Column::Str(StrColumn::from_strs(
+                (0..n).map(|i| ["AIR", "MAIL", "SHIP", "RAIL"][i % 4]),
+            )),
+        );
+        let cands: Vec<Oid> = (0..n as Oid).filter(|o| o % 3 != 1).map(|o| o + 100).collect();
+        for threads in [1usize, 2, 5, 8, 64] {
+            assert_eq!(
+                par_fetch_i32(&bi, &cands, threads).unwrap(),
+                fetch_i32(&mut NullTracker, &bi, &cands).unwrap()
+            );
+            assert_eq!(
+                par_fetch_f64(&bf, &cands, threads).unwrap(),
+                fetch_f64(&mut NullTracker, &bf, &cands).unwrap()
+            );
+            let par = par_fetch_str(&bs, &cands, threads).unwrap();
+            let seq = fetch_str(&mut NullTracker, &bs, &cands).unwrap();
+            assert_eq!(par.codes, seq.codes, "threads={threads}");
+        }
+        // Type errors surface the same way.
+        assert!(matches!(par_fetch_i32(&bf, &cands, 4), Err(EngineError::UnsupportedType { .. })));
+        assert!(par_fetch_f64(&bf, &[], 4).unwrap().is_empty());
     }
 }

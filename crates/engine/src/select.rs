@@ -107,6 +107,87 @@ pub fn select_eq_str<M: MemTracker>(
     Ok(out)
 }
 
+/// Parallel range selection over an `I32` tail: chunked fan-out with a
+/// thread-major merge, so the candidate list is bit-identical to
+/// [`range_select_i32`] (native-only; see [`crate::par`]).
+pub fn par_range_select_i32(
+    bat: &Bat,
+    lo: i32,
+    hi: i32,
+    threads: usize,
+) -> Result<CandList, EngineError> {
+    let data = bat.tail().as_i32().ok_or(EngineError::UnsupportedType {
+        op: "par_range_select_i32",
+        ty: bat.tail().value_type(),
+    })?;
+    Ok(crate::par::fan_out_concat(data.len(), threads, |clo, chi| {
+        let mut out = CandList::new();
+        for (i, v) in data.iter().enumerate().take(chi).skip(clo) {
+            if (lo..=hi).contains(v) {
+                out.push(bat.head_oid(i));
+            }
+        }
+        out
+    }))
+}
+
+/// Parallel range selection over an `F64` tail (bit-identical to
+/// [`range_select_f64`]).
+pub fn par_range_select_f64(
+    bat: &Bat,
+    lo: f64,
+    hi: f64,
+    threads: usize,
+) -> Result<CandList, EngineError> {
+    let data = bat.tail().as_f64().ok_or(EngineError::UnsupportedType {
+        op: "par_range_select_f64",
+        ty: bat.tail().value_type(),
+    })?;
+    Ok(crate::par::fan_out_concat(data.len(), threads, |clo, chi| {
+        let mut out = CandList::new();
+        for (i, v) in data.iter().enumerate().take(chi).skip(clo) {
+            if *v >= lo && *v <= hi {
+                out.push(bat.head_oid(i));
+            }
+        }
+        out
+    }))
+}
+
+/// Parallel dictionary-equality selection (bit-identical to
+/// [`select_eq_str`], including the [`EngineError::ConstantNotInDictionary`]
+/// contract — the constant is re-mapped to its code once, before fan-out).
+pub fn par_select_eq_str(bat: &Bat, needle: &str, threads: usize) -> Result<CandList, EngineError> {
+    let sc = bat.tail().as_str_col().ok_or(EngineError::UnsupportedType {
+        op: "par_select_eq_str",
+        ty: bat.tail().value_type(),
+    })?;
+    let Some(code) = sc.dict.code_of(needle) else {
+        return Err(EngineError::ConstantNotInDictionary(needle.to_owned()));
+    };
+    let scan = |n: usize, eq: &(dyn Fn(usize) -> bool + Sync)| {
+        crate::par::fan_out_concat(n, threads, |clo, chi| {
+            let mut out = CandList::new();
+            for i in clo..chi {
+                if eq(i) {
+                    out.push(bat.head_oid(i));
+                }
+            }
+            out
+        })
+    };
+    Ok(match &sc.codes {
+        Codes::U8(v) => {
+            let code = code as u8;
+            scan(v.len(), &|i| v[i] == code)
+        }
+        Codes::U16(v) => {
+            let code = code as u16;
+            scan(v.len(), &|i| v[i] == code)
+        }
+    })
+}
+
 /// Equality selection on a `U8` column (already-encoded data).
 pub fn select_eq_u8<M: MemTracker>(
     trk: &mut M,
@@ -190,5 +271,37 @@ mod tests {
     fn u8_select() {
         let b = Bat::with_void_head(0, Column::U8(vec![1, 3, 1, 2]));
         assert_eq!(select_eq_u8(&mut NullTracker, &b, 1).unwrap(), vec![0, 2]);
+    }
+
+    #[test]
+    fn parallel_selects_are_bit_identical_to_sequential() {
+        let i32s: Vec<i32> = (0..10_000).map(|i| (i * 37) % 1000).collect();
+        let f64s: Vec<f64> = (0..10_000).map(|i| ((i * 13) % 777) as f64 / 10.0).collect();
+        let strs: Vec<&str> = (0..10_000).map(|i| ["AIR", "MAIL", "SHIP"][i % 3]).collect();
+        let bi = Bat::with_void_head(50, Column::I32(i32s));
+        let bf = Bat::with_void_head(0, Column::F64(f64s));
+        let bs = Bat::with_void_head(7, Column::Str(StrColumn::from_strs(strs)));
+        for threads in [1usize, 2, 4, 7, 64] {
+            assert_eq!(
+                par_range_select_i32(&bi, 100, 500, threads).unwrap(),
+                range_select_i32(&mut NullTracker, &bi, 100, 500).unwrap(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                par_range_select_f64(&bf, 3.0, 40.0, threads).unwrap(),
+                range_select_f64(&mut NullTracker, &bf, 3.0, 40.0).unwrap(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                par_select_eq_str(&bs, "MAIL", threads).unwrap(),
+                select_eq_str(&mut NullTracker, &bs, "MAIL").unwrap(),
+                "threads={threads}"
+            );
+        }
+        // The dictionary-miss contract is preserved.
+        assert!(matches!(
+            par_select_eq_str(&bs, "WALRUS", 4),
+            Err(EngineError::ConstantNotInDictionary(_))
+        ));
     }
 }
