@@ -9,6 +9,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use engine::AccessMode;
 use monet_bench::figures;
 use monet_bench::runner::{RunOpts, Scale, ThreadsOpt};
 
@@ -30,6 +31,7 @@ commands:
   vm         section-4 virtual-memory experiment (extension)
   query      composed query pipelines through the cost-model-driven executor
   parallel   parallel-scaling sweep: measured vs model-predicted speedup
+  access     access-path crossover: scan vs index selects, model vs simulator
   all        everything above, in order
 
 options:
@@ -40,6 +42,8 @@ options:
   --seed N      workload RNG seed (default 42)
   --threads T   executor parallelism for `query`: a count, or `auto` to let
                 the parallel cost model pick per operator (default 1)
+  --access P    selection access-path policy for `query`/`access`:
+                scan | index | auto (default: MONET_ACCESS, else auto)
 ";
 
 fn main() -> ExitCode {
@@ -78,6 +82,13 @@ fn main() -> ExitCode {
                     None => return usage_error("--threads requires a count or `auto`"),
                 }
             }
+            "--access" => {
+                i += 1;
+                match args.get(i).and_then(|s| AccessMode::parse(s)) {
+                    Some(mode) => opts.access = Some(mode),
+                    None => return usage_error("--access requires scan, index, or auto"),
+                }
+            }
             "-h" | "--help" => {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -110,6 +121,7 @@ fn main() -> ExitCode {
             "vm" => figures::vm::run(&opts),
             "query" => figures::query_pipeline::run(&opts),
             "parallel" => figures::par_scaling::run(&opts),
+            "access" => figures::access_paths::run(&opts),
             _ => return false,
         }
         true
@@ -119,7 +131,7 @@ fn main() -> ExitCode {
         "all" => {
             for name in [
                 "fig1", "fig3", "fig4", "fig9", "fig10", "fig11", "fig12", "fig13", "validate",
-                "select", "skew", "vm", "query", "parallel",
+                "select", "skew", "vm", "query", "parallel", "access",
             ] {
                 println!("\n=== {name} ===\n");
                 run_one(name);

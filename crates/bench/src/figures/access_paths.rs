@@ -1,0 +1,192 @@
+//! **Access-path crossover** (`repro access`) — the new planning dimension,
+//! validated the way the join models are: model vs. simulator.
+//!
+//! A relation with an indexed integer column is filtered at sweeping
+//! selectivities through the executor, once with `--access scan` and once
+//! with `--access index`, on the simulated Origin2000. At every point the
+//! table shows the *simulated* cost of both paths next to the
+//! [`costmodel::access`] quotes the planner used, plus what `auto` chose.
+//! §3.2's claim materializes as a crossover: the index path wins at point
+//! selectivities, the scan-select wins once "most data needs to be
+//! visited" — and the model must predict *where* the flip happens within
+//! the same tolerance the join-model validation uses (a factor of two;
+//! see `validate.rs`).
+
+use engine::access::AccessMode;
+use engine::exec::{execute, ExecOptions};
+use engine::plan::{Pred, Query};
+use memsim::SimTracker;
+use monet_core::index::IndexKind;
+use monet_core::storage::{ColType, DecomposedTable, TableBuilder, Value};
+
+use crate::report::{fmt_card, fmt_ms, TextTable};
+use crate::runner::{RunOpts, Scale};
+
+/// Selectivities swept (fraction of rows qualifying).
+const SELS: [f64; 8] = [0.0001, 0.001, 0.01, 0.05, 0.1, 0.2, 0.4, 0.7];
+
+/// The sweep's outcome at one selectivity.
+pub struct SweepPoint {
+    /// Fraction of rows qualifying.
+    pub selectivity: f64,
+    /// Simulated ms of the forced-scan select.
+    pub scan_sim_ms: f64,
+    /// Model quote of the scan path.
+    pub scan_model_ms: f64,
+    /// Simulated ms of the forced-index select.
+    pub index_sim_ms: f64,
+    /// Model quote of the chosen index path.
+    pub index_model_ms: f64,
+    /// What `auto` picked here.
+    pub auto_path: &'static str,
+}
+
+/// Relation cardinality per scale.
+fn card(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 1 << 16,
+        Scale::Default => 1 << 20,
+        Scale::Full => 1 << 22,
+    }
+}
+
+/// Run the sweep (shared with the smoke test so the assertions see the
+/// numbers the table prints).
+pub fn sweep(opts: &RunOpts) -> Vec<SweepPoint> {
+    let machine = opts.machine();
+    let n = card(opts.scale);
+    let table = keyed_table(n);
+
+    SELS.iter()
+        .map(|&s| {
+            // Keys are a permutation of 0..n, so [0, s·n) qualifies exactly
+            // ⌈s·n⌉ rows, scattered over the whole column.
+            let hi = ((s * n as f64) as i32 - 1).max(0);
+            let pred = Pred::range_i32("key", 0, hi);
+            let plan = Query::scan(&table).filter(pred).build().expect("plan validates");
+
+            let run = |mode: AccessMode| {
+                let mut trk = SimTracker::for_machine(machine);
+                let opts = ExecOptions::cost_model(machine).with_access(mode);
+                let r = execute(&mut trk, &plan, &opts).expect("runs");
+                let sel = r
+                    .report
+                    .ops
+                    .iter()
+                    .find(|o| o.op.starts_with("select"))
+                    .expect("select op reported")
+                    .clone();
+                (r.output, sel)
+            };
+            let (scan_out, scan_op) = run(AccessMode::Scan);
+            let (index_out, index_op) = run(AccessMode::Index);
+            let (auto_out, auto_op) = run(AccessMode::Auto);
+            assert_eq!(index_out, scan_out, "index path must be bit-identical");
+            assert_eq!(auto_out, scan_out, "auto path must be bit-identical");
+
+            let d = &index_op.access[0];
+            SweepPoint {
+                selectivity: s,
+                scan_sim_ms: scan_op.counters.as_ref().map_or(0.0, |c| c.elapsed_ms()),
+                scan_model_ms: d.scan_ms,
+                index_sim_ms: index_op.counters.as_ref().map_or(0.0, |c| c.elapsed_ms()),
+                index_model_ms: d.predicted_ms,
+                auto_path: auto_op.access[0].path.name(),
+            }
+        })
+        .collect()
+}
+
+/// First selectivity at which the scan becomes the cheaper path (the
+/// crossover), by the given cost reading; `None` if the ordering never
+/// flips inside the sweep.
+pub fn crossover(points: &[SweepPoint], cost: impl Fn(&SweepPoint) -> (f64, f64)) -> Option<f64> {
+    points
+        .iter()
+        .find(|p| {
+            let (scan, index) = cost(p);
+            scan <= index
+        })
+        .map(|p| p.selectivity)
+}
+
+/// Run the access-path crossover experiment.
+pub fn run(opts: &RunOpts) {
+    let points = sweep(opts);
+
+    let mut t = TextTable::new(
+        format!(
+            "Access-path crossover: range select over {} rows (simulated origin2k)",
+            fmt_card(card(opts.scale))
+        ),
+        &["sel", "scan sim", "scan model", "index sim", "index model", "auto picks"],
+    );
+    for p in &points {
+        t.row(vec![
+            format!("{:.4}", p.selectivity),
+            fmt_ms(p.scan_sim_ms),
+            fmt_ms(p.scan_model_ms),
+            fmt_ms(p.index_sim_ms),
+            fmt_ms(p.index_model_ms),
+            p.auto_path.into(),
+        ]);
+    }
+    super::emit(opts, &t);
+
+    let sim = crossover(&points, |p| (p.scan_sim_ms, p.index_sim_ms));
+    let model = crossover(&points, |p| (p.scan_model_ms, p.index_model_ms));
+    println!(
+        "crossover (first selectivity where the scan wins): simulated {}, model {}",
+        sim.map_or("beyond sweep".into(), |s| format!("{s}")),
+        model.map_or("beyond sweep".into(), |s| format!("{s}")),
+    );
+    println!(
+        "§3.2, planned instead of hand-chosen: the B-tree wins point selections, the \
+         scan wins once most data must be visited — and `auto` follows the model's \
+         crossover, so no call site picks an access path.\n"
+    );
+}
+
+/// A single-column relation whose `key` column is a permutation of `0..n`
+/// (so selectivity is exact and matches are scattered), carrying a CsBTree.
+fn keyed_table(n: usize) -> DecomposedTable {
+    let mut b = TableBuilder::new("rel", 0).column("key", ColType::I32);
+    // Odd multiplier modulo a power of two => a permutation of 0..n.
+    for i in 0..n as u64 {
+        b.push_row(&[Value::I32(((i * 2_654_435_761) % n as u64) as i32)]).unwrap();
+    }
+    let mut t = b.finish();
+    t.create_index("key", IndexKind::CsBTree).expect("i32 column is indexable");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossover_is_predicted_within_the_join_model_tolerance() {
+        // Quick scale keeps the smoke test in seconds; the regimes (and the
+        // acceptance assertion) are the same at every scale.
+        let points = sweep(&RunOpts { scale: Scale::Quick, ..Default::default() });
+
+        // Both the simulator and the model agree on the regime structure:
+        // index wins the point lookup, scan wins the widest range.
+        let first = &points[0];
+        assert!(first.index_sim_ms < first.scan_sim_ms, "sim: index must win at 0.01%");
+        assert!(first.index_model_ms < first.scan_model_ms, "model: index must win at 0.01%");
+        assert_eq!(first.auto_path, "btree-range");
+        let last = points.last().unwrap();
+        assert!(last.scan_sim_ms < last.index_sim_ms, "sim: scan must win at 70%");
+        assert!(last.scan_model_ms < last.index_model_ms, "model: scan must win at 70%");
+        assert_eq!(last.auto_path, "scan");
+
+        // The predicted crossover selectivity matches the simulated one
+        // within the factor-2 tolerance the join-model validation uses.
+        let sim = crossover(&points, |p| (p.scan_sim_ms, p.index_sim_ms)).expect("sim crossover");
+        let model =
+            crossover(&points, |p| (p.scan_model_ms, p.index_model_ms)).expect("model crossover");
+        let rel = (model - sim).abs() / sim;
+        assert!(rel < 1.0, "model crossover {model} vs simulated {sim} (rel {rel:.2})");
+    }
+}

@@ -1,6 +1,7 @@
 //! One module per reproduced figure. Each exposes `run(&RunOpts)` printing
 //! the same series the paper plots (and optionally CSV).
 
+pub mod access_paths;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;

@@ -8,9 +8,11 @@
 //! chosen by the executor from the analytical cost model, with per-operator
 //! simulated miss counts to verify where the cycles go.
 
+use engine::access::AccessMode;
 use engine::exec::{execute, ExecOptions, QueryOutput};
 use engine::plan::{Agg, Pred, Query};
 use memsim::{NullTracker, SimTracker};
+use monet_core::index::IndexKind;
 use monet_core::storage::{ColType, DecomposedTable, TableBuilder, Value};
 use workload::item_table;
 
@@ -25,10 +27,18 @@ pub fn run(opts: &RunOpts) {
         Scale::Full => 2_000_000,
     };
     let machine = opts.machine();
-    let table = item_table(n, opts.seed);
+    let mut table = item_table(n, opts.seed);
+    // The fact table carries §3.2 indexes; whether the executor *uses* one
+    // is a per-predicate cost-model decision (or pinned via `--access`).
+    table.create_index("qty", IndexKind::CsBTree).expect("qty is indexable");
+    table.create_index("shipmode", IndexKind::Hash).expect("shipmode is indexable");
+    let table = table;
+    let base_opts =
+        |machine| crate::runner::apply_access(opts.access, ExecOptions::cost_model(machine));
 
     // The drill-down query, plus a fact ⋈ dimension query that exercises
-    // the planner's join choice (hit rate one against the supplier table).
+    // the planner's join choice (hit rate one against the supplier table),
+    // plus a needle query whose point predicates are index territory.
     let suppliers = supplier_dim(1_000);
     let drill = Query::scan(&table)
         .filter(Pred::range_f64("discnt", 0.05, 0.10))
@@ -44,24 +54,34 @@ pub fn run(opts: &RunOpts) {
         .agg(Agg::count())
         .build()
         .expect("join plan validates");
+    let needle = Query::scan(&table)
+        .filter(Pred::range_i32("qty", 7, 7).and(Pred::eq_str("shipmode", "AIR")))
+        .agg(Agg::sum("price"))
+        .agg(Agg::count())
+        .build()
+        .expect("needle plan validates");
 
-    for (name, plan) in [("drilldown", &drill), ("item x supplier", &join)] {
+    for (name, plan) in [("drilldown", &drill), ("item x supplier", &join), ("needle", &needle)] {
         println!("--- {name} over {n} Item rows ---\n");
         println!("{}", plan.explain());
 
         let mut trk = SimTracker::for_machine(machine);
-        let executed = execute(&mut trk, plan, &ExecOptions::cost_model(machine)).expect("runs");
+        let executed = execute(&mut trk, plan, &base_opts(machine)).expect("runs");
         println!("{}", executed.report);
 
-        // Cross-check: identical rows natively.
-        let native = execute(&mut NullTracker, plan, &ExecOptions::cost_model(machine)).unwrap();
+        // Cross-check: identical rows natively, and identical rows with
+        // every access path forced to a scan (the bit-identity contract).
+        let native = execute(&mut NullTracker, plan, &base_opts(machine)).unwrap();
         assert_eq!(native.output, executed.output, "tracker must not change results");
+        let scan_opts = ExecOptions::cost_model(machine).with_access(AccessMode::Scan);
+        let scanned = execute(&mut NullTracker, plan, &scan_opts).unwrap();
+        assert_eq!(scanned.output, native.output, "access paths must not change results");
 
         // Parallel native execution (`--threads N|auto`): the per-operator
         // thread counts land in the report, and the rows must be
         // bit-identical to the sequential run.
         if opts.threads != ThreadsOpt::Seq {
-            let popts = ExecOptions::cost_model(machine).with_threads(opts.threads.exec_threads());
+            let popts = base_opts(machine).with_threads(opts.threads.exec_threads());
             let parallel = execute(&mut NullTracker, plan, &popts).unwrap();
             assert_eq!(
                 parallel.output, native.output,
@@ -111,7 +131,7 @@ pub fn run(opts: &RunOpts) {
     }
     println!(
         "The executor asked the cost model for every physical choice; no call \
-         site hard-wired an algorithm or a radix-bit count.\n"
+         site hard-wired an algorithm, a radix-bit count, or an access path.\n"
     );
 }
 
@@ -141,5 +161,14 @@ mod tests {
         // fixed and model-chosen thread paths.
         run(&RunOpts { scale: Scale::Quick, threads: ThreadsOpt::Fixed(4), ..Default::default() });
         run(&RunOpts { scale: Scale::Quick, threads: ThreadsOpt::Auto, ..Default::default() });
+    }
+
+    #[test]
+    fn smoke_access_modes() {
+        // Exercises the scan-vs-index bit-identity assertion inside run()
+        // with each pinned access policy.
+        for access in [AccessMode::Scan, AccessMode::Index, AccessMode::Auto] {
+            run(&RunOpts { scale: Scale::Quick, access: Some(access), ..Default::default() });
+        }
     }
 }

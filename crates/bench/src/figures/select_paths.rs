@@ -10,10 +10,9 @@
 //! bucket-chained hash table — for batches of point lookups against sorted
 //! relations of growing size.
 
-use memsim::NullTracker;
 use memsim::{MemTracker, SimTracker};
-use monet_core::index::{binary_search_tracked, CsBTree, TTree};
-use monet_core::join::{Bun, ChainedTable, FibHash};
+use monet_core::index::{binary_search_tracked, CsBTree, HashIndex, TTree};
+use monet_core::storage::{Bat, Column};
 
 use crate::report::{fmt_card, fmt_count, fmt_ms, TextTable};
 use crate::runner::{RunOpts, Scale};
@@ -35,8 +34,11 @@ pub fn run(opts: &RunOpts) {
     );
 
     for c in cards {
-        let entries: Vec<(u32, u32)> = (0..c as u32).map(|i| (i * 3, i)).collect();
-        let keys: Vec<u32> = entries.iter().map(|e| e.0).collect();
+        // The indexed column as a BAT: every structure bulk-loads from it
+        // via CsBTree::from_column and friends (keys are already u32, so
+        // the key mapping is the identity and OIDs are positions).
+        let keys: Vec<u32> = (0..c as u32).map(|i| i * 3).collect();
+        let column = Bat::with_void_head(0, Column::Oid(keys.clone()));
         let probes: Vec<u32> =
             (0..LOOKUPS as u32).map(|i| (i.wrapping_mul(2_654_435_761) % c as u32) * 3).collect();
 
@@ -82,7 +84,7 @@ pub fn run(opts: &RunOpts) {
             ("B-tree 128B nodes", 128),
             ("B-tree 16KB nodes", 16384),
         ] {
-            let tree = CsBTree::with_node_bytes(&entries, bytes);
+            let tree = CsBTree::from_column(&column, bytes).expect("u32 column is indexable");
             add(name, &mut |trk| {
                 for &p in &probes {
                     let mut found = false;
@@ -92,7 +94,7 @@ pub fn run(opts: &RunOpts) {
             });
         }
 
-        let ttree = TTree::with_default_capacity(&entries);
+        let ttree = TTree::from_column(&column).expect("u32 column is indexable");
         add("T-tree 64-key nodes", &mut |trk| {
             for &p in &probes {
                 let mut found = false;
@@ -101,12 +103,11 @@ pub fn run(opts: &RunOpts) {
             }
         });
 
-        let buns: Vec<Bun> = entries.iter().map(|&(k, o)| Bun::new(o, k)).collect();
-        let table = ChainedTable::build(&mut NullTracker, FibHash, &buns, 0, 4);
+        let hash = HashIndex::from_column(&column).expect("u32 column is indexable");
         add("hash table", &mut |trk| {
             for &p in &probes {
                 let mut found = false;
-                table.probe(trk, FibHash, &buns, p, |_, _| found = true);
+                hash.lookup_eq(trk, p, |_| found = true);
                 assert!(found);
             }
         });

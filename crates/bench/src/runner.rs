@@ -42,6 +42,19 @@ impl ThreadsOpt {
     }
 }
 
+/// Apply the `--access` driver flag to executor options: `None` (no flag)
+/// leaves the executor default in charge — `auto`, or whatever
+/// `MONET_ACCESS` pins.
+pub fn apply_access(
+    access: Option<engine::AccessMode>,
+    opts: engine::exec::ExecOptions,
+) -> engine::exec::ExecOptions {
+    match access {
+        Some(mode) => opts.with_access(mode),
+        None => opts,
+    }
+}
+
 /// Options shared by all figure harnesses.
 #[derive(Debug, Clone)]
 pub struct RunOpts {
@@ -56,6 +69,9 @@ pub struct RunOpts {
     /// Degree of parallelism for the executor-driven experiments
     /// (`--threads N` / `--threads auto`).
     pub threads: ThreadsOpt,
+    /// Selection access-path policy for the executor-driven experiments
+    /// (`--access scan|index|auto`; `None` = executor default).
+    pub access: Option<engine::AccessMode>,
 }
 
 impl Default for RunOpts {
@@ -66,6 +82,7 @@ impl Default for RunOpts {
             native: false,
             seed: 42,
             threads: ThreadsOpt::Seq,
+            access: None,
         }
     }
 }

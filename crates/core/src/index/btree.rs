@@ -15,7 +15,9 @@
 
 use memsim::MemTracker;
 
-use crate::storage::Oid;
+use crate::storage::{Bat, Oid, StorageError};
+
+use super::keys::build_entries;
 
 /// An immutable B+-tree over `(key, oid)` entries, bulk-loaded from data
 /// sorted by key. See module docs.
@@ -52,6 +54,14 @@ impl CsBTree {
     /// Bulk-load with nodes of `node_bytes` (keys are 4 bytes each).
     pub fn with_node_bytes(entries: &[(u32, Oid)], node_bytes: usize) -> Self {
         Self::new(entries, (node_bytes / 4).max(2))
+    }
+
+    /// Bulk-load over a BAT column with `node_bytes`-sized nodes, extracting
+    /// and sorting the `(key, oid)` entries via the order-preserving key
+    /// mapping of [`super::keys::build_entries`] — so callers never
+    /// hand-build entry slices.
+    pub fn from_column(bat: &Bat, node_bytes: usize) -> Result<Self, StorageError> {
+        Ok(Self::with_node_bytes(&build_entries(bat)?, node_bytes))
     }
 
     /// Number of entries.
@@ -110,6 +120,24 @@ impl CsBTree {
             node = pos;
         }
         node
+    }
+
+    /// Position one past the last leaf key ≤ `key` (i.e. `upper_bound`).
+    pub fn upper_bound<M: MemTracker>(&self, trk: &mut M, key: u32) -> usize {
+        match key.checked_add(1) {
+            Some(next) => self.lower_bound(trk, next),
+            None => self.len(), // key == u32::MAX: nothing is larger
+        }
+    }
+
+    /// Number of entries with `lo ≤ key ≤ hi` — two descents, no leaf walk.
+    /// This is what makes index-backed *selectivity estimation* exact and
+    /// cheap: the executor prices scan vs. index with the true match count.
+    pub fn count_range<M: MemTracker>(&self, trk: &mut M, lo: u32, hi: u32) -> usize {
+        if lo > hi {
+            return 0;
+        }
+        self.upper_bound(trk, hi).saturating_sub(self.lower_bound(trk, lo))
     }
 
     /// Invoke `on_match(oid)` for every entry with exactly this key.
@@ -224,6 +252,35 @@ mod tests {
                 assert_eq!(binary_search_tracked(&mut NullTracker, &keys, probe), expect);
             }
         }
+    }
+
+    #[test]
+    fn count_range_matches_filter() {
+        let e = entries(5_000, 2);
+        let t = CsBTree::with_node_bytes(&e, 32);
+        for (lo, hi) in [(0, 0), (101, 211), (0, u32::MAX), (9_999, 9_999), (50, 10)] {
+            let expect = e.iter().filter(|(k, _)| (lo..=hi).contains(k)).count();
+            assert_eq!(t.count_range(&mut NullTracker, lo, hi), expect, "[{lo}, {hi}]");
+        }
+        assert_eq!(t.upper_bound(&mut NullTracker, u32::MAX), t.len());
+    }
+
+    #[test]
+    fn from_column_handles_negative_keys() {
+        use crate::storage::Column;
+        let bat = Bat::with_void_head(500, Column::I32(vec![7, -3, 0, -3, 12]));
+        let t = CsBTree::from_column(&bat, 32).unwrap();
+        let probe = |v: i32| {
+            let mut hits = vec![];
+            t.lookup_eq(&mut NullTracker, super::super::keys::key_of_i32(v), |o| hits.push(o));
+            hits
+        };
+        assert_eq!(probe(-3), vec![501, 503]);
+        assert_eq!(probe(7), vec![500]);
+        assert!(probe(5).is_empty());
+        // Range across the sign boundary, via the order-preserving codec.
+        let (klo, khi) = super::super::keys::key_range_i32(-3, 7);
+        assert_eq!(t.count_range(&mut NullTracker, klo, khi), 4);
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Index-key extraction from BAT columns.
+//!
+//! Every index in this crate is keyed by `u32`. A column becomes indexable
+//! by mapping its values onto `u32` keys **order-preservingly**, so that a
+//! range predicate over the column translates into a key range over the
+//! index:
+//!
+//! * `I32` — offset encoding ([`key_of_i32`]): flip the sign bit, so
+//!   `i32::MIN ↦ 0` and ordering is preserved across the sign boundary;
+//! * `Oid`/`U8` — identity (already unsigned);
+//! * `Str` — the dictionary *code*. Codes are assigned in first-occurrence
+//!   order, so only equality predicates are meaningful — which is exactly
+//!   what the engine's string predicates are.
+//!
+//! `F64` columns are not indexable: their values do not map onto the 4-byte
+//! key space, and the paper's §3.2 analysis only prices selections over
+//! fixed-width integer BATs anyway.
+
+use crate::storage::{Bat, Column, Oid, StorageError, ValueType};
+
+/// Order-preserving `u32` key of an `i32` value (`i32::MIN ↦ 0`).
+#[inline]
+pub fn key_of_i32(v: i32) -> u32 {
+    (v as u32) ^ 0x8000_0000
+}
+
+/// Map an inclusive `i32` range onto the index-key space (order-preserving,
+/// so an inverted input range stays inverted).
+#[inline]
+pub fn key_range_i32(lo: i32, hi: i32) -> (u32, u32) {
+    (key_of_i32(lo), key_of_i32(hi))
+}
+
+/// Extract `(key, oid)` entries from a BAT tail, sorted by `(key, oid)` —
+/// the bulk-load input every index constructor takes. Returns
+/// [`StorageError::TypeMismatch`] for tails with no `u32` key mapping
+/// (`F64`, `I64`).
+pub fn build_entries(bat: &Bat) -> Result<Vec<(u32, Oid)>, StorageError> {
+    let mut entries: Vec<(u32, Oid)> = match bat.tail() {
+        Column::I32(v) => {
+            v.iter().enumerate().map(|(i, &x)| (key_of_i32(x), bat.head_oid(i))).collect()
+        }
+        Column::Oid(v) => v.iter().enumerate().map(|(i, &x)| (x, bat.head_oid(i))).collect(),
+        Column::U8(v) => v.iter().enumerate().map(|(i, &x)| (x as u32, bat.head_oid(i))).collect(),
+        Column::Str(sc) => (0..sc.len()).map(|i| (sc.codes.get(i), bat.head_oid(i))).collect(),
+        other => {
+            return Err(StorageError::TypeMismatch {
+                expected: ValueType::I32,
+                got: other.value_type(),
+            })
+        }
+    };
+    entries.sort_unstable();
+    Ok(entries)
+}
+
+/// Number of distinct keys in a `(key, oid)` entry list sorted by key.
+pub fn distinct_keys(entries: &[(u32, Oid)]) -> usize {
+    let mut n = 0;
+    let mut last = None;
+    for &(k, _) in entries {
+        if last != Some(k) {
+            n += 1;
+            last = Some(k);
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::StrColumn;
+
+    #[test]
+    fn i32_keys_preserve_order_across_the_sign_boundary() {
+        let vals = [i32::MIN, -7, -1, 0, 1, 42, i32::MAX];
+        let keys: Vec<u32> = vals.iter().map(|&v| key_of_i32(v)).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "{keys:?}");
+        assert_eq!(key_of_i32(i32::MIN), 0);
+        assert_eq!(key_of_i32(i32::MAX), u32::MAX);
+        let (lo, hi) = key_range_i32(-5, 5);
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn entries_sort_by_key_then_oid() {
+        let bat = Bat::with_void_head(100, Column::I32(vec![3, -1, 3, 0]));
+        let e = build_entries(&bat).unwrap();
+        assert_eq!(
+            e,
+            vec![
+                (key_of_i32(-1), 101),
+                (key_of_i32(0), 103),
+                (key_of_i32(3), 100),
+                (key_of_i32(3), 102),
+            ]
+        );
+        assert_eq!(distinct_keys(&e), 3);
+    }
+
+    #[test]
+    fn string_entries_use_dictionary_codes() {
+        let bat = Bat::with_void_head(0, Column::Str(StrColumn::from_strs(["B", "A", "B"])));
+        let sc = bat.tail().as_str_col().unwrap();
+        let e = build_entries(&bat).unwrap();
+        let code_b = sc.dict.code_of("B").unwrap();
+        assert_eq!(e.iter().filter(|&&(k, _)| k == code_b).count(), 2);
+        assert_eq!(distinct_keys(&e), 2);
+    }
+
+    #[test]
+    fn f64_tails_are_not_indexable() {
+        let bat = Bat::with_void_head(0, Column::F64(vec![1.0]));
+        assert!(matches!(build_entries(&bat), Err(StorageError::TypeMismatch { .. })));
+    }
+}

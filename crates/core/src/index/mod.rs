@@ -13,14 +13,24 @@
 //!   cache misses indeed support this claim."
 //!
 //! This module provides the pieces to measure that trade-off on the
-//! simulator: a bulk-loaded, cache-sensitive B+-tree with configurable node
-//! size ([`CsBTree`]), and a tracked binary search over a sorted array
+//! simulator — a bulk-loaded, cache-sensitive B+-tree with configurable node
+//! size ([`CsBTree`]), a tracked binary search over a sorted array
 //! ([`binary_search_tracked`]) as the classic pointer-free baseline whose
-//! access pattern is *also* cache-hostile (log₂ C far-apart probes).
-//! The hash path reuses [`crate::join::ChainedTable`].
+//! access pattern is *also* cache-hostile (log₂ C far-apart probes), and a
+//! bucket-chained [`HashIndex`] over [`crate::join::ChainedTable`] — **and**
+//! the pieces to *use* it: every structure bulk-loads from a BAT column
+//! ([`keys`]' order-preserving key mapping), and [`catalog::ColumnIndex`]
+//! wraps the three behind one probe interface so tables can carry attached
+//! indexes the executor's access-path planner consults.
 
 pub mod btree;
+pub mod catalog;
+pub mod hashidx;
+pub mod keys;
 pub mod ttree;
 
 pub use btree::{binary_search_tracked, range_positions_tracked, CsBTree};
+pub use catalog::{ColumnIndex, IndexKind, BTREE_NODE_BYTES};
+pub use hashidx::HashIndex;
+pub use keys::{build_entries, key_of_i32, key_range_i32};
 pub use ttree::TTree;

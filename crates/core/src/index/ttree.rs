@@ -44,6 +44,7 @@ pub struct TTree {
     /// of the sorted input (used to continue duplicate runs across nodes).
     order: Vec<u32>,
     len: usize,
+    node_capacity: usize,
 }
 
 impl TTree {
@@ -58,12 +59,23 @@ impl TTree {
         let mut nodes = Vec::with_capacity(nblocks);
         let mut order = vec![NONE; nblocks];
         let root = Self::build(entries, node_capacity, 0, nblocks, &mut nodes, &mut order);
-        Self { nodes, root, order, len: entries.len() }
+        Self { nodes, root, order, len: entries.len(), node_capacity }
     }
 
     /// Bulk-load with the \[LC86\] default node capacity.
     pub fn with_default_capacity(entries: &[(u32, Oid)]) -> Self {
         Self::new(entries, DEFAULT_NODE_CAPACITY)
+    }
+
+    /// Bulk-load over a BAT column with the default node capacity (see
+    /// [`super::keys::build_entries`] for the key mapping).
+    pub fn from_column(bat: &crate::storage::Bat) -> Result<Self, crate::storage::StorageError> {
+        Ok(Self::with_default_capacity(&super::keys::build_entries(bat)?))
+    }
+
+    /// Keys per node the tree was loaded with.
+    pub fn node_capacity(&self) -> usize {
+        self.node_capacity
     }
 
     fn build(

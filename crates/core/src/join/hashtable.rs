@@ -31,7 +31,7 @@ pub const DEFAULT_TUPLES_PER_BUCKET: usize = 4;
 /// which callers pass again when probing (keeping the hot arrays minimal,
 /// 4 bytes per tuple — the `12 bytes per tuple` the paper's strategy
 /// formulas use are these 4 plus the 8-byte BUN).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ChainedTable {
     mask: u32,
     shift: u32,

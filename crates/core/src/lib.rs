@@ -50,6 +50,6 @@ pub mod join;
 pub mod storage;
 pub mod strategy;
 
-pub use index::CsBTree;
+pub use index::{ColumnIndex, CsBTree, HashIndex, IndexKind};
 pub use join::{Bun, OidPair};
 pub use storage::{Bat, Column, Oid, Value};

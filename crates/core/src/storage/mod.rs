@@ -26,7 +26,7 @@ pub use bat::{Bat, BatBuilder, Head, TailProps};
 pub use column::{Codes, Column, StrColumn};
 pub use dict::StrDict;
 pub use nsm::{FieldType, RowSchema, RowTable};
-pub use table::{ColType, DecomposedTable, NamedBat, TableBuilder};
+pub use table::{AttachedIndex, ColType, DecomposedTable, NamedBat, TableBuilder};
 pub use value::{Value, ValueType};
 
 use std::fmt;

@@ -4,6 +4,8 @@
 //! share the same seqbase, so a logical tuple is the set of BUNs with equal
 //! OID and tuple reconstruction is positional.
 
+use crate::index::{ColumnIndex, IndexKind};
+
 use super::bat::{Bat, BatBuilder};
 use super::column::{Column, StrColumn};
 use super::nsm::{FieldType, RowSchema, RowTable};
@@ -19,6 +21,15 @@ pub struct NamedBat {
     pub bat: Bat,
 }
 
+/// A secondary index attached to one column of a [`DecomposedTable`].
+#[derive(Debug, Clone)]
+pub struct AttachedIndex {
+    /// The indexed column.
+    pub column: String,
+    /// The built index.
+    pub index: ColumnIndex,
+}
+
 /// A vertically decomposed relation: one BAT per attribute.
 #[derive(Debug, Clone)]
 pub struct DecomposedTable {
@@ -26,6 +37,7 @@ pub struct DecomposedTable {
     seqbase: Oid,
     len: usize,
     cols: Vec<NamedBat>,
+    indexes: Vec<AttachedIndex>,
 }
 
 impl DecomposedTable {
@@ -61,6 +73,31 @@ impl DecomposedTable {
             .find(|c| c.name == name)
             .map(|c| &c.bat)
             .ok_or_else(|| StorageError::NoSuchColumn(name.to_owned()))
+    }
+
+    /// Build and attach a secondary index of `kind` on column `col`
+    /// (replacing an existing index of the same kind on that column).
+    /// Fails for unknown columns and for unindexable column types.
+    pub fn create_index(&mut self, col: &str, kind: IndexKind) -> Result<(), StorageError> {
+        let index = ColumnIndex::build(self.bat(col)?, kind)?;
+        self.indexes.retain(|a| !(a.column == col && a.index.kind() == kind));
+        self.indexes.push(AttachedIndex { column: col.to_owned(), index });
+        Ok(())
+    }
+
+    /// All attached indexes, in creation order.
+    pub fn indexes(&self) -> &[AttachedIndex] {
+        &self.indexes
+    }
+
+    /// The indexes attached to column `col`, in creation order.
+    pub fn indexes_on<'a>(&'a self, col: &'a str) -> impl Iterator<Item = &'a ColumnIndex> {
+        self.indexes.iter().filter(move |a| a.column == col).map(|a| &a.index)
+    }
+
+    /// The index of `kind` on column `col`, if one was created.
+    pub fn index_of(&self, col: &str, kind: IndexKind) -> Option<&ColumnIndex> {
+        self.indexes.iter().find(|a| a.column == col && a.index.kind() == kind).map(|a| &a.index)
     }
 
     /// Reconstruct logical tuple `oid` (positional; O(columns)).
@@ -203,7 +240,7 @@ impl TableBuilder {
                 NamedBat { name, bat }
             })
             .collect();
-        DecomposedTable { name: self.name, seqbase: self.seqbase, len, cols }
+        DecomposedTable { name: self.name, seqbase: self.seqbase, len, cols, indexes: Vec::new() }
     }
 }
 
@@ -285,6 +322,35 @@ mod tests {
         let mail_code = ship.dict.code_of("MAIL").unwrap();
         assert_eq!(rt.get(2, 2).unwrap(), Value::U8(mail_code as u8));
         assert_eq!(rt.record_width(), 4 + 8 + 1);
+    }
+
+    #[test]
+    fn indexes_attach_per_column_and_kind() {
+        use crate::index::{key_of_i32, IndexKind};
+        use memsim::NullTracker;
+        let mut t = item_like();
+        t.create_index("qty", IndexKind::CsBTree).unwrap();
+        t.create_index("qty", IndexKind::Hash).unwrap();
+        t.create_index("shipmode", IndexKind::Hash).unwrap();
+        // Re-creating an existing kind replaces, not duplicates.
+        t.create_index("qty", IndexKind::Hash).unwrap();
+        assert_eq!(t.indexes().len(), 3);
+        assert_eq!(t.indexes_on("qty").count(), 2);
+        let b = t.index_of("qty", IndexKind::CsBTree).unwrap();
+        let mut hits = vec![];
+        b.lookup_eq(&mut NullTracker, key_of_i32(2), |o| hits.push(o));
+        assert_eq!(hits, vec![1002]);
+        assert!(t.index_of("qty", IndexKind::TTree).is_none());
+        assert!(t.index_of("price", IndexKind::Hash).is_none());
+        // Errors: unknown column, unindexable type.
+        assert!(t.create_index("ghost", IndexKind::Hash).is_err());
+        assert!(matches!(
+            t.create_index("price", IndexKind::CsBTree),
+            Err(StorageError::TypeMismatch { .. })
+        ));
+        // Cloning carries the catalog along.
+        let c = t.clone();
+        assert_eq!(c.indexes().len(), 3);
     }
 
     #[test]

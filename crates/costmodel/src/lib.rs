@@ -23,7 +23,10 @@
 //! * [`parallel`] — the multi-core extension: a fork-overhead-aware speedup
 //!   model that picks per-operator thread counts, and
 //!   [`parallel::plan_join_parallel`], the `(JoinPlan, threads)` planner
-//!   entry point the executor uses.
+//!   entry point the executor uses;
+//! * [`access`] — the §3.2 selection access paths priced against each
+//!   other: scan-select vs. CsBTree eq/range vs. hash probe vs. T-tree
+//!   probe, so index use becomes a per-predicate cost-model decision.
 //!
 //! The inequality directions in the published formulas are garbled by PDF
 //! extraction; the reconstruction used here (documented per function and in
@@ -35,6 +38,7 @@
 //! data. Costs come back as [`ModelCost`] so CPU and stall components stay
 //! inspectable, exactly like the paper's stacked figures.
 
+pub mod access;
 pub mod cluster;
 pub mod machine;
 pub mod parallel;
@@ -43,5 +47,6 @@ pub mod plan;
 pub mod rjoin;
 pub mod scan;
 
+pub use access::{AccessPath, IndexShape, SelectQuery};
 pub use machine::{ModelCost, ModelMachine, ModelParams};
 pub use parallel::{ParPlan, ParallelModel};

@@ -1,0 +1,680 @@
+//! Access-path selection for predicate evaluation — the executor-facing
+//! catalog layer.
+//!
+//! Scans used to be the only way the executor lowered a [`Pred`]; the §3.2
+//! index structures existed but were never *used*. This module closes the
+//! loop: for every predicate **leaf** it consults the table's attached
+//! indexes ([`monet_core::storage::DecomposedTable::indexes_on`]), prices
+//! scan vs. each usable index path with [`costmodel::access`], and evaluates
+//! the leaf via the chosen path. Index-path candidate lists are sorted back
+//! into OID order, so results are **bit-identical** to the scan path at any
+//! thread count — the determinism property the PR-2 suites rely on.
+//!
+//! Planning runs in two phases so the degree of parallelism can be decided
+//! in between: [`plan_pred`] resolves one [`AccessDecision`] per leaf
+//! (range selectivity estimates are *exact* — two B+-tree descents count
+//! the matches), then [`eval_planned`] executes the decisions, fanning
+//! scan leaves out over the chosen thread count and running index probes
+//! sequentially (a probe is a handful of node touches; forking would cost
+//! more than the work).
+//!
+//! [`AccessMode`] pins the choice for tests and CI: `scan` reproduces the
+//! pre-index executor exactly, `index` forces index paths wherever one is
+//! usable, `auto` lets the cost model decide. The `MONET_ACCESS`
+//! environment variable sets the default mode of every
+//! [`crate::exec::ExecOptions`].
+
+use std::fmt;
+
+use costmodel::access::{
+    cheapest, quotes, sort_rounds, AccessPath, IndexShape, Quote, SelectQuery,
+};
+use costmodel::ModelMachine;
+use memsim::{MemTracker, Work};
+use monet_core::index::{key_range_i32, ColumnIndex, IndexKind};
+use monet_core::storage::DecomposedTable;
+
+use crate::plan::Pred;
+use crate::select::{
+    par_range_select_f64_counted, par_range_select_i32_counted, par_select_eq_str_counted,
+    range_select_f64, range_select_i32, select_eq_str, CandList,
+};
+use crate::EngineError;
+
+/// How the executor chooses selection access paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessMode {
+    /// Never consult indexes — every predicate leaf is a scan-select (the
+    /// pre-index executor, and the reference for bit-identity tests).
+    Scan,
+    /// Use an index wherever a usable one is attached (the cheapest one by
+    /// the model when several apply); leaves without a usable index scan.
+    Index,
+    /// Per-leaf cost-model decision between the scan and every usable
+    /// index path (the default).
+    Auto,
+}
+
+impl AccessMode {
+    /// Parse a `MONET_ACCESS`-style value (`scan` | `index` | `auto`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "scan" => Some(AccessMode::Scan),
+            "index" => Some(AccessMode::Index),
+            "auto" => Some(AccessMode::Auto),
+            _ => None,
+        }
+    }
+
+    /// The mode pinned by the `MONET_ACCESS` environment variable, if set
+    /// to a valid value.
+    pub fn from_env() -> Option<Self> {
+        std::env::var("MONET_ACCESS").ok().and_then(|s| Self::parse(&s))
+    }
+
+    /// Display name (`scan` | `index` | `auto`).
+    pub fn name(self) -> &'static str {
+        match self {
+            AccessMode::Scan => "scan",
+            AccessMode::Index => "index",
+            AccessMode::Auto => "auto",
+        }
+    }
+}
+
+/// One predicate leaf's access-path decision, as emitted into the
+/// [`crate::exec::OpReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessDecision {
+    /// The filtered column.
+    pub column: String,
+    /// The chosen path.
+    pub path: AccessPath,
+    /// Model quote of the chosen path in ms.
+    pub predicted_ms: f64,
+    /// Model quote of the scan path in ms (what the decision was weighed
+    /// against; equals `predicted_ms` when the scan was chosen).
+    pub scan_ms: f64,
+    /// Estimated qualifying rows (exact when a B+-tree counted the range;
+    /// `len / distinct` for hash and T-tree equality estimates; 0 when no
+    /// index informed the decision).
+    pub matches_est: usize,
+}
+
+impl fmt::Display for AccessDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.path.is_index() {
+            write!(
+                f,
+                "{}={} {:.3} ms (scan {:.3} ms, est {} rows)",
+                self.column,
+                self.path.name(),
+                self.predicted_ms,
+                self.scan_ms,
+                self.matches_est
+            )
+        } else {
+            write!(f, "{}=scan", self.column)
+        }
+    }
+}
+
+/// How one leaf will be evaluated.
+#[derive(Debug, Clone)]
+enum LeafAction {
+    /// Scan-select kernels (parallelizable).
+    Scan,
+    /// Provably empty: the equality constant is not in the dictionary.
+    Empty,
+    /// B+-tree range probe (equality uses `lo == hi`).
+    BtreeRange { col: String, lo: u32, hi: u32 },
+    /// Hash or T-tree point probe.
+    IndexEq { col: String, kind: IndexKind, key: u32 },
+}
+
+/// One planned leaf: the reportable decision plus the evaluation recipe.
+#[derive(Debug, Clone)]
+struct LeafPlan {
+    decision: AccessDecision,
+    action: LeafAction,
+    /// The scan quote in ns when the leaf will scan (input to the
+    /// thread-count decision); 0 for index leaves.
+    scan_work_ns: f64,
+}
+
+/// A fully planned predicate: one [`LeafPlan`] per leaf, in evaluation
+/// (in-order traversal) order.
+#[derive(Debug, Clone)]
+pub(crate) struct PredPlan {
+    leaves: Vec<LeafPlan>,
+}
+
+impl PredPlan {
+    /// Total predicted cost of the chosen paths, in ms.
+    pub fn model_ms(&self) -> f64 {
+        self.leaves.iter().map(|l| l.decision.predicted_ms).sum()
+    }
+
+    /// Sequential model quote of the *scanning* leaves, in ns — the work
+    /// the parallel model may fan out (index probes never fork).
+    pub fn scan_work_ns(&self) -> f64 {
+        self.leaves.iter().map(|l| l.scan_work_ns).sum()
+    }
+
+    /// True if any leaf takes an index path.
+    pub fn uses_index(&self) -> bool {
+        self.leaves.iter().any(|l| l.decision.path.is_index())
+    }
+
+    /// The per-leaf decisions, for the report.
+    pub fn decisions(&self) -> Vec<AccessDecision> {
+        self.leaves.iter().map(|l| l.decision.clone()).collect()
+    }
+
+    /// Render the decisions for the report detail line.
+    pub fn detail(&self) -> String {
+        let parts: Vec<String> = self.leaves.iter().map(|l| l.decision.to_string()).collect();
+        parts.join(", ")
+    }
+}
+
+/// Number of leaves of a predicate tree (for cursor-skipping on
+/// short-circuited subtrees).
+fn leaf_count(pred: &Pred) -> usize {
+    match pred {
+        Pred::And(a, b) | Pred::Or(a, b) => leaf_count(a) + leaf_count(b),
+        _ => 1,
+    }
+}
+
+/// The usable index shapes for a leaf: range predicates can only use
+/// range-capable indexes; equality predicates use everything.
+fn usable_indexes<'t>(
+    table: &'t DecomposedTable,
+    col: &'t str,
+    eq: bool,
+) -> Vec<(&'t ColumnIndex, IndexShape)> {
+    table
+        .indexes_on(col)
+        .filter(|i| eq || i.supports_range())
+        .map(|i| {
+            let shape = match i.kind() {
+                IndexKind::CsBTree => {
+                    IndexShape::Btree { height: i.btree().map_or(0, |t| t.height()) }
+                }
+                IndexKind::Hash => IndexShape::Hash,
+                IndexKind::TTree => {
+                    IndexShape::TTree { node_capacity: i.ttree().map_or(64, |t| t.node_capacity()) }
+                }
+            };
+            (i, shape)
+        })
+        .collect()
+}
+
+/// Pick a quote per the access mode: `Auto` takes the global cheapest,
+/// `Index` the cheapest index path (the caller guarantees one exists).
+fn pick(mode: AccessMode, all: &[Quote]) -> Quote {
+    match mode {
+        AccessMode::Auto => cheapest(all),
+        AccessMode::Index => cheapest(&all[1..]),
+        AccessMode::Scan => all[0],
+    }
+}
+
+/// Map a chosen quote onto the evaluation action for an integer-key leaf.
+fn action_for(path: AccessPath, col: &str, klo: u32, khi: u32) -> LeafAction {
+    match path {
+        AccessPath::Scan => LeafAction::Scan,
+        AccessPath::BtreeRange | AccessPath::BtreeEq => {
+            LeafAction::BtreeRange { col: col.to_owned(), lo: klo, hi: khi }
+        }
+        AccessPath::HashEq => {
+            LeafAction::IndexEq { col: col.to_owned(), kind: IndexKind::Hash, key: klo }
+        }
+        AccessPath::TTreeEq => {
+            LeafAction::IndexEq { col: col.to_owned(), kind: IndexKind::TTree, key: klo }
+        }
+    }
+}
+
+/// Resolve one [`AccessDecision`] + action per predicate leaf. Selectivity
+/// estimates that probe a B+-tree are tracked against `trk` (planning cost
+/// is execution cost).
+pub(crate) fn plan_pred<M: MemTracker>(
+    trk: &mut M,
+    table: &DecomposedTable,
+    pred: &Pred,
+    mode: AccessMode,
+    model: &ModelMachine,
+) -> Result<PredPlan, EngineError> {
+    let mut leaves = Vec::with_capacity(leaf_count(pred));
+    plan_rec(trk, table, pred, mode, model, &mut leaves)?;
+    Ok(PredPlan { leaves })
+}
+
+fn plan_rec<M: MemTracker>(
+    trk: &mut M,
+    table: &DecomposedTable,
+    pred: &Pred,
+    mode: AccessMode,
+    model: &ModelMachine,
+    out: &mut Vec<LeafPlan>,
+) -> Result<(), EngineError> {
+    match pred {
+        Pred::And(a, b) | Pred::Or(a, b) => {
+            plan_rec(trk, table, a, mode, model, out)?;
+            plan_rec(trk, table, b, mode, model, out)
+        }
+        Pred::RangeF64 { col, .. } => {
+            // F64 columns carry no indexes (no u32 key mapping): always scan.
+            table.bat(col)?;
+            out.push(scan_leaf(model, table, col, 8));
+            Ok(())
+        }
+        Pred::RangeI32 { col, lo, hi } => {
+            table.bat(col)?;
+            let eq = lo == hi;
+            let usable = usable_indexes(table, col, eq);
+            if mode == AccessMode::Scan || usable.is_empty() {
+                out.push(scan_leaf(model, table, col, 4));
+                return Ok(());
+            }
+            let (klo, khi) = key_range_i32(*lo, *hi);
+            let matches = estimate_matches(trk, table, col, &usable, klo, khi);
+            out.push(priced_leaf(model, table, col, 4, matches, eq, mode, &usable, klo, khi));
+            Ok(())
+        }
+        Pred::EqStr { col, value } => {
+            let bat = table.bat(col)?;
+            let sc = bat.tail().as_str_col().ok_or(EngineError::UnsupportedType {
+                op: "access plan",
+                ty: bat.tail().value_type(),
+            })?;
+            let stride = bat.tail().tail_width();
+            let usable = usable_indexes(table, col, true);
+            if mode == AccessMode::Scan || usable.is_empty() {
+                out.push(scan_leaf(model, table, col, stride));
+                return Ok(());
+            }
+            let Some(code) = sc.dict.code_of(value) else {
+                // Provably empty — the dictionary already answered the
+                // query, so nothing executes and nothing may be quoted:
+                // keep the path the planner would have taken (provenance)
+                // but zero its cost so `model_ms` only prices work done.
+                let mut leaf = priced_leaf(model, table, col, stride, 0, true, mode, &usable, 0, 0);
+                leaf.action = LeafAction::Empty;
+                leaf.scan_work_ns = 0.0;
+                leaf.decision.predicted_ms = 0.0;
+                out.push(leaf);
+                return Ok(());
+            };
+            let matches = estimate_matches(trk, table, col, &usable, code, code);
+            out.push(priced_leaf(
+                model, table, col, stride, matches, true, mode, &usable, code, code,
+            ));
+            Ok(())
+        }
+    }
+}
+
+/// A leaf that scans unconditionally (no usable index, or `Scan` mode).
+fn scan_leaf(model: &ModelMachine, table: &DecomposedTable, col: &str, stride: usize) -> LeafPlan {
+    let q = SelectQuery { rows: table.len(), stride, matches: 0, eq: false };
+    let scan_ms = costmodel::access::scan_select_cost(model, q.rows, q.stride).total_ms();
+    LeafPlan {
+        decision: AccessDecision {
+            column: col.to_owned(),
+            path: AccessPath::Scan,
+            predicted_ms: scan_ms,
+            scan_ms,
+            matches_est: 0,
+        },
+        action: LeafAction::Scan,
+        scan_work_ns: scan_ms * 1e6,
+    }
+}
+
+/// Estimate the qualifying rows of a key range: exact via a B+-tree count
+/// when one is attached (two descents, tracked), `len / distinct` for
+/// equality otherwise.
+fn estimate_matches<M: MemTracker>(
+    trk: &mut M,
+    table: &DecomposedTable,
+    col: &str,
+    usable: &[(&ColumnIndex, IndexShape)],
+    klo: u32,
+    khi: u32,
+) -> usize {
+    if let Some(idx) = table.index_of(col, IndexKind::CsBTree) {
+        if let Some(n) = idx.count_range(trk, klo, khi) {
+            return n;
+        }
+    }
+    let idx = usable[0].0;
+    idx.len() / idx.distinct().max(1)
+}
+
+#[allow(clippy::too_many_arguments)] // one call site; splitting obscures the pricing inputs
+fn priced_leaf(
+    model: &ModelMachine,
+    table: &DecomposedTable,
+    col: &str,
+    stride: usize,
+    matches: usize,
+    eq: bool,
+    mode: AccessMode,
+    usable: &[(&ColumnIndex, IndexShape)],
+    klo: u32,
+    khi: u32,
+) -> LeafPlan {
+    let q = SelectQuery { rows: table.len(), stride, matches, eq };
+    let shapes: Vec<IndexShape> = usable.iter().map(|(_, s)| *s).collect();
+    let all = quotes(model, &q, &shapes);
+    let chosen = pick(mode, &all);
+    let scan_ms = all[0].cost.total_ms();
+    let action = action_for(chosen.path, col, klo, khi);
+    LeafPlan {
+        decision: AccessDecision {
+            column: col.to_owned(),
+            path: chosen.path,
+            predicted_ms: chosen.cost.total_ms(),
+            scan_ms,
+            matches_est: matches,
+        },
+        action,
+        scan_work_ns: if chosen.path.is_index() { 0.0 } else { scan_ms * 1e6 },
+    }
+}
+
+/// Per-thread row accumulator for the sharded select counters.
+struct ShardAcc {
+    counts: Vec<usize>,
+}
+
+impl ShardAcc {
+    fn add(&mut self, leaf_counts: &[usize]) {
+        if self.counts.len() < leaf_counts.len() {
+            self.counts.resize(leaf_counts.len(), 0);
+        }
+        for (acc, c) in self.counts.iter_mut().zip(leaf_counts) {
+            *acc += c;
+        }
+    }
+}
+
+/// Evaluate a planned predicate. Scan leaves fan out over `threads`
+/// (bit-identical chunked kernels); index leaves probe sequentially and
+/// sort their candidates back into OID order. Returns the candidate list
+/// plus, under parallel runs, the per-thread rows produced by the scanning
+/// leaves (summed across leaves — the sharded `ExecReport` counters).
+pub(crate) fn eval_planned<M: MemTracker>(
+    trk: &mut M,
+    table: &DecomposedTable,
+    pred: &Pred,
+    plan: &PredPlan,
+    threads: usize,
+) -> Result<(CandList, Option<Vec<usize>>), EngineError> {
+    let mut cursor = 0usize;
+    let mut shards = ShardAcc { counts: Vec::new() };
+    let cands = eval_rec(trk, table, pred, plan, &mut cursor, threads, &mut shards)?;
+    debug_assert_eq!(cursor, plan.leaves.len(), "every leaf consumed");
+    // No shard vector sequentially, nor when no scanning leaf ran (a pure
+    // index-path select does no per-thread work to account).
+    Ok((cands, (threads > 1 && !shards.counts.is_empty()).then_some(shards.counts)))
+}
+
+fn eval_rec<M: MemTracker>(
+    trk: &mut M,
+    table: &DecomposedTable,
+    pred: &Pred,
+    plan: &PredPlan,
+    cursor: &mut usize,
+    threads: usize,
+    shards: &mut ShardAcc,
+) -> Result<CandList, EngineError> {
+    match pred {
+        Pred::And(a, b) => {
+            let ca = eval_rec(trk, table, a, plan, cursor, threads, shards)?;
+            if ca.is_empty() {
+                *cursor += leaf_count(b); // short-circuit: AND with empty
+                return Ok(ca);
+            }
+            let cb = eval_rec(trk, table, b, plan, cursor, threads, shards)?;
+            Ok(crate::candidates::intersect(&ca, &cb))
+        }
+        Pred::Or(a, b) => {
+            let ca = eval_rec(trk, table, a, plan, cursor, threads, shards)?;
+            let cb = eval_rec(trk, table, b, plan, cursor, threads, shards)?;
+            Ok(crate::candidates::union(&ca, &cb))
+        }
+        leaf => {
+            let lp = &plan.leaves[*cursor];
+            *cursor += 1;
+            eval_leaf(trk, table, leaf, lp, threads, shards)
+        }
+    }
+}
+
+fn eval_leaf<M: MemTracker>(
+    trk: &mut M,
+    table: &DecomposedTable,
+    leaf: &Pred,
+    lp: &LeafPlan,
+    threads: usize,
+    shards: &mut ShardAcc,
+) -> Result<CandList, EngineError> {
+    match &lp.action {
+        LeafAction::Empty => Ok(CandList::new()),
+        LeafAction::Scan => scan_eval(trk, table, leaf, threads, shards),
+        LeafAction::BtreeRange { col, lo, hi } => {
+            let idx = table
+                .index_of(col, IndexKind::CsBTree)
+                .expect("planned btree leaf has a btree index");
+            let mut out = CandList::new();
+            idx.lookup_range(trk, *lo, *hi, |o| out.push(o));
+            finish_index_leaf(trk, out)
+        }
+        LeafAction::IndexEq { col, kind, key } => {
+            let idx = table.index_of(col, *kind).expect("planned index leaf has its index");
+            let mut out = CandList::new();
+            idx.lookup_eq(trk, *key, |o| out.push(o));
+            finish_index_leaf(trk, out)
+        }
+    }
+}
+
+/// Restore scan (ascending-OID) order over an index probe's matches —
+/// charging the same emit + sort work the cost model prices — so index
+/// paths stay bit-identical to scan paths.
+fn finish_index_leaf<M: MemTracker>(
+    trk: &mut M,
+    mut out: CandList,
+) -> Result<CandList, EngineError> {
+    if M::ENABLED {
+        trk.work(Work::ScanIter, out.len() as u64);
+        trk.work(Work::SortTuple, (out.len() * sort_rounds(out.len())) as u64);
+    }
+    out.sort_unstable();
+    Ok(out)
+}
+
+/// Evaluate a scan leaf: the sequential tracked kernels at `threads == 1`,
+/// the chunked parallel kernels (with per-thread counts) above.
+fn scan_eval<M: MemTracker>(
+    trk: &mut M,
+    table: &DecomposedTable,
+    leaf: &Pred,
+    threads: usize,
+    shards: &mut ShardAcc,
+) -> Result<CandList, EngineError> {
+    if threads <= 1 {
+        return match leaf {
+            Pred::RangeI32 { col, lo, hi } => range_select_i32(trk, table.bat(col)?, *lo, *hi),
+            Pred::RangeF64 { col, lo, hi } => range_select_f64(trk, table.bat(col)?, *lo, *hi),
+            Pred::EqStr { col, value } => match select_eq_str(trk, table.bat(col)?, value) {
+                Err(EngineError::ConstantNotInDictionary(_)) => Ok(CandList::new()),
+                other => other,
+            },
+            Pred::And(..) | Pred::Or(..) => unreachable!("leaf evaluation"),
+        };
+    }
+    let (cands, counts) = match leaf {
+        Pred::RangeI32 { col, lo, hi } => {
+            par_range_select_i32_counted(table.bat(col)?, *lo, *hi, threads)?
+        }
+        Pred::RangeF64 { col, lo, hi } => {
+            par_range_select_f64_counted(table.bat(col)?, *lo, *hi, threads)?
+        }
+        Pred::EqStr { col, value } => {
+            match par_select_eq_str_counted(table.bat(col)?, value, threads) {
+                // The kernel bails before scanning, so no chunk ever ran:
+                // contribute no shard counts (a `vec![0; threads]` here
+                // could misalign with clamped chunk counts of other leaves).
+                Err(EngineError::ConstantNotInDictionary(_)) => (CandList::new(), Vec::new()),
+                other => other?,
+            }
+        }
+        Pred::And(..) | Pred::Or(..) => unreachable!("leaf evaluation"),
+    };
+    shards.add(&counts);
+    Ok(cands)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::{profiles, NullTracker};
+    use monet_core::storage::{ColType, TableBuilder, Value};
+
+    fn table(indexed: bool) -> DecomposedTable {
+        let mut b = TableBuilder::new("t", 100)
+            .column("k", ColType::I32)
+            .column("x", ColType::F64)
+            .column("s", ColType::Str);
+        for i in 0..500i32 {
+            b.push_row(&[
+                Value::I32(i % 50 - 25),
+                Value::F64(i as f64 / 10.0),
+                Value::from(["AIR", "MAIL", "SHIP"][i as usize % 3]),
+            ])
+            .unwrap();
+        }
+        let mut t = b.finish();
+        if indexed {
+            t.create_index("k", IndexKind::CsBTree).unwrap();
+            t.create_index("k", IndexKind::Hash).unwrap();
+            t.create_index("k", IndexKind::TTree).unwrap();
+            t.create_index("s", IndexKind::Hash).unwrap();
+        }
+        t
+    }
+
+    fn model() -> ModelMachine {
+        ModelMachine::new(&profiles::origin2000())
+    }
+
+    fn run(t: &DecomposedTable, pred: &Pred, mode: AccessMode, threads: usize) -> CandList {
+        let m = model();
+        let plan = plan_pred(&mut NullTracker, t, pred, mode, &m).unwrap();
+        eval_planned(&mut NullTracker, t, pred, &plan, threads).unwrap().0
+    }
+
+    #[test]
+    fn every_mode_and_thread_count_is_bit_identical() {
+        let t = table(true);
+        let preds = [
+            Pred::range_i32("k", -5, 5),
+            Pred::range_i32("k", 7, 7),
+            Pred::range_i32("k", 10, -10),
+            Pred::eq_str("s", "MAIL"),
+            Pred::eq_str("s", "WALRUS"),
+            Pred::range_i32("k", -5, 5).and(Pred::eq_str("s", "AIR")),
+            Pred::eq_str("s", "WALRUS").or(Pred::range_i32("k", 20, 24)),
+            Pred::range_f64("x", 1.0, 2.0).and(Pred::range_i32("k", 0, 0)),
+        ];
+        for pred in &preds {
+            let reference = run(&t, pred, AccessMode::Scan, 1);
+            for mode in [AccessMode::Scan, AccessMode::Index, AccessMode::Auto] {
+                for threads in [1usize, 4] {
+                    assert_eq!(
+                        run(&t, pred, mode, threads),
+                        reference,
+                        "pred={pred} mode={} threads={threads}",
+                        mode.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn point_predicates_choose_an_index_under_auto() {
+        let t = table(true);
+        let m = model();
+        let pred = Pred::range_i32("k", 7, 7);
+        let plan = plan_pred(&mut NullTracker, &t, &pred, AccessMode::Auto, &m).unwrap();
+        let d = &plan.decisions()[0];
+        assert!(d.path.is_index(), "{d:?}");
+        assert_eq!(d.matches_est, 10, "exact count: 500 rows / 50 keys");
+        assert!(d.predicted_ms < d.scan_ms, "{d:?}");
+        assert!(plan.uses_index());
+        assert_eq!(plan.scan_work_ns(), 0.0, "index leaves contribute no fan-out work");
+    }
+
+    #[test]
+    fn unindexed_tables_and_scan_mode_never_probe() {
+        let bare = table(false);
+        let m = model();
+        for (t, mode) in [(&bare, AccessMode::Auto), (&table(true), AccessMode::Scan)] {
+            let pred = Pred::range_i32("k", 7, 7).and(Pred::eq_str("s", "AIR"));
+            let plan = plan_pred(&mut NullTracker, t, &pred, mode, &m).unwrap();
+            assert!(!plan.uses_index());
+            assert!(plan.decisions().iter().all(|d| d.path == AccessPath::Scan));
+            assert!(plan.scan_work_ns() > 0.0);
+        }
+    }
+
+    #[test]
+    fn forced_index_mode_falls_back_to_scan_only_without_a_usable_index() {
+        let t = table(true);
+        let m = model();
+        // Range over k: only the btree is range-capable; forced index uses it.
+        let plan =
+            plan_pred(&mut NullTracker, &t, &Pred::range_i32("k", -20, 20), AccessMode::Index, &m)
+                .unwrap();
+        assert_eq!(plan.decisions()[0].path, AccessPath::BtreeRange);
+        // F64 leaf: no index can exist; index mode scans it.
+        let plan =
+            plan_pred(&mut NullTracker, &t, &Pred::range_f64("x", 0.0, 1.0), AccessMode::Index, &m)
+                .unwrap();
+        assert_eq!(plan.decisions()[0].path, AccessPath::Scan);
+    }
+
+    #[test]
+    fn parallel_scan_leaves_report_per_thread_shards() {
+        let t = table(true);
+        let m = model();
+        let pred = Pred::range_f64("x", 0.0, 20.0).and(Pred::range_i32("k", 0, 0));
+        let plan = plan_pred(&mut NullTracker, &t, &pred, AccessMode::Auto, &m).unwrap();
+        let (cands, shards) = eval_planned(&mut NullTracker, &t, &pred, &plan, 4).unwrap();
+        let shards = shards.expect("parallel run shards");
+        assert_eq!(shards.len(), 4);
+        // The f64 leaf scanned 201 matching rows across the threads; the
+        // index leaf contributed none.
+        assert_eq!(shards.iter().sum::<usize>(), 201);
+        assert!(!cands.is_empty());
+        // Sequential runs carry no shard vector.
+        let (_, none) = eval_planned(&mut NullTracker, &t, &pred, &plan, 1).unwrap();
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn mode_parsing() {
+        assert_eq!(AccessMode::parse("scan"), Some(AccessMode::Scan));
+        assert_eq!(AccessMode::parse("index"), Some(AccessMode::Index));
+        assert_eq!(AccessMode::parse("auto"), Some(AccessMode::Auto));
+        assert_eq!(AccessMode::parse("AUTO"), None);
+        assert_eq!(AccessMode::parse(""), None);
+    }
+}

@@ -10,9 +10,14 @@
 //!   algorithm × radix bits × pass layout) which kernel to run, or the
 //!   cache-size heuristics of [`monet_core::strategy::heuristic_plan`] when
 //!   [`Planner::Heuristic`] is selected. Call sites never pick bits.
-//! * **Selections** run as scan-selects (optimal stride locality, §3.2) and
-//!   are priced with the §2 stride-scan model so the report shows what the
-//!   executor expects them to cost.
+//! * **Selections** choose an *access path per predicate leaf*: the §2
+//!   stride-scan model prices a scan-select against every index attached to
+//!   the filtered column ([`costmodel::access`]; CsBTree range/eq, hash
+//!   probe, T-tree probe), with B+-tree-backed range selectivity counted
+//!   exactly. Index-path candidate lists are sorted back into OID order, so
+//!   every access mode is bit-identical. `MONET_ACCESS=scan|index|auto`
+//!   (or [`ExecOptions::access`]) pins the policy; tables without indexes
+//!   behave exactly as before.
 //! * **Grouping** uses the direct-indexed hash kernel (the group domain of an
 //!   encoded key is ≤ 65536 codes, so the table fits the cache — the paper's
 //!   argument for hash over sort grouping).
@@ -55,18 +60,15 @@ use monet_core::join::OidPair;
 use monet_core::storage::{Bat, Column, DecomposedTable, Oid};
 use monet_core::strategy::{heuristic_plan, JoinPlan};
 
+use crate::access::{eval_planned, plan_pred, AccessDecision, AccessMode};
 use crate::aggregate::{max_i32, min_i32, par_max_i32, par_min_i32, par_sum_i32, sum_f64, sum_i32};
-use crate::candidates::{intersect, union};
+use crate::candidates::intersect;
 use crate::group::{hash_group_multi_sum_f64, par_hash_group_multi_sum_f64};
 use crate::join::{join_bats_with_plan, par_join_bats_with_plan};
-use crate::plan::{Agg, LogicalPlan, PlanNode, Pred};
+use crate::plan::{Agg, LogicalPlan, PlanNode};
 use crate::reconstruct::{
     fetch_f64, fetch_i32, fetch_str, fetch_u8, par_fetch_f64, par_fetch_i32, par_fetch_str,
     par_fetch_u8, reconstruct,
-};
-use crate::select::{
-    par_range_select_f64, par_range_select_i32, par_select_eq_str, range_select_f64,
-    range_select_i32, select_eq_str,
 };
 use crate::EngineError;
 
@@ -104,7 +106,8 @@ pub enum Threads {
 }
 
 /// Executor configuration: the machine whose memory hierarchy the cost model
-/// prices, the planner flavour, and the degree of parallelism.
+/// prices, the planner flavour, the degree of parallelism, and the selection
+/// access-path policy.
 #[derive(Debug, Clone, Copy)]
 pub struct ExecOptions {
     /// Machine the cost model plans for (usually the machine you run on; the
@@ -116,22 +119,38 @@ pub struct ExecOptions {
     /// simulated runs are pinned to one thread regardless (see the
     /// [module docs](self)).
     pub threads: Threads,
+    /// Selection access-path policy (scan / index / auto). The constructors
+    /// default to [`AccessMode::Auto`] unless the `MONET_ACCESS` environment
+    /// variable pins a mode (the tests/CI hook). Results are bit-identical
+    /// at every setting.
+    pub access: AccessMode,
 }
 
 impl ExecOptions {
     /// Cost-model-driven execution on `machine`.
     pub fn cost_model(machine: MachineConfig) -> Self {
-        Self { machine, planner: Planner::CostModel, threads: Threads::Fixed(1) }
+        Self {
+            machine,
+            planner: Planner::CostModel,
+            threads: Threads::Fixed(1),
+            access: AccessMode::from_env().unwrap_or(AccessMode::Auto),
+        }
     }
 
     /// Heuristic execution on `machine`.
     pub fn heuristic(machine: MachineConfig) -> Self {
-        Self { machine, planner: Planner::Heuristic, threads: Threads::Fixed(1) }
+        Self { planner: Planner::Heuristic, ..Self::cost_model(machine) }
     }
 
     /// Set the degree of parallelism.
     pub fn with_threads(mut self, threads: Threads) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Set the selection access-path policy (overriding `MONET_ACCESS`).
+    pub fn with_access(mut self, access: AccessMode) -> Self {
+        self.access = access;
         self
     }
 }
@@ -180,7 +199,7 @@ fn threads_detail(threads: usize, speedup: Option<f64>) -> String {
 }
 
 /// What one operator did.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct OpReport {
     /// Operator name, e.g. `select(item)` or `join[qty = id]`.
     pub op: String,
@@ -193,6 +212,14 @@ pub struct OpReport {
     /// Simulated memory-system events consumed by this operator, when the
     /// tracker counts ([`None`] under `NullTracker`).
     pub counters: Option<EventCounters>,
+    /// Selection operators: the access-path decision per predicate leaf
+    /// (scan vs. which index, with both model quotes).
+    pub access: Vec<AccessDecision>,
+    /// Parallel runs: this operator's row counters sharded per thread
+    /// (select: matches produced per chunk, summed over scanning leaves;
+    /// gather/aggregate: input rows per chunk). `rows_out` stays the merged
+    /// total; sequential runs carry `None`.
+    pub rows_per_thread: Option<Vec<usize>>,
 }
 
 /// Per-operator execution trace, returned alongside every query result.
@@ -376,7 +403,7 @@ fn exec_node<'a, M: MemTracker>(
                     table.columns().len(),
                     table.bytes_per_tuple()
                 ),
-                counters: None,
+                ..OpReport::default()
             });
             Ok(Output::Stream(Stream::Table { table, cands: None }))
         }
@@ -388,26 +415,39 @@ fn exec_node<'a, M: MemTracker>(
                 )));
             };
             let before = trk.counters_snapshot();
-            let model_ms = pred_model_ms(model, table, pred);
-            let (threads, speedup) = op_threads::<M>(opts, model_ms * 1e6, table.len());
-            let selected = if threads > 1 {
-                par_eval_pred(table, pred, threads)?
-            } else {
-                eval_pred(trk, table, pred)?
-            };
+            // Phase 1: pick an access path per predicate leaf (scan vs. the
+            // table's attached indexes, priced by costmodel::access) —
+            // B+-tree-backed selectivity estimates are exact.
+            let pplan = plan_pred(trk, table, pred, opts.access, model)?;
+            let model_ms = pplan.model_ms();
+            // Phase 2: the parallel model only sees the scanning leaves
+            // (index probes are a handful of node touches; never forked).
+            let (threads, speedup) = op_threads::<M>(opts, pplan.scan_work_ns(), table.len());
+            let (selected, shards) = eval_planned(trk, table, pred, &pplan, threads)?;
             let merged = match cands {
                 Some(prior) => intersect(&prior, &selected),
                 None => selected,
+            };
+            let detail = if pplan.uses_index() {
+                format!(
+                    "select [{pred}] via {}; model {model_ms:.2} ms{}",
+                    pplan.detail(),
+                    threads_detail(threads, speedup)
+                )
+            } else {
+                format!(
+                    "scan-select [{pred}]; model {model_ms:.2} ms{}",
+                    threads_detail(threads, speedup)
+                )
             };
             report.ops.push(OpReport {
                 op: format!("select({})", table.name()),
                 rows_in: table.len(),
                 rows_out: merged.len(),
-                detail: format!(
-                    "scan-select [{pred}]; model {model_ms:.2} ms{}",
-                    threads_detail(threads, speedup)
-                ),
+                detail,
                 counters: delta(trk, before),
+                access: pplan.decisions(),
+                rows_per_thread: shards,
             });
             Ok(Output::Stream(Stream::Table { table, cands: Some(merged) }))
         }
@@ -450,6 +490,7 @@ fn exec_node<'a, M: MemTracker>(
                     threads_detail(threads, speedup)
                 ),
                 counters: delta(trk, before),
+                ..OpReport::default()
             });
             Ok(Output::Stream(Stream::Joined { left: lt, right: rt, pairs }))
         }
@@ -509,6 +550,10 @@ fn exec_node<'a, M: MemTracker>(
                 rows_out,
                 detail,
                 counters: delta(trk, before),
+                // Gathers and aggregates split the input uniformly; the
+                // sharded counter records that partition.
+                rows_per_thread: (threads > 1).then(|| crate::par::shard_sizes(rows_in, threads)),
+                ..OpReport::default()
             });
             Ok(Output::Final(output))
         }
@@ -530,82 +575,6 @@ fn delta<M: MemTracker>(trk: &M, before: Option<EventCounters>) -> Option<EventC
     match (trk.counters_snapshot(), before) {
         (Some(after), Some(before)) => Some(after - before),
         _ => None,
-    }
-}
-
-/// Evaluate a predicate tree to a candidate OID list. A constant missing
-/// from a dictionary makes that leaf provably empty (not an error).
-fn eval_pred<M: MemTracker>(
-    trk: &mut M,
-    table: &DecomposedTable,
-    pred: &Pred,
-) -> Result<Vec<Oid>, EngineError> {
-    match pred {
-        Pred::RangeI32 { col, lo, hi } => range_select_i32(trk, table.bat(col)?, *lo, *hi),
-        Pred::RangeF64 { col, lo, hi } => range_select_f64(trk, table.bat(col)?, *lo, *hi),
-        Pred::EqStr { col, value } => match select_eq_str(trk, table.bat(col)?, value) {
-            Err(EngineError::ConstantNotInDictionary(_)) => Ok(Vec::new()),
-            other => other,
-        },
-        Pred::And(a, b) => {
-            let ca = eval_pred(trk, table, a)?;
-            if ca.is_empty() {
-                return Ok(ca); // short-circuit: AND with empty is empty
-            }
-            let cb = eval_pred(trk, table, b)?;
-            Ok(intersect(&ca, &cb))
-        }
-        Pred::Or(a, b) => {
-            let ca = eval_pred(trk, table, a)?;
-            let cb = eval_pred(trk, table, b)?;
-            Ok(union(&ca, &cb))
-        }
-    }
-}
-
-/// Parallel twin of [`eval_pred`]: leaves fan out over chunked scan-selects
-/// (bit-identical candidate lists), combinators compose the same way.
-fn par_eval_pred(
-    table: &DecomposedTable,
-    pred: &Pred,
-    threads: usize,
-) -> Result<Vec<Oid>, EngineError> {
-    match pred {
-        Pred::RangeI32 { col, lo, hi } => par_range_select_i32(table.bat(col)?, *lo, *hi, threads),
-        Pred::RangeF64 { col, lo, hi } => par_range_select_f64(table.bat(col)?, *lo, *hi, threads),
-        Pred::EqStr { col, value } => match par_select_eq_str(table.bat(col)?, value, threads) {
-            Err(EngineError::ConstantNotInDictionary(_)) => Ok(Vec::new()),
-            other => other,
-        },
-        Pred::And(a, b) => {
-            let ca = par_eval_pred(table, a, threads)?;
-            if ca.is_empty() {
-                return Ok(ca);
-            }
-            let cb = par_eval_pred(table, b, threads)?;
-            Ok(intersect(&ca, &cb))
-        }
-        Pred::Or(a, b) => {
-            let ca = par_eval_pred(table, a, threads)?;
-            let cb = par_eval_pred(table, b, threads)?;
-            Ok(union(&ca, &cb))
-        }
-    }
-}
-
-/// Model-predicted cost of evaluating `pred` by scan-selects, in ms: one
-/// stride-scan per leaf (§2's scan model).
-fn pred_model_ms(model: &ModelMachine, table: &DecomposedTable, pred: &Pred) -> f64 {
-    match pred {
-        Pred::RangeI32 { .. } => scan_cost(model, table.len(), 4).total_ms(),
-        Pred::RangeF64 { .. } => scan_cost(model, table.len(), 8).total_ms(),
-        Pred::EqStr { col, .. } => {
-            let stride = table.bat(col).map_or(1, |b| b.tail().tail_width());
-            scan_cost(model, table.len(), stride).total_ms()
-        }
-        Pred::And(a, b) | Pred::Or(a, b) => {
-            pred_model_ms(model, table, a) + pred_model_ms(model, table, b)
-        }
     }
 }
 
@@ -944,7 +913,7 @@ fn scalar_aggs<M: MemTracker>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::plan::{PlanNode, Query};
+    use crate::plan::{PlanNode, Pred, Query};
     use memsim::{profiles, NullTracker, SimTracker};
     use monet_core::storage::{ColType, TableBuilder, Value};
 
@@ -1219,6 +1188,90 @@ mod tests {
             let select = par.report.ops.iter().find(|o| o.op.starts_with("select")).unwrap();
             assert!(select.detail.contains(&format!("threads={n}")), "{}", select.detail);
         }
+    }
+
+    #[test]
+    fn index_access_paths_flow_through_the_executor() {
+        use monet_core::index::IndexKind;
+        let mut b =
+            TableBuilder::new("big", 0).column("qty", ColType::I32).column("price", ColType::F64);
+        for i in 0..10_000i32 {
+            b.push_row(&[Value::I32(i % 100), Value::F64(i as f64)]).unwrap();
+        }
+        let mut t = b.finish();
+        t.create_index("qty", IndexKind::CsBTree).unwrap();
+        t.create_index("qty", IndexKind::Hash).unwrap();
+
+        let plan = Query::scan(&t)
+            .filter(Pred::range_i32("qty", 7, 7))
+            .agg(Agg::sum("price"))
+            .agg(Agg::count())
+            .build()
+            .unwrap();
+        let machine = profiles::origin2000();
+        let scan = execute(
+            &mut NullTracker,
+            &plan,
+            &ExecOptions::cost_model(machine).with_access(crate::access::AccessMode::Scan),
+        )
+        .unwrap();
+        let auto = execute(
+            &mut NullTracker,
+            &plan,
+            &ExecOptions::cost_model(machine).with_access(crate::access::AccessMode::Auto),
+        )
+        .unwrap();
+        assert_eq!(auto.output, scan.output, "access paths must be bit-identical");
+
+        // On 10k rows a point predicate is index territory: the decision is
+        // in the report, with both quotes.
+        let sel = auto.report.ops.iter().find(|o| o.op.starts_with("select")).unwrap();
+        assert_eq!(sel.access.len(), 1);
+        let d = &sel.access[0];
+        assert!(d.path.is_index(), "{d:?}");
+        assert!(d.predicted_ms < d.scan_ms, "{d:?}");
+        assert_eq!(d.matches_est, 100, "exact btree count");
+        assert!(sel.detail.contains("via"), "{}", sel.detail);
+        assert_eq!(sel.rows_out, 100);
+
+        // The scan-mode report keeps the historical shape and records the
+        // scan decision.
+        let sel = scan.report.ops.iter().find(|o| o.op.starts_with("select")).unwrap();
+        assert!(sel.detail.starts_with("scan-select"), "{}", sel.detail);
+        assert!(sel.access.iter().all(|d| !d.path.is_index()));
+
+        // A pure index select has no per-thread scan work to shard, even
+        // under forced parallelism; the group op shards its gather input.
+        let opts = ExecOptions::cost_model(machine)
+            .with_access(crate::access::AccessMode::Index)
+            .with_threads(Threads::Fixed(4));
+        let par = execute(&mut NullTracker, &plan, &opts).unwrap();
+        assert_eq!(par.output, scan.output);
+        let sel = par.report.ops.iter().find(|o| o.op.starts_with("select")).unwrap();
+        assert!(sel.rows_per_thread.is_none(), "{:?}", sel.rows_per_thread);
+        let agg = par.report.ops.iter().find(|o| o.op.starts_with("aggregate")).unwrap();
+        let shards = agg.rows_per_thread.as_ref().expect("gather shards");
+        assert_eq!(shards.iter().sum::<usize>(), agg.rows_in);
+    }
+
+    #[test]
+    fn parallel_scan_select_shards_its_row_counters() {
+        let mut b = TableBuilder::new("wide", 0).column("qty", ColType::I32);
+        for i in 0..1_000i32 {
+            b.push_row(&[Value::I32(i % 10)]).unwrap();
+        }
+        let t = b.finish();
+        let plan = Query::scan(&t).filter(Pred::range_i32("qty", 0, 4)).build().unwrap();
+        let opts = ExecOptions::default().with_threads(Threads::Fixed(4));
+        let par = execute(&mut NullTracker, &plan, &opts).unwrap();
+        let sel = par.report.ops.iter().find(|o| o.op.starts_with("select")).unwrap();
+        let shards = sel.rows_per_thread.as_ref().expect("parallel select shards");
+        assert_eq!(shards.len(), 4);
+        assert_eq!(shards.iter().sum::<usize>(), sel.rows_out, "shards merge to the op total");
+        // Sequential runs stay unsharded.
+        let seq = execute(&mut NullTracker, &plan, &ExecOptions::default()).unwrap();
+        assert!(seq.report.ops.iter().all(|o| o.rows_per_thread.is_none()));
+        assert_eq!(par.output, seq.output);
     }
 
     #[test]

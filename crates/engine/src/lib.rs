@@ -8,6 +8,9 @@
 //! * [`select`] — scan selections (optimal locality), including the §3.1
 //!   byte-encoded fast path where a string predicate is re-mapped once to a
 //!   code comparison;
+//! * [`access`] — per-predicate access-path selection: the executor weighs
+//!   each scan against the table's attached §3.2 indexes (CsBTree, hash,
+//!   T-tree) with [`costmodel::access`], pinnable via `MONET_ACCESS`;
 //! * [`aggregate`] — `SUM`/`MIN`/`MAX`/`COUNT` scans, with candidate lists;
 //! * [`candidates`] — AND/OR/AND-NOT combinators over candidate OID lists;
 //! * [`group`] — hash-grouping (the cache-friendly choice when the group
@@ -30,6 +33,7 @@
 //! Scan-shaped operators are generic over [`memsim::MemTracker`] so the
 //! examples can show their stride behaviour on the simulated Origin2000.
 
+pub mod access;
 pub mod aggregate;
 pub mod candidates;
 pub mod exec;
@@ -41,6 +45,7 @@ pub mod query;
 pub mod reconstruct;
 pub mod select;
 
+pub use access::{AccessDecision, AccessMode};
 pub use exec::{execute, ExecOptions, ExecReport, Executed, Planner, QueryOutput, Threads};
 pub use join::{join_bats, JoinIndex};
 pub use plan::{Agg, LogicalPlan, PlanError, Pred, Query};

@@ -44,6 +44,22 @@ where
     parts
 }
 
+/// The per-thread chunk sizes [`fan_out`] uses over `0..n` — the sharded
+/// row accounting for operators whose parallel work is a uniform partition
+/// of the input (gathers, aggregates). Sums to `n` by construction.
+pub(crate) fn shard_sizes(n: usize, threads: usize) -> Vec<usize> {
+    let threads = threads.min(n).max(1);
+    if threads == 1 {
+        return vec![n];
+    }
+    let chunk = n.div_ceil(threads);
+    (0..threads)
+        .map(|t| (t * chunk, ((t + 1) * chunk).min(n)))
+        .filter(|(a, b)| a < b)
+        .map(|(a, b)| b - a)
+        .collect()
+}
+
 /// [`fan_out`] for `Vec`-producing workers, concatenated thread-major.
 pub(crate) fn fan_out_concat<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
 where
@@ -70,6 +86,18 @@ mod tests {
                 let got = fan_out_concat(n, threads, |lo, hi| (lo..hi).collect::<Vec<_>>());
                 let expect: Vec<usize> = (0..n).collect();
                 assert_eq!(got, expect, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_sizes_match_fan_out_chunking() {
+        for n in [0usize, 1, 7, 100, 101] {
+            for threads in [1usize, 2, 3, 7, 64] {
+                let sizes = shard_sizes(n, threads);
+                let parts = fan_out(n, threads, |lo, hi| hi - lo);
+                assert_eq!(sizes, parts, "n={n} threads={threads}");
+                assert_eq!(sizes.iter().sum::<usize>(), n);
             }
         }
     }

@@ -107,20 +107,32 @@ pub fn select_eq_str<M: MemTracker>(
     Ok(out)
 }
 
+/// Concatenate per-chunk candidate lists thread-major, also returning the
+/// per-chunk (per-thread) match counts — the sharded `ExecReport` counters.
+fn concat_counted(parts: Vec<CandList>) -> (CandList, Vec<usize>) {
+    let counts: Vec<usize> = parts.iter().map(Vec::len).collect();
+    let mut out = CandList::with_capacity(counts.iter().sum());
+    for p in parts {
+        out.extend(p);
+    }
+    (out, counts)
+}
+
 /// Parallel range selection over an `I32` tail: chunked fan-out with a
 /// thread-major merge, so the candidate list is bit-identical to
-/// [`range_select_i32`] (native-only; see [`crate::par`]).
-pub fn par_range_select_i32(
+/// [`range_select_i32`] (native-only; see [`crate::par`]). Also returns the
+/// per-thread match counts for the sharded report.
+pub fn par_range_select_i32_counted(
     bat: &Bat,
     lo: i32,
     hi: i32,
     threads: usize,
-) -> Result<CandList, EngineError> {
+) -> Result<(CandList, Vec<usize>), EngineError> {
     let data = bat.tail().as_i32().ok_or(EngineError::UnsupportedType {
         op: "par_range_select_i32",
         ty: bat.tail().value_type(),
     })?;
-    Ok(crate::par::fan_out_concat(data.len(), threads, |clo, chi| {
+    Ok(concat_counted(crate::par::fan_out(data.len(), threads, |clo, chi| {
         let mut out = CandList::new();
         for (i, v) in data.iter().enumerate().take(chi).skip(clo) {
             if (lo..=hi).contains(v) {
@@ -128,22 +140,32 @@ pub fn par_range_select_i32(
             }
         }
         out
-    }))
+    })))
+}
+
+/// [`par_range_select_i32_counted`] without the per-thread counts.
+pub fn par_range_select_i32(
+    bat: &Bat,
+    lo: i32,
+    hi: i32,
+    threads: usize,
+) -> Result<CandList, EngineError> {
+    Ok(par_range_select_i32_counted(bat, lo, hi, threads)?.0)
 }
 
 /// Parallel range selection over an `F64` tail (bit-identical to
-/// [`range_select_f64`]).
-pub fn par_range_select_f64(
+/// [`range_select_f64`]), with per-thread match counts.
+pub fn par_range_select_f64_counted(
     bat: &Bat,
     lo: f64,
     hi: f64,
     threads: usize,
-) -> Result<CandList, EngineError> {
+) -> Result<(CandList, Vec<usize>), EngineError> {
     let data = bat.tail().as_f64().ok_or(EngineError::UnsupportedType {
         op: "par_range_select_f64",
         ty: bat.tail().value_type(),
     })?;
-    Ok(crate::par::fan_out_concat(data.len(), threads, |clo, chi| {
+    Ok(concat_counted(crate::par::fan_out(data.len(), threads, |clo, chi| {
         let mut out = CandList::new();
         for (i, v) in data.iter().enumerate().take(chi).skip(clo) {
             if *v >= lo && *v <= hi {
@@ -151,13 +173,28 @@ pub fn par_range_select_f64(
             }
         }
         out
-    }))
+    })))
+}
+
+/// [`par_range_select_f64_counted`] without the per-thread counts.
+pub fn par_range_select_f64(
+    bat: &Bat,
+    lo: f64,
+    hi: f64,
+    threads: usize,
+) -> Result<CandList, EngineError> {
+    Ok(par_range_select_f64_counted(bat, lo, hi, threads)?.0)
 }
 
 /// Parallel dictionary-equality selection (bit-identical to
 /// [`select_eq_str`], including the [`EngineError::ConstantNotInDictionary`]
-/// contract — the constant is re-mapped to its code once, before fan-out).
-pub fn par_select_eq_str(bat: &Bat, needle: &str, threads: usize) -> Result<CandList, EngineError> {
+/// contract — the constant is re-mapped to its code once, before fan-out),
+/// with per-thread match counts.
+pub fn par_select_eq_str_counted(
+    bat: &Bat,
+    needle: &str,
+    threads: usize,
+) -> Result<(CandList, Vec<usize>), EngineError> {
     let sc = bat.tail().as_str_col().ok_or(EngineError::UnsupportedType {
         op: "par_select_eq_str",
         ty: bat.tail().value_type(),
@@ -166,7 +203,7 @@ pub fn par_select_eq_str(bat: &Bat, needle: &str, threads: usize) -> Result<Cand
         return Err(EngineError::ConstantNotInDictionary(needle.to_owned()));
     };
     let scan = |n: usize, eq: &(dyn Fn(usize) -> bool + Sync)| {
-        crate::par::fan_out_concat(n, threads, |clo, chi| {
+        concat_counted(crate::par::fan_out(n, threads, |clo, chi| {
             let mut out = CandList::new();
             for i in clo..chi {
                 if eq(i) {
@@ -174,7 +211,7 @@ pub fn par_select_eq_str(bat: &Bat, needle: &str, threads: usize) -> Result<Cand
                 }
             }
             out
-        })
+        }))
     };
     Ok(match &sc.codes {
         Codes::U8(v) => {
@@ -186,6 +223,11 @@ pub fn par_select_eq_str(bat: &Bat, needle: &str, threads: usize) -> Result<Cand
             scan(v.len(), &|i| v[i] == code)
         }
     })
+}
+
+/// [`par_select_eq_str_counted`] without the per-thread counts.
+pub fn par_select_eq_str(bat: &Bat, needle: &str, threads: usize) -> Result<CandList, EngineError> {
+    Ok(par_select_eq_str_counted(bat, needle, threads)?.0)
 }
 
 /// Equality selection on a `U8` column (already-encoded data).
@@ -303,5 +345,17 @@ mod tests {
             par_select_eq_str(&bs, "WALRUS", 4),
             Err(EngineError::ConstantNotInDictionary(_))
         ));
+    }
+
+    #[test]
+    fn counted_selects_shard_the_match_counts_per_thread() {
+        let i32s: Vec<i32> = (0..1_000).map(|i| i % 100).collect();
+        let b = Bat::with_void_head(0, Column::I32(i32s));
+        for threads in [1usize, 3, 4, 7] {
+            let (cands, counts) = par_range_select_i32_counted(&b, 10, 39, threads).unwrap();
+            assert_eq!(counts.len(), threads.min(1_000));
+            assert_eq!(counts.iter().sum::<usize>(), cands.len(), "threads={threads}");
+            assert_eq!(cands, range_select_i32(&mut NullTracker, &b, 10, 39).unwrap());
+        }
     }
 }
