@@ -32,6 +32,8 @@ commands:
   query      composed query pipelines through the cost-model-driven executor
   parallel   parallel-scaling sweep: measured vs model-predicted speedup
   access     access-path crossover: scan vs index selects, model vs simulator
+  service    concurrent query service: budgeted scheduler vs naive Auto,
+             throughput/latency over client counts
   all        everything above, in order
 
 options:
@@ -44,6 +46,8 @@ options:
                 the parallel cost model pick per operator (default 1)
   --access P    selection access-path policy for `query`/`access`:
                 scan | index | auto (default: MONET_ACCESS, else auto)
+  --clients N   pin `service` to one client count (default: sweep 1..8);
+                the thread budget itself comes from MONET_SERVICE_THREADS
 ";
 
 fn main() -> ExitCode {
@@ -89,6 +93,13 @@ fn main() -> ExitCode {
                     None => return usage_error("--access requires scan, index, or auto"),
                 }
             }
+            "--clients" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => opts.clients = Some(n),
+                    _ => return usage_error("--clients requires a count >= 1"),
+                }
+            }
             "-h" | "--help" => {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -122,6 +133,7 @@ fn main() -> ExitCode {
             "query" => figures::query_pipeline::run(&opts),
             "parallel" => figures::par_scaling::run(&opts),
             "access" => figures::access_paths::run(&opts),
+            "service" => figures::service::run(&opts),
             _ => return false,
         }
         true
@@ -131,7 +143,7 @@ fn main() -> ExitCode {
         "all" => {
             for name in [
                 "fig1", "fig3", "fig4", "fig9", "fig10", "fig11", "fig12", "fig13", "validate",
-                "select", "skew", "vm", "query", "parallel", "access",
+                "select", "skew", "vm", "query", "parallel", "access", "service",
             ] {
                 println!("\n=== {name} ===\n");
                 run_one(name);

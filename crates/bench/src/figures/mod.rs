@@ -13,6 +13,7 @@ pub mod fig9;
 pub mod par_scaling;
 pub mod query_pipeline;
 pub mod select_paths;
+pub mod service;
 pub mod skew;
 pub mod validate;
 pub mod vm;

@@ -136,7 +136,7 @@ pub fn run(opts: &RunOpts) {
 }
 
 /// A supplier dimension table: ids `1..=n`, a synthetic rating per supplier.
-fn supplier_dim(n: usize) -> DecomposedTable {
+pub(crate) fn supplier_dim(n: usize) -> DecomposedTable {
     let mut b =
         TableBuilder::new("supplier", 0).column("id", ColType::I32).column("rating", ColType::F64);
     for i in 1..=n {

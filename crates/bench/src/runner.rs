@@ -72,6 +72,9 @@ pub struct RunOpts {
     /// Selection access-path policy for the executor-driven experiments
     /// (`--access scan|index|auto`; `None` = executor default).
     pub access: Option<engine::AccessMode>,
+    /// Pin the `service` experiment to one client count (`--clients N`;
+    /// `None` = sweep the scale's default client counts).
+    pub clients: Option<usize>,
 }
 
 impl Default for RunOpts {
@@ -83,6 +86,7 @@ impl Default for RunOpts {
             seed: 42,
             threads: ThreadsOpt::Seq,
             access: None,
+            clients: None,
         }
     }
 }

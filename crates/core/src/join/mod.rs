@@ -33,8 +33,9 @@ pub use hash::{radix_of, FibHash, IdentityHash, KeyHash, MurmurHash};
 pub use hashtable::ChainedTable;
 pub use nljoin::nested_loop_join;
 pub use parallel::{
-    par_join_clustered, par_partitioned_hash_join, par_radix_cluster, par_radix_join,
-    par_radix_join_clustered,
+    par_join_clustered, par_join_clustered_sharded, par_partitioned_hash_join,
+    par_partitioned_hash_join_sharded, par_radix_cluster, par_radix_join, par_radix_join_clustered,
+    par_radix_join_clustered_sharded, par_radix_join_sharded,
 };
 pub use phash::{join_clustered, partitioned_hash_join};
 pub use rjoin::{radix_join, radix_join_clustered};

@@ -246,7 +246,7 @@ fn par_cluster_pairs<F, S>(
     threads: usize,
     seq: S,
     per_cluster: F,
-) -> Vec<OidPair>
+) -> (Vec<OidPair>, Vec<usize>)
 where
     F: Fn(&[Bun], &[Bun], &mut Vec<OidPair>) + Send + Sync,
     S: FnOnce() -> Vec<OidPair>,
@@ -258,7 +258,9 @@ where
     // scoped threads.
     let threads = threads.min(ncl);
     if threads <= 1 {
-        return seq();
+        let out = seq();
+        let n = out.len();
+        return (out, vec![n]);
     }
     let block = ncl.div_ceil(threads);
     let per_cluster = &per_cluster;
@@ -286,12 +288,13 @@ where
             parts.push(handle.join().expect("cluster-pair join worker panicked"));
         }
     });
-    let total: usize = parts.iter().map(Vec::len).sum();
+    let shards: Vec<usize> = parts.iter().map(Vec::len).collect();
+    let total: usize = shards.iter().sum();
     let mut out = Vec::with_capacity(total);
     for p in parts {
         out.extend(p);
     }
-    out
+    (out, shards)
 }
 
 /// Parallel join of two clustered relations: cluster pairs are distributed
@@ -303,6 +306,17 @@ pub fn par_join_clustered<H: KeyHash + Send + Sync>(
     right: &ClusteredRel,
     threads: usize,
 ) -> Vec<OidPair> {
+    par_join_clustered_sharded(h, left, right, threads).0
+}
+
+/// [`par_join_clustered`] plus the per-worker result-pair counts (one entry
+/// per worker block, thread-major; sums to the result cardinality).
+pub fn par_join_clustered_sharded<H: KeyHash + Send + Sync>(
+    h: H,
+    left: &ClusteredRel,
+    right: &ClusteredRel,
+    threads: usize,
+) -> (Vec<OidPair>, Vec<usize>) {
     par_cluster_pairs(
         left,
         right,
@@ -329,6 +343,16 @@ pub fn par_radix_join_clustered<H: KeyHash + Send + Sync>(
     right: &ClusteredRel,
     threads: usize,
 ) -> Vec<OidPair> {
+    par_radix_join_clustered_sharded(h, left, right, threads).0
+}
+
+/// [`par_radix_join_clustered`] plus per-worker result-pair counts.
+pub fn par_radix_join_clustered_sharded<H: KeyHash + Send + Sync>(
+    h: H,
+    left: &ClusteredRel,
+    right: &ClusteredRel,
+    threads: usize,
+) -> (Vec<OidPair>, Vec<usize>) {
     par_cluster_pairs(
         left,
         right,
@@ -356,9 +380,21 @@ pub fn par_radix_join<H: KeyHash + Send + Sync>(
     pass_bits: &[u32],
     threads: usize,
 ) -> Vec<OidPair> {
+    par_radix_join_sharded(h, left, right, bits, pass_bits, threads).0
+}
+
+/// [`par_radix_join`] plus the join phase's per-worker result-pair counts.
+pub fn par_radix_join_sharded<H: KeyHash + Send + Sync>(
+    h: H,
+    left: Vec<Bun>,
+    right: Vec<Bun>,
+    bits: u32,
+    pass_bits: &[u32],
+    threads: usize,
+) -> (Vec<OidPair>, Vec<usize>) {
     let l = par_radix_cluster(h, left, bits, pass_bits, threads);
     let r = par_radix_cluster(h, right, bits, pass_bits, threads);
-    par_radix_join_clustered(h, &l, &r, threads)
+    par_radix_join_clustered_sharded(h, &l, &r, threads)
 }
 
 /// The complete parallel partitioned hash-join.
@@ -370,9 +406,22 @@ pub fn par_partitioned_hash_join<H: KeyHash + Send + Sync>(
     pass_bits: &[u32],
     threads: usize,
 ) -> Vec<OidPair> {
+    par_partitioned_hash_join_sharded(h, left, right, bits, pass_bits, threads).0
+}
+
+/// [`par_partitioned_hash_join`] plus the join phase's per-worker
+/// result-pair counts.
+pub fn par_partitioned_hash_join_sharded<H: KeyHash + Send + Sync>(
+    h: H,
+    left: Vec<Bun>,
+    right: Vec<Bun>,
+    bits: u32,
+    pass_bits: &[u32],
+    threads: usize,
+) -> (Vec<OidPair>, Vec<usize>) {
     let l = par_radix_cluster(h, left, bits, pass_bits, threads);
     let r = par_radix_cluster(h, right, bits, pass_bits, threads);
-    par_join_clustered(h, &l, &r, threads)
+    par_join_clustered_sharded(h, &l, &r, threads)
 }
 
 /// Sanity helper used in tests and benches: verify a parallel clustering

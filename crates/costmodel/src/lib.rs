@@ -26,7 +26,10 @@
 //!   entry point the executor uses;
 //! * [`access`] — the §3.2 selection access paths priced against each
 //!   other: scan-select vs. CsBTree eq/range vs. hash probe vs. T-tree
-//!   probe, so index use becomes a per-predicate cost-model decision.
+//!   probe, so index use becomes a per-predicate cost-model decision;
+//! * [`quote`] — whole-query quotes composing the per-operator models, the
+//!   currency of the multi-query scheduler (admission order and per-query
+//!   thread budgets in `crates/service`).
 //!
 //! The inequality directions in the published formulas are garbled by PDF
 //! extraction; the reconstruction used here (documented per function and in
@@ -44,9 +47,11 @@ pub mod machine;
 pub mod parallel;
 pub mod phash;
 pub mod plan;
+pub mod quote;
 pub mod rjoin;
 pub mod scan;
 
 pub use access::{AccessPath, IndexShape, SelectQuery};
 pub use machine::{ModelCost, ModelMachine, ModelParams};
 pub use parallel::{ParPlan, ParallelModel};
+pub use quote::{quote_ops, OpShape, QueryQuote};

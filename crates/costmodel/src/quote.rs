@@ -1,0 +1,187 @@
+//! Whole-query cost quotes — composing the per-operator models into one
+//! number a *scheduler* can rank queries by.
+//!
+//! Every other module in this crate prices a single physical decision (a
+//! join plan, an access path, a degree of parallelism). A multi-query
+//! service needs one more composition level: "what will this whole plan
+//! cost, sequentially, and how does that cost shrink with threads?" —
+//! because admission order (shortest-expected-cost-first) and per-query
+//! thread allocation are both decisions *against the model*, exactly like
+//! radix bits.
+//!
+//! The quote deliberately reuses the calibrated building blocks:
+//!
+//! * selections and gathers are stride scans ([`crate::scan::scan_cost`]);
+//! * joins are priced by the Figure 12 search ([`crate::plan::best_plan`]),
+//!   at the larger operand cardinality (the same convention the executor's
+//!   report uses);
+//! * grouped aggregation is one streaming pass over the keys plus one per
+//!   aggregated column.
+//!
+//! Estimates, not measurements: cardinalities after a filter are unknown at
+//! admission time, so callers feed the shapes with whatever selectivity
+//! guess they have. Ranking only needs *relative* accuracy.
+
+use memsim::MachineConfig;
+
+use crate::parallel::{ParPlan, ParallelModel};
+use crate::plan::{best_plan, plan_cost};
+use crate::scan::scan_cost;
+use crate::{ModelMachine, ModelParams};
+
+/// The shape of one operator of a logical plan, as much as an admission
+/// controller can know before execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OpShape {
+    /// A scan-select over `rows` tuples at byte `stride`.
+    Select {
+        /// Tuples scanned.
+        rows: usize,
+        /// Bytes per tuple in the scanned column.
+        stride: usize,
+    },
+    /// An equi-join of `outer` against `inner` tuples.
+    Join {
+        /// Outer (probe-side) cardinality.
+        outer: usize,
+        /// Inner (build-side) cardinality.
+        inner: usize,
+    },
+    /// A (grouped) aggregation over `rows` tuples reading `columns` value
+    /// columns plus the key column.
+    Aggregate {
+        /// Input tuples.
+        rows: usize,
+        /// Aggregated value columns.
+        columns: usize,
+    },
+    /// A positional gather materializing `rows` tuples from one column.
+    Gather {
+        /// Tuples fetched.
+        rows: usize,
+    },
+}
+
+impl OpShape {
+    /// The number of uniform work items this operator fans out over.
+    fn items(self) -> usize {
+        match self {
+            OpShape::Select { rows, .. } => rows,
+            OpShape::Join { outer, inner } => outer + inner,
+            OpShape::Aggregate { rows, .. } => rows,
+            OpShape::Gather { rows } => rows,
+        }
+    }
+}
+
+/// A whole-query cost quote: the model's sequential time and the work-item
+/// count the parallel model divides it over.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryQuote {
+    /// Predicted sequential execution time in nanoseconds.
+    pub seq_ns: f64,
+    /// Total uniform work items across operators (drives the per-thread
+    /// share in [`ParallelModel`]).
+    pub items: usize,
+    /// Operators priced into the quote.
+    pub ops: usize,
+}
+
+impl QueryQuote {
+    /// The sequential quote in milliseconds.
+    pub fn seq_ms(&self) -> f64 {
+        self.seq_ns / 1e6
+    }
+
+    /// The model-optimal thread count for this query on `cfg`, considering
+    /// at most `max_threads` threads ([`ParallelModel::best_threads`] over
+    /// the whole-query quote). Never slower than sequential; a zero-work
+    /// quote pins to one thread.
+    pub fn best_threads(&self, cfg: &MachineConfig, max_threads: usize) -> ParPlan {
+        ParallelModel::for_machine(cfg, max_threads).best_threads(self.seq_ns, self.items.max(1))
+    }
+}
+
+/// Price a sequence of operator shapes on machine `cfg` into one
+/// [`QueryQuote`]. An empty slice quotes zero cost.
+pub fn quote_ops(cfg: &MachineConfig, ops: &[OpShape]) -> QueryQuote {
+    let scan_model = ModelMachine::new(cfg);
+    let join_model = ModelMachine::with_params(cfg, ModelParams::implementation_matched());
+    let mut seq_ns = 0.0;
+    let mut items = 0usize;
+    for &op in ops {
+        seq_ns += match op {
+            OpShape::Select { rows, stride } => {
+                scan_cost(&scan_model, rows.max(1), stride.max(1)).total_ns()
+            }
+            OpShape::Join { outer, inner } => {
+                // Same convention as the executor: the plan follows the
+                // inner (build) side, the price follows the larger operand.
+                let (plan, _) = best_plan(&join_model, cfg, inner.max(1));
+                plan_cost(&join_model, &plan, outer.max(inner).max(1) as f64).total_ns()
+            }
+            OpShape::Aggregate { rows, columns } => {
+                scan_cost(&scan_model, rows.max(1), 8).total_ns() * (columns + 1) as f64
+            }
+            OpShape::Gather { rows } => scan_cost(&scan_model, rows.max(1), 8).total_ns(),
+        };
+        items += op.items();
+    }
+    QueryQuote { seq_ns, items, ops: ops.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::profiles;
+
+    #[test]
+    fn empty_plan_quotes_zero() {
+        let q = quote_ops(&profiles::origin2000(), &[]);
+        assert_eq!(q.seq_ns, 0.0);
+        assert_eq!(q.ops, 0);
+        assert_eq!(q.best_threads(&profiles::origin2000(), 8).threads, 1);
+    }
+
+    #[test]
+    fn quotes_are_monotone_in_cardinality() {
+        let cfg = profiles::origin2000();
+        let small = quote_ops(
+            &cfg,
+            &[
+                OpShape::Select { rows: 10_000, stride: 4 },
+                OpShape::Aggregate { rows: 5_000, columns: 1 },
+            ],
+        );
+        let big = quote_ops(
+            &cfg,
+            &[
+                OpShape::Select { rows: 1_000_000, stride: 4 },
+                OpShape::Aggregate { rows: 500_000, columns: 1 },
+            ],
+        );
+        assert!(big.seq_ns > small.seq_ns * 10.0, "{} vs {}", big.seq_ns, small.seq_ns);
+        assert_eq!(small.ops, 2);
+        assert_eq!(small.items, 15_000);
+    }
+
+    #[test]
+    fn join_shape_prices_the_larger_operand() {
+        let cfg = profiles::origin2000();
+        // Asymmetric join: quoting must not collapse to the tiny inner side.
+        let a = quote_ops(&cfg, &[OpShape::Join { outer: 1_000_000, inner: 100 }]);
+        let b = quote_ops(&cfg, &[OpShape::Join { outer: 100, inner: 100 }]);
+        assert!(a.seq_ns > 100.0 * b.seq_ns, "{} vs {}", a.seq_ns, b.seq_ns);
+    }
+
+    #[test]
+    fn big_queries_earn_more_threads_than_tiny_ones() {
+        let cfg = profiles::origin2000();
+        let tiny = quote_ops(&cfg, &[OpShape::Select { rows: 100, stride: 4 }]);
+        let huge = quote_ops(&cfg, &[OpShape::Select { rows: 16_000_000, stride: 4 }]);
+        assert_eq!(tiny.best_threads(&cfg, 8).threads, 1, "fork overhead dominates 100 rows");
+        let plan = huge.best_threads(&cfg, 8);
+        assert!(plan.threads > 1, "16M-row scan should fan out, got {plan:?}");
+        assert!(plan.par_ns <= plan.seq_ns);
+    }
+}

@@ -63,8 +63,8 @@ use monet_core::strategy::{heuristic_plan, JoinPlan};
 use crate::access::{eval_planned, plan_pred, AccessDecision, AccessMode};
 use crate::aggregate::{max_i32, min_i32, par_max_i32, par_min_i32, par_sum_i32, sum_f64, sum_i32};
 use crate::candidates::intersect;
-use crate::group::{hash_group_multi_sum_f64, par_hash_group_multi_sum_f64};
-use crate::join::{join_bats_with_plan, par_join_bats_with_plan};
+use crate::group::{hash_group_multi_agg, par_hash_group_multi_agg};
+use crate::join::{join_bats_with_plan, par_join_bats_with_plan_sharded};
 use crate::plan::{Agg, LogicalPlan, PlanNode};
 use crate::reconstruct::{
     fetch_f64, fetch_i32, fetch_str, fetch_u8, par_fetch_f64, par_fetch_i32, par_fetch_str,
@@ -124,6 +124,13 @@ pub struct ExecOptions {
     /// variable pins a mode (the tests/CI hook). Results are bit-identical
     /// at every setting.
     pub access: AccessMode,
+    /// An externally imposed hard ceiling on per-operator thread counts,
+    /// applied on top of [`Threads`] (both `Auto` and `Fixed`). This is the
+    /// seam a multi-query scheduler uses to lease a slice of a global
+    /// thread budget to one `execute` call: the executor is re-entrant, so
+    /// concurrent queries each run under their own cap and the pool is
+    /// never oversubscribed. `None` (the default) imposes no ceiling.
+    pub thread_cap: Option<usize>,
 }
 
 impl ExecOptions {
@@ -134,6 +141,7 @@ impl ExecOptions {
             planner: Planner::CostModel,
             threads: Threads::Fixed(1),
             access: AccessMode::from_env().unwrap_or(AccessMode::Auto),
+            thread_cap: None,
         }
     }
 
@@ -151,6 +159,14 @@ impl ExecOptions {
     /// Set the selection access-path policy (overriding `MONET_ACCESS`).
     pub fn with_access(mut self, access: AccessMode) -> Self {
         self.access = access;
+        self
+    }
+
+    /// Impose a hard per-operator thread ceiling (`cap >= 1`), on top of
+    /// whatever [`Threads`] setting is active. Used by the query service to
+    /// confine one query to its leased slice of the global thread budget.
+    pub fn with_thread_cap(mut self, cap: usize) -> Self {
+        self.thread_cap = Some(cap.max(1));
         self
     }
 }
@@ -176,13 +192,15 @@ fn op_threads<M: MemTracker>(
     if M::ENABLED {
         return (1, None);
     }
+    let ceiling = opts.thread_cap.unwrap_or(usize::MAX).max(1);
     match opts.threads {
-        Threads::Fixed(n) => (n.max(1), None),
+        Threads::Fixed(n) => (n.max(1).min(ceiling), None),
         Threads::Auto => {
             let cap = std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
-                .min(MAX_AUTO_THREADS);
+                .min(MAX_AUTO_THREADS)
+                .min(ceiling);
             let plan = ParallelModel::for_machine(&opts.machine, cap).best_threads(seq_ns, items);
             (plan.threads, Some(plan.speedup()))
         }
@@ -217,7 +235,9 @@ pub struct OpReport {
     pub access: Vec<AccessDecision>,
     /// Parallel runs: this operator's row counters sharded per thread
     /// (select: matches produced per chunk, summed over scanning leaves;
-    /// gather/aggregate: input rows per chunk). `rows_out` stays the merged
+    /// gather/ungrouped aggregate: input rows per chunk; join: result pairs
+    /// produced per cluster-pair worker block; grouped aggregate: input rows
+    /// accumulated per group-domain slice). `rows_out` stays the merged
     /// total; sequential runs carry `None`.
     pub rows_per_thread: Option<Vec<usize>>,
 }
@@ -327,6 +347,35 @@ pub enum QueryOutput {
     Oids(Vec<Oid>),
     /// Join without aggregation: the `[OID, OID]` join index.
     JoinIndex(Vec<OidPair>),
+}
+
+impl QueryOutput {
+    /// Representation-level equality: like `==`, but `f64` aggregates must
+    /// match *bit for bit* — `==` would conflate `0.0` with `-0.0`, which
+    /// is weaker than the executor's determinism contract (parallel and
+    /// sequential runs preserve the exact floating-point addition order).
+    pub fn bitwise_eq(&self, other: &QueryOutput) -> bool {
+        fn agg_eq(a: &AggValue, b: &AggValue) -> bool {
+            match (a, b) {
+                (AggValue::F64(x), AggValue::F64(y)) => x.to_bits() == y.to_bits(),
+                _ => a == b,
+            }
+        }
+        match (self, other) {
+            (QueryOutput::Groups(a), QueryOutput::Groups(b)) => {
+                a.len() == b.len()
+                    && a.iter().zip(b).all(|(ga, gb)| {
+                        ga.key == gb.key
+                            && ga.values.len() == gb.values.len()
+                            && ga.values.iter().zip(&gb.values).all(|(x, y)| agg_eq(x, y))
+                    })
+            }
+            (QueryOutput::Aggregates(a), QueryOutput::Aggregates(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| agg_eq(x, y))
+            }
+            (a, b) => a == b,
+        }
+    }
 }
 
 /// A query result: output rows plus the per-operator execution trace.
@@ -474,10 +523,10 @@ fn exec_node<'a, M: MemTracker>(
             } else {
                 (1, None)
             };
-            let pairs = if threads > 1 {
-                par_join_bats_with_plan(lbat.as_bat(), rbat.as_bat(), &jplan, threads)?
+            let (pairs, join_shards) = if threads > 1 {
+                par_join_bats_with_plan_sharded(lbat.as_bat(), rbat.as_bat(), &jplan, threads)?
             } else {
-                join_bats_with_plan(trk, lbat.as_bat(), rbat.as_bat(), &jplan)?
+                (join_bats_with_plan(trk, lbat.as_bat(), rbat.as_bat(), &jplan)?, None)
             };
 
             report.ops.push(OpReport {
@@ -490,6 +539,7 @@ fn exec_node<'a, M: MemTracker>(
                     threads_detail(threads, speedup)
                 ),
                 counters: delta(trk, before),
+                rows_per_thread: join_shards,
                 ..OpReport::default()
             });
             Ok(Output::Stream(Stream::Joined { left: lt, right: rt, pairs }))
@@ -513,9 +563,10 @@ fn exec_node<'a, M: MemTracker>(
                 0.0
             };
             let (threads, speedup) = op_threads::<M>(opts, gather_ns, rows_in);
-            let (output, op, detail) = match key {
+            let (output, op, detail, shards) = match key {
                 Some(key) => {
-                    let (rows, domain) = grouped_aggs(trk, &stream, key, aggs, threads)?;
+                    let (rows, domain, kernel_shards) =
+                        grouped_aggs(trk, &stream, key, aggs, threads)?;
                     let n = rows.len();
                     (
                         QueryOutput::Groups(rows),
@@ -524,6 +575,10 @@ fn exec_node<'a, M: MemTracker>(
                             "hash-group: direct-indexed, {domain}-slot table ({n} occupied) fits cache{}",
                             threads_detail(threads, speedup)
                         ),
+                        // Parallel grouping shards rows by group-domain
+                        // slice; the kernel reports what each worker
+                        // actually accumulated.
+                        kernel_shards,
                     )
                 }
                 None => {
@@ -537,6 +592,10 @@ fn exec_node<'a, M: MemTracker>(
                             labels.join(", "),
                             threads_detail(threads, speedup)
                         ),
+                        // Gathers and ungrouped aggregates split the input
+                        // uniformly; the sharded counter records that
+                        // partition.
+                        (threads > 1).then(|| crate::par::shard_sizes(rows_in, threads)),
                     )
                 }
             };
@@ -550,9 +609,7 @@ fn exec_node<'a, M: MemTracker>(
                 rows_out,
                 detail,
                 counters: delta(trk, before),
-                // Gathers and aggregates split the input uniformly; the
-                // sharded counter records that partition.
-                rows_per_thread: (threads > 1).then(|| crate::par::shard_sizes(rows_in, threads)),
+                rows_per_thread: shards,
                 ..OpReport::default()
             });
             Ok(Output::Final(output))
@@ -742,17 +799,53 @@ fn f64_values<'b, M: MemTracker>(
     Ok(BatCow::Owned(Bat::with_void_head(0, Column::F64(vals))))
 }
 
-/// Compute grouped aggregates in a single grouping pass; returns the rows
-/// (ascending by key code) and the direct-index domain used by the kernel.
-/// `threads > 1` (native only) parallelizes the gathers and the group
-/// kernel; the output is bit-identical to the sequential pass.
+/// Gather a column's `i32` values at the stream's surviving rows
+/// (borrowing the whole column when the stream is an unrestricted scan).
+fn i32_values<'b, M: MemTracker>(
+    trk: &mut M,
+    bat: &'b Bat,
+    oids: Option<&[Oid]>,
+    threads: usize,
+) -> Result<BatCow<'b>, EngineError> {
+    match (oids, bat.tail()) {
+        (None, Column::I32(_)) => Ok(BatCow::Borrowed(bat)),
+        (Some(oids), Column::I32(_)) => {
+            let vals = if threads > 1 {
+                par_fetch_i32(bat, oids, threads)?
+            } else {
+                fetch_i32(trk, bat, oids)?
+            };
+            Ok(BatCow::Owned(Bat::with_void_head(0, Column::I32(vals))))
+        }
+        (_, other) => {
+            Err(EngineError::UnsupportedType { op: "min/max input", ty: other.value_type() })
+        }
+    }
+}
+
+/// Which slot of the grouping kernel's output an aggregate reads from.
+enum GroupedSlot {
+    Sum(usize),
+    Min(usize),
+    Max(usize),
+    Count,
+}
+
+/// What [`grouped_aggs`] returns: the result rows (ascending by key code),
+/// the direct-index domain used by the kernel, and — for parallel runs —
+/// the rows each worker's group-domain slice accumulated.
+type GroupedRows = (Vec<GroupRow>, usize, Option<Vec<usize>>);
+
+/// Compute grouped aggregates in a single grouping pass. `threads > 1`
+/// (native only) parallelizes the gathers and the group kernel; the output
+/// is bit-identical to the sequential pass.
 fn grouped_aggs<M: MemTracker>(
     trk: &mut M,
     stream: &Stream<'_>,
     key: &str,
     aggs: &[Agg],
     threads: usize,
-) -> Result<(Vec<GroupRow>, usize), EngineError> {
+) -> Result<GroupedRows, EngineError> {
     let oids = row_oids(stream);
     let (key_table, key_is_left) = resolve_col(stream, key);
     let key_src = key_table.bat(key)?;
@@ -789,30 +882,42 @@ fn grouped_aggs<M: MemTracker>(
         _ => unreachable!("validated group key type"),
     };
 
-    // Gather every SUM column once, then group keys + all columns in a
-    // single pass (COUNT falls out of the kernel's per-group counts).
-    let mut value_bats: Vec<BatCow<'_>> = Vec::new();
-    let mut sum_col_of_agg: Vec<Option<usize>> = Vec::with_capacity(aggs.len());
+    // Gather every aggregated column once (SUM columns as f64, MIN/MAX
+    // columns as i32), then group keys + all columns in a single pass
+    // (COUNT falls out of the kernel's per-group counts).
+    let mut sum_bats: Vec<BatCow<'_>> = Vec::new();
+    let mut min_bats: Vec<BatCow<'_>> = Vec::new();
+    let mut max_bats: Vec<BatCow<'_>> = Vec::new();
+    let mut slot_of_agg: Vec<GroupedSlot> = Vec::with_capacity(aggs.len());
     for agg in aggs {
         match agg {
             Agg::Sum(col) => {
                 let (table, is_left) = resolve_col(stream, col);
-                sum_col_of_agg.push(Some(value_bats.len()));
-                value_bats.push(f64_values(trk, table.bat(col)?, oids.for_side(is_left), threads)?);
+                slot_of_agg.push(GroupedSlot::Sum(sum_bats.len()));
+                sum_bats.push(f64_values(trk, table.bat(col)?, oids.for_side(is_left), threads)?);
             }
-            Agg::Count => sum_col_of_agg.push(None),
-            Agg::Min(_) | Agg::Max(_) => {
-                return Err(EngineError::Plan(crate::plan::PlanError::Unsupported(
-                    "min/max under group_by is not implemented",
-                )))
+            Agg::Min(col) => {
+                let (table, is_left) = resolve_col(stream, col);
+                slot_of_agg.push(GroupedSlot::Min(min_bats.len()));
+                min_bats.push(i32_values(trk, table.bat(col)?, oids.for_side(is_left), threads)?);
             }
+            Agg::Max(col) => {
+                let (table, is_left) = resolve_col(stream, col);
+                slot_of_agg.push(GroupedSlot::Max(max_bats.len()));
+                max_bats.push(i32_values(trk, table.bat(col)?, oids.for_side(is_left), threads)?);
+            }
+            Agg::Count => slot_of_agg.push(GroupedSlot::Count),
         }
     }
-    let value_refs: Vec<&Bat> = value_bats.iter().map(BatCow::as_bat).collect();
-    let grouped = if threads > 1 {
-        par_hash_group_multi_sum_f64(keys.as_bat(), &value_refs, threads)?
+    let sum_refs: Vec<&Bat> = sum_bats.iter().map(BatCow::as_bat).collect();
+    let min_refs: Vec<&Bat> = min_bats.iter().map(BatCow::as_bat).collect();
+    let max_refs: Vec<&Bat> = max_bats.iter().map(BatCow::as_bat).collect();
+    let (grouped, shards) = if threads > 1 {
+        let (g, s) =
+            par_hash_group_multi_agg(keys.as_bat(), &sum_refs, &min_refs, &max_refs, threads)?;
+        (g, Some(s))
     } else {
-        hash_group_multi_sum_f64(trk, keys.as_bat(), &value_refs)?
+        (hash_group_multi_agg(trk, keys.as_bat(), &sum_refs, &min_refs, &max_refs)?, None)
     };
 
     let decode = |code: u32| -> String {
@@ -827,16 +932,20 @@ fn grouped_aggs<M: MemTracker>(
         .enumerate()
         .map(|(g, &code)| GroupRow {
             key: decode(code),
-            values: sum_col_of_agg
+            values: slot_of_agg
                 .iter()
-                .map(|col| match col {
-                    Some(c) => AggValue::F64(grouped.sums[*c][g]),
-                    None => AggValue::Count(grouped.counts[g] as usize),
+                .map(|slot| match slot {
+                    GroupedSlot::Sum(c) => AggValue::F64(grouped.sums[*c][g]),
+                    // Every occurring group has >= 1 row, so the extremum
+                    // exists.
+                    GroupedSlot::Min(c) => AggValue::MaybeI32(Some(grouped.mins[*c][g])),
+                    GroupedSlot::Max(c) => AggValue::MaybeI32(Some(grouped.maxs[*c][g])),
+                    GroupedSlot::Count => AggValue::Count(grouped.counts[g] as usize),
                 })
                 .collect(),
         })
         .collect();
-    Ok((rows, domain))
+    Ok((rows, domain, shards))
 }
 
 /// Compute ungrouped aggregates over the stream. `threads > 1` (native
@@ -1252,6 +1361,117 @@ mod tests {
         let agg = par.report.ops.iter().find(|o| o.op.starts_with("aggregate")).unwrap();
         let shards = agg.rows_per_thread.as_ref().expect("gather shards");
         assert_eq!(shards.iter().sum::<usize>(), agg.rows_in);
+    }
+
+    #[test]
+    fn grouped_min_max_match_sequential_at_every_thread_count() {
+        let t = item();
+        let q = || {
+            Query::scan(&t)
+                .group_by("shipmode")
+                .agg(Agg::min("qty"))
+                .agg(Agg::max("qty"))
+                .agg(Agg::sum("price"))
+                .agg(Agg::count())
+        };
+        let seq = run(q());
+        let QueryOutput::Groups(rows) = &seq.output else { panic!("groups") };
+        let air = rows.iter().find(|r| r.key == "AIR").unwrap();
+        // AIR rows: qty 1 and 3, price 10 + 40.
+        assert_eq!(
+            air.values,
+            vec![
+                AggValue::MaybeI32(Some(1)),
+                AggValue::MaybeI32(Some(3)),
+                AggValue::F64(50.0),
+                AggValue::Count(2),
+            ]
+        );
+        for n in [2usize, 4, 7] {
+            let opts = ExecOptions::default().with_threads(Threads::Fixed(n));
+            let par = execute(&mut NullTracker, &q().build().unwrap(), &opts).unwrap();
+            assert_eq!(par.output, seq.output, "threads={n}");
+        }
+        // Grouped min/max over a filtered stream (gathers the i32 column).
+        let filtered = run(q().filter(Pred::range_i32("qty", 2, 5)));
+        let QueryOutput::Groups(rows) = &filtered.output else { panic!("groups") };
+        let air = rows.iter().find(|r| r.key == "AIR").unwrap();
+        assert_eq!(air.values[0], AggValue::MaybeI32(Some(3)));
+        assert_eq!(air.values[1], AggValue::MaybeI32(Some(3)));
+    }
+
+    #[test]
+    fn thread_cap_clamps_fixed_and_auto() {
+        let mut b = TableBuilder::new("wide", 0).column("qty", ColType::I32);
+        for i in 0..2_000i32 {
+            b.push_row(&[Value::I32(i % 10)]).unwrap();
+        }
+        let t = b.finish();
+        let plan = Query::scan(&t).filter(Pred::range_i32("qty", 0, 4)).build().unwrap();
+        let uncapped = ExecOptions::default().with_threads(Threads::Fixed(8));
+        let capped = uncapped.with_thread_cap(2);
+        let a = execute(&mut NullTracker, &plan, &uncapped).unwrap();
+        let c = execute(&mut NullTracker, &plan, &capped).unwrap();
+        assert_eq!(a.output, c.output, "the cap never changes results");
+        let sel = c.report.ops.iter().find(|o| o.op.starts_with("select")).unwrap();
+        assert!(sel.detail.contains("threads=2"), "{}", sel.detail);
+        assert_eq!(sel.rows_per_thread.as_ref().map(Vec::len), Some(2));
+        // A cap of one forces fully sequential execution even under Auto.
+        let seq = ExecOptions::default().with_threads(Threads::Auto).with_thread_cap(1);
+        let s = execute(&mut NullTracker, &plan, &seq).unwrap();
+        assert_eq!(s.output, a.output);
+        for op in &s.report.ops {
+            assert!(!op.detail.contains("threads="), "cap=1 forked: {}", op.detail);
+            assert!(op.rows_per_thread.is_none());
+        }
+    }
+
+    #[test]
+    fn parallel_join_and_group_ops_shard_their_row_counters() {
+        // Planned on the Sun LX (64 KB L2): a 20k-tuple inner (160 KB)
+        // exceeds the cache, so the cost model partitions the join — the
+        // parallel kernels only shard partitioned algorithms.
+        let machine = profiles::sun_lx();
+        let mut b = TableBuilder::new("fact", 0)
+            .column("k", ColType::I32)
+            .column("v", ColType::F64)
+            .column("tag", ColType::Str);
+        for i in 0..30_000i32 {
+            b.push_row(&[
+                Value::I32(i % 20_000),
+                Value::F64(i as f64 / 3.0),
+                Value::from(if i % 2 == 0 { "A" } else { "B" }),
+            ])
+            .unwrap();
+        }
+        let fact = b.finish();
+        let mut b = TableBuilder::new("dim", 0).column("id", ColType::I32);
+        for i in 0..20_000i32 {
+            b.push_row(&[Value::I32(i)]).unwrap();
+        }
+        let dim = b.finish();
+
+        let plan = Query::scan(&fact)
+            .join(&dim, ("k", "id"))
+            .group_by("tag")
+            .agg(Agg::sum("v"))
+            .agg(Agg::max("k"))
+            .build()
+            .unwrap();
+        let opts = ExecOptions::cost_model(machine).with_threads(Threads::Fixed(4));
+        let par = execute(&mut NullTracker, &plan, &opts).unwrap();
+        let seq = execute(&mut NullTracker, &plan, &ExecOptions::cost_model(machine)).unwrap();
+        assert_eq!(par.output, seq.output);
+
+        let join = par.report.ops.iter().find(|o| o.op.starts_with("join")).unwrap();
+        assert!(join.detail.contains("threads=4"), "{}", join.detail);
+        let shards = join.rows_per_thread.as_ref().expect("parallel join shards");
+        assert_eq!(shards.iter().sum::<usize>(), join.rows_out, "pair counts merge to the total");
+        let group = par.report.ops.iter().find(|o| o.op.starts_with("group")).unwrap();
+        let shards = group.rows_per_thread.as_ref().expect("grouped-aggregate shards");
+        assert_eq!(shards.iter().sum::<usize>(), group.rows_in, "domain slices cover every row");
+        // Sequential runs stay unsharded on both ops.
+        assert!(seq.report.ops.iter().all(|o| o.rows_per_thread.is_none()));
     }
 
     #[test]

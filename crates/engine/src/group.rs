@@ -66,38 +66,78 @@ impl CodesView<'_> {
 }
 
 /// The result of one multi-aggregate grouping pass: for every occurring
-/// group (ascending by key code) its code, its row count, and the sum of
-/// each aggregated column.
+/// group (ascending by key code) its code, its row count, the sum of each
+/// `SUM` column, and the extremum of each `MIN`/`MAX` column.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GroupedSums {
     /// Occurring key codes, ascending.
     pub codes: Vec<u32>,
     /// Rows per group, aligned with `codes`.
     pub counts: Vec<u64>,
-    /// One sum column per input values column: `sums[col][group]`.
+    /// One sum column per `SUM` input column: `sums[col][group]`.
     pub sums: Vec<Vec<f64>>,
+    /// One minimum column per `MIN` input column: `mins[col][group]`.
+    /// Every occurring group has at least one row, so the extremum exists.
+    pub mins: Vec<Vec<i32>>,
+    /// One maximum column per `MAX` input column: `maxs[col][group]`.
+    pub maxs: Vec<Vec<i32>>,
 }
 
-/// Hash-group (direct-indexed for encoded keys) with `COUNT` and any number
-/// of `SUM(F64)` columns accumulated in a **single pass** over the keys —
-/// the multi-aggregate core behind [`hash_group_sum_f64`].
-pub fn hash_group_multi_sum_f64<M: MemTracker>(
-    trk: &mut M,
+fn f64_cols<'a>(
     keys: &Bat,
-    values: &[&Bat],
-) -> Result<GroupedSums, EngineError> {
-    let codes = codes_of(keys, "hash_group_multi_sum_f64")?;
-    let mut cols: Vec<&[f64]> = Vec::with_capacity(values.len());
+    values: &[&'a Bat],
+    op: &'static str,
+) -> Result<Vec<&'a [f64]>, EngineError> {
+    let mut cols = Vec::with_capacity(values.len());
     for v in values {
         assert_eq!(keys.len(), v.len(), "group keys and values must align");
-        cols.push(v.tail().as_f64().ok_or(EngineError::UnsupportedType {
-            op: "hash_group_multi_sum_f64",
-            ty: v.tail().value_type(),
-        })?);
+        cols.push(
+            v.tail()
+                .as_f64()
+                .ok_or(EngineError::UnsupportedType { op, ty: v.tail().value_type() })?,
+        );
     }
+    Ok(cols)
+}
+
+fn i32_cols<'a>(
+    keys: &Bat,
+    values: &[&'a Bat],
+    op: &'static str,
+) -> Result<Vec<&'a [i32]>, EngineError> {
+    let mut cols = Vec::with_capacity(values.len());
+    for v in values {
+        assert_eq!(keys.len(), v.len(), "group keys and values must align");
+        cols.push(
+            v.tail()
+                .as_i32()
+                .ok_or(EngineError::UnsupportedType { op, ty: v.tail().value_type() })?,
+        );
+    }
+    Ok(cols)
+}
+
+/// Hash-group (direct-indexed for encoded keys) with `COUNT`, any number of
+/// `SUM(F64)` columns, and any number of `MIN(I32)`/`MAX(I32)` columns, all
+/// accumulated in a **single pass** over the keys — the multi-aggregate
+/// core behind [`hash_group_multi_sum_f64`] and the executor's grouped
+/// aggregation.
+pub fn hash_group_multi_agg<M: MemTracker>(
+    trk: &mut M,
+    keys: &Bat,
+    sum_cols: &[&Bat],
+    min_cols: &[&Bat],
+    max_cols: &[&Bat],
+) -> Result<GroupedSums, EngineError> {
+    let codes = codes_of(keys, "hash_group_multi_agg")?;
+    let scols = f64_cols(keys, sum_cols, "hash_group_multi_agg")?;
+    let mincols = i32_cols(keys, min_cols, "hash_group_multi_agg")?;
+    let maxcols = i32_cols(keys, max_cols, "hash_group_multi_agg")?;
     let domain = codes.domain();
     let mut counts = vec![0u64; domain];
-    let mut sums = vec![vec![0f64; domain]; cols.len()];
+    let mut sums = vec![vec![0f64; domain]; scols.len()];
+    let mut mins = vec![vec![i32::MAX; domain]; mincols.len()];
+    let mut maxs = vec![vec![i32::MIN; domain]; maxcols.len()];
     for i in 0..codes.len() {
         if M::ENABLED {
             codes.track(trk, i);
@@ -105,19 +145,59 @@ pub fn hash_group_multi_sum_f64<M: MemTracker>(
         }
         let c = codes.get(i) as usize;
         counts[c] += 1;
-        for (col, sum) in cols.iter().zip(&mut sums) {
+        for (col, sum) in scols.iter().zip(&mut sums) {
             if M::ENABLED {
                 track_read(trk, &col[i]);
             }
             sum[c] += col[i];
         }
+        for (col, min) in mincols.iter().zip(&mut mins) {
+            if M::ENABLED {
+                track_read(trk, &col[i]);
+            }
+            min[c] = min[c].min(col[i]);
+        }
+        for (col, max) in maxcols.iter().zip(&mut maxs) {
+            if M::ENABLED {
+                track_read(trk, &col[i]);
+            }
+            max[c] = max[c].max(col[i]);
+        }
     }
+    Ok(project_occurring(domain, counts, sums, mins, maxs))
+}
+
+/// Keep only the occurring groups (counts > 0), ascending by code — shared
+/// by the sequential and parallel kernels so both project identically.
+fn project_occurring(
+    domain: usize,
+    counts: Vec<u64>,
+    sums: Vec<Vec<f64>>,
+    mins: Vec<Vec<i32>>,
+    maxs: Vec<Vec<i32>>,
+) -> GroupedSums {
     let occurring: Vec<u32> = (0..domain as u32).filter(|&c| counts[c as usize] > 0).collect();
-    Ok(GroupedSums {
+    let take_f64 =
+        |col: &Vec<f64>| -> Vec<f64> { occurring.iter().map(|&c| col[c as usize]).collect() };
+    let take_i32 =
+        |col: &Vec<i32>| -> Vec<i32> { occurring.iter().map(|&c| col[c as usize]).collect() };
+    GroupedSums {
         counts: occurring.iter().map(|&c| counts[c as usize]).collect(),
-        sums: sums.iter().map(|col| occurring.iter().map(|&c| col[c as usize]).collect()).collect(),
+        sums: sums.iter().map(take_f64).collect(),
+        mins: mins.iter().map(take_i32).collect(),
+        maxs: maxs.iter().map(take_i32).collect(),
         codes: occurring,
-    })
+    }
+}
+
+/// Hash-group with `COUNT` and `SUM(F64)` columns only — a thin wrapper
+/// over [`hash_group_multi_agg`].
+pub fn hash_group_multi_sum_f64<M: MemTracker>(
+    trk: &mut M,
+    keys: &Bat,
+    values: &[&Bat],
+) -> Result<GroupedSums, EngineError> {
+    hash_group_multi_agg(trk, keys, values, &[], &[])
 }
 
 /// Parallel multi-aggregate grouping, **bit-identical** to
@@ -139,56 +219,85 @@ pub fn par_hash_group_multi_sum_f64(
     values: &[&Bat],
     threads: usize,
 ) -> Result<GroupedSums, EngineError> {
-    let codes = codes_of(keys, "par_hash_group_multi_sum_f64")?;
+    par_hash_group_multi_agg(keys, values, &[], &[], threads).map(|(g, _)| g)
+}
+
+/// Parallel multi-aggregate grouping (sums, mins, maxs), **bit-identical**
+/// to [`hash_group_multi_agg`] at every thread count, via the same
+/// group-domain-sliced fan-out as [`par_hash_group_multi_sum_f64`].
+///
+/// Also returns the per-worker *row accounting*: how many input rows each
+/// worker's domain slice accumulated. The slices partition the key domain,
+/// so the shards sum to the input row count — the grouped-aggregate
+/// counterpart of the select kernels' matches-per-chunk counters.
+pub fn par_hash_group_multi_agg(
+    keys: &Bat,
+    sum_cols: &[&Bat],
+    min_cols: &[&Bat],
+    max_cols: &[&Bat],
+    threads: usize,
+) -> Result<(GroupedSums, Vec<usize>), EngineError> {
+    let codes = codes_of(keys, "par_hash_group_multi_agg")?;
     if threads <= 1 || codes.len() < 2 {
-        return hash_group_multi_sum_f64(&mut memsim::NullTracker, keys, values);
+        let g = hash_group_multi_agg(&mut memsim::NullTracker, keys, sum_cols, min_cols, max_cols)?;
+        let n = codes.len();
+        return Ok((g, vec![n]));
     }
-    let mut cols: Vec<&[f64]> = Vec::with_capacity(values.len());
-    for v in values {
-        assert_eq!(keys.len(), v.len(), "group keys and values must align");
-        cols.push(v.tail().as_f64().ok_or(EngineError::UnsupportedType {
-            op: "par_hash_group_multi_sum_f64",
-            ty: v.tail().value_type(),
-        })?);
-    }
+    let scols = f64_cols(keys, sum_cols, "par_hash_group_multi_agg")?;
+    let mincols = i32_cols(keys, min_cols, "par_hash_group_multi_agg")?;
+    let maxcols = i32_cols(keys, max_cols, "par_hash_group_multi_agg")?;
     let domain = codes.domain();
     let n = codes.len();
 
-    // Each part: (code range start, counts over the range, sums per column).
-    type Part = (usize, Vec<u64>, Vec<Vec<f64>>);
+    // Each part: (code range start, counts over the range, sums / mins /
+    // maxs per column over the range).
+    type Part = (usize, Vec<u64>, Vec<Vec<f64>>, Vec<Vec<i32>>, Vec<Vec<i32>>);
     let parts: Vec<Part> = crate::par::fan_out(domain, threads, |glo, ghi| {
         let mut counts = vec![0u64; ghi - glo];
-        let mut sums = vec![vec![0f64; ghi - glo]; cols.len()];
+        let mut sums = vec![vec![0f64; ghi - glo]; scols.len()];
+        let mut mins = vec![vec![i32::MAX; ghi - glo]; mincols.len()];
+        let mut maxs = vec![vec![i32::MIN; ghi - glo]; maxcols.len()];
         for i in 0..n {
             let c = codes.get(i) as usize;
             if c < glo || c >= ghi {
                 continue;
             }
             counts[c - glo] += 1;
-            for (col, sum) in cols.iter().zip(&mut sums) {
+            for (col, sum) in scols.iter().zip(&mut sums) {
                 sum[c - glo] += col[i];
             }
+            for (col, min) in mincols.iter().zip(&mut mins) {
+                min[c - glo] = min[c - glo].min(col[i]);
+            }
+            for (col, max) in maxcols.iter().zip(&mut maxs) {
+                max[c - glo] = max[c - glo].max(col[i]);
+            }
         }
-        (glo, counts, sums)
+        (glo, counts, sums, mins, maxs)
     });
 
     // Stitch the domain slices back together (they partition 0..domain in
     // order) and project the occurring groups exactly as the sequential
     // kernel does.
+    let shards: Vec<usize> =
+        parts.iter().map(|(_, pc, ..)| pc.iter().map(|&c| c as usize).sum()).collect();
     let mut counts = vec![0u64; domain];
-    let mut sums = vec![vec![0f64; domain]; cols.len()];
-    for (glo, pc, ps) in parts {
+    let mut sums = vec![vec![0f64; domain]; scols.len()];
+    let mut mins = vec![vec![i32::MAX; domain]; mincols.len()];
+    let mut maxs = vec![vec![i32::MIN; domain]; maxcols.len()];
+    for (glo, pc, ps, pmin, pmax) in parts {
         counts[glo..glo + pc.len()].copy_from_slice(&pc);
         for (full, part) in sums.iter_mut().zip(ps) {
             full[glo..glo + part.len()].copy_from_slice(&part);
         }
+        for (full, part) in mins.iter_mut().zip(pmin) {
+            full[glo..glo + part.len()].copy_from_slice(&part);
+        }
+        for (full, part) in maxs.iter_mut().zip(pmax) {
+            full[glo..glo + part.len()].copy_from_slice(&part);
+        }
     }
-    let occurring: Vec<u32> = (0..domain as u32).filter(|&c| counts[c as usize] > 0).collect();
-    Ok(GroupedSums {
-        counts: occurring.iter().map(|&c| counts[c as usize]).collect(),
-        sums: sums.iter().map(|col| occurring.iter().map(|&c| col[c as usize]).collect()).collect(),
-        codes: occurring,
-    })
+    Ok((project_occurring(domain, counts, sums, mins, maxs), shards))
 }
 
 /// Hash-group (direct-indexed for encoded keys) + `SUM` of an `F64` column.
@@ -334,6 +443,43 @@ mod tests {
                     assert_eq!(p.to_bits(), s.to_bits(), "threads={threads}: fp order differs");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn grouped_min_max_in_one_pass() {
+        let k = keys();
+        let v = Bat::with_void_head(0, Column::I32(vec![5, -2, 9, 7, 4, 1]));
+        let g = hash_group_multi_agg(&mut NullTracker, &k, &[], &[&v], &[&v]).unwrap();
+        // AIR rows: 5, 9, 1; MAIL rows: -2, 4; SHIP rows: 7.
+        assert_eq!(g.codes, vec![0, 1, 2]);
+        assert_eq!(g.mins, vec![vec![1, -2, 7]]);
+        assert_eq!(g.maxs, vec![vec![9, 4, 7]]);
+        assert_eq!(g.counts, vec![3, 2, 1]);
+        assert!(g.sums.is_empty());
+    }
+
+    #[test]
+    fn parallel_multi_agg_matches_sequential_and_shards_sum_to_rows() {
+        let n = 5003usize;
+        let k = Bat::with_void_head(0, Column::U8((0..n).map(|i| (i % 17) as u8).collect()));
+        let s = Bat::with_void_head(0, Column::F64((0..n).map(|i| i as f64 / 3.0).collect()));
+        let v = Bat::with_void_head(
+            0,
+            Column::I32((0..n).map(|i| ((i * 31) % 1000) as i32 - 500).collect()),
+        );
+        let seq = hash_group_multi_agg(&mut NullTracker, &k, &[&s], &[&v], &[&v]).unwrap();
+        for threads in [1usize, 2, 4, 7, 64] {
+            let (par, shards) = par_hash_group_multi_agg(&k, &[&s], &[&v], &[&v], threads).unwrap();
+            assert_eq!(par.codes, seq.codes, "threads={threads}");
+            assert_eq!(par.mins, seq.mins, "threads={threads}");
+            assert_eq!(par.maxs, seq.maxs, "threads={threads}");
+            for (pc, sc) in par.sums.iter().zip(&seq.sums) {
+                for (p, q) in pc.iter().zip(sc) {
+                    assert_eq!(p.to_bits(), q.to_bits(), "threads={threads}: fp order differs");
+                }
+            }
+            assert_eq!(shards.iter().sum::<usize>(), n, "threads={threads}: shards cover rows");
         }
     }
 

@@ -97,22 +97,49 @@ pub fn par_join_bats_with_plan(
     plan: &JoinPlan,
     threads: usize,
 ) -> Result<JoinIndex, EngineError> {
+    par_join_bats_with_plan_sharded(left, right, plan, threads).map(|(pairs, _)| pairs)
+}
+
+/// [`par_join_bats_with_plan`] plus the join phase's per-worker result-pair
+/// counts (thread-major; they sum to the join cardinality). `None` when the
+/// run had no parallel join phase to account: one thread, the void
+/// positional fast path, or an unpartitioned algorithm.
+pub fn par_join_bats_with_plan_sharded(
+    left: &Bat,
+    right: &Bat,
+    plan: &JoinPlan,
+    threads: usize,
+) -> Result<(JoinIndex, Option<Vec<usize>>), EngineError> {
     if threads <= 1 {
-        return join_bats_with_plan(&mut memsim::NullTracker, left, right, plan);
+        return Ok((join_bats_with_plan(&mut memsim::NullTracker, left, right, plan)?, None));
     }
     if right.head_is_void() && matches!(left.tail(), Column::Oid(_)) {
-        return void_positional_join(&mut memsim::NullTracker, left, right);
+        return Ok((void_positional_join(&mut memsim::NullTracker, left, right)?, None));
     }
     let l = buns_of(left)?;
     let r = buns_of(right)?;
     let h = FibHash;
     Ok(match plan.algorithm {
         Algorithm::PartitionedHash => {
-            kernels::par_partitioned_hash_join(h, l, r, plan.bits, &plan.pass_bits, threads)
+            let (pairs, shards) = kernels::par_partitioned_hash_join_sharded(
+                h,
+                l,
+                r,
+                plan.bits,
+                &plan.pass_bits,
+                threads,
+            );
+            (pairs, Some(shards))
         }
-        Algorithm::Radix => kernels::par_radix_join(h, l, r, plan.bits, &plan.pass_bits, threads),
-        Algorithm::SimpleHash => kernels::simple_hash_join(&mut memsim::NullTracker, h, &l, &r),
-        Algorithm::SortMerge => kernels::sort_merge_join(&mut memsim::NullTracker, l, r),
+        Algorithm::Radix => {
+            let (pairs, shards) =
+                kernels::par_radix_join_sharded(h, l, r, plan.bits, &plan.pass_bits, threads);
+            (pairs, Some(shards))
+        }
+        Algorithm::SimpleHash => {
+            (kernels::simple_hash_join(&mut memsim::NullTracker, h, &l, &r), None)
+        }
+        Algorithm::SortMerge => (kernels::sort_merge_join(&mut memsim::NullTracker, l, r), None),
     })
 }
 

@@ -129,9 +129,9 @@ pub enum Agg {
     /// `SUM(col)` — `F64` or `I32` column (integers sum in `i64` when
     /// ungrouped and in `f64` when grouped).
     Sum(String),
-    /// `MIN(col)` — `I32` column, ungrouped only.
+    /// `MIN(col)` — `I32` column.
     Min(String),
-    /// `MAX(col)` — `I32` column, ungrouped only.
+    /// `MAX(col)` — `I32` column.
     Max(String),
     /// `COUNT(*)`.
     Count,
@@ -500,7 +500,6 @@ impl<'a> Query<'a> {
         }
 
         for agg in &self.aggs {
-            let grouped = self.group.is_some();
             match agg {
                 Agg::Sum(col) => match resolve(col)? {
                     ValueType::F64 | ValueType::I32 => {}
@@ -512,23 +511,16 @@ impl<'a> Query<'a> {
                         })
                     }
                 },
-                Agg::Min(col) | Agg::Max(col) => {
-                    if grouped {
-                        return Err(PlanError::Unsupported(
-                            "min/max under group_by is not implemented",
-                        ));
+                Agg::Min(col) | Agg::Max(col) => match resolve(col)? {
+                    ValueType::I32 => {}
+                    got => {
+                        return Err(PlanError::ColumnType {
+                            column: col.clone(),
+                            expected: "I32",
+                            got,
+                        })
                     }
-                    match resolve(col)? {
-                        ValueType::I32 => {}
-                        got => {
-                            return Err(PlanError::ColumnType {
-                                column: col.clone(),
-                                expected: "I32",
-                                got,
-                            })
-                        }
-                    }
-                }
+                },
                 Agg::Count => {}
             }
         }
@@ -689,10 +681,18 @@ mod tests {
     }
 
     #[test]
-    fn grouped_min_max_unsupported_and_empty_group_rejected() {
+    fn grouped_min_max_validate_and_empty_group_rejected() {
         let t = item();
-        let err = Query::scan(&t).group_by("shipmode").agg(Agg::min("qty")).build().unwrap_err();
-        assert!(matches!(err, PlanError::Unsupported(_)));
+        // Grouped min/max over I32 columns are part of the plan shapes now.
+        assert!(Query::scan(&t)
+            .group_by("shipmode")
+            .agg(Agg::min("qty"))
+            .agg(Agg::max("qty"))
+            .build()
+            .is_ok());
+        // But only over I32 columns.
+        let err = Query::scan(&t).group_by("shipmode").agg(Agg::min("price")).build().unwrap_err();
+        assert!(matches!(err, PlanError::ColumnType { got: ValueType::F64, .. }));
         let err = Query::scan(&t).group_by("shipmode").build().unwrap_err();
         assert!(matches!(err, PlanError::Unsupported(_)));
     }

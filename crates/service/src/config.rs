@@ -1,0 +1,126 @@
+//! Service configuration and the `MONET_SERVICE_*` environment knobs.
+
+use memsim::MachineConfig;
+
+/// How many queries may wait in the admission queue before new submissions
+/// are rejected, by default.
+pub const DEFAULT_QUEUE_LIMIT: usize = 64;
+
+/// How many times a waiting query may be bypassed by cheaper, younger
+/// queries before it becomes urgent (FIFO), by default.
+pub const DEFAULT_STARVATION_BOUND: usize = 4;
+
+/// Configuration of a [`crate::QueryService`].
+///
+/// Every field has an environment override so deployments can be tuned
+/// without code changes:
+///
+/// | field | env | default |
+/// |---|---|---|
+/// | `budget` | `MONET_SERVICE_THREADS` | host available parallelism |
+/// | `queue_limit` | `MONET_SERVICE_QUEUE` | 64 |
+/// | `starvation_bound` | `MONET_SERVICE_STARVE` | 4 |
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Machine whose memory hierarchy the admission quotes (and the
+    /// executor's physical decisions) are priced against.
+    pub machine: MachineConfig,
+    /// Global worker-thread budget shared by all concurrently running
+    /// queries. The scheduler never lets the sum of per-query thread leases
+    /// exceed it.
+    pub budget: usize,
+    /// Maximum number of queries waiting in the admission queue; a
+    /// submission arriving at a full queue is rejected
+    /// ([`crate::ServiceError::Overloaded`]).
+    pub queue_limit: usize,
+    /// Shortest-expected-cost-first may bypass a waiting query at most this
+    /// many times; after that the query is scheduled FIFO regardless of
+    /// cost, bounding starvation.
+    pub starvation_bound: usize,
+}
+
+impl ServiceConfig {
+    /// Defaults: quotes priced on the paper's Origin2000 (the same machine
+    /// [`engine::exec::ExecOptions::default`] plans for), budget = the
+    /// host's available parallelism.
+    pub fn new() -> Self {
+        Self {
+            machine: memsim::profiles::origin2000(),
+            budget: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            queue_limit: DEFAULT_QUEUE_LIMIT,
+            starvation_bound: DEFAULT_STARVATION_BOUND,
+        }
+    }
+
+    /// [`Self::new`] with any `MONET_SERVICE_*` environment overrides
+    /// applied (unparsable values fall back to the defaults).
+    pub fn from_env() -> Self {
+        let mut cfg = Self::new();
+        if let Some(n) = env_usize("MONET_SERVICE_THREADS") {
+            cfg.budget = n.max(1);
+        }
+        if let Some(n) = env_usize("MONET_SERVICE_QUEUE") {
+            cfg.queue_limit = n;
+        }
+        if let Some(n) = env_usize("MONET_SERVICE_STARVE") {
+            cfg.starvation_bound = n;
+        }
+        cfg
+    }
+
+    /// Set the global thread budget (clamped to >= 1).
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        self.budget = budget.max(1);
+        self
+    }
+
+    /// Set the admission-queue limit.
+    pub fn with_queue_limit(mut self, limit: usize) -> Self {
+        self.queue_limit = limit;
+        self
+    }
+
+    /// Set the starvation bound.
+    pub fn with_starvation_bound(mut self, bound: usize) -> Self {
+        self.starvation_bound = bound;
+        self
+    }
+
+    /// Set the machine the quotes are priced on.
+    pub fn with_machine(mut self, machine: MachineConfig) -> Self {
+        self.machine = machine;
+        self
+    }
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn env_usize(key: &str) -> Option<usize> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = ServiceConfig::new();
+        assert!(cfg.budget >= 1);
+        assert_eq!(cfg.queue_limit, DEFAULT_QUEUE_LIMIT);
+        assert_eq!(cfg.starvation_bound, DEFAULT_STARVATION_BOUND);
+        assert_eq!(cfg.machine.name, "origin2k");
+    }
+
+    #[test]
+    fn builders_clamp() {
+        let cfg = ServiceConfig::new().with_budget(0).with_queue_limit(2).with_starvation_bound(0);
+        assert_eq!(cfg.budget, 1, "budget clamps to one thread");
+        assert_eq!(cfg.queue_limit, 2);
+        assert_eq!(cfg.starvation_bound, 0, "zero bound = pure FIFO");
+    }
+}

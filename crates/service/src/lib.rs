@@ -1,0 +1,86 @@
+#![warn(missing_docs)]
+
+//! # service — the multi-session concurrent query layer
+//!
+//! The paper optimizes one operator pipeline at a time; its thesis — model
+//! the memory bottleneck, then make every physical decision against the
+//! model — extends naturally to *many queries contending for the same
+//! cores and caches*. Left alone, each [`engine::exec::Threads::Auto`]
+//! query sizes itself as if it owned the machine, so two concurrent
+//! queries oversubscribe every core. This crate closes that gap: the same
+//! cost model that picks join algorithms and radix bits now also decides
+//! **admission order** and **per-query thread leases** against a global
+//! budget.
+//!
+//! ```text
+//! clients ──► Session::run(plan)
+//!                 │  quote = costmodel::quote (whole-query estimate)
+//!                 ▼
+//!          ┌─ admission ─────────────────────────────┐
+//!          │ queue full?          → rejected         │
+//!          │ thread free?         → lease now        │
+//!          │ else queue: shortest-cost-first,        │
+//!          │   starvation-bounded                    │
+//!          └────────────────┬────────────────────────┘
+//!                           ▼
+//!          execute(plan, thread_cap = lease)   (session thread + lease)
+//!                           ▼
+//!          QueryHandle { output, ExecReport, SchedInfo }
+//! ```
+//!
+//! * [`config`] — [`ServiceConfig`] and the `MONET_SERVICE_*` env knobs;
+//! * [`sched`] — the pure admission/budget state machine (deterministic
+//!   unit tests live there);
+//! * [`service`] — [`QueryService`], [`Session`], [`QueryHandle`], and the
+//!   plan-to-quote walk;
+//! * [`metrics`] — global and per-session counters with latency
+//!   percentiles.
+//!
+//! **Determinism:** scheduling changes *when* and *how wide* a query runs,
+//! never *what* it computes — the executor is bit-identical at every
+//! thread count, so any mix of concurrent queries returns exactly the rows
+//! a sequential one-thread run would (asserted by `tests/service_stress.rs`
+//! at the workspace root).
+
+pub mod config;
+pub mod metrics;
+pub mod sched;
+pub mod service;
+
+pub use config::ServiceConfig;
+pub use metrics::{LatencySummary, SampleWindow, ServiceMetrics, SessionMetrics};
+pub use sched::{Admission, Grant, Scheduler};
+pub use service::{quote_plan, QueryHandle, QueryService, SchedInfo, Session};
+
+use std::fmt;
+
+/// Errors surfaced to a submitting session.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The admission queue was full; the query was shed without running.
+    Overloaded {
+        /// The queue limit in force when the query was shed.
+        queue_limit: usize,
+    },
+    /// The plan failed inside the executor.
+    Engine(engine::EngineError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Overloaded { queue_limit } => {
+                write!(f, "service overloaded: admission queue full ({queue_limit} waiting)")
+            }
+            ServiceError::Engine(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<engine::EngineError> for ServiceError {
+    fn from(e: engine::EngineError) -> Self {
+        ServiceError::Engine(e)
+    }
+}

@@ -1,0 +1,175 @@
+//! Service metrics: admission counters, latency percentiles, per-session
+//! accounting.
+
+/// Summary statistics over a set of millisecond samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (0 when empty).
+    pub mean_ms: f64,
+    /// Median (nearest-rank).
+    pub p50_ms: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95_ms: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99_ms: f64,
+    /// Largest sample.
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// Summarize `samples` (order irrelevant; empty yields all zeros).
+    pub fn of(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let rank = |p: f64| -> f64 {
+            // Nearest-rank percentile: the smallest sample with at least
+            // p% of the distribution at or below it.
+            let idx = ((p / 100.0 * sorted.len() as f64).ceil() as usize).max(1) - 1;
+            sorted[idx.min(sorted.len() - 1)]
+        };
+        Self {
+            count: sorted.len(),
+            mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50_ms: rank(50.0),
+            p95_ms: rank(95.0),
+            p99_ms: rank(99.0),
+            max_ms: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// A bounded ring of the most recent latency samples, so a long-running
+/// service neither grows without bound nor sorts its whole history on
+/// every metrics snapshot.
+#[derive(Debug, Clone)]
+pub struct SampleWindow {
+    buf: Vec<f64>,
+    next: usize,
+    cap: usize,
+}
+
+impl SampleWindow {
+    /// A window retaining the most recent `cap` samples (`cap >= 1`).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self { buf: Vec::with_capacity(cap.min(1024)), next: 0, cap }
+    }
+
+    /// Record one sample, evicting the oldest once the window is full.
+    pub fn push(&mut self, sample: f64) {
+        if self.buf.len() < self.cap {
+            self.buf.push(sample);
+        } else {
+            self.buf[self.next] = sample;
+        }
+        self.next = (self.next + 1) % self.cap;
+    }
+
+    /// The retained samples, in no particular order.
+    pub fn samples(&self) -> &[f64] {
+        &self.buf
+    }
+
+    /// Summarize the retained samples.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary::of(&self.buf)
+    }
+}
+
+/// A snapshot of the service-wide state, taken by
+/// [`crate::QueryService::metrics`].
+#[derive(Debug, Clone, Default)]
+pub struct ServiceMetrics {
+    /// The configured global thread budget.
+    pub budget: usize,
+    /// Threads currently leased to running queries.
+    pub threads_in_use: usize,
+    /// The most threads ever leased at once — must never exceed `budget`.
+    pub high_water_threads: usize,
+    /// Queries submitted (admitted + queued + rejected).
+    pub submitted: u64,
+    /// Queries that started immediately on submission.
+    pub admitted_immediately: u64,
+    /// Queries that had to wait in the admission queue.
+    pub queued: u64,
+    /// Queries shed because the queue was full.
+    pub rejected: u64,
+    /// Queries that finished executing.
+    pub completed: u64,
+    /// End-to-end latency (submission to result) over the most recent
+    /// completed queries (a bounded [`SampleWindow`], so `count` caps at
+    /// the window size even as `completed` grows).
+    pub latency: LatencySummary,
+    /// Time spent waiting in the admission queue (0 for immediate starts),
+    /// over the same window.
+    pub queue_wait: LatencySummary,
+}
+
+/// Per-session accounting, one row per [`crate::Session`].
+#[derive(Debug, Clone, Default)]
+pub struct SessionMetrics {
+    /// The session id.
+    pub session: usize,
+    /// Queries this session submitted.
+    pub submitted: u64,
+    /// Queries that completed.
+    pub completed: u64,
+    /// Queries rejected at admission.
+    pub rejected: u64,
+    /// Sum of end-to-end latencies in milliseconds.
+    pub total_ms: f64,
+    /// Largest single end-to-end latency.
+    pub max_ms: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zero() {
+        assert_eq!(LatencySummary::of(&[]), LatencySummary::default());
+    }
+
+    #[test]
+    fn sample_window_keeps_only_the_most_recent() {
+        let mut w = SampleWindow::new(4);
+        for v in 1..=3 {
+            w.push(v as f64);
+        }
+        assert_eq!(w.samples(), &[1.0, 2.0, 3.0], "fills in order while under capacity");
+        for v in 4..=6 {
+            w.push(v as f64);
+        }
+        let mut kept = w.samples().to_vec();
+        kept.sort_by(f64::total_cmp);
+        assert_eq!(kept, vec![3.0, 4.0, 5.0, 6.0], "oldest samples evicted first");
+        assert_eq!(w.summary().count, 4);
+        assert_eq!(w.summary().max_ms, 6.0);
+        // cap clamps to >= 1 and a cap-1 window holds the latest sample.
+        let mut one = SampleWindow::new(0);
+        one.push(1.0);
+        one.push(2.0);
+        assert_eq!(one.samples(), &[2.0]);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = LatencySummary::of(&samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_ms, 50.0);
+        assert_eq!(s.p95_ms, 95.0);
+        assert_eq!(s.p99_ms, 99.0);
+        assert_eq!(s.max_ms, 100.0);
+        assert!((s.mean_ms - 50.5).abs() < 1e-12);
+        // A single sample is every percentile.
+        let one = LatencySummary::of(&[7.0]);
+        assert_eq!((one.p50_ms, one.p95_ms, one.p99_ms, one.max_ms), (7.0, 7.0, 7.0, 7.0));
+    }
+}

@@ -1,0 +1,306 @@
+//! The admission queue and thread-budget scheduler — a pure state machine.
+//!
+//! All policy lives here, lock-free and thread-free, so it can be unit
+//! tested deterministically; [`crate::QueryService`] wraps one `Scheduler`
+//! in a mutex and parks waiting sessions on a condvar.
+//!
+//! ## Policy
+//!
+//! * **Budget.** Every running query holds a *lease* of `1..=budget`
+//!   worker threads; the sum of outstanding leases never exceeds the
+//!   budget. A query is admitted to run as soon as at least one thread is
+//!   free — its lease is the model's optimal thread count clamped to what
+//!   remains. The high-water mark of leased threads is recorded pool-side
+//!   so tests can assert the budget held.
+//! * **Order.** Under load, waiting queries start
+//!   shortest-expected-cost-first (the classic mean-latency-optimal rule),
+//!   using the whole-query quote from [`costmodel::quote`]. Each time a
+//!   cheaper, younger query starts ahead of a waiting one, the bypassed
+//!   query's counter grows; at the starvation bound it becomes *urgent*
+//!   and is scheduled FIFO ahead of any cost consideration.
+//! * **Admission.** A submission that cannot start immediately queues; a
+//!   submission arriving at a full queue is rejected outright — shedding
+//!   load at admission time instead of letting latency grow without bound.
+
+/// One waiting query.
+#[derive(Debug, Clone)]
+struct Ticket {
+    /// Ticket id (also the submission sequence number: ids are issued in
+    /// arrival order).
+    id: u64,
+    /// Whole-query sequential cost quote in nanoseconds.
+    cost_ns: f64,
+    /// Model-optimal thread count for this query.
+    desired: usize,
+    /// How many times a younger query started ahead of this one.
+    bypassed: usize,
+}
+
+/// A thread lease granted to one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// The ticket the lease belongs to.
+    pub ticket: u64,
+    /// Leased worker threads (`1..=budget`).
+    pub threads: usize,
+}
+
+/// What happened to a submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Admission {
+    /// Capacity was free: the query starts immediately with this lease.
+    Run(Grant),
+    /// The budget is fully leased: the query waits in the admission queue
+    /// under this ticket until [`Scheduler::release`] grants it.
+    Queued(u64),
+    /// The queue is full: the query is shed at admission time.
+    Rejected,
+}
+
+/// The pure scheduling state machine. See the [module docs](self).
+#[derive(Debug)]
+pub struct Scheduler {
+    budget: usize,
+    queue_limit: usize,
+    starvation_bound: usize,
+    in_use: usize,
+    high_water: usize,
+    waiting: Vec<Ticket>,
+    next_id: u64,
+}
+
+impl Scheduler {
+    /// A scheduler over `budget` worker threads (clamped to >= 1).
+    pub fn new(budget: usize, queue_limit: usize, starvation_bound: usize) -> Self {
+        Self {
+            budget: budget.max(1),
+            queue_limit,
+            starvation_bound,
+            in_use: 0,
+            high_water: 0,
+            waiting: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Submit a query with its whole-query cost quote and model-desired
+    /// thread count.
+    pub fn submit(&mut self, cost_ns: f64, desired_threads: usize) -> Admission {
+        let id = self.next_id;
+        self.next_id += 1;
+        // Invariant: the queue is non-empty only while the budget is fully
+        // leased (dispatch drains it whenever a thread frees), so a free
+        // thread means nobody is waiting and the newcomer may start.
+        if self.in_use < self.budget && self.waiting.is_empty() {
+            let threads = self.lease(desired_threads);
+            return Admission::Run(Grant { ticket: id, threads });
+        }
+        if self.waiting.len() >= self.queue_limit {
+            return Admission::Rejected;
+        }
+        self.waiting.push(Ticket { id, cost_ns, desired: desired_threads, bypassed: 0 });
+        Admission::Queued(id)
+    }
+
+    /// Return a finished query's thread lease and dispatch as many waiting
+    /// queries as now fit. The caller delivers the returned grants to the
+    /// corresponding waiters.
+    pub fn release(&mut self, threads: usize) -> Vec<Grant> {
+        self.in_use = self.in_use.saturating_sub(threads);
+        let mut grants = Vec::new();
+        while self.in_use < self.budget && !self.waiting.is_empty() {
+            let pos = self.pick();
+            let ticket = self.waiting.remove(pos);
+            for w in &mut self.waiting {
+                if w.id < ticket.id {
+                    w.bypassed += 1;
+                }
+            }
+            let threads = self.lease(ticket.desired);
+            grants.push(Grant { ticket: ticket.id, threads });
+        }
+        grants
+    }
+
+    /// Lease `desired` threads, clamped to `1..=` the remaining budget.
+    /// Callers guarantee `in_use < budget`.
+    fn lease(&mut self, desired: usize) -> usize {
+        let threads = desired.clamp(1, self.budget - self.in_use);
+        self.in_use += threads;
+        self.high_water = self.high_water.max(self.in_use);
+        threads
+    }
+
+    /// The index of the next ticket to start: the oldest urgent ticket
+    /// (bypassed >= starvation bound) if any, else the cheapest (ties to
+    /// the older submission).
+    fn pick(&self) -> usize {
+        let urgent = self
+            .waiting
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.bypassed >= self.starvation_bound)
+            .min_by_key(|(_, t)| t.id);
+        if let Some((pos, _)) = urgent {
+            return pos;
+        }
+        self.waiting
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.cost_ns.total_cmp(&b.cost_ns).then(a.id.cmp(&b.id)))
+            .map(|(pos, _)| pos)
+            .expect("pick() is only called on a non-empty queue")
+    }
+
+    /// Threads currently leased.
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// The most threads ever leased at once — the pool-side witness that
+    /// the budget held.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Queries currently waiting.
+    pub fn waiting(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_threads(a: &Admission) -> usize {
+        match a {
+            Admission::Run(g) => g.threads,
+            other => panic!("expected immediate run, got {other:?}"),
+        }
+    }
+
+    fn queued_id(a: &Admission) -> u64 {
+        match a {
+            Admission::Queued(id) => *id,
+            other => panic!("expected queued, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn immediate_admission_clamps_leases_to_the_remaining_budget() {
+        let mut s = Scheduler::new(4, 8, 4);
+        // First query wants 8 threads: gets the whole budget of 4.
+        assert_eq!(run_threads(&s.submit(1e9, 8)), 4);
+        assert_eq!(s.in_use(), 4);
+        assert_eq!(s.high_water(), 4);
+        // Budget full: next submission queues.
+        let q = s.submit(1e3, 2);
+        assert!(matches!(q, Admission::Queued(_)), "{q:?}");
+        // Release 4, the waiter gets its 2.
+        let grants = s.release(4);
+        assert_eq!(grants, vec![Grant { ticket: queued_id(&q), threads: 2 }]);
+        assert_eq!(s.in_use(), 2);
+        // A newcomer can only lease the 2 remaining threads.
+        assert_eq!(run_threads(&s.submit(1e9, 8)), 2);
+        assert_eq!(s.high_water(), 4, "never above budget");
+    }
+
+    #[test]
+    fn shortest_cost_first_under_load() {
+        let mut s = Scheduler::new(1, 8, 100);
+        let _running = s.submit(1.0, 1);
+        let slow = queued_id(&s.submit(9e9, 1));
+        let fast = queued_id(&s.submit(1e3, 1));
+        let medium = queued_id(&s.submit(1e6, 1));
+        // Each release admits exactly one (budget 1): cheapest first.
+        assert_eq!(s.release(1)[0].ticket, fast);
+        assert_eq!(s.release(1)[0].ticket, medium);
+        assert_eq!(s.release(1)[0].ticket, slow);
+    }
+
+    #[test]
+    fn starvation_bound_turns_sjf_into_fifo() {
+        let mut s = Scheduler::new(1, 100, 2);
+        let _running = s.submit(1.0, 1);
+        let expensive = queued_id(&s.submit(9e9, 1));
+        // A stream of cheap queries keeps arriving; without the bound the
+        // expensive one would wait forever.
+        let c1 = queued_id(&s.submit(1e3, 1));
+        assert_eq!(s.release(1)[0].ticket, c1, "bypass 1");
+        let c2 = queued_id(&s.submit(1e3, 1));
+        assert_eq!(s.release(1)[0].ticket, c2, "bypass 2 - at the bound now");
+        let c3 = queued_id(&s.submit(1e3, 1));
+        let got = s.release(1)[0].ticket;
+        assert_eq!(got, expensive, "urgent ticket must beat cheaper newcomer {c3}");
+        assert_eq!(s.release(1)[0].ticket, c3);
+    }
+
+    #[test]
+    fn full_queue_rejects() {
+        let mut s = Scheduler::new(1, 2, 4);
+        let _running = s.submit(1.0, 1);
+        assert!(matches!(s.submit(1.0, 1), Admission::Queued(_)));
+        assert!(matches!(s.submit(1.0, 1), Admission::Queued(_)));
+        assert_eq!(s.submit(1.0, 1), Admission::Rejected);
+        assert_eq!(s.waiting(), 2, "rejected submissions leave no ticket behind");
+        // Draining the queue reopens admission.
+        s.release(1);
+        assert!(matches!(s.submit(1.0, 1), Admission::Queued(_)));
+    }
+
+    #[test]
+    fn one_release_dispatches_several_small_leases() {
+        let mut s = Scheduler::new(4, 8, 4);
+        let _big = s.submit(1e9, 4);
+        let a = queued_id(&s.submit(1e3, 1));
+        let b = queued_id(&s.submit(2e3, 1));
+        let c = queued_id(&s.submit(3e3, 4));
+        // The big query finishes: all three waiters fit (1 + 1 + 2-clamped).
+        let grants = s.release(4);
+        assert_eq!(grants.len(), 3);
+        assert_eq!(grants[0], Grant { ticket: a, threads: 1 });
+        assert_eq!(grants[1], Grant { ticket: b, threads: 1 });
+        assert_eq!(grants[2], Grant { ticket: c, threads: 2 }, "last lease clamps to remainder");
+        assert_eq!(s.in_use(), 4);
+        assert_eq!(s.high_water(), 4);
+    }
+
+    #[test]
+    fn high_water_never_exceeds_budget_under_churn() {
+        let mut s = Scheduler::new(3, 1000, 2);
+        let mut live: Vec<usize> = Vec::new();
+        let mut pending = 0usize;
+        for i in 0..200u64 {
+            match s.submit((i % 17) as f64 * 1e6, (i % 5) as usize + 1) {
+                Admission::Run(g) => live.push(g.threads),
+                Admission::Queued(_) => pending += 1,
+                Admission::Rejected => unreachable!("queue limit is large"),
+            }
+            if i % 3 == 0 {
+                if let Some(t) = live.pop() {
+                    for g in s.release(t) {
+                        live.push(g.threads);
+                        pending -= 1;
+                    }
+                }
+            }
+            assert!(s.in_use() <= 3, "i={i}");
+        }
+        while let Some(t) = live.pop() {
+            for g in s.release(t) {
+                live.push(g.threads);
+                pending -= 1;
+            }
+        }
+        assert_eq!(pending, 0, "every queued query eventually ran");
+        assert_eq!(s.in_use(), 0);
+        assert!(s.high_water() <= 3);
+        assert!(s.high_water() >= 1);
+    }
+}

@@ -1,0 +1,446 @@
+//! The blocking service front-end: sessions, the submit path, and the
+//! plan-to-quote walk.
+
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use costmodel::quote::{quote_ops, OpShape, QueryQuote};
+use engine::exec::{execute, ExecOptions, ExecReport, Executed, QueryOutput, Threads};
+use engine::plan::{LogicalPlan, PlanNode, Pred};
+use memsim::{MachineConfig, NullTracker};
+
+use crate::config::ServiceConfig;
+use crate::metrics::{SampleWindow, ServiceMetrics, SessionMetrics};
+use crate::sched::{Admission, Scheduler};
+use crate::ServiceError;
+
+/// How many recent latency samples the metric percentiles cover.
+const LATENCY_WINDOW: usize = 4096;
+
+/// A multi-session query service over a global thread budget.
+///
+/// Sessions submit [`LogicalPlan`]s from their own threads;
+/// [`Session::run`] blocks through admission (queueing behind the
+/// cost-model scheduler under load) and execution, and returns a
+/// [`QueryHandle`] with the results, the per-operator [`ExecReport`], and
+/// the scheduling trace. See the [crate docs](crate) for the architecture.
+pub struct QueryService {
+    cfg: ServiceConfig,
+    state: Mutex<Inner>,
+    cv: Condvar,
+}
+
+struct Inner {
+    sched: Scheduler,
+    /// Leases granted to queued tickets, awaiting pickup by their waiter.
+    grants: HashMap<u64, usize>,
+    admitted_immediately: u64,
+    queued: u64,
+    rejected: u64,
+    completed: u64,
+    latencies_ms: SampleWindow,
+    queue_waits_ms: SampleWindow,
+    sessions: Vec<SessionMetrics>,
+}
+
+impl QueryService {
+    /// Start a service with the given configuration.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        Self {
+            state: Mutex::new(Inner {
+                sched: Scheduler::new(cfg.budget, cfg.queue_limit, cfg.starvation_bound),
+                grants: HashMap::new(),
+                admitted_immediately: 0,
+                queued: 0,
+                rejected: 0,
+                completed: 0,
+                latencies_ms: SampleWindow::new(LATENCY_WINDOW),
+                queue_waits_ms: SampleWindow::new(LATENCY_WINDOW),
+                sessions: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            cfg,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Open a new session. Sessions are cheap ids plus a service handle;
+    /// open one per client thread.
+    pub fn session(&self) -> Session<'_> {
+        let mut st = self.state.lock().expect("service lock");
+        let id = st.sessions.len();
+        st.sessions.push(SessionMetrics { session: id, ..SessionMetrics::default() });
+        Session { svc: self, id }
+    }
+
+    /// Snapshot the service-wide metrics.
+    pub fn metrics(&self) -> ServiceMetrics {
+        let st = self.state.lock().expect("service lock");
+        ServiceMetrics {
+            budget: st.sched.budget(),
+            threads_in_use: st.sched.in_use(),
+            high_water_threads: st.sched.high_water(),
+            submitted: st.admitted_immediately + st.queued + st.rejected,
+            admitted_immediately: st.admitted_immediately,
+            queued: st.queued,
+            rejected: st.rejected,
+            completed: st.completed,
+            latency: st.latencies_ms.summary(),
+            queue_wait: st.queue_waits_ms.summary(),
+        }
+    }
+
+    /// Snapshot every session's accounting.
+    pub fn session_metrics(&self) -> Vec<SessionMetrics> {
+        self.state.lock().expect("service lock").sessions.clone()
+    }
+
+    fn run_plan(
+        &self,
+        session: usize,
+        plan: &LogicalPlan<'_>,
+    ) -> Result<QueryHandle, ServiceError> {
+        let quote = quote_plan(&self.cfg.machine, plan);
+        let desired = quote.best_threads(&self.cfg.machine, self.cfg.budget).threads;
+        let submitted_at = Instant::now();
+
+        // Admission (under the lock): run now, wait for a lease, or shed.
+        let mut st = self.state.lock().expect("service lock");
+        st.sessions[session].submitted += 1;
+        let (threads, queued) = match st.sched.submit(quote.seq_ns, desired) {
+            Admission::Run(grant) => {
+                st.admitted_immediately += 1;
+                (grant.threads, false)
+            }
+            Admission::Rejected => {
+                st.rejected += 1;
+                st.sessions[session].rejected += 1;
+                return Err(ServiceError::Overloaded { queue_limit: self.cfg.queue_limit });
+            }
+            Admission::Queued(ticket) => {
+                st.queued += 1;
+                loop {
+                    if let Some(threads) = st.grants.remove(&ticket) {
+                        break (threads, true);
+                    }
+                    st = self.cv.wait(st).expect("service lock");
+                }
+            }
+        };
+        drop(st);
+        let queue_ms = submitted_at.elapsed().as_secs_f64() * 1e3;
+
+        // Execute on the session's thread under the leased thread cap: the
+        // executor's per-operator parallel decisions stay cost-model-driven
+        // but can never fan out past the lease, so the pool as a whole
+        // never oversubscribes the budget. The lease is returned by the
+        // guard's Drop on *every* exit — normal return, engine error, or a
+        // panic unwinding out of execute() — otherwise a single panicking
+        // query would strand its threads and deadlock every queued waiter.
+        let lease = LeaseGuard { svc: self, threads };
+        let opts = ExecOptions::cost_model(self.cfg.machine)
+            .with_threads(Threads::Auto)
+            .with_thread_cap(threads);
+        let result = execute(&mut NullTracker, plan, &opts);
+        let total_ms = submitted_at.elapsed().as_secs_f64() * 1e3;
+        drop(lease);
+
+        let executed = match result {
+            Ok(e) => e,
+            Err(e) => return Err(ServiceError::Engine(e)),
+        };
+        let mut st = self.state.lock().expect("service lock");
+        st.completed += 1;
+        st.latencies_ms.push(total_ms);
+        st.queue_waits_ms.push(queue_ms);
+        let sm = &mut st.sessions[session];
+        sm.completed += 1;
+        sm.total_ms += total_ms;
+        sm.max_ms = sm.max_ms.max(total_ms);
+        drop(st);
+
+        Ok(QueryHandle {
+            executed,
+            sched: SchedInfo {
+                session,
+                queued,
+                queue_ms,
+                total_ms,
+                cost_ms: quote.seq_ms(),
+                threads,
+            },
+        })
+    }
+}
+
+/// Returns a query's thread lease to the scheduler on drop, so the budget
+/// survives panics unwinding out of `execute()` as well as normal exits.
+struct LeaseGuard<'s> {
+    svc: &'s QueryService,
+    threads: usize,
+}
+
+impl Drop for LeaseGuard<'_> {
+    fn drop(&mut self) {
+        // During a panic the mutex cannot be poisoned by *this* thread (the
+        // lock is not held across execute()), but another session may have
+        // poisoned it; the scheduler state is a plain counter machine that
+        // stays consistent, so recover the guard rather than double-panic.
+        let mut st = self.svc.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        for grant in st.sched.release(self.threads) {
+            st.grants.insert(grant.ticket, grant.threads);
+        }
+        self.svc.cv.notify_all();
+    }
+}
+
+/// One client's connection to a [`QueryService`].
+#[derive(Clone, Copy)]
+pub struct Session<'s> {
+    svc: &'s QueryService,
+    id: usize,
+}
+
+impl Session<'_> {
+    /// This session's id (the index into
+    /// [`QueryService::session_metrics`]).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Submit a plan and block until it is rejected, or admitted and
+    /// executed. Results are bit-identical to running the same plan
+    /// sequentially — admission order and thread leases never change what
+    /// a query computes, only when and how wide it runs.
+    pub fn run(&self, plan: &LogicalPlan<'_>) -> Result<QueryHandle, ServiceError> {
+        self.svc.run_plan(self.id, plan)
+    }
+}
+
+/// How one query moved through the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedInfo {
+    /// The submitting session.
+    pub session: usize,
+    /// Whether the query had to wait in the admission queue.
+    pub queued: bool,
+    /// Time from submission to the start of execution, in milliseconds.
+    pub queue_ms: f64,
+    /// End-to-end time from submission to result, in milliseconds.
+    pub total_ms: f64,
+    /// The whole-query cost quote the scheduler ranked this query by.
+    pub cost_ms: f64,
+    /// Worker threads leased to this query.
+    pub threads: usize,
+}
+
+/// A completed query: results, execution report, scheduling trace.
+#[derive(Debug, Clone)]
+pub struct QueryHandle {
+    executed: Executed,
+    /// How the query moved through the scheduler.
+    pub sched: SchedInfo,
+}
+
+impl QueryHandle {
+    /// The result rows.
+    pub fn output(&self) -> &QueryOutput {
+        &self.executed.output
+    }
+
+    /// The per-operator execution report.
+    pub fn report(&self) -> &ExecReport {
+        &self.executed.report
+    }
+
+    /// Unwrap into the underlying [`Executed`].
+    pub fn into_executed(self) -> Executed {
+        self.executed
+    }
+}
+
+/// Price a logical plan into a whole-query quote by walking its nodes into
+/// [`OpShape`]s. Post-filter cardinalities are unknown at admission time;
+/// the walk assumes half the rows survive each filter — crude, but the
+/// scheduler only needs *relative* accuracy to rank queries.
+pub fn quote_plan(machine: &MachineConfig, plan: &LogicalPlan<'_>) -> QueryQuote {
+    let mut ops = Vec::new();
+    shapes_of(&plan.root, &mut ops);
+    quote_ops(machine, &ops)
+}
+
+/// Append `node`'s operator shapes to `ops`; returns the estimated output
+/// cardinality feeding the parent.
+fn shapes_of(node: &PlanNode<'_>, ops: &mut Vec<OpShape>) -> usize {
+    match node {
+        PlanNode::Scan { table } => table.len(),
+        PlanNode::Filter { input, pred } => {
+            let rows = shapes_of(input, ops);
+            for stride in leaf_strides(node_table(input), pred) {
+                ops.push(OpShape::Select { rows, stride });
+            }
+            (rows / 2).max(1)
+        }
+        PlanNode::Join { input, right, .. } => {
+            let outer = shapes_of(input, ops);
+            let inner = shapes_of(right, ops);
+            ops.push(OpShape::Join { outer, inner });
+            // Hit-rate <= 1 against the smaller side.
+            outer.min(inner).max(1)
+        }
+        PlanNode::GroupAgg { input, key, aggs } => {
+            let rows = shapes_of(input, ops);
+            let columns = aggs.iter().filter(|a| a.column().is_some()).count();
+            // A restricted or joined stream materializes each aggregated
+            // column (plus the group key, when grouping) through a
+            // positional gather before the accumulation pass; an
+            // unrestricted scan borrows in place.
+            if !matches!(input.as_ref(), PlanNode::Scan { .. }) {
+                for _ in 0..columns + usize::from(key.is_some()) {
+                    ops.push(OpShape::Gather { rows });
+                }
+            }
+            ops.push(OpShape::Aggregate { rows, columns });
+            rows
+        }
+    }
+}
+
+/// The base table a filter's predicate columns live in, if the subtree
+/// bottoms out in a scan (builder-produced plans always do).
+fn node_table<'a>(node: &PlanNode<'a>) -> Option<&'a monet_core::storage::DecomposedTable> {
+    match node {
+        PlanNode::Scan { table } => Some(table),
+        PlanNode::Filter { input, .. } => node_table(input),
+        _ => None,
+    }
+}
+
+/// Byte strides of every predicate leaf (4 when the column cannot be
+/// resolved — estimates only).
+fn leaf_strides(table: Option<&monet_core::storage::DecomposedTable>, pred: &Pred) -> Vec<usize> {
+    fn walk(table: Option<&monet_core::storage::DecomposedTable>, p: &Pred, out: &mut Vec<usize>) {
+        match p {
+            Pred::RangeI32 { col, .. } | Pred::RangeF64 { col, .. } | Pred::EqStr { col, .. } => {
+                let stride =
+                    table.and_then(|t| t.bat(col).ok()).map(|b| b.bun_width()).unwrap_or(4);
+                out.push(stride);
+            }
+            Pred::And(a, b) | Pred::Or(a, b) => {
+                walk(table, a, out);
+                walk(table, b, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(table, pred, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::plan::{Agg, Pred, Query};
+    use monet_core::storage::{ColType, DecomposedTable, TableBuilder, Value};
+
+    fn item(n: usize) -> DecomposedTable {
+        let mut b = TableBuilder::new("item", 0)
+            .column("qty", ColType::I32)
+            .column("price", ColType::F64)
+            .column("shipmode", ColType::Str);
+        for i in 0..n {
+            b.push_row(&[
+                Value::I32((i % 50) as i32),
+                Value::F64(i as f64 / 7.0),
+                Value::from(if i % 3 == 0 { "AIR" } else { "MAIL" }),
+            ])
+            .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn quotes_rank_plans_by_work() {
+        let t = item(50_000);
+        let machine = memsim::profiles::origin2000();
+        let cheap = Query::scan(&t).filter(Pred::range_i32("qty", 1, 2)).build().unwrap();
+        let costly = Query::scan(&t)
+            .filter(Pred::range_i32("qty", 0, 49))
+            .group_by("shipmode")
+            .agg(Agg::sum("price"))
+            .agg(Agg::min("qty"))
+            .agg(Agg::count())
+            .build()
+            .unwrap();
+        let q1 = quote_plan(&machine, &cheap);
+        let q2 = quote_plan(&machine, &costly);
+        assert!(q2.seq_ns > q1.seq_ns, "{} vs {}", q2.seq_ns, q1.seq_ns);
+        assert_eq!(q1.ops, 1, "one select leaf");
+        // Select leaf + three gathers (key + the two aggregated columns,
+        // the stream being filter-restricted) + the aggregate pass.
+        assert_eq!(q2.ops, 5, "select leaf + gathers + aggregate");
+    }
+
+    #[test]
+    fn single_session_round_trip_records_metrics() {
+        let t = item(10_000);
+        let svc = QueryService::new(
+            ServiceConfig::new().with_budget(2).with_queue_limit(4).with_starvation_bound(2),
+        );
+        let session = svc.session();
+        let plan = Query::scan(&t)
+            .filter(Pred::range_i32("qty", 10, 30))
+            .group_by("shipmode")
+            .agg(Agg::sum("price"))
+            .agg(Agg::max("qty"))
+            .build()
+            .unwrap();
+        let handle = session.run(&plan).expect("runs");
+        // Same rows as a plain sequential execution.
+        let seq = execute(
+            &mut NullTracker,
+            &plan,
+            &ExecOptions::cost_model(memsim::profiles::origin2000()),
+        )
+        .unwrap();
+        assert_eq!(handle.output(), &seq.output);
+        assert!(handle.sched.threads >= 1 && handle.sched.threads <= 2);
+        assert!(!handle.sched.queued, "an idle service admits immediately");
+
+        let m = svc.metrics();
+        assert_eq!(m.budget, 2);
+        assert_eq!((m.submitted, m.completed, m.rejected), (1, 1, 0));
+        assert_eq!(m.admitted_immediately, 1);
+        assert!(m.high_water_threads <= m.budget);
+        assert_eq!(m.latency.count, 1);
+        let sm = svc.session_metrics();
+        assert_eq!(sm.len(), 1);
+        assert_eq!(sm[0].completed, 1);
+    }
+
+    #[test]
+    fn engine_errors_release_the_lease() {
+        let t = item(100);
+        let svc = QueryService::new(ServiceConfig::new().with_budget(1));
+        let session = svc.session();
+        // A hand-built invalid tree: aggregation below a filter.
+        let inner = Query::scan(&t).group_by("shipmode").agg(Agg::count()).build().unwrap();
+        let bad = LogicalPlan {
+            root: PlanNode::Filter {
+                input: Box::new(inner.root),
+                pred: Pred::range_i32("qty", 0, 1),
+            },
+        };
+        assert!(matches!(session.run(&bad), Err(ServiceError::Engine(_))));
+        // The lease came back: the next query is admitted immediately.
+        let ok = Query::scan(&t).agg(Agg::count()).build().unwrap();
+        let handle = session.run(&ok).expect("lease was released");
+        assert!(!handle.sched.queued);
+        assert_eq!(svc.metrics().threads_in_use, 0);
+    }
+}

@@ -14,11 +14,16 @@
 //!   uniqueness).
 //! * [`item`] — the Figure 4 "Item" table (a lineitem-like relation) used by
 //!   the storage experiments and examples.
+//! * [`mix`] — a closed-loop, Zipf-skewed *query* mix over the Item ⋈
+//!   Supplier schema (the multi-user workload the query service
+//!   schedules), deterministic per `(seed, client)`.
 
 pub mod gen;
 pub mod item;
+pub mod mix;
 pub mod zipf;
 
 pub use gen::{join_pair, shuffle, unique_random_buns, unique_random_keys};
 pub use item::{item_rows, item_table, ItemRow, SHIPMODES};
+pub use mix::{QueryMix, QuerySpec};
 pub use zipf::ZipfGenerator;

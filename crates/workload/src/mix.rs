@@ -1,0 +1,241 @@
+//! A closed-loop, Zipf-skewed query mix over the Item ⋈ Supplier schema —
+//! the multi-user workload the query service schedules.
+//!
+//! "Closed loop" in the standard benchmarking sense: each simulated client
+//! draws a spec, submits it, *waits for the result*, then draws the next —
+//! so offered load adapts to service capacity, like interactive users. The
+//! generator only yields [`QuerySpec`]s; the caller owns tables, sessions,
+//! and the loop.
+//!
+//! Parameters are Zipf-skewed ([`crate::ZipfGenerator`]) so the mix looks
+//! like real traffic: a few hot `qty` points and shipmodes draw most of
+//! the point queries, while scans and joins of very different costs
+//! interleave — exactly the load shape that makes
+//! shortest-expected-cost-first admission matter. Everything is
+//! deterministic per `(seed, client)`, so a concurrent run can be replayed
+//! sequentially query by query.
+
+use engine::plan::{Agg, LogicalPlan, PlanError, Pred, Query};
+use monet_core::storage::DecomposedTable;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::item::SHIPMODES;
+use crate::ZipfGenerator;
+
+/// One query of the mix, as data — build it against concrete tables with
+/// [`QuerySpec::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuerySpec {
+    /// The drill-down: discount band, grouped `SUM(price)` + `COUNT`.
+    Drill {
+        /// Inclusive discount band start (fraction).
+        lo: f64,
+        /// Inclusive discount band end.
+        hi: f64,
+    },
+    /// A needle: one hot `qty` point and one hot shipmode, `SUM(price)` +
+    /// `COUNT` (index territory when the table carries indexes).
+    Needle {
+        /// The `qty` point.
+        qty: i32,
+        /// The shipmode constant.
+        shipmode: &'static str,
+    },
+    /// The fact ⋈ dimension join over a `qty` band, `SUM(rating)` +
+    /// `COUNT`.
+    SupplierJoin {
+        /// Inclusive `qty` band start.
+        lo: i32,
+        /// Inclusive `qty` band end.
+        hi: i32,
+    },
+    /// Grouped extremes: `MIN(qty)`/`MAX(qty)` + `COUNT` per shipmode over
+    /// a discount band (exercises the grouped min/max aggregates).
+    Extremes {
+        /// Inclusive discount band start (fraction).
+        lo: f64,
+        /// Inclusive discount band end.
+        hi: f64,
+    },
+    /// A wide scan: ungrouped `SUM(price)`/`MIN(qty)`/`MAX(qty)` over a
+    /// `qty` band — the expensive tail of the mix.
+    Sweep {
+        /// Inclusive `qty` band start.
+        lo: i32,
+        /// Inclusive `qty` band end.
+        hi: i32,
+    },
+}
+
+impl QuerySpec {
+    /// A short stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QuerySpec::Drill { .. } => "drill",
+            QuerySpec::Needle { .. } => "needle",
+            QuerySpec::SupplierJoin { .. } => "join",
+            QuerySpec::Extremes { .. } => "extremes",
+            QuerySpec::Sweep { .. } => "sweep",
+        }
+    }
+
+    /// Build the validated plan against an Item fact table
+    /// ([`crate::item_table`] schema) and a supplier dimension with
+    /// `(id: I32, rating: F64)` columns.
+    pub fn build<'a>(
+        &self,
+        item: &'a DecomposedTable,
+        supplier: &'a DecomposedTable,
+    ) -> Result<LogicalPlan<'a>, PlanError> {
+        match self {
+            QuerySpec::Drill { lo, hi } => Query::scan(item)
+                .filter(Pred::range_f64("discnt", *lo, *hi))
+                .group_by("shipmode")
+                .agg(Agg::sum("price"))
+                .agg(Agg::count())
+                .build(),
+            QuerySpec::Needle { qty, shipmode } => Query::scan(item)
+                .filter(Pred::range_i32("qty", *qty, *qty).and(Pred::eq_str("shipmode", shipmode)))
+                .agg(Agg::sum("price"))
+                .agg(Agg::count())
+                .build(),
+            QuerySpec::SupplierJoin { lo, hi } => Query::scan(item)
+                .filter(Pred::range_i32("qty", *lo, *hi))
+                .join(supplier, ("supp", "id"))
+                .agg(Agg::sum("rating"))
+                .agg(Agg::count())
+                .build(),
+            QuerySpec::Extremes { lo, hi } => Query::scan(item)
+                .filter(Pred::range_f64("discnt", *lo, *hi))
+                .group_by("shipmode")
+                .agg(Agg::min("qty"))
+                .agg(Agg::max("qty"))
+                .agg(Agg::count())
+                .build(),
+            QuerySpec::Sweep { lo, hi } => Query::scan(item)
+                .filter(Pred::range_i32("qty", *lo, *hi))
+                .agg(Agg::sum("price"))
+                .agg(Agg::min("qty"))
+                .agg(Agg::max("qty"))
+                .build(),
+        }
+    }
+}
+
+/// Deterministic per-client generator of [`QuerySpec`]s.
+#[derive(Debug)]
+pub struct QueryMix {
+    rng: StdRng,
+    /// Hot `qty` points: Zipf rank 0 = the hottest of the 50 values.
+    qty_zipf: ZipfGenerator,
+    /// Hot shipmodes.
+    mode_zipf: ZipfGenerator,
+}
+
+impl QueryMix {
+    /// A mix stream for one `(seed, client)` pair. Distinct clients get
+    /// decorrelated streams; the same pair always replays identically.
+    pub fn for_client(seed: u64, client: usize) -> Self {
+        let base = seed ^ (client as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Self {
+            rng: StdRng::seed_from_u64(base),
+            qty_zipf: ZipfGenerator::new(50, 1.0, base ^ 0x517C_C1B7_2722_0A95),
+            mode_zipf: ZipfGenerator::new(SHIPMODES.len(), 1.0, base ^ 0x2545_F491_4F6C_DD1D),
+        }
+    }
+
+    /// Draw the next spec. Roughly: half cheap point/drill queries, the
+    /// rest medium joins and expensive sweeps.
+    pub fn next_spec(&mut self) -> QuerySpec {
+        // Hot qty: map Zipf rank onto 1..=50 via a fixed odd multiplier so
+        // the hottest values are spread over the domain.
+        let qty_of = |rank: usize| ((rank * 37) % 50) as i32 + 1;
+        match self.rng.random_range(0..10u32) {
+            0..=2 => {
+                let lo = self.rng.random_range(0..=8u32) as f64 / 100.0;
+                QuerySpec::Drill { lo, hi: lo + 0.02 }
+            }
+            3..=5 => QuerySpec::Needle {
+                qty: qty_of(self.qty_zipf.sample()),
+                shipmode: SHIPMODES[self.mode_zipf.sample()],
+            },
+            6..=7 => {
+                let lo = qty_of(self.qty_zipf.sample());
+                QuerySpec::SupplierJoin { lo: lo.min(40), hi: lo.min(40) + 10 }
+            }
+            8 => {
+                let lo = self.rng.random_range(0..=6u32) as f64 / 100.0;
+                QuerySpec::Extremes { lo, hi: lo + 0.04 }
+            }
+            _ => QuerySpec::Sweep { lo: 1, hi: self.rng.random_range(25..=50u32) as i32 },
+        }
+    }
+
+    /// The first `n` specs of this stream.
+    pub fn take(&mut self, n: usize) -> Vec<QuerySpec> {
+        (0..n).map(|_| self.next_spec()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item_table;
+    use monet_core::storage::{ColType, TableBuilder, Value};
+
+    fn supplier(n: usize) -> DecomposedTable {
+        let mut b = TableBuilder::new("supplier", 0)
+            .column("id", ColType::I32)
+            .column("rating", ColType::F64);
+        for i in 1..=n {
+            b.push_row(&[Value::I32(i as i32), Value::F64((i % 7) as f64 / 2.0)]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_decorrelated() {
+        let a = QueryMix::for_client(7, 0).take(20);
+        let b = QueryMix::for_client(7, 0).take(20);
+        assert_eq!(a, b, "same (seed, client) replays identically");
+        let c = QueryMix::for_client(7, 1).take(20);
+        assert_ne!(a, c, "clients draw different streams");
+        let d = QueryMix::for_client(8, 0).take(20);
+        assert_ne!(a, d, "seeds change the stream");
+    }
+
+    #[test]
+    fn mix_covers_every_shape_and_all_plans_validate() {
+        let item = item_table(500, 1);
+        let supp = supplier(100);
+        let mut mix = QueryMix::for_client(42, 3);
+        let specs = mix.take(200);
+        let mut seen = std::collections::HashSet::new();
+        for spec in &specs {
+            seen.insert(spec.label());
+            spec.build(&item, &supp).expect("every generated spec validates");
+        }
+        for label in ["drill", "needle", "join", "extremes", "sweep"] {
+            assert!(seen.contains(label), "200 draws never produced {label:?}");
+        }
+    }
+
+    #[test]
+    fn needles_are_zipf_hot() {
+        let mut mix = QueryMix::for_client(11, 0);
+        let mut counts = std::collections::HashMap::new();
+        for spec in mix.take(2000) {
+            if let QuerySpec::Needle { qty, .. } = spec {
+                *counts.entry(qty).or_insert(0usize) += 1;
+            }
+        }
+        let max = counts.values().max().copied().unwrap_or(0);
+        let total: usize = counts.values().sum();
+        let distinct = counts.len();
+        assert!(distinct >= 5, "needles should touch several qty points, got {distinct}");
+        // Zipf s=1 over 50 ranks puts ~1/H(50) ≈ 22% of the mass on the
+        // hottest point — far above the 2% a uniform draw would give it.
+        assert!(max * 8 > total, "hottest point holds {max} of {total}: not skewed");
+    }
+}

@@ -10,9 +10,12 @@
 //! * [`core`] (`monet_core`) — vertically decomposed storage (BATs) and the
 //!   radix-cluster family of join algorithms with all baselines.
 //! * [`costmodel`] — the paper's analytical main-memory cost model.
-//! * [`workload`] — synthetic data generators from §3.4.1.
+//! * [`workload`] — synthetic data generators from §3.4.1, plus the
+//!   Zipf-skewed multi-user query mix.
 //! * [`engine`] — query operators (select, aggregate, group, join,
 //!   reconstruct) over BATs.
+//! * [`service`] — the multi-session query service: admission control and
+//!   a cost-model-budgeted scheduler over a global thread budget.
 //!
 //! See `README.md` for a guided tour, `DESIGN.md` for the system inventory
 //! and `EXPERIMENTS.md` for the per-figure reproduction results.
@@ -21,4 +24,5 @@ pub use costmodel;
 pub use engine;
 pub use memsim;
 pub use monet_core as core;
+pub use service;
 pub use workload;

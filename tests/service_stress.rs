@@ -1,0 +1,167 @@
+//! Concurrency stress for the query service: N sessions submit a mixed
+//! Zipf query batch concurrently, and every result must be **bit-identical**
+//! to running the same plan sequentially with `Threads::Fixed(1)` — the
+//! scheduler may change when and how wide a query runs, never what it
+//! computes. Also asserts the pool-side budget invariant: the high-water
+//! mark of leased threads never exceeds the global budget.
+
+use engine::exec::{execute, ExecOptions, Executed, QueryOutput};
+use memsim::{profiles, NullTracker};
+use monet_core::index::IndexKind;
+use monet_core::storage::{ColType, DecomposedTable, TableBuilder, Value};
+use service::{QueryService, ServiceConfig, ServiceError};
+use workload::{item_table, QueryMix};
+
+const SEED: u64 = 20260727;
+const SESSIONS: usize = 6;
+const QUERIES_PER_SESSION: usize = 8;
+
+fn supplier(n: usize) -> DecomposedTable {
+    let mut b =
+        TableBuilder::new("supplier", 0).column("id", ColType::I32).column("rating", ColType::F64);
+    for i in 1..=n {
+        b.push_row(&[Value::I32(i as i32), Value::F64((i % 7) as f64 / 2.0)]).unwrap();
+    }
+    b.finish()
+}
+
+/// Bitwise output equality ([`QueryOutput::bitwise_eq`]): `f64` values must
+/// match in representation, not just under `==` (which would conflate 0.0
+/// and -0.0 and is not what the determinism contract promises).
+fn assert_bit_identical(concurrent: &QueryOutput, sequential: &QueryOutput, context: &str) {
+    assert!(
+        concurrent.bitwise_eq(sequential),
+        "{context}: concurrent {concurrent:?} vs sequential {sequential:?}"
+    );
+}
+
+/// The tentpole assertion: concurrent mixed-batch execution through the
+/// service is deterministic, query by query, against single-thread
+/// sequential replays of the same per-client streams.
+#[test]
+fn concurrent_sessions_are_bit_identical_to_sequential_single_thread() {
+    let mut item = item_table(20_000, SEED);
+    item.create_index("qty", IndexKind::CsBTree).unwrap();
+    item.create_index("shipmode", IndexKind::Hash).unwrap();
+    let item = item;
+    let supp = supplier(500);
+
+    // A deliberately tight budget so sessions contend and queue; the queue
+    // is deep enough that nothing is shed (rejection would make the
+    // completed set depend on timing).
+    let budget = 3;
+    let svc = QueryService::new(
+        ServiceConfig::new()
+            .with_budget(budget)
+            .with_queue_limit(SESSIONS * QUERIES_PER_SESSION)
+            .with_starvation_bound(2),
+    );
+
+    let mut outputs: Vec<Vec<QueryOutput>> = Vec::with_capacity(SESSIONS);
+    let mut leases: Vec<usize> = Vec::new();
+    std::thread::scope(|s| {
+        let svc = &svc;
+        let (item, supp) = (&item, &supp);
+        let handles: Vec<_> = (0..SESSIONS)
+            .map(|c| {
+                s.spawn(move || {
+                    let session = svc.session();
+                    let mut mix = QueryMix::for_client(SEED, c);
+                    let mut outs = Vec::with_capacity(QUERIES_PER_SESSION);
+                    let mut leases = Vec::with_capacity(QUERIES_PER_SESSION);
+                    for _ in 0..QUERIES_PER_SESSION {
+                        let spec = mix.next_spec();
+                        let plan = spec.build(item, supp).expect("mix plans validate");
+                        match session.run(&plan) {
+                            Ok(handle) => {
+                                leases.push(handle.sched.threads);
+                                outs.push(handle.into_executed().output);
+                            }
+                            Err(e) => panic!("session {c}: {e}"),
+                        }
+                    }
+                    (outs, leases)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (outs, l) = h.join().expect("session thread panicked");
+            outputs.push(outs);
+            leases.extend(l);
+        }
+    });
+
+    // Replay each client's stream sequentially, single-threaded.
+    let seq_opts = ExecOptions::cost_model(profiles::origin2000())
+        .with_threads(engine::exec::Threads::Fixed(1));
+    for (c, session_outputs) in outputs.iter().enumerate() {
+        let mut mix = QueryMix::for_client(SEED, c);
+        for (q, concurrent) in session_outputs.iter().enumerate() {
+            let spec = mix.next_spec();
+            let plan = spec.build(&item, &supp).unwrap();
+            let Executed { output, .. } = execute(&mut NullTracker, &plan, &seq_opts).unwrap();
+            assert_bit_identical(
+                concurrent,
+                &output,
+                &format!("session {c} query {q} ({})", spec.label()),
+            );
+        }
+    }
+
+    // Pool-side invariants.
+    let m = svc.metrics();
+    assert_eq!(m.completed, (SESSIONS * QUERIES_PER_SESSION) as u64, "every query completed");
+    assert_eq!(m.rejected, 0, "the deep queue sheds nothing");
+    assert!(
+        m.high_water_threads <= budget,
+        "thread budget violated: {} leased of {budget}",
+        m.high_water_threads
+    );
+    assert!(m.high_water_threads >= 1);
+    assert!(leases.iter().all(|&t| (1..=budget).contains(&t)), "leases within budget: {leases:?}");
+    assert_eq!(m.latency.count as u64, m.completed);
+    // Per-session accounting adds up.
+    let sm = svc.session_metrics();
+    assert_eq!(sm.len(), SESSIONS);
+    assert_eq!(sm.iter().map(|s| s.completed).sum::<u64>(), m.completed);
+    assert!(sm.iter().all(|s| s.submitted == QUERIES_PER_SESSION as u64));
+}
+
+/// Overload behaviour: a queue limit of zero sheds every query that cannot
+/// start immediately, and shed queries never execute.
+#[test]
+fn zero_queue_sheds_contending_queries_deterministically() {
+    let item = item_table(5_000, SEED);
+    let supp = supplier(100);
+    let svc = QueryService::new(
+        ServiceConfig::new().with_budget(1).with_queue_limit(0).with_starvation_bound(1),
+    );
+    let shed = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|s| {
+        let (svc, shed) = (&svc, &shed);
+        let (item, supp) = (&item, &supp);
+        for c in 0..4 {
+            s.spawn(move || {
+                let session = svc.session();
+                let mut mix = QueryMix::for_client(SEED, c);
+                for _ in 0..6 {
+                    let spec = mix.next_spec();
+                    let plan = spec.build(item, supp).unwrap();
+                    match session.run(&plan) {
+                        Ok(_) => {}
+                        Err(ServiceError::Overloaded { queue_limit }) => {
+                            assert_eq!(queue_limit, 0);
+                            shed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
+            });
+        }
+    });
+    let m = svc.metrics();
+    assert_eq!(m.rejected, shed.load(std::sync::atomic::Ordering::Relaxed));
+    assert_eq!(m.completed + m.rejected, 24, "every submission either ran or was shed");
+    assert_eq!(m.queued, 0, "a zero-length queue never holds anyone");
+    assert!(m.high_water_threads <= 1);
+}
