@@ -34,6 +34,9 @@ commands:
   access     access-path crossover: scan vs index selects, model vs simulator
   service    concurrent query service: budgeted scheduler vs naive Auto,
              throughput/latency over client counts
+  shared     cooperative shared scans + hot-result cache: scan-traffic
+             reduction over client count x predicate overlap, cache hit
+             rate on the Zipf-hot needle mix
   all        everything above, in order
 
 options:
@@ -46,8 +49,9 @@ options:
                 the parallel cost model pick per operator (default 1)
   --access P    selection access-path policy for `query`/`access`:
                 scan | index | auto (default: MONET_ACCESS, else auto)
-  --clients N   pin `service` to one client count (default: sweep 1..8);
-                the thread budget itself comes from MONET_SERVICE_THREADS
+  --clients N   pin `service`/`shared` to one client count (default: sweep
+                1..8); the service thread budget comes from
+                MONET_SERVICE_THREADS (`shared` pins budget 1 internally)
 ";
 
 fn main() -> ExitCode {
@@ -134,6 +138,7 @@ fn main() -> ExitCode {
             "parallel" => figures::par_scaling::run(&opts),
             "access" => figures::access_paths::run(&opts),
             "service" => figures::service::run(&opts),
+            "shared" => figures::shared::run(&opts),
             _ => return false,
         }
         true
@@ -143,7 +148,7 @@ fn main() -> ExitCode {
         "all" => {
             for name in [
                 "fig1", "fig3", "fig4", "fig9", "fig10", "fig11", "fig12", "fig13", "validate",
-                "select", "skew", "vm", "query", "parallel", "access", "service",
+                "select", "skew", "vm", "query", "parallel", "access", "service", "shared",
             ] {
                 println!("\n=== {name} ===\n");
                 run_one(name);

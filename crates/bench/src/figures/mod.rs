@@ -14,6 +14,7 @@ pub mod par_scaling;
 pub mod query_pipeline;
 pub mod select_paths;
 pub mod service;
+pub mod shared;
 pub mod skew;
 pub mod validate;
 pub mod vm;

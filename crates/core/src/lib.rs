@@ -47,6 +47,7 @@
 
 pub mod index;
 pub mod join;
+pub mod scan;
 pub mod storage;
 pub mod strategy;
 

@@ -1,0 +1,341 @@
+//! Cooperative (multi-predicate) scan-selects: K predicate leaves
+//! evaluated against one column in a **single** stream.
+//!
+//! The paper's thesis is that sequential scans are priced by their memory
+//! traffic, not their instruction count — so when K queries each need a
+//! scan-select over the *same* column, streaming the column once and
+//! evaluating all K predicates per tuple pays the cache-miss bill once
+//! instead of K times (the MonetDB/X100 cooperative-scan observation).
+//! [`multi_select`] is that kernel: one pass, K candidate lists out, each
+//! **bit-identical** to the corresponding solo scan-select (same ascending
+//! OID order, because tuples are visited in scan order either way).
+//!
+//! [`par_multi_select_counted`] is the sharded parallel variant: the index
+//! space splits into contiguous chunks, each worker evaluates all K
+//! predicates over its chunk, and per-predicate lists merge thread-major —
+//! the same determinism discipline as every other parallel kernel in this
+//! workspace. It also returns per-thread match totals, feeding the sharded
+//! `rows_per_thread` accounting of execution reports.
+//!
+//! Under a counting [`MemTracker`] the kernel charges the memory system
+//! once per tuple ([`track_read`]) and the CPU once per tuple *per
+//! predicate* ([`Work::ScanIter`] × K) — exactly the asymmetry
+//! `costmodel::shared` prices.
+
+use memsim::{track_read, MemTracker, Work};
+
+use crate::storage::{Bat, Codes, Column, Oid, StorageError, ValueType};
+
+/// One predicate leaf of a cooperative scan, lowered to kernel form (string
+/// equality arrives as a dictionary code; the re-map happened once,
+/// upstream).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScanPred {
+    /// `lo <= x <= hi` over an `I32` column.
+    RangeI32 {
+        /// Inclusive lower bound.
+        lo: i32,
+        /// Inclusive upper bound.
+        hi: i32,
+    },
+    /// `lo <= x <= hi` over an `F64` column.
+    RangeF64 {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Inclusive upper bound.
+        hi: f64,
+    },
+    /// `code(x) == code` over a dictionary-encoded string column.
+    EqCode {
+        /// The dictionary code of the constant.
+        code: u32,
+    },
+}
+
+/// The column type a predicate can stream over.
+fn expected_type(p: &ScanPred) -> ValueType {
+    match p {
+        ScanPred::RangeI32 { .. } => ValueType::I32,
+        ScanPred::RangeF64 { .. } => ValueType::F64,
+        ScanPred::EqCode { .. } => ValueType::Str,
+    }
+}
+
+/// Check every predicate is evaluable against `col`, so the scan loops can
+/// match on the column type once, outside the hot loop.
+fn check_types(col: &Column, preds: &[ScanPred]) -> Result<(), StorageError> {
+    for p in preds {
+        let ok = matches!(
+            (p, col),
+            (ScanPred::RangeI32 { .. }, Column::I32(_))
+                | (ScanPred::RangeF64 { .. }, Column::F64(_))
+                | (ScanPred::EqCode { .. }, Column::Str(_))
+        );
+        if !ok {
+            return Err(StorageError::TypeMismatch {
+                expected: expected_type(p),
+                got: col.value_type(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Evaluate one chunk `[lo, hi)` of the column against every predicate,
+/// appending qualifying OIDs to the per-predicate lists.
+fn scan_chunk(bat: &Bat, preds: &[ScanPred], lo: usize, hi: usize, out: &mut [Vec<Oid>]) {
+    match bat.tail() {
+        Column::I32(data) => {
+            for (i, v) in data[lo..hi].iter().enumerate() {
+                let oid = bat.head_oid(lo + i);
+                for (p, list) in preds.iter().zip(out.iter_mut()) {
+                    if let ScanPred::RangeI32 { lo, hi } = p {
+                        if (*lo..=*hi).contains(v) {
+                            list.push(oid);
+                        }
+                    }
+                }
+            }
+        }
+        Column::F64(data) => {
+            for (i, v) in data[lo..hi].iter().enumerate() {
+                let oid = bat.head_oid(lo + i);
+                for (p, list) in preds.iter().zip(out.iter_mut()) {
+                    if let ScanPred::RangeF64 { lo, hi } = p {
+                        if *v >= *lo && *v <= *hi {
+                            list.push(oid);
+                        }
+                    }
+                }
+            }
+        }
+        Column::Str(sc) => match &sc.codes {
+            Codes::U8(data) => {
+                for (i, c) in data[lo..hi].iter().enumerate() {
+                    let oid = bat.head_oid(lo + i);
+                    for (p, list) in preds.iter().zip(out.iter_mut()) {
+                        if let ScanPred::EqCode { code } = p {
+                            if u32::from(*c) == *code {
+                                list.push(oid);
+                            }
+                        }
+                    }
+                }
+            }
+            Codes::U16(data) => {
+                for (i, c) in data[lo..hi].iter().enumerate() {
+                    let oid = bat.head_oid(lo + i);
+                    for (p, list) in preds.iter().zip(out.iter_mut()) {
+                        if let ScanPred::EqCode { code } = p {
+                            if u32::from(*c) == *code {
+                                list.push(oid);
+                            }
+                        }
+                    }
+                }
+            }
+        },
+        _ => unreachable!("check_types rejected this column"),
+    }
+}
+
+/// One-pass K-predicate scan-select: stream `bat`'s tail once, return one
+/// ascending candidate OID list per predicate — each bit-identical to the
+/// solo scan-select of that predicate. Under a counting tracker the memory
+/// system is charged once per tuple and the CPU once per tuple per
+/// predicate.
+pub fn multi_select<M: MemTracker>(
+    trk: &mut M,
+    bat: &Bat,
+    preds: &[ScanPred],
+) -> Result<Vec<Vec<Oid>>, StorageError> {
+    check_types(bat.tail(), preds)?;
+    let mut out: Vec<Vec<Oid>> = preds.iter().map(|_| Vec::new()).collect();
+    if M::ENABLED {
+        // Charge the stream before the pass: one read per tuple (the data
+        // is touched once, whatever K is), K predicate evaluations of CPU.
+        match bat.tail() {
+            Column::I32(data) => data.iter().for_each(|v| track_read(trk, v)),
+            Column::F64(data) => data.iter().for_each(|v| track_read(trk, v)),
+            Column::Str(sc) => match &sc.codes {
+                Codes::U8(data) => data.iter().for_each(|v| track_read(trk, v)),
+                Codes::U16(data) => data.iter().for_each(|v| track_read(trk, v)),
+            },
+            _ => unreachable!("check_types rejected this column"),
+        }
+        trk.work(Work::ScanIter, (bat.len() * preds.len()) as u64);
+    }
+    scan_chunk(bat, preds, 0, bat.len(), &mut out);
+    Ok(out)
+}
+
+/// Sharded parallel [`multi_select`] (native-only; no tracker): contiguous
+/// chunks, per-predicate thread-major merge — bit-identical to the
+/// sequential kernel at every thread count. Also returns each worker's
+/// total match count summed across the K predicates (the sharded
+/// `rows_per_thread` accounting).
+pub fn par_multi_select_counted(
+    bat: &Bat,
+    preds: &[ScanPred],
+    threads: usize,
+) -> Result<(Vec<Vec<Oid>>, Vec<usize>), StorageError> {
+    check_types(bat.tail(), preds)?;
+    let n = bat.len();
+    let threads = threads.min(n).max(1);
+    if threads == 1 {
+        let mut out: Vec<Vec<Oid>> = preds.iter().map(|_| Vec::new()).collect();
+        scan_chunk(bat, preds, 0, n, &mut out);
+        let matches = out.iter().map(Vec::len).sum();
+        return Ok((out, vec![matches]));
+    }
+    let chunk = n.div_ceil(threads);
+    let ranges: Vec<(usize, usize)> = (0..threads)
+        .map(|t| (t * chunk, ((t + 1) * chunk).min(n)))
+        .filter(|(a, b)| a < b)
+        .collect();
+    let mut parts: Vec<Vec<Vec<Oid>>> = Vec::with_capacity(ranges.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                s.spawn(move || {
+                    let mut out: Vec<Vec<Oid>> = preds.iter().map(|_| Vec::new()).collect();
+                    scan_chunk(bat, preds, lo, hi, &mut out);
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("cooperative scan worker panicked"));
+        }
+    });
+    let counts: Vec<usize> = parts.iter().map(|p| p.iter().map(Vec::len).sum()).collect();
+    let mut out: Vec<Vec<Oid>> = preds.iter().map(|_| Vec::new()).collect();
+    for part in parts {
+        for (k, list) in part.into_iter().enumerate() {
+            out[k].extend(list);
+        }
+    }
+    Ok((out, counts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::StrColumn;
+    use memsim::{NullTracker, SimTracker};
+
+    fn i32_bat(n: usize) -> Bat {
+        Bat::with_void_head(100, Column::I32((0..n as i32).map(|i| (i * 37) % 101).collect()))
+    }
+
+    /// Solo reference: a plain single-predicate scan through the same
+    /// kernel (K = 1 degenerates to exactly the solo loop).
+    fn solo(bat: &Bat, p: ScanPred) -> Vec<Oid> {
+        multi_select(&mut NullTracker, bat, &[p]).unwrap().remove(0)
+    }
+
+    #[test]
+    fn k_way_lists_match_solo_scans() {
+        let b = i32_bat(1_000);
+        let preds = [
+            ScanPred::RangeI32 { lo: 10, hi: 40 },
+            ScanPred::RangeI32 { lo: 0, hi: 100 }, // full selectivity
+            ScanPred::RangeI32 { lo: 200, hi: 99 }, // empty
+            ScanPred::RangeI32 { lo: 7, hi: 7 },
+        ];
+        let lists = multi_select(&mut NullTracker, &b, &preds).unwrap();
+        assert_eq!(lists.len(), preds.len());
+        for (k, p) in preds.iter().enumerate() {
+            assert_eq!(lists[k], solo(&b, *p), "pred {k}");
+            assert!(lists[k].windows(2).all(|w| w[0] < w[1]), "ascending");
+        }
+        assert_eq!(lists[1].len(), 1_000);
+        assert!(lists[2].is_empty());
+    }
+
+    #[test]
+    fn f64_and_str_columns() {
+        let f = Bat::with_void_head(0, Column::F64((0..500).map(|i| i as f64 / 10.0).collect()));
+        let lists = multi_select(
+            &mut NullTracker,
+            &f,
+            &[ScanPred::RangeF64 { lo: 1.0, hi: 2.0 }, ScanPred::RangeF64 { lo: 40.0, hi: 60.0 }],
+        )
+        .unwrap();
+        assert_eq!(lists[0].len(), 11);
+        assert_eq!(lists[1].len(), 100, "40.0..=49.9");
+
+        let strs: Vec<&str> = (0..300).map(|i| ["AIR", "MAIL", "SHIP"][i % 3]).collect();
+        let s = Bat::with_void_head(50, Column::Str(StrColumn::from_strs(strs)));
+        let code = |needle: &str| {
+            s.tail().as_str_col().unwrap().dict.code_of(needle).expect("in dictionary")
+        };
+        let lists = multi_select(
+            &mut NullTracker,
+            &s,
+            &[ScanPred::EqCode { code: code("MAIL") }, ScanPred::EqCode { code: code("AIR") }],
+        )
+        .unwrap();
+        assert_eq!(lists[0].len(), 100);
+        assert_eq!(lists[1][0], 50, "OIDs carry the seqbase");
+    }
+
+    #[test]
+    fn parallel_variant_is_bit_identical_and_counts_shard_matches() {
+        let b = i32_bat(10_007);
+        let preds = [
+            ScanPred::RangeI32 { lo: 0, hi: 50 },
+            ScanPred::RangeI32 { lo: 50, hi: 101 },
+            ScanPred::RangeI32 { lo: 13, hi: 13 },
+        ];
+        let seq = multi_select(&mut NullTracker, &b, &preds).unwrap();
+        for threads in [1usize, 2, 4, 7, 64] {
+            let (par, counts) = par_multi_select_counted(&b, &preds, threads).unwrap();
+            assert_eq!(par, seq, "threads={threads}");
+            assert_eq!(
+                counts.iter().sum::<usize>(),
+                seq.iter().map(Vec::len).sum::<usize>(),
+                "threads={threads}"
+            );
+            assert!(counts.len() <= threads.max(1));
+        }
+    }
+
+    #[test]
+    fn type_mismatch_is_an_error() {
+        let b = i32_bat(10);
+        let err = multi_select(&mut NullTracker, &b, &[ScanPred::RangeF64 { lo: 0.0, hi: 1.0 }])
+            .unwrap_err();
+        assert!(matches!(err, StorageError::TypeMismatch { .. }), "{err:?}");
+        let err = par_multi_select_counted(&b, &[ScanPred::EqCode { code: 0 }], 4).unwrap_err();
+        assert!(matches!(err, StorageError::TypeMismatch { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn merged_pass_streams_the_memory_once_but_pays_cpu_per_predicate() {
+        let b = i32_bat(50_000);
+        let k_pred = |k: usize| {
+            (0..k).map(|i| ScanPred::RangeI32 { lo: i as i32, hi: 50 + i as i32 }).collect()
+        };
+        let run = |preds: Vec<ScanPred>| {
+            let mut trk = SimTracker::for_machine(memsim::profiles::origin2000());
+            multi_select(&mut trk, &b, &preds).unwrap();
+            trk.counters()
+        };
+        let one = run(k_pred(1));
+        let eight = run(k_pred(8));
+        assert_eq!(eight.reads, one.reads, "the column is streamed once regardless of K");
+        assert_eq!(eight.l2_misses, one.l2_misses, "no extra cache traffic from extra predicates");
+        assert!(eight.cpu_ns > 7.0 * one.cpu_ns, "CPU scales with K");
+    }
+
+    #[test]
+    fn zero_predicates_is_a_no_op() {
+        let b = i32_bat(100);
+        assert!(multi_select(&mut NullTracker, &b, &[]).unwrap().is_empty());
+        let (lists, counts) = par_multi_select_counted(&b, &[], 4).unwrap();
+        assert!(lists.is_empty());
+        assert_eq!(counts.iter().sum::<usize>(), 0);
+    }
+}

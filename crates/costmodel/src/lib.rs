@@ -29,7 +29,12 @@
 //!   probe, so index use becomes a per-predicate cost-model decision;
 //! * [`quote`] — whole-query quotes composing the per-operator models, the
 //!   currency of the multi-query scheduler (admission order and per-query
-//!   thread budgets in `crates/service`).
+//!   thread budgets in `crates/service`);
+//! * [`shared`] — cooperative-scan pricing: a K-way merged scan pass pays
+//!   the memory terms once and the CPU term K times, so its cost grows far
+//!   slower than K solo scans — the model behind the service's shared-scan
+//!   batching, including the CPU-only *marginal* price of a query whose
+//!   scan is already covered by a pass in flight.
 //!
 //! The inequality directions in the published formulas are garbled by PDF
 //! extraction; the reconstruction used here (documented per function and in
@@ -50,6 +55,7 @@ pub mod plan;
 pub mod quote;
 pub mod rjoin;
 pub mod scan;
+pub mod shared;
 
 pub use access::{AccessPath, IndexShape, SelectQuery};
 pub use machine::{ModelCost, ModelMachine, ModelParams};

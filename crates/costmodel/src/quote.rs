@@ -60,6 +60,14 @@ pub enum OpShape {
         /// Tuples fetched.
         rows: usize,
     },
+    /// A scan-select whose column stream is already covered by a shared
+    /// (cooperative) pass in flight or pending: the query pays only the
+    /// CPU-side marginal predicate evaluation
+    /// ([`crate::shared::marginal_pred_cost`]), not a fresh scan.
+    SharedSelect {
+        /// Tuples the covering pass evaluates this predicate over.
+        rows: usize,
+    },
 }
 
 impl OpShape {
@@ -70,6 +78,9 @@ impl OpShape {
             OpShape::Join { outer, inner } => outer + inner,
             OpShape::Aggregate { rows, .. } => rows,
             OpShape::Gather { rows } => rows,
+            // A covered select does no divisible scanning of its own — the
+            // covering pass owns the stream.
+            OpShape::SharedSelect { .. } => 0,
         }
     }
 }
@@ -124,6 +135,9 @@ pub fn quote_ops(cfg: &MachineConfig, ops: &[OpShape]) -> QueryQuote {
                 scan_cost(&scan_model, rows.max(1), 8).total_ns() * (columns + 1) as f64
             }
             OpShape::Gather { rows } => scan_cost(&scan_model, rows.max(1), 8).total_ns(),
+            OpShape::SharedSelect { rows } => {
+                crate::shared::marginal_pred_cost(&scan_model, rows.max(1)).total_ns()
+            }
         };
         items += op.items();
     }
@@ -172,6 +186,20 @@ mod tests {
         let a = quote_ops(&cfg, &[OpShape::Join { outer: 1_000_000, inner: 100 }]);
         let b = quote_ops(&cfg, &[OpShape::Join { outer: 100, inner: 100 }]);
         assert!(a.seq_ns > 100.0 * b.seq_ns, "{} vs {}", a.seq_ns, b.seq_ns);
+    }
+
+    #[test]
+    fn covered_selects_quote_below_fresh_scans() {
+        let cfg = profiles::origin2000();
+        let fresh = quote_ops(&cfg, &[OpShape::Select { rows: 1_000_000, stride: 4 }]);
+        let covered = quote_ops(&cfg, &[OpShape::SharedSelect { rows: 1_000_000 }]);
+        assert!(
+            covered.seq_ns < fresh.seq_ns,
+            "marginal predicate {} !< fresh scan {}",
+            covered.seq_ns,
+            fresh.seq_ns
+        );
+        assert_eq!(covered.items, 0, "the covering pass owns the divisible work");
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! thread count — the determinism property the PR-2 suites rely on.
 //!
 //! Planning runs in two phases so the degree of parallelism can be decided
-//! in between: [`plan_pred`] resolves one [`AccessDecision`] per leaf
+//! in between: [`plan_pred_with`] resolves one [`AccessDecision`] per leaf
 //! (range selectivity estimates are *exact* — two B+-tree descents count
 //! the matches), then [`eval_planned`] executes the decisions, fanning
 //! scan leaves out over the chosen thread count and running index probes
@@ -25,6 +25,7 @@
 //! [`crate::exec::ExecOptions`].
 
 use std::fmt;
+use std::sync::Arc;
 
 use costmodel::access::{
     cheapest, quotes, sort_rounds, AccessPath, IndexShape, Quote, SelectQuery,
@@ -99,11 +100,17 @@ pub struct AccessDecision {
     /// `len / distinct` for hash and T-tree equality estimates; 0 when no
     /// index informed the decision).
     pub matches_est: usize,
+    /// True when the leaf's candidate list was *provided* by a shared
+    /// (cooperative) scan pass — no evaluation of any kind ran here, and
+    /// `matches_est` is the exact provided count.
+    pub shared: bool,
 }
 
 impl fmt::Display for AccessDecision {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.path.is_index() {
+        if self.shared {
+            write!(f, "{}=shared-scan ({} rows provided)", self.column, self.matches_est)
+        } else if self.path.is_index() {
             write!(
                 f,
                 "{}={} {:.3} ms (scan {:.3} ms, est {} rows)",
@@ -126,6 +133,10 @@ enum LeafAction {
     Scan,
     /// Provably empty: the equality constant is not in the dictionary.
     Empty,
+    /// The candidate list was produced by a cooperative shared-scan pass;
+    /// evaluation just consumes it (bit-identical to a solo scan by the
+    /// kernel's contract).
+    Provided(Arc<CandList>),
     /// B+-tree range probe (equality uses `lo == hi`).
     BtreeRange { col: String, lo: u32, hi: u32 },
     /// Hash or T-tree point probe.
@@ -166,6 +177,11 @@ impl PredPlan {
         self.leaves.iter().any(|l| l.decision.path.is_index())
     }
 
+    /// Leaves whose candidate lists were provided by a shared scan pass.
+    pub fn provided_leaves(&self) -> usize {
+        self.leaves.iter().filter(|l| l.decision.shared).count()
+    }
+
     /// The per-leaf decisions, for the report.
     pub fn decisions(&self) -> Vec<AccessDecision> {
         self.leaves.iter().map(|l| l.decision.clone()).collect()
@@ -179,8 +195,8 @@ impl PredPlan {
 }
 
 /// Number of leaves of a predicate tree (for cursor-skipping on
-/// short-circuited subtrees).
-fn leaf_count(pred: &Pred) -> usize {
+/// short-circuited subtrees, and the executor's global leaf numbering).
+pub(crate) fn leaf_count(pred: &Pred) -> usize {
     match pred {
         Pred::And(a, b) | Pred::Or(a, b) => leaf_count(a) + leaf_count(b),
         _ => 1,
@@ -238,19 +254,41 @@ fn action_for(path: AccessPath, col: &str, klo: u32, khi: u32) -> LeafAction {
     }
 }
 
-/// Resolve one [`AccessDecision`] + action per predicate leaf. Selectivity
-/// estimates that probe a B+-tree are tracked against `trk` (planning cost
-/// is execution cost).
-pub(crate) fn plan_pred<M: MemTracker>(
+/// Resolve one [`AccessDecision`] + action per predicate leaf, with
+/// externally provided candidate lists: `provided[i]`, when `Some`,
+/// short-circuits leaf `i` (in-order position within this predicate) to
+/// consume that list — no pricing, no probing, zero cost. Pass `&[]` for
+/// plain planning. Selectivity estimates that probe a B+-tree are tracked
+/// against `trk` (planning cost is execution cost).
+pub(crate) fn plan_pred_with<M: MemTracker>(
     trk: &mut M,
     table: &DecomposedTable,
     pred: &Pred,
     mode: AccessMode,
     model: &ModelMachine,
+    provided: &[Option<Arc<CandList>>],
 ) -> Result<PredPlan, EngineError> {
     let mut leaves = Vec::with_capacity(leaf_count(pred));
-    plan_rec(trk, table, pred, mode, model, &mut leaves)?;
+    plan_rec(trk, table, pred, mode, model, provided, &mut leaves)?;
     Ok(PredPlan { leaves })
+}
+
+/// The [`LeafPlan`] of a leaf whose candidates a shared pass already
+/// produced: everything about it is settled, nothing will be priced or
+/// executed.
+fn provided_leaf(col: &str, cands: Arc<CandList>) -> LeafPlan {
+    LeafPlan {
+        decision: AccessDecision {
+            column: col.to_owned(),
+            path: AccessPath::Scan,
+            predicted_ms: 0.0,
+            scan_ms: 0.0,
+            matches_est: cands.len(),
+            shared: true,
+        },
+        action: LeafAction::Provided(cands),
+        scan_work_ns: 0.0,
+    }
 }
 
 fn plan_rec<M: MemTracker>(
@@ -259,12 +297,27 @@ fn plan_rec<M: MemTracker>(
     pred: &Pred,
     mode: AccessMode,
     model: &ModelMachine,
+    provided: &[Option<Arc<CandList>>],
     out: &mut Vec<LeafPlan>,
 ) -> Result<(), EngineError> {
+    // Leaf positions are in-order: the next leaf's index is out.len().
+    if !matches!(pred, Pred::And(..) | Pred::Or(..)) {
+        if let Some(Some(cands)) = provided.get(out.len()) {
+            let col = match pred {
+                Pred::RangeI32 { col, .. }
+                | Pred::RangeF64 { col, .. }
+                | Pred::EqStr { col, .. } => col,
+                _ => unreachable!("leaf match"),
+            };
+            table.bat(col)?;
+            out.push(provided_leaf(col, cands.clone()));
+            return Ok(());
+        }
+    }
     match pred {
         Pred::And(a, b) | Pred::Or(a, b) => {
-            plan_rec(trk, table, a, mode, model, out)?;
-            plan_rec(trk, table, b, mode, model, out)
+            plan_rec(trk, table, a, mode, model, provided, out)?;
+            plan_rec(trk, table, b, mode, model, provided, out)
         }
         Pred::RangeF64 { col, .. } => {
             // F64 columns carry no indexes (no u32 key mapping): always scan.
@@ -329,6 +382,7 @@ fn scan_leaf(model: &ModelMachine, table: &DecomposedTable, col: &str, stride: u
             predicted_ms: scan_ms,
             scan_ms,
             matches_est: 0,
+            shared: false,
         },
         action: LeafAction::Scan,
         scan_work_ns: scan_ms * 1e6,
@@ -381,6 +435,7 @@ fn priced_leaf(
             predicted_ms: chosen.cost.total_ms(),
             scan_ms,
             matches_est: matches,
+            shared: false,
         },
         action,
         scan_work_ns: if chosen.path.is_index() { 0.0 } else { scan_ms * 1e6 },
@@ -466,6 +521,9 @@ fn eval_leaf<M: MemTracker>(
 ) -> Result<CandList, EngineError> {
     match &lp.action {
         LeafAction::Empty => Ok(CandList::new()),
+        // A shared pass already streamed the column; consuming the list is
+        // free of scan work (and contributes no shard counts).
+        LeafAction::Provided(cands) => Ok((**cands).clone()),
         LeafAction::Scan => scan_eval(trk, table, leaf, threads, shards),
         LeafAction::BtreeRange { col, lo, hi } => {
             let idx = table
@@ -576,7 +634,7 @@ mod tests {
 
     fn run(t: &DecomposedTable, pred: &Pred, mode: AccessMode, threads: usize) -> CandList {
         let m = model();
-        let plan = plan_pred(&mut NullTracker, t, pred, mode, &m).unwrap();
+        let plan = plan_pred_with(&mut NullTracker, t, pred, mode, &m, &[]).unwrap();
         eval_planned(&mut NullTracker, t, pred, &plan, threads).unwrap().0
     }
 
@@ -613,7 +671,7 @@ mod tests {
         let t = table(true);
         let m = model();
         let pred = Pred::range_i32("k", 7, 7);
-        let plan = plan_pred(&mut NullTracker, &t, &pred, AccessMode::Auto, &m).unwrap();
+        let plan = plan_pred_with(&mut NullTracker, &t, &pred, AccessMode::Auto, &m, &[]).unwrap();
         let d = &plan.decisions()[0];
         assert!(d.path.is_index(), "{d:?}");
         assert_eq!(d.matches_est, 10, "exact count: 500 rows / 50 keys");
@@ -628,7 +686,7 @@ mod tests {
         let m = model();
         for (t, mode) in [(&bare, AccessMode::Auto), (&table(true), AccessMode::Scan)] {
             let pred = Pred::range_i32("k", 7, 7).and(Pred::eq_str("s", "AIR"));
-            let plan = plan_pred(&mut NullTracker, t, &pred, mode, &m).unwrap();
+            let plan = plan_pred_with(&mut NullTracker, t, &pred, mode, &m, &[]).unwrap();
             assert!(!plan.uses_index());
             assert!(plan.decisions().iter().all(|d| d.path == AccessPath::Scan));
             assert!(plan.scan_work_ns() > 0.0);
@@ -640,14 +698,26 @@ mod tests {
         let t = table(true);
         let m = model();
         // Range over k: only the btree is range-capable; forced index uses it.
-        let plan =
-            plan_pred(&mut NullTracker, &t, &Pred::range_i32("k", -20, 20), AccessMode::Index, &m)
-                .unwrap();
+        let plan = plan_pred_with(
+            &mut NullTracker,
+            &t,
+            &Pred::range_i32("k", -20, 20),
+            AccessMode::Index,
+            &m,
+            &[],
+        )
+        .unwrap();
         assert_eq!(plan.decisions()[0].path, AccessPath::BtreeRange);
         // F64 leaf: no index can exist; index mode scans it.
-        let plan =
-            plan_pred(&mut NullTracker, &t, &Pred::range_f64("x", 0.0, 1.0), AccessMode::Index, &m)
-                .unwrap();
+        let plan = plan_pred_with(
+            &mut NullTracker,
+            &t,
+            &Pred::range_f64("x", 0.0, 1.0),
+            AccessMode::Index,
+            &m,
+            &[],
+        )
+        .unwrap();
         assert_eq!(plan.decisions()[0].path, AccessPath::Scan);
     }
 
@@ -656,7 +726,7 @@ mod tests {
         let t = table(true);
         let m = model();
         let pred = Pred::range_f64("x", 0.0, 20.0).and(Pred::range_i32("k", 0, 0));
-        let plan = plan_pred(&mut NullTracker, &t, &pred, AccessMode::Auto, &m).unwrap();
+        let plan = plan_pred_with(&mut NullTracker, &t, &pred, AccessMode::Auto, &m, &[]).unwrap();
         let (cands, shards) = eval_planned(&mut NullTracker, &t, &pred, &plan, 4).unwrap();
         let shards = shards.expect("parallel run shards");
         assert_eq!(shards.len(), 4);

@@ -49,6 +49,7 @@
 //! machine the paper never measured.
 
 use std::fmt;
+use std::sync::Arc;
 
 use costmodel::parallel::{algorithm_parallelizes, ParallelModel};
 use costmodel::plan::{best_plan, plan_cost};
@@ -60,7 +61,7 @@ use monet_core::join::OidPair;
 use monet_core::storage::{Bat, Column, DecomposedTable, Oid};
 use monet_core::strategy::{heuristic_plan, JoinPlan};
 
-use crate::access::{eval_planned, plan_pred, AccessDecision, AccessMode};
+use crate::access::{eval_planned, leaf_count, plan_pred_with, AccessDecision, AccessMode};
 use crate::aggregate::{max_i32, min_i32, par_max_i32, par_min_i32, par_sum_i32, sum_f64, sum_i32};
 use crate::candidates::intersect;
 use crate::group::{hash_group_multi_agg, par_hash_group_multi_agg};
@@ -70,6 +71,8 @@ use crate::reconstruct::{
     fetch_f64, fetch_i32, fetch_str, fetch_u8, par_fetch_f64, par_fetch_i32, par_fetch_str,
     par_fetch_u8, reconstruct,
 };
+use crate::select::CandList;
+use crate::shared::ScanTicket;
 use crate::EngineError;
 
 /// How the executor chooses physical join plans.
@@ -414,10 +417,27 @@ pub fn execute<M: MemTracker>(
     plan: &LogicalPlan<'_>,
     opts: &ExecOptions,
 ) -> Result<Executed, EngineError> {
+    execute_with_scans(trk, plan, opts, &ScanTicket::new())
+}
+
+/// [`execute`] with externally produced candidate lists: any predicate
+/// leaf covered by `ticket` (keyed by the global leaf numbering of
+/// [`crate::shared::scan_requests`]) consumes the provided list instead of
+/// being evaluated — the seam a multi-query scheduler uses to feed one
+/// cooperative scan pass into many executions. Results are bit-identical
+/// to [`execute`] provided the ticket honours [`ScanTicket::provide`]'s
+/// contract (the cooperative kernel does).
+pub fn execute_with_scans<M: MemTracker>(
+    trk: &mut M,
+    plan: &LogicalPlan<'_>,
+    opts: &ExecOptions,
+    ticket: &ScanTicket,
+) -> Result<Executed, EngineError> {
     let mut report = ExecReport { ops: Vec::new(), planner: opts.planner.name() };
     let model = ModelMachine::new(&opts.machine);
 
-    let stream = exec_node(trk, &plan.root, opts, &model, &mut report)?;
+    let mut leafs = 0usize;
+    let stream = exec_node(trk, &plan.root, opts, &model, &mut report, ticket, &mut leafs)?;
     let output = match stream {
         Output::Stream(Stream::Table { table, cands }) => QueryOutput::Oids(
             cands.unwrap_or_else(|| (0..table.len() as Oid).map(|i| table.seqbase() + i).collect()),
@@ -434,12 +454,15 @@ enum Output<'a> {
     Final(QueryOutput),
 }
 
+#[allow(clippy::too_many_arguments)] // internal recursion carrying executor context
 fn exec_node<'a, M: MemTracker>(
     trk: &mut M,
     node: &PlanNode<'a>,
     opts: &ExecOptions,
     model: &ModelMachine,
     report: &mut ExecReport,
+    ticket: &ScanTicket,
+    leafs: &mut usize,
 ) -> Result<Output<'a>, EngineError> {
     match node {
         PlanNode::Scan { table } => {
@@ -457,17 +480,26 @@ fn exec_node<'a, M: MemTracker>(
             Ok(Output::Stream(Stream::Table { table, cands: None }))
         }
         PlanNode::Filter { input, pred } => {
-            let upstream = expect_stream(exec_node(trk, input, opts, model, report)?)?;
+            let upstream =
+                expect_stream(exec_node(trk, input, opts, model, report, ticket, leafs)?)?;
             let Stream::Table { table, cands } = upstream else {
                 return Err(EngineError::Plan(crate::plan::PlanError::Unsupported(
                     "filter over a join result",
                 )));
             };
+            // This filter's leaves occupy the next `leaf_count` global
+            // indices — the numbering `shared::scan_requests` emits.
+            let base = *leafs;
+            let nleaves = leaf_count(pred);
+            *leafs += nleaves;
+            let provided: Vec<Option<Arc<CandList>>> =
+                (0..nleaves).map(|i| ticket.get(base + i).cloned()).collect();
             let before = trk.counters_snapshot();
             // Phase 1: pick an access path per predicate leaf (scan vs. the
             // table's attached indexes, priced by costmodel::access) —
-            // B+-tree-backed selectivity estimates are exact.
-            let pplan = plan_pred(trk, table, pred, opts.access, model)?;
+            // B+-tree-backed selectivity estimates are exact. Leaves whose
+            // candidates a shared pass provided are settled already.
+            let pplan = plan_pred_with(trk, table, pred, opts.access, model, &provided)?;
             let model_ms = pplan.model_ms();
             // Phase 2: the parallel model only sees the scanning leaves
             // (index probes are a handful of node touches; never forked).
@@ -477,9 +509,13 @@ fn exec_node<'a, M: MemTracker>(
                 Some(prior) => intersect(&prior, &selected),
                 None => selected,
             };
-            let detail = if pplan.uses_index() {
+            let shared_note = match pplan.provided_leaves() {
+                0 => String::new(),
+                p => format!("; {p}/{nleaves} leaves via shared scan"),
+            };
+            let detail = if pplan.uses_index() || pplan.provided_leaves() > 0 {
                 format!(
-                    "select [{pred}] via {}; model {model_ms:.2} ms{}",
+                    "select [{pred}] via {}; model {model_ms:.2} ms{}{shared_note}",
                     pplan.detail(),
                     threads_detail(threads, speedup)
                 )
@@ -501,8 +537,10 @@ fn exec_node<'a, M: MemTracker>(
             Ok(Output::Stream(Stream::Table { table, cands: Some(merged) }))
         }
         PlanNode::Join { input, right, left_col, right_col } => {
-            let left_stream = expect_stream(exec_node(trk, input, opts, model, report)?)?;
-            let right_stream = expect_stream(exec_node(trk, right, opts, model, report)?)?;
+            let left_stream =
+                expect_stream(exec_node(trk, input, opts, model, report, ticket, leafs)?)?;
+            let right_stream =
+                expect_stream(exec_node(trk, right, opts, model, report, ticket, leafs)?)?;
             let (Stream::Table { table: lt, cands: lc }, Stream::Table { table: rt, cands: rc }) =
                 (left_stream, right_stream)
             else {
@@ -545,7 +583,7 @@ fn exec_node<'a, M: MemTracker>(
             Ok(Output::Stream(Stream::Joined { left: lt, right: rt, pairs }))
         }
         PlanNode::GroupAgg { input, key, aggs } => {
-            let stream = expect_stream(exec_node(trk, input, opts, model, report)?)?;
+            let stream = expect_stream(exec_node(trk, input, opts, model, report, ticket, leafs)?)?;
             let rows_in = stream.rows();
             let before = trk.counters_snapshot();
             // Parallel quote: only the *gathers* split work across threads
@@ -1492,6 +1530,63 @@ mod tests {
         let seq = execute(&mut NullTracker, &plan, &ExecOptions::default()).unwrap();
         assert!(seq.report.ops.iter().all(|o| o.rows_per_thread.is_none()));
         assert_eq!(par.output, seq.output);
+    }
+
+    #[test]
+    fn provided_scan_tickets_are_bit_identical_to_solo_evaluation() {
+        use crate::shared::{scan_requests, ScanTicket};
+        let mut b = TableBuilder::new("big", 0)
+            .column("qty", ColType::I32)
+            .column("price", ColType::F64)
+            .column("mode", ColType::Str);
+        for i in 0..5_000i32 {
+            b.push_row(&[
+                Value::I32(i % 97),
+                Value::F64(i as f64 / 3.0),
+                Value::from(["AIR", "MAIL", "SHIP"][i as usize % 3]),
+            ])
+            .unwrap();
+        }
+        let t = b.finish();
+        let plan = Query::scan(&t)
+            .filter(Pred::range_i32("qty", 10, 60).and(Pred::eq_str("mode", "AIR")))
+            .group_by("mode")
+            .agg(Agg::sum("price"))
+            .agg(Agg::count())
+            .build()
+            .unwrap();
+        let solo = execute(&mut NullTracker, &plan, &ExecOptions::default()).unwrap();
+
+        // Produce every leaf's list through the cooperative kernel, as the
+        // service's shared pass would.
+        let reqs = scan_requests(&plan);
+        assert_eq!(reqs.len(), 2);
+        let mut ticket = ScanTicket::new();
+        for r in &reqs {
+            let lists =
+                monet_core::scan::multi_select(&mut NullTracker, r.bat, &[r.pred.kernel_pred()])
+                    .unwrap();
+            ticket.provide(r.leaf, std::sync::Arc::new(lists.into_iter().next().unwrap()));
+        }
+        for threads in [Threads::Fixed(1), Threads::Fixed(4)] {
+            let opts = ExecOptions::default().with_threads(threads);
+            let fed = execute_with_scans(&mut NullTracker, &plan, &opts, &ticket).unwrap();
+            assert!(fed.output.bitwise_eq(&solo.output), "{threads:?}");
+            let sel = fed.report.ops.iter().find(|o| o.op.starts_with("select")).unwrap();
+            assert!(sel.detail.contains("2/2 leaves via shared scan"), "{}", sel.detail);
+            assert!(sel.access.iter().all(|d| d.shared), "{:?}", sel.access);
+            assert!(sel.rows_per_thread.is_none(), "no scan work ran here");
+        }
+
+        // A partial ticket: one leaf provided, the other evaluated here.
+        let mut partial = ScanTicket::new();
+        partial.provide(reqs[0].leaf, ticket.get(reqs[0].leaf).unwrap().clone());
+        let fed =
+            execute_with_scans(&mut NullTracker, &plan, &ExecOptions::default(), &partial).unwrap();
+        assert!(fed.output.bitwise_eq(&solo.output));
+        let sel = fed.report.ops.iter().find(|o| o.op.starts_with("select")).unwrap();
+        assert!(sel.detail.contains("1/2 leaves via shared scan"), "{}", sel.detail);
+        assert_eq!(sel.access.iter().filter(|d| d.shared).count(), 1);
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //!   void-head positional fast path that "effectively eliminat\[es\] all join
 //!   cost" for tuple-reconstruction joins;
 //! * [`reconstruct`] — positional tuple reconstruction from candidate OIDs;
+//! * [`shared`] — the shared-scan seam: plans describe their scan leaves as
+//!   [`shared::ScanRequest`]s, and [`exec::execute_with_scans`] consumes
+//!   candidate lists a cooperative pass produced elsewhere
+//!   ([`shared::ScanTicket`]), bit-identical to solo evaluation;
 //! * [`plan`] — the **logical layer**: a fluent [`plan::Query`] builder with
 //!   typed predicates/aggregates, validated into a [`plan::LogicalPlan`];
 //! * [`exec`] — the **physical layer**: lowers logical plans onto the
@@ -44,12 +48,16 @@ pub mod plan;
 pub mod query;
 pub mod reconstruct;
 pub mod select;
+pub mod shared;
 
 pub use access::{AccessDecision, AccessMode};
-pub use exec::{execute, ExecOptions, ExecReport, Executed, Planner, QueryOutput, Threads};
+pub use exec::{
+    execute, execute_with_scans, ExecOptions, ExecReport, Executed, Planner, QueryOutput, Threads,
+};
 pub use join::{join_bats, JoinIndex};
 pub use plan::{Agg, LogicalPlan, PlanError, Pred, Query};
 pub use query::{grouped_sum_where, GroupedSum};
+pub use shared::{scan_requests, ScanRequest, ScanTicket, ShareKey};
 
 use monet_core::storage::StorageError;
 use std::fmt;

@@ -1,0 +1,359 @@
+//! The shared-scan seam: describing a plan's scan leaves as data
+//! ([`ScanRequest`]) and feeding externally produced candidate lists back
+//! into execution ([`ScanTicket`]).
+//!
+//! A multi-query scheduler sees every admitted plan before it runs, which
+//! makes same-column scan-selects *batchable*: one cooperative pass
+//! ([`monet_core::scan::multi_select`]) can evaluate every waiting
+//! predicate leaf while streaming the column once. This module is the
+//! engine half of that contract:
+//!
+//! * [`scan_requests`] walks a validated [`LogicalPlan`] in **execution
+//!   order** and emits one [`ScanRequest`] per shareable predicate leaf —
+//!   the column's buffer identity ([`ColumnId`]), the leaf constant
+//!   lowered to kernel form ([`SharedPred`], string equality already
+//!   re-mapped to its dictionary code), and the leaf's global index within
+//!   the plan.
+//! * [`ScanTicket`] carries candidate lists produced elsewhere, keyed by
+//!   that same global leaf index;
+//!   [`crate::exec::execute_with_scans`] consumes them in place of
+//!   evaluating the leaf, and is **bit-identical** to solo evaluation
+//!   because the cooperative kernel visits tuples in the same scan order a
+//!   solo scan-select does.
+//!
+//! Leaf indices count *every* predicate leaf of the plan (in-order within
+//! each filter, filters in execution order), whether or not it is
+//! shareable, so producers and the executor can never drift: both sides
+//! derive the numbering from the same traversal.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use monet_core::scan::ScanPred;
+use monet_core::storage::{Bat, Codes, Column, DecomposedTable};
+
+use crate::plan::{LogicalPlan, PlanNode, Pred};
+use crate::select::CandList;
+
+/// Identity of a column's scanned buffer: address, length and byte width
+/// of the underlying data. Tables are immutable, so two equal identities
+/// always see the same bytes — the property that lets one query's pass
+/// answer another query's predicate. (The identity is only meaningful
+/// while the tables it came from are alive; a scheduler holds it no longer
+/// than the queries borrowing those tables.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ColumnId {
+    addr: usize,
+    len: usize,
+    width: usize,
+}
+
+/// The buffer identity of a BAT's tail (dictionary-encoded columns are
+/// identified by their code buffer — the bytes a scan streams).
+pub fn column_id(bat: &Bat) -> ColumnId {
+    let (addr, len, width) = match bat.tail() {
+        Column::U8(v) => (v.as_ptr() as usize, v.len(), 1),
+        Column::U16(v) => (v.as_ptr() as usize, v.len(), 2),
+        Column::I32(v) => (v.as_ptr() as usize, v.len(), 4),
+        Column::I64(v) => (v.as_ptr() as usize, v.len(), 8),
+        Column::F64(v) => (v.as_ptr() as usize, v.len(), 8),
+        Column::Oid(v) => {
+            (v.as_ptr() as usize, v.len(), std::mem::size_of::<monet_core::storage::Oid>())
+        }
+        Column::Str(sc) => match &sc.codes {
+            Codes::U8(v) => (v.as_ptr() as usize, v.len(), 1),
+            Codes::U16(v) => (v.as_ptr() as usize, v.len(), 2),
+        },
+    };
+    ColumnId { addr, len, width }
+}
+
+/// A predicate leaf's constant in canonical, hashable form (`f64` bounds
+/// by bit pattern; string equality as its dictionary code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SharedPred {
+    /// `lo <= x <= hi` over an `I32` column.
+    RangeI32 {
+        /// Inclusive lower bound.
+        lo: i32,
+        /// Inclusive upper bound.
+        hi: i32,
+    },
+    /// `lo <= x <= hi` over an `F64` column, bounds as bit patterns.
+    RangeF64 {
+        /// `lo.to_bits()`.
+        lo_bits: u64,
+        /// `hi.to_bits()`.
+        hi_bits: u64,
+    },
+    /// Dictionary-code equality over an encoded string column.
+    EqCode {
+        /// The constant's dictionary code.
+        code: u32,
+    },
+}
+
+impl SharedPred {
+    /// Lower to the cooperative kernel's predicate form.
+    pub fn kernel_pred(self) -> ScanPred {
+        match self {
+            SharedPred::RangeI32 { lo, hi } => ScanPred::RangeI32 { lo, hi },
+            SharedPred::RangeF64 { lo_bits, hi_bits } => {
+                ScanPred::RangeF64 { lo: f64::from_bits(lo_bits), hi: f64::from_bits(hi_bits) }
+            }
+            SharedPred::EqCode { code } => ScanPred::EqCode { code },
+        }
+    }
+}
+
+/// What makes two scan leaves mergeable: same column bytes, same predicate
+/// constant. (Same key ⇒ identical candidate list.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShareKey {
+    /// The scanned buffer.
+    pub col: ColumnId,
+    /// The predicate constant.
+    pub pred: SharedPred,
+}
+
+/// One shareable predicate leaf of a plan: everything a cooperative pass
+/// needs to evaluate it, plus the leaf's global index for delivery.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanRequest<'p> {
+    /// Global leaf index within the plan (the [`ScanTicket`] key).
+    pub leaf: usize,
+    /// The column to stream — the *requesting* plan's own reference.
+    pub bat: &'p Bat,
+    /// The base table's name (reporting only).
+    pub table: &'p str,
+    /// The filtered column's name (reporting only).
+    pub column: &'p str,
+    /// Buffer identity (the merge key, with `pred`).
+    pub col: ColumnId,
+    /// The predicate constant in canonical form.
+    pub pred: SharedPred,
+    /// Tuples a pass over this column streams.
+    pub rows: usize,
+    /// Bytes per tuple in the scanned buffer.
+    pub stride: usize,
+}
+
+impl ScanRequest<'_> {
+    /// The merge key of this leaf.
+    pub fn key(&self) -> ShareKey {
+        ShareKey { col: self.col, pred: self.pred }
+    }
+}
+
+/// The base table a filter's predicates read, when the subtree bottoms out
+/// in a scan (builder-produced plans always do).
+fn base_table<'p>(node: &'p PlanNode<'_>) -> Option<&'p DecomposedTable> {
+    match node {
+        PlanNode::Scan { table } => Some(table),
+        PlanNode::Filter { input, .. } => base_table(input),
+        _ => None,
+    }
+}
+
+/// Emit one [`ScanRequest`] per shareable leaf of `plan`, numbering leaves
+/// exactly as [`crate::exec::execute_with_scans`] does. Non-shareable
+/// leaves (no base table, unscannable column type, or a dictionary-miss
+/// equality — provably empty, nothing to stream) consume an index but emit
+/// no request.
+pub fn scan_requests<'p>(plan: &'p LogicalPlan<'_>) -> Vec<ScanRequest<'p>> {
+    let mut out = Vec::new();
+    let mut leaf = 0usize;
+    walk(&plan.root, &mut leaf, &mut out);
+    out
+}
+
+fn walk<'p>(node: &'p PlanNode<'_>, leaf: &mut usize, out: &mut Vec<ScanRequest<'p>>) {
+    match node {
+        PlanNode::Scan { .. } => {}
+        PlanNode::Filter { input, pred } => {
+            walk(input, leaf, out);
+            let table = base_table(input);
+            leaves_in_order(pred, &mut |p| {
+                let idx = *leaf;
+                *leaf += 1;
+                if let Some(t) = table {
+                    if let Some(req) = lower_leaf(t, p, idx) {
+                        out.push(req);
+                    }
+                }
+            });
+        }
+        PlanNode::Join { input, right, .. } => {
+            walk(input, leaf, out);
+            walk(right, leaf, out);
+        }
+        PlanNode::GroupAgg { input, .. } => walk(input, leaf, out),
+    }
+}
+
+/// In-order traversal over a predicate's leaves — the same order
+/// [`crate::access`] plans and evaluates them in.
+fn leaves_in_order<'p>(pred: &'p Pred, f: &mut impl FnMut(&'p Pred)) {
+    match pred {
+        Pred::And(a, b) | Pred::Or(a, b) => {
+            leaves_in_order(a, f);
+            leaves_in_order(b, f);
+        }
+        leaf => f(leaf),
+    }
+}
+
+/// Lower one leaf against its base table, if it is shareable.
+fn lower_leaf<'p>(
+    table: &'p DecomposedTable,
+    leaf: &'p Pred,
+    idx: usize,
+) -> Option<ScanRequest<'p>> {
+    let (col, pred) = match leaf {
+        Pred::RangeI32 { col, lo, hi } => (col, SharedPred::RangeI32 { lo: *lo, hi: *hi }),
+        Pred::RangeF64 { col, lo, hi } => {
+            (col, SharedPred::RangeF64 { lo_bits: lo.to_bits(), hi_bits: hi.to_bits() })
+        }
+        Pred::EqStr { col, value } => {
+            let bat = table.bat(col).ok()?;
+            let sc = bat.tail().as_str_col()?;
+            // A dictionary miss is provably empty: nothing to stream, the
+            // executor yields zero rows for free.
+            let code = sc.dict.code_of(value)?;
+            (col, SharedPred::EqCode { code })
+        }
+        Pred::And(..) | Pred::Or(..) => unreachable!("leaves_in_order yields leaves"),
+    };
+    let bat = table.bat(col).ok()?;
+    // The predicate type was validated against the column at plan build;
+    // the kernel re-checks anyway.
+    Some(ScanRequest {
+        leaf: idx,
+        bat,
+        table: table.name(),
+        column: col,
+        col: column_id(bat),
+        pred,
+        rows: bat.len(),
+        stride: bat.tail().tail_width(),
+    })
+}
+
+/// Candidate lists produced outside the executor (by a cooperative pass),
+/// keyed by global leaf index. [`crate::exec::execute_with_scans`] consumes
+/// each entry in place of evaluating that leaf.
+#[derive(Debug, Clone, Default)]
+pub struct ScanTicket {
+    leaves: HashMap<usize, Arc<CandList>>,
+}
+
+impl ScanTicket {
+    /// An empty ticket (plain execution).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Provide leaf `leaf`'s candidate list. The list must be exactly what
+    /// solo evaluation of that leaf produces (ascending OIDs in scan
+    /// order) — the cooperative kernel guarantees this.
+    pub fn provide(&mut self, leaf: usize, cands: Arc<CandList>) {
+        self.leaves.insert(leaf, cands);
+    }
+
+    /// The provided list for a leaf, if any.
+    pub fn get(&self, leaf: usize) -> Option<&Arc<CandList>> {
+        self.leaves.get(&leaf)
+    }
+
+    /// Number of provided leaves.
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// True when no leaf is provided.
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{Agg, Query};
+    use monet_core::storage::{ColType, TableBuilder, Value};
+
+    fn table(name: &str) -> monet_core::storage::DecomposedTable {
+        let mut b = TableBuilder::new(name, 0)
+            .column("qty", ColType::I32)
+            .column("price", ColType::F64)
+            .column("mode", ColType::Str);
+        for i in 0..100i32 {
+            b.push_row(&[
+                Value::I32(i % 10),
+                Value::F64(i as f64),
+                Value::from(["AIR", "MAIL"][i as usize % 2]),
+            ])
+            .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn leaves_are_numbered_in_execution_order_across_filters_and_joins() {
+        let t = table("fact");
+        let mut b = TableBuilder::new("dim", 0).column("id", ColType::I32);
+        for i in 0..10i32 {
+            b.push_row(&[Value::I32(i)]).unwrap();
+        }
+        let dim = b.finish();
+        let plan = Query::scan(&t)
+            .filter(Pred::range_i32("qty", 1, 5).and(Pred::eq_str("mode", "AIR")))
+            .join(&dim, ("qty", "id"))
+            .agg(Agg::count())
+            .build()
+            .unwrap();
+        let reqs = scan_requests(&plan);
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].leaf, 0);
+        assert_eq!(reqs[0].column, "qty");
+        assert!(matches!(reqs[0].pred, SharedPred::RangeI32 { lo: 1, hi: 5 }));
+        assert_eq!(reqs[1].leaf, 1);
+        assert_eq!(reqs[1].column, "mode");
+        assert!(matches!(reqs[1].pred, SharedPred::EqCode { .. }));
+        assert_ne!(reqs[0].key(), reqs[1].key());
+        assert_eq!(reqs[0].rows, 100);
+        assert_eq!(reqs[0].stride, 4);
+        assert_eq!(reqs[1].stride, 1, "2-value dictionary encodes in one byte");
+    }
+
+    #[test]
+    fn same_column_same_constant_share_a_key_across_plans() {
+        let t = table("fact");
+        let p1 = Query::scan(&t).filter(Pred::range_i32("qty", 2, 4)).build().unwrap();
+        let p2 = Query::scan(&t)
+            .filter(Pred::range_i32("qty", 2, 4))
+            .group_by("mode")
+            .agg(Agg::sum("price"))
+            .build()
+            .unwrap();
+        let (r1, r2) = (scan_requests(&p1), scan_requests(&p2));
+        assert_eq!(r1[0].key(), r2[0].key(), "identical predicates on one table merge");
+        // A different table with identical data does NOT merge: distinct
+        // buffers, distinct identities.
+        let t2 = table("fact");
+        let p3 = Query::scan(&t2).filter(Pred::range_i32("qty", 2, 4)).build().unwrap();
+        assert_ne!(r1[0].key(), scan_requests(&p3)[0].key());
+    }
+
+    #[test]
+    fn dictionary_misses_consume_an_index_but_emit_no_request() {
+        let t = table("fact");
+        let plan = Query::scan(&t)
+            .filter(Pred::eq_str("mode", "WALRUS").or(Pred::range_i32("qty", 0, 3)))
+            .build()
+            .unwrap();
+        let reqs = scan_requests(&plan);
+        assert_eq!(reqs.len(), 1, "the miss leaf is provably empty");
+        assert_eq!(reqs[0].leaf, 1, "the surviving leaf keeps its in-order index");
+    }
+}

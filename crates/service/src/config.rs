@@ -10,6 +10,10 @@ pub const DEFAULT_QUEUE_LIMIT: usize = 64;
 /// queries before it becomes urgent (FIFO), by default.
 pub const DEFAULT_STARVATION_BOUND: usize = 4;
 
+/// Default result-cache budget in bytes (`MONET_SERVICE_CACHE=on` maps to
+/// this; `0` disables the cache).
+pub const DEFAULT_CACHE_BYTES: usize = 4 << 20;
+
 /// Configuration of a [`crate::QueryService`].
 ///
 /// Every field has an environment override so deployments can be tuned
@@ -20,6 +24,8 @@ pub const DEFAULT_STARVATION_BOUND: usize = 4;
 /// | `budget` | `MONET_SERVICE_THREADS` | host available parallelism |
 /// | `queue_limit` | `MONET_SERVICE_QUEUE` | 64 |
 /// | `starvation_bound` | `MONET_SERVICE_STARVE` | 4 |
+/// | `shared_scans` | `MONET_SERVICE_SHARE` (`0`/`off` disables) | on |
+/// | `cache_bytes` | `MONET_SERVICE_CACHE` (`0` off, `on`, or bytes) | 4 MiB |
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceConfig {
     /// Machine whose memory hierarchy the admission quotes (and the
@@ -37,6 +43,20 @@ pub struct ServiceConfig {
     /// many times; after that the query is scheduled FIFO regardless of
     /// cost, bounding starvation.
     pub starvation_bound: usize,
+    /// Merge same-column scan leaves of concurrently admitted queries into
+    /// cooperative one-pass scans (on by default; results are bit-identical
+    /// either way — sharing changes who streams a column, never what a
+    /// query computes).
+    pub shared_scans: bool,
+    /// Result-cache budget in bytes (`0` disables caching). Completed
+    /// results are cached by normalized plan fingerprint; tables are
+    /// immutable, so entries never need invalidation. The fingerprint
+    /// includes every column buffer's address and length, so it is valid
+    /// for as long as the tables it describes are alive — the service's
+    /// operating assumption is that tables outlive it (there is no drop
+    /// hook); a deployment that rebuilds tables mid-flight must run with
+    /// the cache off.
+    pub cache_bytes: usize,
 }
 
 impl ServiceConfig {
@@ -49,6 +69,8 @@ impl ServiceConfig {
             budget: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             queue_limit: DEFAULT_QUEUE_LIMIT,
             starvation_bound: DEFAULT_STARVATION_BOUND,
+            shared_scans: true,
+            cache_bytes: DEFAULT_CACHE_BYTES,
         }
     }
 
@@ -64,6 +86,24 @@ impl ServiceConfig {
         }
         if let Some(n) = env_usize("MONET_SERVICE_STARVE") {
             cfg.starvation_bound = n;
+        }
+        if let Ok(v) = std::env::var("MONET_SERVICE_SHARE") {
+            match v.trim() {
+                "0" | "off" | "false" => cfg.shared_scans = false,
+                "1" | "on" | "true" => cfg.shared_scans = true,
+                _ => {}
+            }
+        }
+        if let Ok(v) = std::env::var("MONET_SERVICE_CACHE") {
+            match v.trim() {
+                "on" => cfg.cache_bytes = DEFAULT_CACHE_BYTES,
+                "off" => cfg.cache_bytes = 0,
+                other => {
+                    if let Ok(n) = other.parse::<usize>() {
+                        cfg.cache_bytes = n;
+                    }
+                }
+            }
         }
         cfg
     }
@@ -91,6 +131,18 @@ impl ServiceConfig {
         self.machine = machine;
         self
     }
+
+    /// Enable or disable cooperative shared scans.
+    pub fn with_shared_scans(mut self, on: bool) -> Self {
+        self.shared_scans = on;
+        self
+    }
+
+    /// Set the result-cache budget in bytes (`0` disables the cache).
+    pub fn with_cache_bytes(mut self, bytes: usize) -> Self {
+        self.cache_bytes = bytes;
+        self
+    }
 }
 
 impl Default for ServiceConfig {
@@ -114,6 +166,15 @@ mod tests {
         assert_eq!(cfg.queue_limit, DEFAULT_QUEUE_LIMIT);
         assert_eq!(cfg.starvation_bound, DEFAULT_STARVATION_BOUND);
         assert_eq!(cfg.machine.name, "origin2k");
+        assert!(cfg.shared_scans, "cooperative scans default on");
+        assert_eq!(cfg.cache_bytes, DEFAULT_CACHE_BYTES);
+    }
+
+    #[test]
+    fn cache_and_share_builders() {
+        let cfg = ServiceConfig::new().with_cache_bytes(0).with_shared_scans(false);
+        assert_eq!(cfg.cache_bytes, 0);
+        assert!(!cfg.shared_scans);
     }
 
     #[test]

@@ -14,18 +14,24 @@
 //!
 //! ```text
 //! clients ──► Session::run(plan)
-//!                 │  quote = costmodel::quote (whole-query estimate)
+//!                 │  result cache? (fingerprint hit → answer, no lease)
+//!                 │  quote = costmodel::quote (covered scans at marginal)
 //!                 ▼
 //!          ┌─ admission ─────────────────────────────┐
 //!          │ queue full?          → rejected         │
 //!          │ thread free?         → lease now        │
 //!          │ else queue: shortest-cost-first,        │
-//!          │   starvation-bounded                    │
+//!          │   starvation-bounded; scan leaves       │
+//!          │   posted to the shared-scan board       │
 //!          └────────────────┬────────────────────────┘
 //!                           ▼
-//!          execute(plan, thread_cap = lease)   (session thread + lease)
+//!          claim cooperative passes (own leaves + every queued
+//!          same-column request) → one multi-predicate stream each,
+//!          publish candidate lists to their tickets
 //!                           ▼
-//!          QueryHandle { output, ExecReport, SchedInfo }
+//!          execute_with_scans(plan, ticket, thread_cap = lease)
+//!                           ▼
+//!          QueryHandle { output, ExecReport, SchedInfo }   (+ cache insert)
 //! ```
 //!
 //! * [`config`] — [`ServiceConfig`] and the `MONET_SERVICE_*` env knobs;
@@ -33,24 +39,31 @@
 //!   unit tests live there);
 //! * [`service`] — [`QueryService`], [`Session`], [`QueryHandle`], and the
 //!   plan-to-quote walk;
-//! * [`metrics`] — global and per-session counters with latency
+//! * `shared` (internal) — the cooperative-scan board (pending wants →
+//!   claimed passes → published lists) and the bounded LRU result cache
+//!   keyed by normalized plan fingerprint;
+//! * [`metrics`] — global and per-session counters (admission, shared-scan
+//!   batches and scans saved, cache hits/misses/evictions) with latency
 //!   percentiles.
 //!
 //! **Determinism:** scheduling changes *when* and *how wide* a query runs,
 //! never *what* it computes — the executor is bit-identical at every
-//! thread count, so any mix of concurrent queries returns exactly the rows
-//! a sequential one-thread run would (asserted by `tests/service_stress.rs`
-//! at the workspace root).
+//! thread count, a cooperative pass produces exactly the candidate lists
+//! solo scans would, and cached results replay deterministic executions —
+//! so any mix of concurrent queries returns exactly the rows a sequential
+//! one-thread run would (asserted by `tests/service_stress.rs` at the
+//! workspace root).
 
 pub mod config;
 pub mod metrics;
 pub mod sched;
 pub mod service;
+mod shared;
 
 pub use config::ServiceConfig;
 pub use metrics::{LatencySummary, SampleWindow, ServiceMetrics, SessionMetrics};
 pub use sched::{Admission, Grant, Scheduler};
-pub use service::{quote_plan, QueryHandle, QueryService, SchedInfo, Session};
+pub use service::{quote_plan, quote_plan_covered, QueryHandle, QueryService, SchedInfo, Session};
 
 use std::fmt;
 

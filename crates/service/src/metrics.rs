@@ -91,7 +91,7 @@ pub struct ServiceMetrics {
     pub threads_in_use: usize,
     /// The most threads ever leased at once — must never exceed `budget`.
     pub high_water_threads: usize,
-    /// Queries submitted (admitted + queued + rejected).
+    /// Queries submitted (admitted + queued + rejected + cache hits).
     pub submitted: u64,
     /// Queries that started immediately on submission.
     pub admitted_immediately: u64,
@@ -99,8 +99,29 @@ pub struct ServiceMetrics {
     pub queued: u64,
     /// Queries shed because the queue was full.
     pub rejected: u64,
-    /// Queries that finished executing.
+    /// Queries that finished executing (cache hits count: the service
+    /// answered them).
     pub completed: u64,
+    /// Cooperative scan passes executed — each streamed one column once on
+    /// behalf of every merged predicate leaf.
+    pub shared_scan_batches: u64,
+    /// Solo column scans avoided by merging: for a pass covering `m`
+    /// predicate leaves (across queries), `m - 1` scans were saved.
+    pub scans_saved: u64,
+    /// Tuples streamed through scan-select kernels service-wide — shared
+    /// passes once per pass, per-query scan leaves once per leaf. The
+    /// figure of merit cooperative scans push down.
+    pub scan_rows_streamed: u64,
+    /// Queries answered straight from the result cache.
+    pub cache_hits: u64,
+    /// Cache lookups that missed (and then executed).
+    pub cache_misses: u64,
+    /// Cache entries evicted to respect the byte budget.
+    pub cache_evictions: u64,
+    /// Resident bytes in the result cache.
+    pub cache_bytes: usize,
+    /// Resident entries in the result cache.
+    pub cache_entries: usize,
     /// End-to-end latency (submission to result) over the most recent
     /// completed queries (a bounded [`SampleWindow`], so `count` caps at
     /// the window size even as `completed` grows).
@@ -121,6 +142,11 @@ pub struct SessionMetrics {
     pub completed: u64,
     /// Queries rejected at admission.
     pub rejected: u64,
+    /// Queries answered straight from the result cache.
+    pub cache_hits: u64,
+    /// Scan leaves of this session's queries that were answered by another
+    /// query's cooperative pass (no scan ran on this session's behalf).
+    pub scans_saved: u64,
     /// Sum of end-to-end latencies in milliseconds.
     pub total_ms: f64,
     /// Largest single end-to-end latency.

@@ -21,6 +21,12 @@
 //! * **Admission.** A submission that cannot start immediately queues; a
 //!   submission arriving at a full queue is rejected outright — shedding
 //!   load at admission time instead of letting latency grow without bound.
+//! * **Gating.** [`Scheduler::pause`] holds every new submission in the
+//!   queue even while threads are free, and [`Scheduler::resume`]
+//!   dispatches the accumulated wave. Used to drain the pool (maintenance)
+//!   and to form deterministic admission waves — e.g. so a shared-scan
+//!   experiment can guarantee every member of a wave is queued before the
+//!   first one claims the cooperative pass.
 
 /// One waiting query.
 #[derive(Debug, Clone)]
@@ -65,6 +71,7 @@ pub struct Scheduler {
     starvation_bound: usize,
     in_use: usize,
     high_water: usize,
+    paused: bool,
     waiting: Vec<Ticket>,
     next_id: u64,
 }
@@ -78,6 +85,7 @@ impl Scheduler {
             starvation_bound,
             in_use: 0,
             high_water: 0,
+            paused: false,
             waiting: Vec::new(),
             next_id: 0,
         }
@@ -88,10 +96,11 @@ impl Scheduler {
     pub fn submit(&mut self, cost_ns: f64, desired_threads: usize) -> Admission {
         let id = self.next_id;
         self.next_id += 1;
-        // Invariant: the queue is non-empty only while the budget is fully
-        // leased (dispatch drains it whenever a thread frees), so a free
-        // thread means nobody is waiting and the newcomer may start.
-        if self.in_use < self.budget && self.waiting.is_empty() {
+        // Invariant (while unpaused): the queue is non-empty only while the
+        // budget is fully leased (dispatch drains it whenever a thread
+        // frees), so a free thread means nobody is waiting and the
+        // newcomer may start. A paused scheduler queues everyone.
+        if !self.paused && self.in_use < self.budget && self.waiting.is_empty() {
             let threads = self.lease(desired_threads);
             return Admission::Run(Grant { ticket: id, threads });
         }
@@ -103,11 +112,36 @@ impl Scheduler {
     }
 
     /// Return a finished query's thread lease and dispatch as many waiting
-    /// queries as now fit. The caller delivers the returned grants to the
-    /// corresponding waiters.
+    /// queries as now fit (none while paused). The caller delivers the
+    /// returned grants to the corresponding waiters.
     pub fn release(&mut self, threads: usize) -> Vec<Grant> {
         self.in_use = self.in_use.saturating_sub(threads);
+        self.dispatch()
+    }
+
+    /// Hold all future submissions in the queue, even while threads are
+    /// free. Running queries are unaffected.
+    pub fn pause(&mut self) {
+        self.paused = true;
+    }
+
+    /// Reopen admission and dispatch the accumulated wave as far as the
+    /// budget allows. The caller delivers the grants.
+    pub fn resume(&mut self) -> Vec<Grant> {
+        self.paused = false;
+        self.dispatch()
+    }
+
+    /// Whether admission is currently gated.
+    pub fn paused(&self) -> bool {
+        self.paused
+    }
+
+    fn dispatch(&mut self) -> Vec<Grant> {
         let mut grants = Vec::new();
+        if self.paused {
+            return grants;
+        }
         while self.in_use < self.budget && !self.waiting.is_empty() {
             let pos = self.pick();
             let ticket = self.waiting.remove(pos);
@@ -239,6 +273,25 @@ mod tests {
         let got = s.release(1)[0].ticket;
         assert_eq!(got, expensive, "urgent ticket must beat cheaper newcomer {c3}");
         assert_eq!(s.release(1)[0].ticket, c3);
+    }
+
+    #[test]
+    fn pause_gates_admission_and_resume_dispatches_the_wave() {
+        let mut s = Scheduler::new(2, 8, 4);
+        s.pause();
+        assert!(s.paused());
+        let a = queued_id(&s.submit(1e3, 1));
+        let b = queued_id(&s.submit(2e3, 1));
+        assert_eq!(s.in_use(), 0, "free threads stay free while paused");
+        assert!(s.release(0).is_empty(), "releases dispatch nothing while paused");
+        let grants = s.resume();
+        assert_eq!(grants.len(), 2, "resume dispatches the whole wave");
+        assert_eq!(grants[0].ticket, a, "cheapest first");
+        assert_eq!(grants[1].ticket, b);
+        assert!(!s.paused());
+        s.release(1);
+        s.release(1);
+        assert!(matches!(s.submit(1.0, 1), Admission::Run(_)), "unpaused admission is immediate");
     }
 
     #[test]

@@ -1,18 +1,23 @@
-//! The blocking service front-end: sessions, the submit path, and the
+//! The blocking service front-end: sessions, the submit path (result
+//! cache → quote → admission → shared-scan claim → execution), and the
 //! plan-to-quote walk.
 
-use std::collections::HashMap;
-use std::sync::{Condvar, Mutex};
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
+use costmodel::access::AccessPath;
 use costmodel::quote::{quote_ops, OpShape, QueryQuote};
-use engine::exec::{execute, ExecOptions, ExecReport, Executed, QueryOutput, Threads};
+use engine::exec::{execute_with_scans, ExecOptions, ExecReport, Executed, QueryOutput, Threads};
 use engine::plan::{LogicalPlan, PlanNode, Pred};
+use engine::shared::{scan_requests, ScanRequest, ScanTicket};
 use memsim::{MachineConfig, NullTracker};
+use monet_core::scan::{multi_select, par_multi_select_counted, ScanPred};
 
 use crate::config::ServiceConfig;
 use crate::metrics::{SampleWindow, ServiceMetrics, SessionMetrics};
 use crate::sched::{Admission, Scheduler};
+use crate::shared::{fingerprint, Cands, ResultCache, Runnable, ScanBoard};
 use crate::ServiceError;
 
 /// How many recent latency samples the metric percentiles cover.
@@ -35,10 +40,19 @@ struct Inner {
     sched: Scheduler,
     /// Leases granted to queued tickets, awaiting pickup by their waiter.
     grants: HashMap<u64, usize>,
+    /// Pending/in-flight/published cooperative-scan state.
+    board: ScanBoard,
+    /// The bounded LRU result cache.
+    cache: ResultCache,
     admitted_immediately: u64,
     queued: u64,
     rejected: u64,
     completed: u64,
+    shared_scan_batches: u64,
+    scans_saved: u64,
+    scan_rows: u64,
+    cache_hits: u64,
+    cache_misses: u64,
     latencies_ms: SampleWindow,
     queue_waits_ms: SampleWindow,
     sessions: Vec<SessionMetrics>,
@@ -51,10 +65,17 @@ impl QueryService {
             state: Mutex::new(Inner {
                 sched: Scheduler::new(cfg.budget, cfg.queue_limit, cfg.starvation_bound),
                 grants: HashMap::new(),
+                board: ScanBoard::default(),
+                cache: ResultCache::new(cfg.cache_bytes),
                 admitted_immediately: 0,
                 queued: 0,
                 rejected: 0,
                 completed: 0,
+                shared_scan_batches: 0,
+                scans_saved: 0,
+                scan_rows: 0,
+                cache_hits: 0,
+                cache_misses: 0,
                 latencies_ms: SampleWindow::new(LATENCY_WINDOW),
                 queue_waits_ms: SampleWindow::new(LATENCY_WINDOW),
                 sessions: Vec::new(),
@@ -78,6 +99,27 @@ impl QueryService {
         Session { svc: self, id }
     }
 
+    /// Gate admission: every new submission queues — even while threads
+    /// are free — until [`QueryService::resume_admission`]. Running
+    /// queries are unaffected. Used to drain the pool for maintenance,
+    /// and to form deterministic admission waves: every member of the
+    /// wave posts its scan leaves to the shared-scan board before the
+    /// first one claims a cooperative pass.
+    pub fn pause_admission(&self) {
+        self.state.lock().expect("service lock").sched.pause();
+    }
+
+    /// Reopen admission and dispatch the accumulated wave as far as the
+    /// thread budget allows.
+    pub fn resume_admission(&self) {
+        let mut st = self.state.lock().expect("service lock");
+        for grant in st.sched.resume() {
+            st.grants.insert(grant.ticket, grant.threads);
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
     /// Snapshot the service-wide metrics.
     pub fn metrics(&self) -> ServiceMetrics {
         let st = self.state.lock().expect("service lock");
@@ -85,11 +127,19 @@ impl QueryService {
             budget: st.sched.budget(),
             threads_in_use: st.sched.in_use(),
             high_water_threads: st.sched.high_water(),
-            submitted: st.admitted_immediately + st.queued + st.rejected,
+            submitted: st.admitted_immediately + st.queued + st.rejected + st.cache_hits,
             admitted_immediately: st.admitted_immediately,
             queued: st.queued,
             rejected: st.rejected,
             completed: st.completed,
+            shared_scan_batches: st.shared_scan_batches,
+            scans_saved: st.scans_saved,
+            scan_rows_streamed: st.scan_rows,
+            cache_hits: st.cache_hits,
+            cache_misses: st.cache_misses,
+            cache_evictions: st.cache.evictions,
+            cache_bytes: st.cache.bytes(),
+            cache_entries: st.cache.len(),
             latency: st.latencies_ms.summary(),
             queue_wait: st.queue_waits_ms.summary(),
         }
@@ -105,17 +155,60 @@ impl QueryService {
         session: usize,
         plan: &LogicalPlan<'_>,
     ) -> Result<QueryHandle, ServiceError> {
-        let quote = quote_plan(&self.cfg.machine, plan);
-        let desired = quote.best_threads(&self.cfg.machine, self.cfg.budget).threads;
         let submitted_at = Instant::now();
+        let requests = if self.cfg.shared_scans { scan_requests(plan) } else { Vec::new() };
+        let fp = (self.cfg.cache_bytes > 0).then(|| fingerprint(plan));
 
-        // Admission (under the lock): run now, wait for a lease, or shed.
         let mut st = self.state.lock().expect("service lock");
         st.sessions[session].submitted += 1;
-        let (threads, queued) = match st.sched.submit(quote.seq_ns, desired) {
+
+        // Result cache: tables are immutable and execution deterministic,
+        // so a fingerprint hit is bit-identical to re-running the plan —
+        // it skips admission and execution entirely, without a lease.
+        if let Some(fp) = &fp {
+            if let Some((executed, cost_ms)) = st.cache.get(fp) {
+                st.cache_hits += 1;
+                st.completed += 1;
+                let total_ms = submitted_at.elapsed().as_secs_f64() * 1e3;
+                st.latencies_ms.push(total_ms);
+                st.queue_waits_ms.push(0.0);
+                let sm = &mut st.sessions[session];
+                sm.cache_hits += 1;
+                sm.completed += 1;
+                sm.total_ms += total_ms;
+                sm.max_ms = sm.max_ms.max(total_ms);
+                return Ok(QueryHandle {
+                    executed,
+                    sched: SchedInfo {
+                        session,
+                        queued: false,
+                        cached: true,
+                        queue_ms: 0.0,
+                        total_ms,
+                        cost_ms,
+                        threads: 0,
+                    },
+                });
+            }
+            st.cache_misses += 1;
+        }
+
+        // Quote for the scheduler, discounting leaves a pending or
+        // in-flight cooperative pass already covers: such a query pays the
+        // CPU-side marginal predicate evaluation, not a fresh scan — which
+        // is exactly why shortest-cost-first should start it sooner.
+        let covered: HashSet<usize> =
+            requests.iter().filter(|r| st.board.covers(&r.key())).map(|r| r.leaf).collect();
+        let quote = quote_plan_covered(&self.cfg.machine, plan, &|leaf| covered.contains(&leaf));
+        let desired = quote.best_threads(&self.cfg.machine, self.cfg.budget).threads;
+
+        // Admission (under the lock): run now, wait for a lease, or shed.
+        // Queued tickets post their scan leaves to the board so a runnable
+        // query can fold them into its cooperative pass.
+        let (ticket, threads, queued) = match st.sched.submit(quote.seq_ns, desired) {
             Admission::Run(grant) => {
                 st.admitted_immediately += 1;
-                (grant.threads, false)
+                (grant.ticket, grant.threads, false)
             }
             Admission::Rejected => {
                 st.rejected += 1;
@@ -123,14 +216,24 @@ impl QueryService {
                 return Err(ServiceError::Overloaded { queue_limit: self.cfg.queue_limit });
             }
             Admission::Queued(ticket) => {
+                st.board.post(ticket, &requests);
                 st.queued += 1;
                 loop {
                     if let Some(threads) = st.grants.remove(&ticket) {
-                        break (threads, true);
+                        break (ticket, threads, true);
                     }
                     st = self.cv.wait(st).expect("service lock");
                 }
             }
+        };
+        // Runnable: harvest lists already published for this ticket, claim
+        // cooperative passes over this plan's scan columns (absorbing every
+        // queued same-column request), and note keys another runner is
+        // already streaming.
+        let work = if self.cfg.shared_scans {
+            st.board.runnable(ticket, &requests)
+        } else {
+            Runnable::default()
         };
         drop(st);
         let queue_ms = submitted_at.elapsed().as_secs_f64() * 1e3;
@@ -143,23 +246,76 @@ impl QueryService {
         // panic unwinding out of execute() — otherwise a single panicking
         // query would strand its threads and deadlock every queued waiter.
         let lease = LeaseGuard { svc: self, threads };
+        let mut ticket_lists = ScanTicket::new();
+        let mut provided_by_others = work.ready.len();
+        for (leaf, cands) in work.ready {
+            ticket_lists.provide(leaf, cands);
+        }
+        // Run the claimed passes (under the lease) and publish their lists
+        // *before* waiting on anyone else's — every runner publishes first,
+        // so waits always resolve.
+        self.run_batches(&work.batches, &requests, threads, &mut ticket_lists);
+        if !work.waits.is_empty() {
+            let mut st = self.state.lock().expect("service lock");
+            while work.waits.iter().any(|k| st.board.in_flight(k)) {
+                st = self.cv.wait(st).expect("service lock");
+            }
+            // Delivered lists land under this ticket; a leaf whose pass
+            // aborted simply stays unprovided and is evaluated below.
+            for (leaf, cands) in st.board.take_ready(ticket) {
+                ticket_lists.provide(leaf, cands);
+                provided_by_others += 1;
+            }
+        }
+
         let opts = ExecOptions::cost_model(self.cfg.machine)
             .with_threads(Threads::Auto)
             .with_thread_cap(threads);
-        let result = execute(&mut NullTracker, plan, &opts);
+        let result = execute_with_scans(&mut NullTracker, plan, &opts, &ticket_lists);
         let total_ms = submitted_at.elapsed().as_secs_f64() * 1e3;
         drop(lease);
 
         let executed = match result {
             Ok(e) => e,
-            Err(e) => return Err(ServiceError::Engine(e)),
+            Err(e) => {
+                let mut st = self.state.lock().expect("service lock");
+                st.board.forget(ticket);
+                return Err(ServiceError::Engine(e));
+            }
         };
+        // Scan traffic this query streamed itself: scan-path leaves the
+        // shared mechanism did not cover (index probes stream nothing).
+        let self_scanned: u64 = executed
+            .report
+            .ops
+            .iter()
+            .map(|op| {
+                let scans =
+                    op.access.iter().filter(|d| !d.shared && d.path == AccessPath::Scan).count();
+                scans as u64 * op.rows_in as u64
+            })
+            .sum();
+
         let mut st = self.state.lock().expect("service lock");
         st.completed += 1;
+        st.scan_rows += self_scanned;
         st.latencies_ms.push(total_ms);
         st.queue_waits_ms.push(queue_ms);
+        st.board.forget(ticket);
+        if let Some(fp) = fp {
+            // Cache the *undiscounted* quote: the coverage discount was a
+            // property of this admission's shared-scan state, not of the
+            // plan — future hits should report the plan's standalone cost.
+            let solo_ms = if covered.is_empty() {
+                quote.seq_ms()
+            } else {
+                quote_plan(&self.cfg.machine, plan).seq_ms()
+            };
+            st.cache.insert(fp, &executed, solo_ms);
+        }
         let sm = &mut st.sessions[session];
         sm.completed += 1;
+        sm.scans_saved += provided_by_others as u64;
         sm.total_ms += total_ms;
         sm.max_ms = sm.max_ms.max(total_ms);
         drop(st);
@@ -169,12 +325,83 @@ impl QueryService {
             sched: SchedInfo {
                 session,
                 queued,
+                cached: false,
                 queue_ms,
                 total_ms,
                 cost_ms: quote.seq_ms(),
                 threads,
             },
         })
+    }
+
+    /// Execute claimed cooperative passes: one [`multi_select`] stream per
+    /// batch (sharded over the lease when it is worth forking), feeding the
+    /// runner's own leaves directly and publishing everyone else's. Each
+    /// claim is guarded: if the pass fails — or a panic unwinds out of the
+    /// kernel — its keys are aborted back off the in-flight set so waiters
+    /// evaluate for themselves instead of blocking forever (the board-side
+    /// analogue of [`LeaseGuard`]).
+    fn run_batches(
+        &self,
+        batches: &[crate::shared::Batch],
+        requests: &[ScanRequest<'_>],
+        threads: usize,
+        ticket_lists: &mut ScanTicket,
+    ) {
+        for batch in batches {
+            let mut claim = ClaimGuard { svc: self, batch, published: false };
+            let req = &requests[batch.anchor];
+            let preds: Vec<ScanPred> =
+                batch.preds.iter().map(|p| p.key.pred.kernel_pred()).collect();
+            let lists = if threads > 1 {
+                par_multi_select_counted(req.bat, &preds, threads).map(|(lists, _)| lists)
+            } else {
+                multi_select(&mut NullTracker, req.bat, &preds)
+            };
+            // Err is unreachable for validated plans (the predicate types
+            // were checked against these very columns); the guard's Drop
+            // aborts the claims so waiters evaluate for themselves.
+            if let Ok(lists) = lists {
+                let lists: Vec<Cands> = lists.into_iter().map(Arc::new).collect();
+                for (p, cands) in batch.preds.iter().zip(&lists) {
+                    for &leaf in &p.own_leaves {
+                        ticket_lists.provide(leaf, cands.clone());
+                    }
+                }
+                let mut st = self.state.lock().expect("service lock");
+                st.board.publish(batch, &lists);
+                st.shared_scan_batches += 1;
+                st.scans_saved += batch.covered_leaves().saturating_sub(1) as u64;
+                st.scan_rows += batch.rows as u64;
+                drop(st);
+                claim.published = true;
+            }
+            drop(claim);
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Aborts an unpublished cooperative-scan claim on drop, so a pass that
+/// errors — or panics mid-kernel — never strands its keys in flight (which
+/// would block every later same-key query forever).
+struct ClaimGuard<'s, 'b> {
+    svc: &'s QueryService,
+    batch: &'b crate::shared::Batch,
+    published: bool,
+}
+
+impl Drop for ClaimGuard<'_, '_> {
+    fn drop(&mut self) {
+        if self.published {
+            return;
+        }
+        // Same poisoning stance as LeaseGuard: the board is plain data that
+        // stays consistent, so recover the guard rather than double-panic.
+        let mut st = self.svc.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.board.abort(self.batch);
+        drop(st);
+        self.svc.cv.notify_all();
     }
 }
 
@@ -229,6 +456,9 @@ pub struct SchedInfo {
     pub session: usize,
     /// Whether the query had to wait in the admission queue.
     pub queued: bool,
+    /// Whether the result came straight from the result cache (no
+    /// admission, no lease, `threads == 0`).
+    pub cached: bool,
     /// Time from submission to the start of execution, in milliseconds.
     pub queue_ms: f64,
     /// End-to-end time from submission to result, in milliseconds.
@@ -269,32 +499,58 @@ impl QueryHandle {
 /// the walk assumes half the rows survive each filter — crude, but the
 /// scheduler only needs *relative* accuracy to rank queries.
 pub fn quote_plan(machine: &MachineConfig, plan: &LogicalPlan<'_>) -> QueryQuote {
+    quote_plan_covered(machine, plan, &|_| false)
+}
+
+/// [`quote_plan`] with shared-scan coverage: predicate leaves (numbered as
+/// [`engine::shared::scan_requests`] numbers them) for which `covered`
+/// returns true are priced at the CPU-only marginal cost of joining a
+/// cooperative pass already streaming their column
+/// ([`OpShape::SharedSelect`]) instead of a fresh scan.
+pub fn quote_plan_covered(
+    machine: &MachineConfig,
+    plan: &LogicalPlan<'_>,
+    covered: &dyn Fn(usize) -> bool,
+) -> QueryQuote {
     let mut ops = Vec::new();
-    shapes_of(&plan.root, &mut ops);
+    let mut leaf = 0usize;
+    shapes_of(&plan.root, &mut ops, &mut leaf, covered);
     quote_ops(machine, &ops)
 }
 
 /// Append `node`'s operator shapes to `ops`; returns the estimated output
-/// cardinality feeding the parent.
-fn shapes_of(node: &PlanNode<'_>, ops: &mut Vec<OpShape>) -> usize {
+/// cardinality feeding the parent. `leaf` numbers predicate leaves in
+/// execution order (the global numbering shared with the engine).
+fn shapes_of(
+    node: &PlanNode<'_>,
+    ops: &mut Vec<OpShape>,
+    leaf: &mut usize,
+    covered: &dyn Fn(usize) -> bool,
+) -> usize {
     match node {
         PlanNode::Scan { table } => table.len(),
         PlanNode::Filter { input, pred } => {
-            let rows = shapes_of(input, ops);
+            let rows = shapes_of(input, ops, leaf, covered);
             for stride in leaf_strides(node_table(input), pred) {
-                ops.push(OpShape::Select { rows, stride });
+                let idx = *leaf;
+                *leaf += 1;
+                ops.push(if covered(idx) {
+                    OpShape::SharedSelect { rows }
+                } else {
+                    OpShape::Select { rows, stride }
+                });
             }
             (rows / 2).max(1)
         }
         PlanNode::Join { input, right, .. } => {
-            let outer = shapes_of(input, ops);
-            let inner = shapes_of(right, ops);
+            let outer = shapes_of(input, ops, leaf, covered);
+            let inner = shapes_of(right, ops, leaf, covered);
             ops.push(OpShape::Join { outer, inner });
             // Hit-rate <= 1 against the smaller side.
             outer.min(inner).max(1)
         }
         PlanNode::GroupAgg { input, key, aggs } => {
-            let rows = shapes_of(input, ops);
+            let rows = shapes_of(input, ops, leaf, covered);
             let columns = aggs.iter().filter(|a| a.column().is_some()).count();
             // A restricted or joined stream materializes each aggregated
             // column (plus the group key, when grouping) through a
@@ -345,6 +601,7 @@ fn leaf_strides(table: Option<&monet_core::storage::DecomposedTable>, pred: &Pre
 #[cfg(test)]
 mod tests {
     use super::*;
+    use engine::exec::execute;
     use engine::plan::{Agg, Pred, Query};
     use monet_core::storage::{ColType, DecomposedTable, TableBuilder, Value};
 
@@ -421,6 +678,122 @@ mod tests {
         let sm = svc.session_metrics();
         assert_eq!(sm.len(), 1);
         assert_eq!(sm[0].completed, 1);
+    }
+
+    #[test]
+    fn cache_hits_skip_execution_and_are_bit_identical() {
+        let t = item(5_000);
+        let svc = QueryService::new(ServiceConfig::new().with_budget(2).with_cache_bytes(1 << 20));
+        let session = svc.session();
+        let plan = Query::scan(&t)
+            .filter(Pred::range_i32("qty", 5, 20))
+            .group_by("shipmode")
+            .agg(Agg::sum("price"))
+            .agg(Agg::count())
+            .build()
+            .unwrap();
+        let first = session.run(&plan).expect("runs");
+        assert!(!first.sched.cached);
+        let second = session.run(&plan).expect("hits");
+        assert!(second.sched.cached, "identical plan replays from the cache");
+        assert_eq!(second.sched.threads, 0, "no lease for a cache hit");
+        assert!(first.output().bitwise_eq(second.output()));
+
+        let m = svc.metrics();
+        assert_eq!((m.cache_hits, m.cache_misses), (1, 1));
+        assert_eq!(m.completed, 2, "hits count as answered");
+        assert_eq!(m.submitted, 2);
+        assert_eq!(m.admitted_immediately, 1, "the hit never reached admission");
+        assert!(m.cache_bytes > 0 && m.cache_entries == 1);
+        assert_eq!(svc.session_metrics()[0].cache_hits, 1);
+
+        // A different constant misses; cache off never hits.
+        let other = Query::scan(&t).filter(Pred::range_i32("qty", 5, 21)).build().unwrap();
+        assert!(!session.run(&other).unwrap().sched.cached);
+        let off = QueryService::new(ServiceConfig::new().with_cache_bytes(0));
+        let s = off.session();
+        s.run(&plan).unwrap();
+        assert!(!s.run(&plan).unwrap().sched.cached);
+        assert_eq!(off.metrics().cache_hits, 0);
+        assert_eq!(off.metrics().cache_misses, 0, "a disabled cache is never consulted");
+    }
+
+    #[test]
+    fn queued_same_column_scans_merge_into_one_pass() {
+        // Occupy the single-thread budget with a deliberately expensive
+        // plug query, queue three same-column scans behind it, and watch
+        // the first granted one cover the other two with one cooperative
+        // pass. The timing precondition (all three queued before the plug
+        // finishes) is verified before the strict asserts.
+        let t = item(300_000);
+        let svc = QueryService::new(
+            ServiceConfig::new().with_budget(1).with_queue_limit(16).with_cache_bytes(0),
+        );
+        let plug_pred = (0..8)
+            .map(|i| Pred::range_f64("price", i as f64 * 100.0, i as f64 * 100.0 + 50.0))
+            .reduce(Pred::or)
+            .unwrap();
+        let plug = Query::scan(&t).filter(plug_pred).agg(Agg::count()).build().unwrap();
+        let bands: Vec<_> = (0..3)
+            .map(|i| {
+                Query::scan(&t)
+                    .filter(Pred::range_i32("qty", 1 + i, 20 + i))
+                    .agg(Agg::sum("price"))
+                    .agg(Agg::count())
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let mut all_queued_in_time = false;
+        let mut outputs = Vec::new();
+        std::thread::scope(|s| {
+            let svc = &svc;
+            let plug_h = s.spawn(|| svc.session().run(&plug).expect("plug runs"));
+            // Wait for the plug to hold the budget.
+            while svc.metrics().admitted_immediately == 0 {
+                std::thread::yield_now();
+            }
+            let handles: Vec<_> = bands
+                .iter()
+                .map(|p| s.spawn(move || svc.session().run(p).expect("band runs")))
+                .collect();
+            // The precondition for the deterministic claim: all three
+            // queued while the plug still ran.
+            loop {
+                let m = svc.metrics();
+                if m.queued >= 3 {
+                    all_queued_in_time = m.completed == 0;
+                    break;
+                }
+                if m.completed > 0 {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            plug_h.join().unwrap();
+            for h in handles {
+                outputs.push(h.join().unwrap());
+            }
+        });
+
+        // Unconditional: sharing never changes what a query computes.
+        let seq =
+            ExecOptions::cost_model(memsim::profiles::origin2000()).with_threads(Threads::Fixed(1));
+        for (i, handle) in outputs.iter().enumerate() {
+            let expect = execute(&mut NullTracker, &bands[i], &seq).unwrap();
+            assert!(handle.output().bitwise_eq(&expect.output), "band {i}");
+        }
+        if all_queued_in_time {
+            let m = svc.metrics();
+            assert!(m.shared_scan_batches >= 1, "{m:?}");
+            assert!(m.scans_saved >= 2, "one pass covered the other two: {m:?}");
+            // Traffic: the plug's 8 f64 leaves + one shared qty pass
+            // (300k) instead of three solo scans (900k).
+            let solo = (8 + 3) * 300_000;
+            assert!(m.scan_rows_streamed < solo as u64, "{m:?}");
+            let saved: u64 = svc.session_metrics().iter().map(|s| s.scans_saved).sum();
+            assert!(saved >= 2, "beneficiaries record their saved scans");
+        }
     }
 
     #[test]

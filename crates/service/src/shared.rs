@@ -1,0 +1,564 @@
+//! The cooperative-scan board and the hot-result cache — the service-side
+//! state behind shared scans.
+//!
+//! ## Scan board
+//!
+//! Every submission describes its scan leaves as
+//! [`engine::shared::ScanRequest`]s. Queued queries *post* their requests;
+//! when a query becomes runnable it *claims* a batch: its own scan leaves
+//! plus every pending same-column request, merged into one cooperative
+//! pass ([`monet_core::scan::multi_select`]) that streams the column once.
+//! The runner executes the pass with **its own** column reference (equal
+//! [`engine::shared::ColumnId`]s mean equal bytes — tables are immutable
+//! and every requesting query is still blocked inside `run`, so the data
+//! outlives the pass), publishes each predicate's candidate list to the
+//! tickets that wanted it, and only then runs its own plan. Claimed keys
+//! are marked *in flight* so a concurrently granted query waits for the
+//! publication instead of re-streaming the column; if a pass aborts, its
+//! claims return to pending and waiters fall back to scanning themselves —
+//! sharing changes *who* streams a column, never *what* a query computes.
+//!
+//! ## Result cache
+//!
+//! A bounded LRU over completed [`Executed`]s keyed by a canonical plan
+//! fingerprint (table buffer identities + every operator's constants, so
+//! equal keys mean the same computation over the same bytes). Tables are
+//! immutable, so entries never need invalidation; the budget is
+//! `ServiceConfig::cache_bytes` (`MONET_SERVICE_CACHE`), and `0` disables
+//! caching entirely. Execution is deterministic, so serving a cached
+//! result is bit-identical to re-running the plan.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use engine::exec::{Executed, QueryOutput};
+use engine::plan::{LogicalPlan, PlanNode};
+use engine::shared::{column_id, ScanRequest, ShareKey};
+use monet_core::storage::{DecomposedTable, Oid};
+
+/// A shared candidate list (one predicate's matches, ascending OIDs).
+pub(crate) type Cands = Arc<Vec<Oid>>;
+
+/// One query's interest in a [`ShareKey`]: deliver the list to this ticket
+/// at this global leaf index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Want {
+    ticket: u64,
+    leaf: usize,
+}
+
+/// One distinct predicate of a claimed pass, and everyone it serves.
+#[derive(Debug)]
+pub(crate) struct BatchPred {
+    /// The merge key (column identity + canonical predicate).
+    pub key: ShareKey,
+    /// The runner's own leaf indices wanting this list.
+    pub own_leaves: Vec<usize>,
+    /// Other tickets' wants, delivered at publish time.
+    others: Vec<Want>,
+}
+
+/// One cooperative pass a runnable query claimed: a single column stream
+/// evaluating every distinct predicate below.
+#[derive(Debug)]
+pub(crate) struct Batch {
+    /// Index into the runner's request slice whose `bat` the pass streams.
+    pub anchor: usize,
+    /// Distinct predicates of the pass.
+    pub preds: Vec<BatchPred>,
+    /// Tuples the pass streams.
+    pub rows: usize,
+}
+
+impl Batch {
+    /// Leaves this pass covers across all queries (own + delivered).
+    pub fn covered_leaves(&self) -> usize {
+        self.preds.iter().map(|p| p.own_leaves.len() + p.others.len()).sum()
+    }
+}
+
+/// What a runnable query must do about shared scans.
+#[derive(Debug, Default)]
+pub(crate) struct Runnable {
+    /// Lists already published for this ticket: `(leaf, cands)`.
+    pub ready: Vec<(usize, Cands)>,
+    /// Passes this query must execute (and publish) before running.
+    pub batches: Vec<Batch>,
+    /// Keys claimed by another runner that cover this query's leaves:
+    /// wait for their publication (delivery lands in `ready` under this
+    /// ticket), falling back to self-evaluation if the pass aborts.
+    pub waits: Vec<ShareKey>,
+}
+
+/// The board: pending wants, in-flight claims, published deliveries.
+#[derive(Debug, Default)]
+pub(crate) struct ScanBoard {
+    pending: HashMap<ShareKey, Vec<Want>>,
+    in_flight: HashMap<ShareKey, Vec<Want>>,
+    ready: HashMap<u64, Vec<(usize, Cands)>>,
+}
+
+impl ScanBoard {
+    /// Post a queued query's scan leaves as pending wants.
+    pub fn post(&mut self, ticket: u64, requests: &[ScanRequest<'_>]) {
+        for r in requests {
+            self.pending.entry(r.key()).or_default().push(Want { ticket, leaf: r.leaf });
+        }
+    }
+
+    /// True when a pass covering `key` is pending or in flight — the
+    /// admission quote charges such leaves their CPU-side marginal cost
+    /// only.
+    pub fn covers(&self, key: &ShareKey) -> bool {
+        self.pending.contains_key(key) || self.in_flight.contains_key(key)
+    }
+
+    /// True while a claimed pass owes `key` a publication.
+    pub fn in_flight(&self, key: &ShareKey) -> bool {
+        self.in_flight.contains_key(key)
+    }
+
+    /// Transition a query to runnable: withdraw its pending wants, collect
+    /// lists already published for it, claim cooperative passes over its
+    /// scan columns (absorbing every pending same-column want), and note
+    /// the keys it must wait on because another runner claimed them first.
+    ///
+    /// A claim nobody else wants is *not* batched — the executor's access
+    /// planner keeps choosing scan vs. index freely for uncontended
+    /// leaves; passes exist to share streams between queries, not to
+    /// force one query's leaves through a full column scan.
+    pub fn runnable(&mut self, ticket: u64, requests: &[ScanRequest<'_>]) -> Runnable {
+        let mut out = Runnable::default();
+        // Withdraw this query's own pending wants (it is about to either
+        // receive, claim, or self-evaluate every leaf).
+        self.pending.retain(|_, wants| {
+            wants.retain(|w| w.ticket != ticket);
+            !wants.is_empty()
+        });
+        out.ready = self.ready.remove(&ticket).unwrap_or_default();
+        let have: Vec<usize> = out.ready.iter().map(|(leaf, _)| *leaf).collect();
+
+        // Group this query's unserved leaves by column.
+        let mut by_col: HashMap<_, Vec<usize>> = HashMap::new();
+        for (i, r) in requests.iter().enumerate() {
+            if have.contains(&r.leaf) {
+                continue;
+            }
+            let key = r.key();
+            if let Some(wants) = self.in_flight.get_mut(&key) {
+                // Someone is streaming this list right now: register for
+                // delivery and wait. The claim may already carry this
+                // query's want (absorbed from pending) — don't register it
+                // twice, or the publish would double-deliver and inflate
+                // the saved-scan accounting.
+                let want = Want { ticket, leaf: r.leaf };
+                if !wants.contains(&want) {
+                    wants.push(want);
+                }
+                out.waits.push(key);
+                continue;
+            }
+            by_col.entry(r.col).or_default().push(i);
+        }
+
+        for (col, req_idxs) in by_col {
+            // Distinct predicates: the runner's own leaves first (stable
+            // order), then every pending same-column want.
+            let mut preds: Vec<BatchPred> = Vec::new();
+            for &i in &req_idxs {
+                let key = requests[i].key();
+                match preds.iter_mut().find(|p| p.key == key) {
+                    Some(p) => p.own_leaves.push(requests[i].leaf),
+                    None => preds.push(BatchPred {
+                        key,
+                        own_leaves: vec![requests[i].leaf],
+                        others: Vec::new(),
+                    }),
+                }
+            }
+            let same_col: Vec<ShareKey> =
+                self.pending.keys().filter(|k| k.col == col).copied().collect();
+            for key in same_col {
+                let wants = self.pending.remove(&key).expect("key just listed");
+                match preds.iter_mut().find(|p| p.key == key) {
+                    Some(p) => p.others.extend(wants),
+                    None => preds.push(BatchPred { key, own_leaves: Vec::new(), others: wants }),
+                }
+            }
+            if preds.iter().all(|p| p.others.is_empty()) {
+                // Nobody else wants these lists, so a pass would share
+                // nothing — leave the leaves to the access planner (a
+                // point predicate may be index territory; forcing a full
+                // column stream here would undo the access-path win).
+                continue;
+            }
+            // Claim: every key of the pass goes in flight so later runners
+            // wait for the publication instead of re-streaming.
+            for p in &preds {
+                self.in_flight.insert(p.key, p.others.clone());
+            }
+            out.batches.push(Batch {
+                anchor: req_idxs[0],
+                preds,
+                rows: requests[req_idxs[0]].rows,
+            });
+        }
+        out
+    }
+
+    /// Publish a pass's lists: deliver to every registered want (including
+    /// waiters that joined after the claim) and clear the in-flight marks.
+    /// Returns the number of deliveries to *other* tickets.
+    pub fn publish(&mut self, batch: &Batch, lists: &[Cands]) -> usize {
+        let mut delivered = 0usize;
+        for (p, cands) in batch.preds.iter().zip(lists) {
+            let wants = self.in_flight.remove(&p.key).unwrap_or_default();
+            delivered += wants.len();
+            for w in wants {
+                self.ready.entry(w.ticket).or_default().push((w.leaf, cands.clone()));
+            }
+        }
+        delivered
+    }
+
+    /// Abort a claimed pass: claims return to pending so a future wave can
+    /// cover them; current waiters fall back to evaluating themselves.
+    pub fn abort(&mut self, batch: &Batch) {
+        for p in &batch.preds {
+            if let Some(wants) = self.in_flight.remove(&p.key) {
+                if !wants.is_empty() {
+                    self.pending.entry(p.key).or_default().extend(wants);
+                }
+            }
+        }
+    }
+
+    /// Deliveries published for `ticket` since it last looked.
+    pub fn take_ready(&mut self, ticket: u64) -> Vec<(usize, Cands)> {
+        self.ready.remove(&ticket).unwrap_or_default()
+    }
+
+    /// Drop every residue of a finished ticket (stale wants from aborted
+    /// passes, undelivered lists) so the board never accumulates state for
+    /// queries that already returned.
+    pub fn forget(&mut self, ticket: u64) {
+        self.ready.remove(&ticket);
+        self.pending.retain(|_, wants| {
+            wants.retain(|w| w.ticket != ticket);
+            !wants.is_empty()
+        });
+        for wants in self.in_flight.values_mut() {
+            wants.retain(|w| w.ticket != ticket);
+        }
+    }
+}
+
+/// A canonical fingerprint of a plan: equal strings mean the same
+/// computation over the same bytes (table identities include the address
+/// and length of each referenced column buffer; constants print
+/// round-trippably). Valid while the referenced tables are alive — which
+/// is as long as any session can submit plans over them.
+pub(crate) fn fingerprint(plan: &LogicalPlan<'_>) -> String {
+    let mut s = String::new();
+    fp_node(&plan.root, &mut s);
+    s
+}
+
+fn fp_table(t: &DecomposedTable, s: &mut String) {
+    let _ = write!(s, "{}@{}#{}", t.name(), t.seqbase(), t.len());
+    // Every column's buffer identity: a table rebuilt at a recycled
+    // allocation would have to reproduce the address of *each* column to
+    // collide, not just the first.
+    for col in t.columns() {
+        let _ = write!(s, "{:?}", column_id(&col.bat));
+    }
+}
+
+fn fp_node(node: &PlanNode<'_>, s: &mut String) {
+    match node {
+        PlanNode::Scan { table } => {
+            s.push_str("scan(");
+            fp_table(table, s);
+            s.push(')');
+        }
+        PlanNode::Filter { input, pred } => {
+            fp_node(input, s);
+            // Pred's Display prints f64 bounds with Rust's shortest
+            // round-trip formatting, so distinct constants print
+            // distinctly.
+            let _ = write!(s, "|filter[{pred}]");
+        }
+        PlanNode::Join { input, right, left_col, right_col } => {
+            fp_node(input, s);
+            let _ = write!(s, "|join[{left_col}={right_col}](");
+            fp_node(right, s);
+            s.push(')');
+        }
+        PlanNode::GroupAgg { input, key, aggs } => {
+            fp_node(input, s);
+            let _ = write!(s, "|group[{}]aggs[", key.as_deref().unwrap_or(""));
+            for a in aggs {
+                let _ = write!(s, "{a},");
+            }
+            s.push(']');
+        }
+    }
+}
+
+/// Rough resident size of a cached result, in bytes (output rows + report
+/// strings + fixed overheads) — the currency of the cache budget.
+pub(crate) fn approx_bytes(e: &Executed) -> usize {
+    let output = match &e.output {
+        QueryOutput::Groups(rows) => {
+            rows.iter().map(|r| 48 + r.key.len() + 24 * r.values.len()).sum()
+        }
+        QueryOutput::Aggregates(v) => 24 * v.len(),
+        QueryOutput::Oids(v) => std::mem::size_of::<Oid>() * v.len(),
+        QueryOutput::JoinIndex(v) => 2 * std::mem::size_of::<Oid>() * v.len(),
+    };
+    let report: usize =
+        e.report.ops.iter().map(|o| 160 + o.op.len() + o.detail.len() + 96 * o.access.len()).sum();
+    128 + output + report
+}
+
+struct CacheEntry {
+    executed: Executed,
+    cost_ms: f64,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// The bounded LRU result cache. `cap == 0` disables it.
+pub(crate) struct ResultCache {
+    cap: usize,
+    bytes: usize,
+    tick: u64,
+    entries: HashMap<String, CacheEntry>,
+    /// Entries evicted to respect the budget (metric).
+    pub evictions: u64,
+}
+
+impl ResultCache {
+    pub fn new(cap: usize) -> Self {
+        Self { cap, bytes: 0, tick: 0, entries: HashMap::new(), evictions: 0 }
+    }
+
+    /// Resident bytes (key + entry estimates).
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Look a fingerprint up, refreshing its recency. Returns the cached
+    /// execution and the cost quote recorded at insert time.
+    pub fn get(&mut self, key: &str) -> Option<(Executed, f64)> {
+        self.tick += 1;
+        let tick = self.tick;
+        let e = self.entries.get_mut(key)?;
+        e.last_used = tick;
+        Some((e.executed.clone(), e.cost_ms))
+    }
+
+    /// Insert a completed execution, evicting least-recently-used entries
+    /// until the budget holds. Results too large to ever fit are skipped.
+    pub fn insert(&mut self, key: String, executed: &Executed, cost_ms: f64) {
+        if self.cap == 0 {
+            return;
+        }
+        let bytes = approx_bytes(executed) + key.len();
+        if bytes > self.cap {
+            return;
+        }
+        self.tick += 1;
+        if let Some(old) = self.entries.remove(&key) {
+            self.bytes -= old.bytes;
+        }
+        self.bytes += bytes;
+        self.entries.insert(
+            key,
+            CacheEntry { executed: executed.clone(), cost_ms, bytes, last_used: self.tick },
+        );
+        while self.bytes > self.cap {
+            let lru = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("over budget implies non-empty");
+            let e = self.entries.remove(&lru).expect("key just found");
+            self.bytes -= e.bytes;
+            self.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::exec::{execute, ExecOptions};
+    use engine::plan::{Agg, LogicalPlan, Pred, Query};
+    use engine::shared::scan_requests;
+    use memsim::NullTracker;
+    use monet_core::storage::{ColType, TableBuilder, Value};
+
+    fn table() -> DecomposedTable {
+        let mut b =
+            TableBuilder::new("t", 0).column("qty", ColType::I32).column("price", ColType::F64);
+        for i in 0..200i32 {
+            b.push_row(&[Value::I32(i % 20), Value::F64(i as f64)]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn board_batches_pending_same_column_wants_and_delivers() {
+        let t = table();
+        let p1 = Query::scan(&t).filter(Pred::range_i32("qty", 1, 5)).build().unwrap();
+        let p2 = Query::scan(&t).filter(Pred::range_i32("qty", 3, 9)).build().unwrap();
+        let r1 = scan_requests(&p1);
+        let r2 = scan_requests(&p2);
+
+        let mut board = ScanBoard::default();
+        board.post(7, &r2); // ticket 7 queues first
+        assert!(board.covers(&r2[0].key()));
+
+        // Ticket 3 becomes runnable: it claims a 2-predicate pass.
+        let work = board.runnable(3, &r1);
+        assert!(work.ready.is_empty() && work.waits.is_empty());
+        assert_eq!(work.batches.len(), 1);
+        let batch = &work.batches[0];
+        assert_eq!(batch.preds.len(), 2);
+        assert_eq!(batch.covered_leaves(), 2);
+        assert!(board.in_flight(&r2[0].key()), "claims are visible to later runners");
+
+        // A third runnable query wanting the in-flight key waits.
+        let p3 = Query::scan(&t).filter(Pred::range_i32("qty", 3, 9)).build().unwrap();
+        let r3 = scan_requests(&p3);
+        let work3 = board.runnable(9, &r3);
+        assert!(work3.batches.is_empty());
+        assert_eq!(work3.waits, vec![r3[0].key()]);
+
+        // Ticket 7 itself granted mid-flight: its want was already
+        // absorbed into the claim, so becoming runnable must register it
+        // for delivery exactly once, not twice.
+        let work7 = board.runnable(7, &r2);
+        assert!(work7.batches.is_empty());
+        assert_eq!(work7.waits, vec![r2[0].key()]);
+
+        // Publish: both ticket 7 and the waiter 9 get their lists.
+        let lists: Vec<Cands> = batch
+            .preds
+            .iter()
+            .map(|p| {
+                Arc::new(
+                    monet_core::scan::multi_select(
+                        &mut NullTracker,
+                        r1[0].bat,
+                        &[p.key.pred.kernel_pred()],
+                    )
+                    .unwrap()
+                    .remove(0),
+                )
+            })
+            .collect();
+        let delivered = board.publish(batch, &lists);
+        assert_eq!(delivered, 2, "one delivery each to tickets 7 and 9, no duplicates");
+        assert!(!board.in_flight(&r2[0].key()));
+        let got7 = board.take_ready(7);
+        assert_eq!(got7.len(), 1, "ticket 7's absorbed + re-registered want delivers once");
+        assert_eq!(got7[0].0, r2[0].leaf);
+        assert_eq!(board.take_ready(9).len(), 1);
+
+        // The delivered list is exactly the solo evaluation.
+        let solo = execute(&mut NullTracker, &p2, &ExecOptions::default()).unwrap();
+        let engine::exec::QueryOutput::Oids(expect) = solo.output else { panic!("oids") };
+        assert_eq!(*got7[0].1, expect);
+    }
+
+    #[test]
+    fn lone_uncontended_leaves_are_not_batched_and_aborts_repost() {
+        let t = table();
+        let p = Query::scan(&t).filter(Pred::range_i32("qty", 1, 5)).build().unwrap();
+        let r = scan_requests(&p);
+        let mut board = ScanBoard::default();
+        let work = board.runnable(1, &r);
+        assert!(work.batches.is_empty(), "nothing to share");
+        assert!(!board.in_flight(&r[0].key()));
+
+        // Two same-column leaves of ONE query share nothing either: the
+        // access planner must stay free to pick index probes for them.
+        let multi = Query::scan(&t)
+            .filter(Pred::range_i32("qty", 2, 2).or(Pred::range_i32("qty", 9, 9)))
+            .build()
+            .unwrap();
+        let rm = scan_requests(&multi);
+        assert_eq!(rm.len(), 2);
+        let work = board.runnable(5, &rm);
+        assert!(work.batches.is_empty(), "own-only multi-leaf claims are not forced to stream");
+        assert!(!board.in_flight(&rm[0].key()));
+
+        // Now with a pending want: claim, then abort — the want returns to
+        // pending so a future wave can cover it.
+        board.post(2, &r);
+        let work = board.runnable(1, &r);
+        assert_eq!(work.batches.len(), 1);
+        board.abort(&work.batches[0]);
+        assert!(!board.in_flight(&r[0].key()));
+        assert!(board.covers(&r[0].key()), "aborted wants are pending again");
+        board.forget(2);
+        assert!(!board.covers(&r[0].key()), "forget clears a finished ticket's wants");
+    }
+
+    #[test]
+    fn fingerprints_distinguish_plans_and_tables() {
+        let t = table();
+        let t2 = table();
+        fn q<'a>(t: &'a DecomposedTable, hi: i32) -> LogicalPlan<'a> {
+            Query::scan(t)
+                .filter(Pred::range_i32("qty", 1, hi))
+                .agg(Agg::sum("price"))
+                .build()
+                .unwrap()
+        }
+        let (a, b) = (q(&t, 5), q(&t, 5));
+        assert_eq!(fingerprint(&a), fingerprint(&b), "same plan, same table");
+        assert_ne!(fingerprint(&a), fingerprint(&q(&t, 6)), "different constant");
+        assert_ne!(fingerprint(&a), fingerprint(&q(&t2, 5)), "same data, different buffers");
+    }
+
+    #[test]
+    fn cache_caps_bytes_and_evicts_lru() {
+        let t = table();
+        let run = |lo: i32| {
+            let p = Query::scan(&t).filter(Pred::range_i32("qty", lo, lo + 3)).build().unwrap();
+            (fingerprint(&p), execute(&mut NullTracker, &p, &ExecOptions::default()).unwrap())
+        };
+        let (k1, e1) = run(0);
+        let one = approx_bytes(&e1) + k1.len();
+        // Budget fits two entries, not three.
+        let mut cache = ResultCache::new(one * 2 + one / 2);
+        cache.insert(k1.clone(), &e1, 1.0);
+        let (k2, e2) = run(4);
+        cache.insert(k2.clone(), &e2, 1.0);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&k1).is_some(), "touch k1 so k2 is the LRU");
+        let (k3, e3) = run(8);
+        cache.insert(k3.clone(), &e3, 1.0);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions, 1);
+        assert!(cache.get(&k2).is_none(), "k2 was least recently used");
+        assert!(cache.get(&k1).is_some() && cache.get(&k3).is_some());
+        assert!(cache.bytes() <= one * 2 + one / 2);
+
+        // A zero budget disables insertion entirely.
+        let mut off = ResultCache::new(0);
+        off.insert(k1.clone(), &e1, 1.0);
+        assert_eq!(off.len(), 0);
+        assert!(off.get(&k1).is_none());
+    }
+}

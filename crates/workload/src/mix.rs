@@ -66,6 +66,19 @@ pub enum QuerySpec {
         /// Inclusive `qty` band end.
         hi: i32,
     },
+    /// A single-leaf scan band for the shared-scan overlap sweep
+    /// ([`OverlapMix`]): overlapping clients all filter the contended
+    /// `qty` column (one shared buffer), private clients filter distinct
+    /// columns — `SUM(price)` + `COUNT` either way. Bounds are in integer
+    /// units; `F64` columns (`discnt`, `tax`, `price`) divide them by 100.
+    Band {
+        /// The filtered column of the Item table.
+        col: &'static str,
+        /// Inclusive band start (integer units).
+        lo: i32,
+        /// Inclusive band end (integer units).
+        hi: i32,
+    },
 }
 
 impl QuerySpec {
@@ -77,6 +90,7 @@ impl QuerySpec {
             QuerySpec::SupplierJoin { .. } => "join",
             QuerySpec::Extremes { .. } => "extremes",
             QuerySpec::Sweep { .. } => "sweep",
+            QuerySpec::Band { .. } => "band",
         }
     }
 
@@ -119,6 +133,14 @@ impl QuerySpec {
                 .agg(Agg::min("qty"))
                 .agg(Agg::max("qty"))
                 .build(),
+            QuerySpec::Band { col, lo, hi } => {
+                let pred = if matches!(*col, "discnt" | "tax" | "price") {
+                    Pred::range_f64(col, f64::from(*lo) / 100.0, f64::from(*hi) / 100.0)
+                } else {
+                    Pred::range_i32(col, *lo, *hi)
+                };
+                Query::scan(item).filter(pred).agg(Agg::sum("price")).agg(Agg::count()).build()
+            }
         }
     }
 }
@@ -145,12 +167,26 @@ impl QueryMix {
         }
     }
 
+    /// Draw the next needle only — the Zipf-hot point-query stream the
+    /// result cache feeds on (repeats of the hottest `(qty, shipmode)`
+    /// pairs are the common case by construction).
+    pub fn next_needle(&mut self) -> QuerySpec {
+        QuerySpec::Needle {
+            qty: Self::qty_of(self.qty_zipf.sample()),
+            shipmode: SHIPMODES[self.mode_zipf.sample()],
+        }
+    }
+
+    /// Map a Zipf rank onto 1..=50 via a fixed odd multiplier so the
+    /// hottest values are spread over the domain.
+    fn qty_of(rank: usize) -> i32 {
+        ((rank * 37) % 50) as i32 + 1
+    }
+
     /// Draw the next spec. Roughly: half cheap point/drill queries, the
     /// rest medium joins and expensive sweeps.
     pub fn next_spec(&mut self) -> QuerySpec {
-        // Hot qty: map Zipf rank onto 1..=50 via a fixed odd multiplier so
-        // the hottest values are spread over the domain.
-        let qty_of = |rank: usize| ((rank * 37) % 50) as i32 + 1;
+        let qty_of = Self::qty_of;
         match self.rng.random_range(0..10u32) {
             0..=2 => {
                 let lo = self.rng.random_range(0..=8u32) as f64 / 100.0;
@@ -175,6 +211,79 @@ impl QueryMix {
     /// The first `n` specs of this stream.
     pub fn take(&mut self, n: usize) -> Vec<QuerySpec> {
         (0..n).map(|_| self.next_spec()).collect()
+    }
+}
+
+/// The overlap knob for the shared-scan figure: a deterministic fraction
+/// of the client population filters the *same* hot column (`qty`), the
+/// rest rotate over distinct private `I32` columns — so predicate overlap
+/// can be swept from 0 (nothing shareable between clients) to 1 (every
+/// concurrent scan merges).
+///
+/// Client assignment is positional: clients `0..round(overlap × clients)`
+/// are the overlapping ones, so a given `(clients, overlap)` pair always
+/// produces the same partition, and every draw uses a fresh band (distinct
+/// constants), keeping the result cache out of the shared-scan
+/// measurement.
+#[derive(Debug)]
+pub struct OverlapMix {
+    rng: StdRng,
+    col: &'static str,
+    lo: i32,
+    hi: i32,
+}
+
+/// The contended column every overlapping client filters, with its domain.
+const SHARED_BAND: (&str, i32, i32) = ("qty", 1, 50);
+
+/// Private columns (name, domain lo, domain hi — integer units) rotated
+/// over non-overlap clients: distinct buffers, so nothing merges between
+/// them. Eight entries keep an 8-client, zero-overlap population fully
+/// disjoint.
+const PRIVATE_BANDS: [(&str, i32, i32); 8] = [
+    ("date1", 9_000, 11_000),
+    ("date2", 11_000, 12_000),
+    ("supp", 1, 1_000),
+    ("part", 1, 20_000),
+    ("order", 1, 100_000),
+    ("discnt", 0, 10),
+    ("tax", 0, 8),
+    ("price", 10, 500_000),
+];
+
+impl OverlapMix {
+    /// The band stream for one client of a `clients`-strong population
+    /// with the given overlap fraction (clamped to `0.0..=1.0`). At most
+    /// [`PRIVATE_BANDS`] private clients get genuinely distinct columns;
+    /// larger populations wrap around.
+    pub fn for_client(seed: u64, client: usize, clients: usize, overlap: f64) -> Self {
+        let cutoff = (overlap.clamp(0.0, 1.0) * clients as f64).round() as usize;
+        let (col, lo, hi) = if client < cutoff {
+            SHARED_BAND
+        } else {
+            PRIVATE_BANDS[(client - cutoff) % PRIVATE_BANDS.len()]
+        };
+        let base = seed ^ (client as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
+        Self { rng: StdRng::seed_from_u64(base), col, lo, hi }
+    }
+
+    /// Whether this client draws shared-column bands.
+    pub fn is_shared(&self) -> bool {
+        self.col == SHARED_BAND.0
+    }
+
+    /// The column this client's bands filter.
+    pub fn column(&self) -> &'static str {
+        self.col
+    }
+
+    /// Draw the next band spec (constants vary per draw, so the result
+    /// cache never answers two of them).
+    pub fn next_spec(&mut self) -> QuerySpec {
+        let span = (self.hi - self.lo).max(2);
+        let lo = self.lo + self.rng.random_range(0..=(span * 3 / 4) as u32) as i32;
+        let width = 1 + self.rng.random_range(0..=(span / 8).max(1) as u32) as i32;
+        QuerySpec::Band { col: self.col, lo, hi: (lo + width).min(self.hi) }
     }
 }
 
@@ -219,6 +328,65 @@ mod tests {
         for label in ["drill", "needle", "join", "extremes", "sweep"] {
             assert!(seen.contains(label), "200 draws never produced {label:?}");
         }
+    }
+
+    #[test]
+    fn overlap_mix_partitions_clients_deterministically() {
+        let item = item_table(500, 1);
+        let supp = supplier(50);
+        // overlap 0.5 of 8 clients: exactly 4 shared, positional.
+        let shared: Vec<bool> =
+            (0..8).map(|c| OverlapMix::for_client(3, c, 8, 0.5).is_shared()).collect();
+        assert_eq!(shared, [true, true, true, true, false, false, false, false]);
+        // The extremes.
+        assert!((0..8).all(|c| OverlapMix::for_client(3, c, 8, 1.0).is_shared()));
+        assert!((0..8).all(|c| !OverlapMix::for_client(3, c, 8, 0.0).is_shared()));
+        // Private clients rotate over genuinely distinct columns — an
+        // 8-client zero-overlap population is fully disjoint.
+        let cols: std::collections::HashSet<&str> =
+            (0..8).map(|c| OverlapMix::for_client(3, c, 8, 0.0).column()).collect();
+        assert_eq!(cols.len(), 8, "eight private clients, eight distinct columns: {cols:?}");
+        // Deterministic replay, valid plans, fresh constants per draw.
+        let mut a = OverlapMix::for_client(3, 2, 8, 0.5);
+        let mut b = OverlapMix::for_client(3, 2, 8, 0.5);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..20 {
+            let (sa, sb) = (a.next_spec(), b.next_spec());
+            assert_eq!(sa, sb);
+            assert_eq!(sa.label(), "band");
+            sa.build(&item, &supp).expect("band plans validate");
+            let QuerySpec::Band { col, lo, hi } = sa else { panic!("band") };
+            assert!(col == "qty" && lo >= 1 && hi <= 50, "shared bands stay in the qty domain");
+            distinct.insert((lo, hi));
+        }
+        assert!(distinct.len() > 10, "bands vary, so the result cache cannot answer them");
+        // Private clients' plans validate too.
+        for c in 4..8 {
+            let spec = OverlapMix::for_client(3, c, 8, 0.5).next_spec();
+            let QuerySpec::Band { col, .. } = spec else { panic!("band") };
+            assert_ne!(col, "qty");
+            spec.build(&item, &supp).expect("private band plans validate");
+        }
+    }
+
+    #[test]
+    fn needle_only_stream_repeats_hot_points() {
+        let mut mix = QueryMix::for_client(5, 0);
+        let needles = (0..200).map(|_| mix.next_needle()).collect::<Vec<_>>();
+        assert!(needles.iter().all(|s| matches!(s, QuerySpec::Needle { .. })));
+        let distinct: std::collections::HashSet<_> = needles
+            .iter()
+            .map(|s| match s {
+                QuerySpec::Needle { qty, shipmode } => (*qty, *shipmode),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert!(
+            distinct.len() < needles.len() * 3 / 4,
+            "Zipf skew repeats hot needles ({} distinct of {})",
+            distinct.len(),
+            needles.len()
+        );
     }
 
     #[test]

@@ -4,6 +4,13 @@
 //! scheduler may change when and how wide a query runs, never what it
 //! computes. Also asserts the pool-side budget invariant: the high-water
 //! mark of leased threads never exceeds the global budget.
+//!
+//! The first test runs with the service defaults, which since the
+//! shared-scan PR include cooperative scan merging and the result cache —
+//! so the determinism contract is exercised *through* both mechanisms. The
+//! third test pins them on explicitly, warms the cache with one session's
+//! whole stream, and asserts replica sessions hit it while everything
+//! (including grouped `f64` sum bits) still replays bit-identically.
 
 use engine::exec::{execute, ExecOptions, Executed, QueryOutput};
 use memsim::{profiles, NullTracker};
@@ -48,17 +55,20 @@ fn concurrent_sessions_are_bit_identical_to_sequential_single_thread() {
 
     // A deliberately tight budget so sessions contend and queue; the queue
     // is deep enough that nothing is shed (rejection would make the
-    // completed set depend on timing).
+    // completed set depend on timing). Built from the environment so the
+    // CI matrix legs steer the shared-scan/cache paths
+    // (MONET_SERVICE_CACHE={0,on}: every repeat re-executes vs. hits the
+    // fingerprint cache) while the contention knobs stay pinned.
     let budget = 3;
     let svc = QueryService::new(
-        ServiceConfig::new()
+        ServiceConfig::from_env()
             .with_budget(budget)
             .with_queue_limit(SESSIONS * QUERIES_PER_SESSION)
             .with_starvation_bound(2),
     );
 
     let mut outputs: Vec<Vec<QueryOutput>> = Vec::with_capacity(SESSIONS);
-    let mut leases: Vec<usize> = Vec::new();
+    let mut leases: Vec<(usize, bool)> = Vec::new();
     std::thread::scope(|s| {
         let svc = &svc;
         let (item, supp) = (&item, &supp);
@@ -74,7 +84,7 @@ fn concurrent_sessions_are_bit_identical_to_sequential_single_thread() {
                         let plan = spec.build(item, supp).expect("mix plans validate");
                         match session.run(&plan) {
                             Ok(handle) => {
-                                leases.push(handle.sched.threads);
+                                leases.push((handle.sched.threads, handle.sched.cached));
                                 outs.push(handle.into_executed().output);
                             }
                             Err(e) => panic!("session {c}: {e}"),
@@ -118,13 +128,115 @@ fn concurrent_sessions_are_bit_identical_to_sequential_single_thread() {
         m.high_water_threads
     );
     assert!(m.high_water_threads >= 1);
-    assert!(leases.iter().all(|&t| (1..=budget).contains(&t)), "leases within budget: {leases:?}");
+    // Executed queries lease 1..=budget threads; cache hits (the Zipf-hot
+    // repeats — the default config caches) lease nothing at all.
+    assert!(
+        leases.iter().all(|&(t, cached)| if cached { t == 0 } else { (1..=budget).contains(&t) }),
+        "leases within budget: {leases:?}"
+    );
     assert_eq!(m.latency.count as u64, m.completed);
     // Per-session accounting adds up.
     let sm = svc.session_metrics();
     assert_eq!(sm.len(), SESSIONS);
     assert_eq!(sm.iter().map(|s| s.completed).sum::<u64>(), m.completed);
     assert!(sm.iter().all(|s| s.submitted == QUERIES_PER_SESSION as u64));
+}
+
+/// Shared scans + result cache under concurrency: one session warms the
+/// cache with its whole mixed stream, then six concurrent sessions — two
+/// replaying each of three per-client streams, one of them the warmed one
+/// — run under a tight budget so misses contend, queue, and merge scans.
+/// Every result (grouped `f64` sums included, compared bit for bit) must
+/// equal its sequential `Fixed(1)` replay, warmed-stream queries must hit
+/// the cache, and the shared-scan counters must stay consistent.
+#[test]
+fn shared_scans_and_cache_keep_concurrent_batches_bit_identical() {
+    let mut item = item_table(20_000, SEED);
+    item.create_index("qty", IndexKind::CsBTree).unwrap();
+    item.create_index("shipmode", IndexKind::Hash).unwrap();
+    let item = item;
+    let supp = supplier(500);
+
+    let sessions = 6usize;
+    let queries = 8usize;
+    let budget = 2;
+    let svc = QueryService::new(
+        ServiceConfig::new()
+            .with_budget(budget)
+            .with_queue_limit(sessions * queries + 1)
+            .with_starvation_bound(2)
+            .with_shared_scans(true)
+            .with_cache_bytes(4 << 20),
+    );
+    // Stream for concurrent session c: per-client mix c % 3, so each
+    // stream runs twice.
+    let stream = |c: usize| QueryMix::for_client(SEED, c % 3).take(queries);
+
+    // Warm the cache with stream 0, sequentially through the service.
+    let warm = svc.session();
+    for spec in QueryMix::for_client(SEED, 0).take(queries) {
+        let plan = spec.build(&item, &supp).unwrap();
+        warm.run(&plan).expect("warmup runs");
+    }
+    let warmed = svc.metrics();
+    assert_eq!(warmed.completed, queries as u64);
+
+    let mut outputs: Vec<Vec<QueryOutput>> = Vec::with_capacity(sessions);
+    std::thread::scope(|s| {
+        let svc = &svc;
+        let (item, supp) = (&item, &supp);
+        let stream = &stream;
+        let handles: Vec<_> = (0..sessions)
+            .map(|c| {
+                s.spawn(move || {
+                    let session = svc.session();
+                    stream(c)
+                        .iter()
+                        .map(|spec| {
+                            let plan = spec.build(item, supp).expect("mix plans validate");
+                            session.run(&plan).expect("mix plans run").into_executed().output
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            outputs.push(h.join().expect("session thread panicked"));
+        }
+    });
+
+    // Bit-identity against sequential single-thread replays (grouped f64
+    // sums compare by bit pattern via bitwise_eq).
+    let seq_opts = ExecOptions::cost_model(profiles::origin2000())
+        .with_threads(engine::exec::Threads::Fixed(1));
+    for (c, outs) in outputs.iter().enumerate() {
+        for (q, (spec, got)) in stream(c).iter().zip(outs).enumerate() {
+            let plan = spec.build(&item, &supp).unwrap();
+            let Executed { output, .. } = execute(&mut NullTracker, &plan, &seq_opts).unwrap();
+            assert_bit_identical(
+                got,
+                &output,
+                &format!("session {c} query {q} ({})", spec.label()),
+            );
+        }
+    }
+
+    let m = svc.metrics();
+    let total = (queries * (sessions + 1)) as u64; // warmup + concurrent
+    assert_eq!(m.completed, total, "every query answered");
+    assert_eq!(m.rejected, 0);
+    assert!(m.high_water_threads <= budget);
+    // The two sessions replaying the warmed stream hit the cache on every
+    // query (their fingerprints were all inserted before they started).
+    assert!(m.cache_hits >= 2 * queries as u64, "warmed replicas must hit: {m:?}");
+    assert_eq!(m.cache_hits + m.cache_misses, total, "every submission consulted the cache");
+    // Shared-scan bookkeeping: a pass only forms when it covers >= 2
+    // leaves, so every pass saved at least one scan; traffic was streamed.
+    assert!(m.scans_saved >= m.shared_scan_batches, "{m:?}");
+    assert!(m.scan_rows_streamed > 0, "{m:?}");
+    let sm = svc.session_metrics();
+    assert_eq!(sm.iter().map(|s| s.completed).sum::<u64>(), total);
+    assert_eq!(sm.iter().map(|s| s.cache_hits).sum::<u64>(), m.cache_hits);
 }
 
 /// Overload behaviour: a queue limit of zero sheds every query that cannot
