@@ -32,6 +32,9 @@ commands:
   query      composed query pipelines through the cost-model-driven executor
   parallel   parallel-scaling sweep: measured vs model-predicted speedup
   access     access-path crossover: scan vs index selects, model vs simulator
+  compress   compressed scans: FOR/RLE/dict selects directly on compressed
+             columns, simulated bytes streamed + model vs simulator, and the
+             packed-scan vs index-probe flip
   service    concurrent query service: budgeted scheduler vs naive Auto,
              throughput/latency over client counts
   shared     cooperative shared scans + hot-result cache: scan-traffic
@@ -137,6 +140,7 @@ fn main() -> ExitCode {
             "query" => figures::query_pipeline::run(&opts),
             "parallel" => figures::par_scaling::run(&opts),
             "access" => figures::access_paths::run(&opts),
+            "compress" => figures::compress::run(&opts),
             "service" => figures::service::run(&opts),
             "shared" => figures::shared::run(&opts),
             _ => return false,
@@ -148,7 +152,8 @@ fn main() -> ExitCode {
         "all" => {
             for name in [
                 "fig1", "fig3", "fig4", "fig9", "fig10", "fig11", "fig12", "fig13", "validate",
-                "select", "skew", "vm", "query", "parallel", "access", "service", "shared",
+                "select", "skew", "vm", "query", "parallel", "access", "compress", "service",
+                "shared",
             ] {
                 println!("\n=== {name} ===\n");
                 run_one(name);

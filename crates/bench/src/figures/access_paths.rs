@@ -12,7 +12,7 @@
 //! the same tolerance the join-model validation uses (a factor of two;
 //! see `validate.rs`).
 
-use engine::access::AccessMode;
+use engine::access::{AccessMode, CompressMode};
 use engine::exec::{execute, ExecOptions};
 use engine::plan::{Pred, Query};
 use memsim::SimTracker;
@@ -67,7 +67,13 @@ pub fn sweep(opts: &RunOpts) -> Vec<SweepPoint> {
 
             let run = |mode: AccessMode| {
                 let mut trk = SimTracker::for_machine(machine);
-                let opts = ExecOptions::cost_model(machine).with_access(mode);
+                // This figure validates the *uncompressed* scan-vs-index
+                // crossover, so the packed path (which would otherwise win
+                // the wide ranges — `repro compress` shows that flip) is
+                // pinned out of the auto quote.
+                let opts = ExecOptions::cost_model(machine)
+                    .with_access(mode)
+                    .with_compress(CompressMode::Off);
                 let r = execute(&mut trk, &plan, &opts).expect("runs");
                 let sel = r
                     .report

@@ -1,0 +1,243 @@
+//! **Compressed scans** (`repro compress`) — the memory-bandwidth argument
+//! for lightweight column compression, validated model vs. simulator.
+//!
+//! Three columns, one per encoding: a uniform integer column that
+//! frame-of-reference bit-packs, a sorted/clustered column that
+//! run-length-encodes, and a low-cardinality string column whose dictionary
+//! codes bit-pack below a byte. Each is selected once through the
+//! uncompressed kernel and once through the compressed kernel on the
+//! simulated Origin2000 — identical candidate lists, fewer bytes streamed —
+//! and the table shows the simulated cost of both next to the
+//! [`costmodel::scan`] quotes ([`scan_cost`] vs [`packed_scan_cost`]). The
+//! model must predict the bandwidth win within the same factor-2 tolerance
+//! the join-model validation uses.
+//!
+//! The closing lines demonstrate the planning consequence: at a selectivity
+//! where the *plain* scan loses to a B+-tree probe, the packed scan's
+//! smaller stream flips [`costmodel::access`]'s choice back to the scan.
+
+use costmodel::access::{cheapest, quotes, AccessPath, IndexShape, SelectQuery};
+use costmodel::scan::{packed_scan_cost, scan_cost};
+use costmodel::ModelMachine;
+use monet_core::compress::multi_select_compressed;
+use monet_core::scan::{multi_select, ScanPred};
+use monet_core::storage::{ColType, DecomposedTable, TableBuilder, Value};
+
+use crate::report::{fmt_card, fmt_ms, TextTable};
+use crate::runner::{sim, RunOpts, Scale};
+
+/// One encoding's outcome: the same selection through both kernels.
+pub struct Point {
+    /// Encoding name (`for` | `rle` | `dict`).
+    pub encoding: &'static str,
+    /// Stored bits per value of the compressed representation.
+    pub bits: f64,
+    /// Simulated bytes fetched from memory by the uncompressed select
+    /// (L2 misses × line size).
+    pub unc_bytes: u64,
+    /// Simulated bytes fetched by the compressed select.
+    pub cmp_bytes: u64,
+    /// Simulated ms of the uncompressed select.
+    pub unc_sim_ms: f64,
+    /// Simulated ms of the compressed select.
+    pub cmp_sim_ms: f64,
+    /// [`scan_cost`] quote of the uncompressed select.
+    pub unc_model_ms: f64,
+    /// [`packed_scan_cost`] quote of the compressed select.
+    pub cmp_model_ms: f64,
+}
+
+/// Relation cardinality per scale.
+fn card(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 1 << 16,
+        Scale::Default => 1 << 20,
+        Scale::Full => 1 << 23,
+    }
+}
+
+/// The seven-value string domain of the dictionary column.
+const MODES: [&str; 7] = ["AIR", "MAIL", "SHIP", "TRUCK", "RAIL", "REG AIR", "FOB"];
+
+/// A relation exercising every encoding: `uniform` (FOR-friendly values in
+/// `[0, 4096)`), `clustered` (sorted, runs of 512 ⇒ RLE), and `mode`
+/// (7-value strings ⇒ dictionary codes packing into 3 bits).
+fn relation(n: usize) -> DecomposedTable {
+    let mut b = TableBuilder::new("rel", 0)
+        .column("uniform", ColType::I32)
+        .column("clustered", ColType::I32)
+        .column("mode", ColType::Str);
+    for i in 0..n as u64 {
+        b.push_row(&[
+            Value::I32(((i * 2_654_435_761) % 4096) as i32),
+            Value::I32((i / 512) as i32),
+            Value::from(MODES[(i % 7) as usize]),
+        ])
+        .expect("schema matches row construction");
+    }
+    b.finish()
+}
+
+/// Run the three selections (shared with the smoke test so the assertions
+/// see the numbers the table prints). Bit-identity of the candidate lists
+/// is asserted here, unconditionally.
+pub fn sweep(opts: &RunOpts) -> Vec<Point> {
+    let machine = opts.machine();
+    let mm = ModelMachine::new(&machine);
+    let n = card(opts.scale);
+    let table = relation(n);
+    let clusters = (n / 512) as i32;
+    let mode_code = table
+        .bat("mode")
+        .expect("mode column exists")
+        .tail()
+        .as_str_col()
+        .expect("mode is a string column")
+        .dict
+        .code_of("MAIL")
+        .expect("MAIL occurs");
+
+    // ~50% bands on the integer columns (frames straddle the bound, so the
+    // packed kernel must actually test values, not just skip/take frames);
+    // a 1-in-7 point on the dictionary codes.
+    let cases: [(&'static str, ScanPred); 3] = [
+        ("uniform", ScanPred::RangeI32 { lo: 1024, hi: 3071 }),
+        ("clustered", ScanPred::RangeI32 { lo: clusters / 4, hi: clusters * 3 / 4 }),
+        ("mode", ScanPred::EqCode { code: mode_code }),
+    ];
+
+    cases
+        .iter()
+        .map(|(col, pred)| {
+            let bat = table.bat(col).expect("column exists");
+            let cc = table.compressed_of(col).expect("every case column compresses");
+            assert!(cc.supports(pred), "{col}: representation answers its predicate");
+
+            let (unc_lists, unc) = sim(machine, |trk| {
+                multi_select(trk, bat, std::slice::from_ref(pred)).expect("types validated")
+            });
+            let (cmp_lists, cmp) = sim(machine, |trk| {
+                multi_select_compressed(trk, cc, table.seqbase(), std::slice::from_ref(pred))
+                    .expect("supported predicate")
+            });
+            assert_eq!(unc_lists, cmp_lists, "{col}: compressed select must be bit-identical");
+
+            let stride = bat.bun_width();
+            Point {
+                encoding: cc.encoding().name(),
+                bits: cc.bits_per_value(),
+                unc_bytes: unc.l2_misses * machine.l2.line as u64,
+                cmp_bytes: cmp.l2_misses * machine.l2.line as u64,
+                unc_sim_ms: unc.elapsed_ms(),
+                cmp_sim_ms: cmp.elapsed_ms(),
+                unc_model_ms: scan_cost(&mm, n, stride).total_ms(),
+                cmp_model_ms: packed_scan_cost(&mm, n, cc.bits_per_value()).total_ms(),
+            }
+        })
+        .collect()
+}
+
+/// The access-path flip: at 3% selectivity over 1M indexed rows the plain
+/// scan loses to the B+-tree probe, but the 3-bit packed stream wins.
+/// Returns (plain pick, packed pick).
+pub fn index_flip(opts: &RunOpts) -> (AccessPath, AccessPath) {
+    let mm = ModelMachine::new(&opts.machine());
+    let rows = 1_000_000;
+    let plain =
+        SelectQuery { rows, stride: 4, matches: rows * 3 / 100, eq: false, packed_bits: None };
+    let packed = SelectQuery { packed_bits: Some(3.0), ..plain };
+    let indexes = [IndexShape::Btree { height: 7 }];
+    (cheapest(&quotes(&mm, &plain, &indexes)).path, cheapest(&quotes(&mm, &packed, &indexes)).path)
+}
+
+/// Run the compressed-scan experiment.
+pub fn run(opts: &RunOpts) {
+    let points = sweep(opts);
+
+    let mut t = TextTable::new(
+        format!(
+            "Compressed scans: 1-predicate selects over {} rows (simulated origin2k)",
+            fmt_card(card(opts.scale))
+        ),
+        &[
+            "encoding",
+            "bits/val",
+            "sim bytes",
+            "packed bytes",
+            "byte ratio",
+            "sim",
+            "packed sim",
+            "model",
+            "packed model",
+        ],
+    );
+    for p in &points {
+        t.row(vec![
+            p.encoding.into(),
+            format!("{:.2}", p.bits),
+            format!("{}", p.unc_bytes),
+            format!("{}", p.cmp_bytes),
+            format!("{:.1}x", p.unc_bytes as f64 / p.cmp_bytes.max(1) as f64),
+            fmt_ms(p.unc_sim_ms),
+            fmt_ms(p.cmp_sim_ms),
+            fmt_ms(p.unc_model_ms),
+            fmt_ms(p.cmp_model_ms),
+        ]);
+    }
+    super::emit(opts, &t);
+
+    let (plain, packed) = index_flip(opts);
+    println!(
+        "access pick at 3% selectivity over 1M btree-indexed rows: \
+         uncompressed column -> {}, 3-bit packed column -> {}",
+        plain.name(),
+        packed.name()
+    );
+    println!(
+        "The new bottleneck, narrowed: per-tuple CPU work is unchanged, but every \
+         encoding streams a fraction of the bytes — and the cost model prices that \
+         fraction, so packed scans win back territory from index probes.\n"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Scale;
+
+    #[test]
+    fn compressed_selects_save_bytes_and_the_model_tracks_the_simulator() {
+        let points = sweep(&RunOpts { scale: Scale::Quick, ..Default::default() });
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].encoding, "for");
+        assert_eq!(points[1].encoding, "rle");
+        assert_eq!(points[2].encoding, "dict");
+
+        for p in &points {
+            // The acceptance bar: at least 2x fewer simulated bytes, with
+            // bit-identical selections (asserted inside sweep()).
+            assert!(
+                p.cmp_bytes * 2 <= p.unc_bytes,
+                "{}: {} packed bytes vs {} uncompressed",
+                p.encoding,
+                p.cmp_bytes,
+                p.unc_bytes
+            );
+            // Model vs simulator within the factor-2 validation tolerance.
+            let rel = p.cmp_model_ms / p.cmp_sim_ms;
+            assert!(
+                (0.5..=2.0).contains(&rel),
+                "{}: packed model {} ms vs sim {} ms",
+                p.encoding,
+                p.cmp_model_ms,
+                p.cmp_sim_ms
+            );
+            // Compression never slows the simulated select down.
+            assert!(p.cmp_sim_ms <= p.unc_sim_ms * 1.01, "{}: packed must not regress", p.encoding);
+        }
+
+        let (plain, packed) = index_flip(&RunOpts::default());
+        assert_eq!(plain, AccessPath::BtreeRange, "plain scan loses at 3% selectivity");
+        assert_eq!(packed, AccessPath::PackedScan, "the packed stream wins it back");
+    }
+}

@@ -2,6 +2,7 @@
 //! the same series the paper plots (and optionally CSV).
 
 pub mod access_paths;
+pub mod compress;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;

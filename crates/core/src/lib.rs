@@ -45,12 +45,14 @@
 //! assert_eq!(pairs.len(), 10_000); // hit rate 1
 //! ```
 
+pub mod compress;
 pub mod index;
 pub mod join;
 pub mod scan;
 pub mod storage;
 pub mod strategy;
 
+pub use compress::{pick_encoding, CompressedColumn, Encoding};
 pub use index::{ColumnIndex, CsBTree, HashIndex, IndexKind};
 pub use join::{Bun, OidPair};
 pub use storage::{Bat, Column, Oid, Value};

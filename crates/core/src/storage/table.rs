@@ -4,6 +4,7 @@
 //! share the same seqbase, so a logical tuple is the set of BUNs with equal
 //! OID and tuple reconstruction is positional.
 
+use crate::compress::CompressedColumn;
 use crate::index::{ColumnIndex, IndexKind};
 
 use super::bat::{Bat, BatBuilder};
@@ -38,6 +39,7 @@ pub struct DecomposedTable {
     len: usize,
     cols: Vec<NamedBat>,
     indexes: Vec<AttachedIndex>,
+    compressed: Vec<Option<CompressedColumn>>,
 }
 
 impl DecomposedTable {
@@ -98,6 +100,21 @@ impl DecomposedTable {
     /// The index of `kind` on column `col`, if one was created.
     pub fn index_of(&self, col: &str, kind: IndexKind) -> Option<&ColumnIndex> {
         self.indexes.iter().find(|a| a.column == col && a.index.kind() == kind).map(|a| &a.index)
+    }
+
+    /// The compressed representation of column `col`, if
+    /// [`crate::compress::pick_encoding`] found one worth keeping.
+    pub fn compressed_of(&self, col: &str) -> Option<&CompressedColumn> {
+        let idx = self.cols.iter().position(|c| c.name == col)?;
+        self.compressed.get(idx)?.as_ref()
+    }
+
+    /// (Re)build the compressed representations of every column, per
+    /// [`crate::compress::pick_encoding`]. [`TableBuilder::finish`] does
+    /// this automatically; call it again after mutating columns in place.
+    pub fn build_compressed(&mut self) {
+        self.compressed =
+            self.cols.iter().map(|c| CompressedColumn::encode(c.bat.tail())).collect();
     }
 
     /// Reconstruct logical tuple `oid` (positional; O(columns)).
@@ -229,7 +246,9 @@ impl TableBuilder {
     }
 
     /// Finish the table, narrowing string columns to 1-byte codes where the
-    /// dictionary allows (the paper's byte-encoding step).
+    /// dictionary allows (the paper's byte-encoding step) and building
+    /// compressed representations for the columns where
+    /// [`crate::compress::pick_encoding`] finds a saving.
     pub fn finish(self) -> DecomposedTable {
         let len = (self.next_oid - self.seqbase) as usize;
         let cols: Vec<NamedBat> = self
@@ -240,7 +259,16 @@ impl TableBuilder {
                 NamedBat { name, bat }
             })
             .collect();
-        DecomposedTable { name: self.name, seqbase: self.seqbase, len, cols, indexes: Vec::new() }
+        let mut t = DecomposedTable {
+            name: self.name,
+            seqbase: self.seqbase,
+            len,
+            cols,
+            indexes: Vec::new(),
+            compressed: Vec::new(),
+        };
+        t.build_compressed();
+        t
     }
 }
 
@@ -351,6 +379,31 @@ mod tests {
         // Cloning carries the catalog along.
         let c = t.clone();
         assert_eq!(c.indexes().len(), 3);
+    }
+
+    #[test]
+    fn finish_builds_compressed_representations() {
+        use crate::compress::Encoding;
+        let mut b = TableBuilder::new("t", 0)
+            .column("clustered", ColType::I32)
+            .column("price", ColType::F64)
+            .column("mode", ColType::Str);
+        for i in 0..4000 {
+            b.push_row(&[
+                Value::I32(i / 64),
+                Value::F64(i as f64),
+                Value::from(["AIR", "SHIP", "MAIL"][i as usize % 3]),
+            ])
+            .unwrap();
+        }
+        let t = b.finish();
+        assert_eq!(t.compressed_of("clustered").unwrap().encoding(), Encoding::Rle);
+        assert_eq!(t.compressed_of("mode").unwrap().encoding(), Encoding::Dict);
+        assert!(t.compressed_of("price").is_none(), "f64 stays uncompressed");
+        assert!(t.compressed_of("ghost").is_none());
+        // The compressed form decodes back to the stored column.
+        let qty = t.bat("clustered").unwrap().tail().as_i32().unwrap();
+        assert_eq!(t.compressed_of("clustered").unwrap().decode(), qty);
     }
 
     #[test]

@@ -44,6 +44,8 @@ pub const HASH_CHAIN_LENGTH: f64 = 4.0;
 pub enum AccessPath {
     /// Full scan-select over the column.
     Scan,
+    /// Scan-select directly over the compressed (packed) column.
+    PackedScan,
     /// B+-tree descent + leaf range scan.
     BtreeRange,
     /// B+-tree descent + duplicate run.
@@ -59,6 +61,7 @@ impl AccessPath {
     pub fn name(self) -> &'static str {
         match self {
             AccessPath::Scan => "scan",
+            AccessPath::PackedScan => "packed-scan",
             AccessPath::BtreeRange => "btree-range",
             AccessPath::BtreeEq => "btree-eq",
             AccessPath::HashEq => "hash-eq",
@@ -66,9 +69,13 @@ impl AccessPath {
         }
     }
 
-    /// True for index-backed paths (everything but [`AccessPath::Scan`]).
+    /// True for index-backed paths (both scan flavours stream the column
+    /// in OID order; everything else probes a secondary structure).
     pub fn is_index(self) -> bool {
-        !matches!(self, AccessPath::Scan)
+        matches!(
+            self,
+            AccessPath::BtreeRange | AccessPath::BtreeEq | AccessPath::HashEq | AccessPath::TTreeEq
+        )
     }
 }
 
@@ -101,6 +108,10 @@ pub struct SelectQuery {
     /// True for a point predicate (`lo == hi`, or a dictionary equality) —
     /// the only shape hash and T-tree indexes can answer.
     pub eq: bool,
+    /// Stored bits per value of the column's compressed representation,
+    /// when one exists *and* can answer this predicate directly — enables
+    /// the [`AccessPath::PackedScan`] quote.
+    pub packed_bits: Option<f64>,
 }
 
 /// A priced access path.
@@ -194,11 +205,18 @@ pub fn ttree_eq_cost(
 }
 
 /// Price every access path available for `q`: always [`AccessPath::Scan`],
-/// plus one entry per usable index in `indexes` (range predicates can only
-/// use B+-trees; eq predicates use all three).
+/// then [`AccessPath::PackedScan`] when the column has a usable compressed
+/// representation, plus one entry per usable index in `indexes` (range
+/// predicates can only use B+-trees; eq predicates use all three).
 pub fn quotes(m: &ModelMachine, q: &SelectQuery, indexes: &[IndexShape]) -> Vec<Quote> {
     let mut out =
         vec![Quote { path: AccessPath::Scan, cost: scan_select_cost(m, q.rows, q.stride) }];
+    if let Some(bits) = q.packed_bits {
+        out.push(Quote {
+            path: AccessPath::PackedScan,
+            cost: crate::scan::packed_scan_cost(m, q.rows, bits),
+        });
+    }
     for shape in indexes {
         match shape {
             IndexShape::Btree { height } => {
@@ -251,7 +269,7 @@ mod tests {
         // 1M rows, 1 match: any index path beats the full scan by orders of
         // magnitude, and the hash probe is the cheapest eq path.
         let m = origin();
-        let q = SelectQuery { rows: 1_000_000, stride: 4, matches: 1, eq: true };
+        let q = SelectQuery { rows: 1_000_000, stride: 4, matches: 1, eq: true, packed_bits: None };
         let qs = quotes(&m, &q, &SHAPES);
         assert_eq!(qs.len(), 4);
         let best = cheapest(&qs);
@@ -264,7 +282,13 @@ mod tests {
     fn high_selectivity_ranges_prefer_the_scan() {
         // 80% of 1M rows qualify: the sort-back term alone sinks the index.
         let m = origin();
-        let q = SelectQuery { rows: 1_000_000, stride: 4, matches: 800_000, eq: false };
+        let q = SelectQuery {
+            rows: 1_000_000,
+            stride: 4,
+            matches: 800_000,
+            eq: false,
+            packed_bits: None,
+        };
         let best = cheapest(&quotes(&m, &q, &SHAPES));
         assert_eq!(best.path, AccessPath::Scan);
     }
@@ -272,7 +296,7 @@ mod tests {
     #[test]
     fn range_predicates_only_use_the_btree() {
         let m = origin();
-        let q = SelectQuery { rows: 100_000, stride: 4, matches: 10, eq: false };
+        let q = SelectQuery { rows: 100_000, stride: 4, matches: 10, eq: false, packed_bits: None };
         let qs = quotes(&m, &q, &SHAPES);
         assert_eq!(qs.len(), 2);
         assert_eq!(qs[1].path, AccessPath::BtreeRange);
@@ -317,6 +341,34 @@ mod tests {
     }
 
     #[test]
+    fn packed_scan_beats_the_index_probe_where_the_plain_scan_loses() {
+        // Mid selectivity on 1M rows: the btree undercuts the 4-byte scan,
+        // but a 3-bit packed column streams ~10x fewer bytes and takes the
+        // quote back — the tentpole's access-path flip.
+        let m = origin();
+        let rows = 1 << 20;
+        let q =
+            SelectQuery { rows, stride: 4, matches: rows * 3 / 100, eq: false, packed_bits: None };
+        let shapes = [IndexShape::Btree { height: 7 }];
+        let plain = cheapest(&quotes(&m, &q, &shapes));
+        assert_eq!(
+            plain.path,
+            AccessPath::BtreeRange,
+            "chosen stride-4 regime must favor the btree"
+        );
+        let packed_q = SelectQuery { packed_bits: Some(3.0), ..q };
+        let qs = quotes(&m, &packed_q, &shapes);
+        assert_eq!(qs.len(), 3);
+        assert_eq!(qs[1].path, AccessPath::PackedScan);
+        let best = cheapest(&qs);
+        assert_eq!(best.path, AccessPath::PackedScan);
+        assert!(!best.path.is_index());
+        // At full 32 bits the packed quote ties the scan and changes nothing.
+        let q32 = SelectQuery { packed_bits: Some(32.0), ..q };
+        assert_eq!(cheapest(&quotes(&m, &q32, &shapes)).path, AccessPath::BtreeRange);
+    }
+
+    #[test]
     fn crossover_exists_and_is_interior() {
         // Sweeping selectivity at fixed C must flip the btree/scan ordering
         // exactly once, strictly inside (0, 1) — the Figure-3-style regime
@@ -327,7 +379,7 @@ mod tests {
         let mut flips = 0;
         for pct in 1..=100 {
             let matches = rows * pct / 100;
-            let q = SelectQuery { rows, stride: 4, matches, eq: false };
+            let q = SelectQuery { rows, stride: 4, matches, eq: false, packed_bits: None };
             let best = cheapest(&quotes(&m, &q, &[IndexShape::Btree { height: 7 }]));
             let index_wins = best.path.is_index();
             if index_wins != last_index_wins {

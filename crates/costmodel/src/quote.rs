@@ -60,6 +60,15 @@ pub enum OpShape {
         /// Tuples fetched.
         rows: usize,
     },
+    /// A scan-select evaluated directly on a compressed column storing
+    /// `bits` bits per value ([`crate::scan::packed_scan_cost`]): full
+    /// per-tuple CPU work, memory stream shrunk by the encoding.
+    PackedSelect {
+        /// Tuples scanned.
+        rows: usize,
+        /// Stored bits per value of the compressed representation.
+        bits: f64,
+    },
     /// A scan-select whose column stream is already covered by a shared
     /// (cooperative) pass in flight or pending: the query pays only the
     /// CPU-side marginal predicate evaluation
@@ -75,6 +84,7 @@ impl OpShape {
     fn items(self) -> usize {
         match self {
             OpShape::Select { rows, .. } => rows,
+            OpShape::PackedSelect { rows, .. } => rows,
             OpShape::Join { outer, inner } => outer + inner,
             OpShape::Aggregate { rows, .. } => rows,
             OpShape::Gather { rows } => rows,
@@ -124,6 +134,9 @@ pub fn quote_ops(cfg: &MachineConfig, ops: &[OpShape]) -> QueryQuote {
         seq_ns += match op {
             OpShape::Select { rows, stride } => {
                 scan_cost(&scan_model, rows.max(1), stride.max(1)).total_ns()
+            }
+            OpShape::PackedSelect { rows, bits } => {
+                crate::scan::packed_scan_cost(&scan_model, rows.max(1), bits).total_ns()
             }
             OpShape::Join { outer, inner } => {
                 // Same convention as the executor: the plan follows the
@@ -200,6 +213,18 @@ mod tests {
             fresh.seq_ns
         );
         assert_eq!(covered.items, 0, "the covering pass owns the divisible work");
+    }
+
+    #[test]
+    fn packed_selects_quote_below_fresh_scans_but_keep_their_items() {
+        let cfg = profiles::origin2000();
+        let fresh = quote_ops(&cfg, &[OpShape::Select { rows: 1_000_000, stride: 4 }]);
+        let packed = quote_ops(&cfg, &[OpShape::PackedSelect { rows: 1_000_000, bits: 3.0 }]);
+        assert!(packed.seq_ns < fresh.seq_ns, "{} !< {}", packed.seq_ns, fresh.seq_ns);
+        assert_eq!(packed.items, 1_000_000, "still a divisible full-column pass");
+        // 32 bits/value is the uncompressed stream.
+        let full = quote_ops(&cfg, &[OpShape::PackedSelect { rows: 1_000_000, bits: 32.0 }]);
+        assert!((full.seq_ns - fresh.seq_ns).abs() < 1e-6);
     }
 
     #[test]

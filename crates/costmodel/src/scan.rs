@@ -28,6 +28,29 @@ pub fn scan_cost(m: &ModelMachine, iters: usize, stride: usize) -> ModelCost {
     ModelCost::assemble(n * m.work.scan_iter_ns, n * l1, n * l2, n * tlb, &m.lat)
 }
 
+/// Predicted misses per iteration at a *fractional* byte stride — the §2
+/// ramp below one line. A packed column streams `bits/8` bytes per value,
+/// so the per-value miss rate is `(bits/8) / LS` long before it saturates.
+pub fn packed_misses_per_iter(m: &ModelMachine, bytes_per_value: f64) -> (f64, f64, f64) {
+    let s = bytes_per_value.max(0.0);
+    let l1 = (s / m.l1_line).min(1.0);
+    let l2 = (s / m.l2_line).min(1.0);
+    let tlb = (s / m.page).min(1.0);
+    (l1, l2, tlb)
+}
+
+/// Predicted cost of scanning `iters` values stored at `bits_per_value`
+/// bits each (a `core::compress` packed column). CPU work stays one scan
+/// iteration per value — compression shrinks only the memory stream, which
+/// is exactly the paper's argument for why it pays: at 32 bits/value this
+/// equals [`scan_cost`] at stride 4, and every saved bit moves the memory
+/// terms down the §2 ramp.
+pub fn packed_scan_cost(m: &ModelMachine, iters: usize, bits_per_value: f64) -> ModelCost {
+    let n = iters as f64;
+    let (l1, l2, tlb) = packed_misses_per_iter(m, bits_per_value / 8.0);
+    ModelCost::assemble(n * m.work.scan_iter_ns, n * l1, n * l2, n * tlb, &m.lat)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,6 +104,26 @@ mod tests {
         let c8 = per_iter_cycles(8);
         assert!((3.5..=5.5).contains(&c1), "stride-1 {c1} cycles");
         assert!((8.0..=12.0).contains(&c8), "stride-8 {c8} cycles");
+    }
+
+    #[test]
+    fn packed_cost_extends_the_stride_model_below_one_byte() {
+        let m = origin();
+        // 32 bits/value is exactly the uncompressed 4-byte stride.
+        let packed = packed_scan_cost(&m, 100_000, 32.0);
+        let plain = scan_cost(&m, 100_000, 4);
+        assert!((packed.total_ns() - plain.total_ns()).abs() < 1e-6);
+        // Memory terms shrink monotonically with the bit width; CPU stays.
+        let mut prev = plain;
+        for bits in [16.0, 8.0, 3.0, 0.5] {
+            let c = packed_scan_cost(&m, 100_000, bits);
+            assert!(c.total_ns() < prev.total_ns(), "{bits} bits");
+            assert!((c.cpu_ns - prev.cpu_ns).abs() < 1e-9, "CPU term unchanged at {bits} bits");
+            prev = c;
+        }
+        // 12 bits/value streams 8/3x fewer bytes: the stall terms scale.
+        let c12 = packed_scan_cost(&m, 100_000, 12.0);
+        assert!((c12.l2_misses - plain.l2_misses * 12.0 / 32.0).abs() < 1e-6);
     }
 
     #[test]

@@ -32,7 +32,11 @@ use costmodel::access::{
 };
 use costmodel::ModelMachine;
 use memsim::{MemTracker, Work};
+use monet_core::compress::{
+    multi_select_compressed, par_multi_select_compressed_counted, CompressedColumn,
+};
 use monet_core::index::{key_range_i32, ColumnIndex, IndexKind};
+use monet_core::scan::ScanPred;
 use monet_core::storage::DecomposedTable;
 
 use crate::plan::Pred;
@@ -83,6 +87,50 @@ impl AccessMode {
     }
 }
 
+/// Whether the executor may evaluate predicate leaves directly on the
+/// compressed column representations [`monet_core::compress`] attaches to
+/// decomposed tables. The `MONET_COMPRESS` environment variable sets the
+/// default of every [`crate::exec::ExecOptions`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompressMode {
+    /// Never touch compressed representations — every scan streams the
+    /// uncompressed column (the reference for bit-identity tests).
+    Off,
+    /// Packed scans compete in the cost model under `auto` access mode;
+    /// `scan` access mode stays on the uncompressed path (the default).
+    On,
+    /// Every leaf with a usable compressed representation takes the packed
+    /// scan, overriding both the access mode and the model.
+    Force,
+}
+
+impl CompressMode {
+    /// Parse a `MONET_COMPRESS`-style value (`0`/`off` | `1`/`on` | `force`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "0" | "off" => Some(CompressMode::Off),
+            "1" | "on" => Some(CompressMode::On),
+            "force" => Some(CompressMode::Force),
+            _ => None,
+        }
+    }
+
+    /// The mode pinned by the `MONET_COMPRESS` environment variable, if set
+    /// to a valid value.
+    pub fn from_env() -> Option<Self> {
+        std::env::var("MONET_COMPRESS").ok().and_then(|s| Self::parse(&s))
+    }
+
+    /// Display name (`off` | `on` | `force`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CompressMode::Off => "off",
+            CompressMode::On => "on",
+            CompressMode::Force => "force",
+        }
+    }
+}
+
 /// One predicate leaf's access-path decision, as emitted into the
 /// [`crate::exec::OpReport`].
 #[derive(Debug, Clone, PartialEq)]
@@ -104,12 +152,24 @@ pub struct AccessDecision {
     /// (cooperative) scan pass — no evaluation of any kind ran here, and
     /// `matches_est` is the exact provided count.
     pub shared: bool,
+    /// Stored bits per value of the compressed stream the leaf scans
+    /// (0 unless the path is [`AccessPath::PackedScan`]).
+    pub packed_bits: f64,
+    /// Byte stride of the uncompressed column (what a plain scan of this
+    /// leaf would stream per tuple; 0 for provided leaves).
+    pub stride: usize,
 }
 
 impl fmt::Display for AccessDecision {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.shared {
             write!(f, "{}=shared-scan ({} rows provided)", self.column, self.matches_est)
+        } else if self.path == AccessPath::PackedScan {
+            write!(
+                f,
+                "{}=packed-scan {:.1} bits/val {:.3} ms (scan {:.3} ms)",
+                self.column, self.packed_bits, self.predicted_ms, self.scan_ms
+            )
         } else if self.path.is_index() {
             write!(
                 f,
@@ -137,6 +197,9 @@ enum LeafAction {
     /// evaluation just consumes it (bit-identical to a solo scan by the
     /// kernel's contract).
     Provided(Arc<CandList>),
+    /// Scan-select directly on the column's compressed representation
+    /// (parallelizable; constants already translated into value/code space).
+    Packed { col: String, pred: ScanPred },
     /// B+-tree range probe (equality uses `lo == hi`).
     BtreeRange { col: String, lo: u32, hi: u32 },
     /// Hash or T-tree point probe.
@@ -233,15 +296,39 @@ fn usable_indexes<'t>(
 fn pick(mode: AccessMode, all: &[Quote]) -> Quote {
     match mode {
         AccessMode::Auto => cheapest(all),
-        AccessMode::Index => cheapest(&all[1..]),
+        AccessMode::Index => {
+            let idx: Vec<Quote> = all.iter().copied().filter(|q| q.path.is_index()).collect();
+            if idx.is_empty() {
+                all[0]
+            } else {
+                cheapest(&idx)
+            }
+        }
         AccessMode::Scan => all[0],
     }
+}
+
+/// The packed-scan candidate for a leaf: the column's compressed
+/// representation, when one exists, the policy allows compression at all,
+/// and the representation can evaluate `pred` directly.
+fn packed_candidate<'t>(
+    table: &'t DecomposedTable,
+    col: &str,
+    pred: ScanPred,
+    compress: CompressMode,
+) -> Option<(&'t CompressedColumn, ScanPred)> {
+    if compress == CompressMode::Off {
+        return None;
+    }
+    let cc = table.compressed_of(col)?;
+    cc.supports(&pred).then_some((cc, pred))
 }
 
 /// Map a chosen quote onto the evaluation action for an integer-key leaf.
 fn action_for(path: AccessPath, col: &str, klo: u32, khi: u32) -> LeafAction {
     match path {
         AccessPath::Scan => LeafAction::Scan,
+        AccessPath::PackedScan => unreachable!("packed actions are built from their candidate"),
         AccessPath::BtreeRange | AccessPath::BtreeEq => {
             LeafAction::BtreeRange { col: col.to_owned(), lo: klo, hi: khi }
         }
@@ -265,11 +352,12 @@ pub(crate) fn plan_pred_with<M: MemTracker>(
     table: &DecomposedTable,
     pred: &Pred,
     mode: AccessMode,
+    compress: CompressMode,
     model: &ModelMachine,
     provided: &[Option<Arc<CandList>>],
 ) -> Result<PredPlan, EngineError> {
     let mut leaves = Vec::with_capacity(leaf_count(pred));
-    plan_rec(trk, table, pred, mode, model, provided, &mut leaves)?;
+    plan_rec(trk, table, pred, mode, compress, model, provided, &mut leaves)?;
     Ok(PredPlan { leaves })
 }
 
@@ -285,17 +373,21 @@ fn provided_leaf(col: &str, cands: Arc<CandList>) -> LeafPlan {
             scan_ms: 0.0,
             matches_est: cands.len(),
             shared: true,
+            packed_bits: 0.0,
+            stride: 0,
         },
         action: LeafAction::Provided(cands),
         scan_work_ns: 0.0,
     }
 }
 
+#[allow(clippy::too_many_arguments)] // one call site; mirrors plan_pred_with
 fn plan_rec<M: MemTracker>(
     trk: &mut M,
     table: &DecomposedTable,
     pred: &Pred,
     mode: AccessMode,
+    compress: CompressMode,
     model: &ModelMachine,
     provided: &[Option<Arc<CandList>>],
     out: &mut Vec<LeafPlan>,
@@ -316,26 +408,31 @@ fn plan_rec<M: MemTracker>(
     }
     match pred {
         Pred::And(a, b) | Pred::Or(a, b) => {
-            plan_rec(trk, table, a, mode, model, provided, out)?;
-            plan_rec(trk, table, b, mode, model, provided, out)
+            plan_rec(trk, table, a, mode, compress, model, provided, out)?;
+            plan_rec(trk, table, b, mode, compress, model, provided, out)
         }
         Pred::RangeF64 { col, .. } => {
-            // F64 columns carry no indexes (no u32 key mapping): always scan.
+            // F64 columns carry no indexes (no u32 key mapping) and no
+            // compressed representation: always a plain scan.
             table.bat(col)?;
-            out.push(scan_leaf(model, table, col, 8));
+            out.push(scan_leaf(model, table, col, 8, None, compress, mode));
             Ok(())
         }
         Pred::RangeI32 { col, lo, hi } => {
             table.bat(col)?;
             let eq = lo == hi;
+            let packed =
+                packed_candidate(table, col, ScanPred::RangeI32 { lo: *lo, hi: *hi }, compress);
             let usable = usable_indexes(table, col, eq);
             if mode == AccessMode::Scan || usable.is_empty() {
-                out.push(scan_leaf(model, table, col, 4));
+                out.push(scan_leaf(model, table, col, 4, packed, compress, mode));
                 return Ok(());
             }
             let (klo, khi) = key_range_i32(*lo, *hi);
             let matches = estimate_matches(trk, table, col, &usable, klo, khi);
-            out.push(priced_leaf(model, table, col, 4, matches, eq, mode, &usable, klo, khi));
+            out.push(priced_leaf(
+                model, table, col, 4, matches, eq, mode, &usable, klo, khi, packed, compress,
+            ));
             Ok(())
         }
         Pred::EqStr { col, value } => {
@@ -345,9 +442,13 @@ fn plan_rec<M: MemTracker>(
                 ty: bat.tail().value_type(),
             })?;
             let stride = bat.tail().tail_width();
+            let packed = sc
+                .dict
+                .code_of(value)
+                .and_then(|code| packed_candidate(table, col, ScanPred::EqCode { code }, compress));
             let usable = usable_indexes(table, col, true);
             if mode == AccessMode::Scan || usable.is_empty() {
-                out.push(scan_leaf(model, table, col, stride));
+                out.push(scan_leaf(model, table, col, stride, packed, compress, mode));
                 return Ok(());
             }
             let Some(code) = sc.dict.code_of(value) else {
@@ -355,7 +456,9 @@ fn plan_rec<M: MemTracker>(
                 // query, so nothing executes and nothing may be quoted:
                 // keep the path the planner would have taken (provenance)
                 // but zero its cost so `model_ms` only prices work done.
-                let mut leaf = priced_leaf(model, table, col, stride, 0, true, mode, &usable, 0, 0);
+                let mut leaf = priced_leaf(
+                    model, table, col, stride, 0, true, mode, &usable, 0, 0, None, compress,
+                );
                 leaf.action = LeafAction::Empty;
                 leaf.scan_work_ns = 0.0;
                 leaf.decision.predicted_ms = 0.0;
@@ -364,17 +467,54 @@ fn plan_rec<M: MemTracker>(
             };
             let matches = estimate_matches(trk, table, col, &usable, code, code);
             out.push(priced_leaf(
-                model, table, col, stride, matches, true, mode, &usable, code, code,
+                model, table, col, stride, matches, true, mode, &usable, code, code, packed,
+                compress,
             ));
             Ok(())
         }
     }
 }
 
-/// A leaf that scans unconditionally (no usable index, or `Scan` mode).
-fn scan_leaf(model: &ModelMachine, table: &DecomposedTable, col: &str, stride: usize) -> LeafPlan {
-    let q = SelectQuery { rows: table.len(), stride, matches: 0, eq: false };
-    let scan_ms = costmodel::access::scan_select_cost(model, q.rows, q.stride).total_ms();
+/// A leaf that never probes an index (no usable one, or `Scan` mode): a
+/// plain scan — or the packed scan over the compressed representation when
+/// the policy allows it and the model (or `force`) prefers it.
+fn scan_leaf(
+    model: &ModelMachine,
+    table: &DecomposedTable,
+    col: &str,
+    stride: usize,
+    packed: Option<(&CompressedColumn, ScanPred)>,
+    compress: CompressMode,
+    mode: AccessMode,
+) -> LeafPlan {
+    let rows = table.len();
+    let scan_ms = costmodel::access::scan_select_cost(model, rows, stride).total_ms();
+    if let Some((cc, pred)) = packed {
+        let bits = cc.bits_per_value();
+        let packed_ms = costmodel::scan::packed_scan_cost(model, rows, bits).total_ms();
+        let take = match compress {
+            CompressMode::Force => true,
+            // `scan` access mode stays the uncompressed reference path.
+            CompressMode::On => mode != AccessMode::Scan && packed_ms < scan_ms,
+            CompressMode::Off => false,
+        };
+        if take {
+            return LeafPlan {
+                decision: AccessDecision {
+                    column: col.to_owned(),
+                    path: AccessPath::PackedScan,
+                    predicted_ms: packed_ms,
+                    scan_ms,
+                    matches_est: 0,
+                    shared: false,
+                    packed_bits: bits,
+                    stride,
+                },
+                action: LeafAction::Packed { col: col.to_owned(), pred },
+                scan_work_ns: packed_ms * 1e6,
+            };
+        }
+    }
     LeafPlan {
         decision: AccessDecision {
             column: col.to_owned(),
@@ -383,6 +523,8 @@ fn scan_leaf(model: &ModelMachine, table: &DecomposedTable, col: &str, stride: u
             scan_ms,
             matches_est: 0,
             shared: false,
+            packed_bits: 0.0,
+            stride,
         },
         action: LeafAction::Scan,
         scan_work_ns: scan_ms * 1e6,
@@ -409,7 +551,7 @@ fn estimate_matches<M: MemTracker>(
     idx.len() / idx.distinct().max(1)
 }
 
-#[allow(clippy::too_many_arguments)] // one call site; splitting obscures the pricing inputs
+#[allow(clippy::too_many_arguments)] // two call sites; splitting obscures the pricing inputs
 fn priced_leaf(
     model: &ModelMachine,
     table: &DecomposedTable,
@@ -421,13 +563,39 @@ fn priced_leaf(
     usable: &[(&ColumnIndex, IndexShape)],
     klo: u32,
     khi: u32,
+    packed: Option<(&CompressedColumn, ScanPred)>,
+    compress: CompressMode,
 ) -> LeafPlan {
-    let q = SelectQuery { rows: table.len(), stride, matches, eq };
+    // `on` lets the packed quote compete only where the model decides
+    // (auto); `force` admits it everywhere and then overrides the pick.
+    let packed = packed.filter(|_| match compress {
+        CompressMode::Off => false,
+        CompressMode::On => mode == AccessMode::Auto,
+        CompressMode::Force => true,
+    });
+    let q = SelectQuery {
+        rows: table.len(),
+        stride,
+        matches,
+        eq,
+        packed_bits: packed.map(|(cc, _)| cc.bits_per_value()),
+    };
     let shapes: Vec<IndexShape> = usable.iter().map(|(_, s)| *s).collect();
     let all = quotes(model, &q, &shapes);
-    let chosen = pick(mode, &all);
+    let chosen = if compress == CompressMode::Force && packed.is_some() {
+        *all.iter()
+            .find(|quote| quote.path == AccessPath::PackedScan)
+            .expect("a packed candidate always yields a packed quote")
+    } else {
+        pick(mode, &all)
+    };
     let scan_ms = all[0].cost.total_ms();
-    let action = action_for(chosen.path, col, klo, khi);
+    let action = if chosen.path == AccessPath::PackedScan {
+        let (_, pred) = packed.expect("packed quote implies a packed candidate");
+        LeafAction::Packed { col: col.to_owned(), pred }
+    } else {
+        action_for(chosen.path, col, klo, khi)
+    };
     LeafPlan {
         decision: AccessDecision {
             column: col.to_owned(),
@@ -436,9 +604,15 @@ fn priced_leaf(
             scan_ms,
             matches_est: matches,
             shared: false,
+            packed_bits: if chosen.path == AccessPath::PackedScan {
+                q.packed_bits.unwrap_or(0.0)
+            } else {
+                0.0
+            },
+            stride,
         },
         action,
-        scan_work_ns: if chosen.path.is_index() { 0.0 } else { scan_ms * 1e6 },
+        scan_work_ns: if chosen.path.is_index() { 0.0 } else { chosen.cost.total_ms() * 1e6 },
     }
 }
 
@@ -525,6 +699,23 @@ fn eval_leaf<M: MemTracker>(
         // free of scan work (and contributes no shard counts).
         LeafAction::Provided(cands) => Ok((**cands).clone()),
         LeafAction::Scan => scan_eval(trk, table, leaf, threads, shards),
+        LeafAction::Packed { col, pred } => {
+            let cc = table.compressed_of(col).expect("planned packed leaf has a compressed column");
+            if threads <= 1 {
+                let mut lists =
+                    multi_select_compressed(trk, cc, table.seqbase(), std::slice::from_ref(pred))?;
+                Ok(lists.remove(0))
+            } else {
+                let (mut lists, counts) = par_multi_select_compressed_counted(
+                    cc,
+                    table.seqbase(),
+                    std::slice::from_ref(pred),
+                    threads,
+                )?;
+                shards.add(&counts);
+                Ok(lists.remove(0))
+            }
+        }
         LeafAction::BtreeRange { col, lo, hi } => {
             let idx = table
                 .index_of(col, IndexKind::CsBTree)
@@ -632,9 +823,15 @@ mod tests {
         ModelMachine::new(&profiles::origin2000())
     }
 
-    fn run(t: &DecomposedTable, pred: &Pred, mode: AccessMode, threads: usize) -> CandList {
+    fn run(
+        t: &DecomposedTable,
+        pred: &Pred,
+        mode: AccessMode,
+        compress: CompressMode,
+        threads: usize,
+    ) -> CandList {
         let m = model();
-        let plan = plan_pred_with(&mut NullTracker, t, pred, mode, &m, &[]).unwrap();
+        let plan = plan_pred_with(&mut NullTracker, t, pred, mode, compress, &m, &[]).unwrap();
         eval_planned(&mut NullTracker, t, pred, &plan, threads).unwrap().0
     }
 
@@ -652,15 +849,18 @@ mod tests {
             Pred::range_f64("x", 1.0, 2.0).and(Pred::range_i32("k", 0, 0)),
         ];
         for pred in &preds {
-            let reference = run(&t, pred, AccessMode::Scan, 1);
+            let reference = run(&t, pred, AccessMode::Scan, CompressMode::Off, 1);
             for mode in [AccessMode::Scan, AccessMode::Index, AccessMode::Auto] {
-                for threads in [1usize, 4] {
-                    assert_eq!(
-                        run(&t, pred, mode, threads),
-                        reference,
-                        "pred={pred} mode={} threads={threads}",
-                        mode.name()
-                    );
+                for compress in [CompressMode::Off, CompressMode::On, CompressMode::Force] {
+                    for threads in [1usize, 4] {
+                        assert_eq!(
+                            run(&t, pred, mode, compress, threads),
+                            reference,
+                            "pred={pred} mode={} compress={} threads={threads}",
+                            mode.name(),
+                            compress.name()
+                        );
+                    }
                 }
             }
         }
@@ -671,7 +871,16 @@ mod tests {
         let t = table(true);
         let m = model();
         let pred = Pred::range_i32("k", 7, 7);
-        let plan = plan_pred_with(&mut NullTracker, &t, &pred, AccessMode::Auto, &m, &[]).unwrap();
+        let plan = plan_pred_with(
+            &mut NullTracker,
+            &t,
+            &pred,
+            AccessMode::Auto,
+            CompressMode::On,
+            &m,
+            &[],
+        )
+        .unwrap();
         let d = &plan.decisions()[0];
         assert!(d.path.is_index(), "{d:?}");
         assert_eq!(d.matches_est, 10, "exact count: 500 rows / 50 keys");
@@ -686,10 +895,16 @@ mod tests {
         let m = model();
         for (t, mode) in [(&bare, AccessMode::Auto), (&table(true), AccessMode::Scan)] {
             let pred = Pred::range_i32("k", 7, 7).and(Pred::eq_str("s", "AIR"));
-            let plan = plan_pred_with(&mut NullTracker, t, &pred, mode, &m, &[]).unwrap();
+            // Compression on: still no index probes (packed scans are scans).
+            let plan = plan_pred_with(&mut NullTracker, t, &pred, mode, CompressMode::On, &m, &[])
+                .unwrap();
             assert!(!plan.uses_index());
-            assert!(plan.decisions().iter().all(|d| d.path == AccessPath::Scan));
+            assert!(plan.decisions().iter().all(|d| !d.path.is_index()));
             assert!(plan.scan_work_ns() > 0.0);
+            // Compression off: the exact pre-compression plan shape.
+            let plan = plan_pred_with(&mut NullTracker, t, &pred, mode, CompressMode::Off, &m, &[])
+                .unwrap();
+            assert!(plan.decisions().iter().all(|d| d.path == AccessPath::Scan));
         }
     }
 
@@ -703,6 +918,7 @@ mod tests {
             &t,
             &Pred::range_i32("k", -20, 20),
             AccessMode::Index,
+            CompressMode::On,
             &m,
             &[],
         )
@@ -714,6 +930,7 @@ mod tests {
             &t,
             &Pred::range_f64("x", 0.0, 1.0),
             AccessMode::Index,
+            CompressMode::On,
             &m,
             &[],
         )
@@ -726,7 +943,16 @@ mod tests {
         let t = table(true);
         let m = model();
         let pred = Pred::range_f64("x", 0.0, 20.0).and(Pred::range_i32("k", 0, 0));
-        let plan = plan_pred_with(&mut NullTracker, &t, &pred, AccessMode::Auto, &m, &[]).unwrap();
+        let plan = plan_pred_with(
+            &mut NullTracker,
+            &t,
+            &pred,
+            AccessMode::Auto,
+            CompressMode::On,
+            &m,
+            &[],
+        )
+        .unwrap();
         let (cands, shards) = eval_planned(&mut NullTracker, &t, &pred, &plan, 4).unwrap();
         let shards = shards.expect("parallel run shards");
         assert_eq!(shards.len(), 4);
@@ -740,11 +966,98 @@ mod tests {
     }
 
     #[test]
+    fn forced_compression_takes_the_packed_scan_everywhere_it_can() {
+        let t = table(true);
+        let m = model();
+        let pred = Pred::range_i32("k", -5, 5).and(Pred::eq_str("s", "AIR"));
+        for mode in [AccessMode::Scan, AccessMode::Index, AccessMode::Auto] {
+            let plan =
+                plan_pred_with(&mut NullTracker, &t, &pred, mode, CompressMode::Force, &m, &[])
+                    .unwrap();
+            for d in plan.decisions() {
+                assert_eq!(d.path, AccessPath::PackedScan, "mode={} {d:?}", mode.name());
+                assert!(d.packed_bits > 0.0 && d.packed_bits < 8.0 * d.stride as f64, "{d:?}");
+            }
+            assert!(!plan.uses_index());
+            assert!(plan.scan_work_ns() > 0.0, "packed scans still fan out");
+        }
+        // The packed detail line names the encoding family and the bit rate.
+        let plan = plan_pred_with(
+            &mut NullTracker,
+            &t,
+            &Pred::range_i32("k", -5, 5),
+            AccessMode::Auto,
+            CompressMode::Force,
+            &m,
+            &[],
+        )
+        .unwrap();
+        assert!(plan.detail().contains("packed-scan"), "{}", plan.detail());
+    }
+
+    #[test]
+    fn auto_mode_prefers_the_packed_scan_on_big_unindexed_columns() {
+        // An unindexed FOR-friendly column large enough that bytes dominate:
+        // under `on` the model must route the leaf to the packed scan.
+        let mut b = TableBuilder::new("big", 0).column("v", ColType::I32);
+        for i in 0..200_000i32 {
+            b.push_row(&[Value::I32(i % 1000)]).unwrap();
+        }
+        let t = b.finish();
+        let m = model();
+        let pred = Pred::range_i32("v", 100, 300);
+        let plan = plan_pred_with(
+            &mut NullTracker,
+            &t,
+            &pred,
+            AccessMode::Auto,
+            CompressMode::On,
+            &m,
+            &[],
+        )
+        .unwrap();
+        let d = &plan.decisions()[0];
+        assert_eq!(d.path, AccessPath::PackedScan, "{d:?}");
+        assert!(d.predicted_ms < d.scan_ms, "{d:?}");
+        // Same plan under `off`: the plain scan.
+        let plan = plan_pred_with(
+            &mut NullTracker,
+            &t,
+            &pred,
+            AccessMode::Auto,
+            CompressMode::Off,
+            &m,
+            &[],
+        )
+        .unwrap();
+        assert_eq!(plan.decisions()[0].path, AccessPath::Scan);
+        // Scan mode under `on` also stays on the uncompressed reference.
+        let plan = plan_pred_with(
+            &mut NullTracker,
+            &t,
+            &pred,
+            AccessMode::Scan,
+            CompressMode::On,
+            &m,
+            &[],
+        )
+        .unwrap();
+        assert_eq!(plan.decisions()[0].path, AccessPath::Scan);
+    }
+
+    #[test]
     fn mode_parsing() {
         assert_eq!(AccessMode::parse("scan"), Some(AccessMode::Scan));
         assert_eq!(AccessMode::parse("index"), Some(AccessMode::Index));
         assert_eq!(AccessMode::parse("auto"), Some(AccessMode::Auto));
         assert_eq!(AccessMode::parse("AUTO"), None);
         assert_eq!(AccessMode::parse(""), None);
+        assert_eq!(CompressMode::parse("0"), Some(CompressMode::Off));
+        assert_eq!(CompressMode::parse("off"), Some(CompressMode::Off));
+        assert_eq!(CompressMode::parse("1"), Some(CompressMode::On));
+        assert_eq!(CompressMode::parse("on"), Some(CompressMode::On));
+        assert_eq!(CompressMode::parse("force"), Some(CompressMode::Force));
+        assert_eq!(CompressMode::parse("ON"), None);
+        assert_eq!(CompressMode::parse(""), None);
     }
 }

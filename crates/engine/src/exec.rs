@@ -61,7 +61,9 @@ use monet_core::join::OidPair;
 use monet_core::storage::{Bat, Column, DecomposedTable, Oid};
 use monet_core::strategy::{heuristic_plan, JoinPlan};
 
-use crate::access::{eval_planned, leaf_count, plan_pred_with, AccessDecision, AccessMode};
+use crate::access::{
+    eval_planned, leaf_count, plan_pred_with, AccessDecision, AccessMode, CompressMode,
+};
 use crate::aggregate::{max_i32, min_i32, par_max_i32, par_min_i32, par_sum_i32, sum_f64, sum_i32};
 use crate::candidates::intersect;
 use crate::group::{hash_group_multi_agg, par_hash_group_multi_agg};
@@ -134,6 +136,12 @@ pub struct ExecOptions {
     /// concurrent queries each run under their own cap and the pool is
     /// never oversubscribed. `None` (the default) imposes no ceiling.
     pub thread_cap: Option<usize>,
+    /// Compressed-column policy (off / on / force). The constructors
+    /// default to [`CompressMode::On`] unless the `MONET_COMPRESS`
+    /// environment variable pins a mode. Results are bit-identical at
+    /// every setting; only the bytes streamed (and hence the model's path
+    /// choices) change.
+    pub compress: CompressMode,
 }
 
 impl ExecOptions {
@@ -145,6 +153,7 @@ impl ExecOptions {
             threads: Threads::Fixed(1),
             access: AccessMode::from_env().unwrap_or(AccessMode::Auto),
             thread_cap: None,
+            compress: CompressMode::from_env().unwrap_or(CompressMode::On),
         }
     }
 
@@ -162,6 +171,12 @@ impl ExecOptions {
     /// Set the selection access-path policy (overriding `MONET_ACCESS`).
     pub fn with_access(mut self, access: AccessMode) -> Self {
         self.access = access;
+        self
+    }
+
+    /// Set the compressed-column policy (overriding `MONET_COMPRESS`).
+    pub fn with_compress(mut self, compress: CompressMode) -> Self {
+        self.compress = compress;
         self
     }
 
@@ -499,7 +514,8 @@ fn exec_node<'a, M: MemTracker>(
             // table's attached indexes, priced by costmodel::access) —
             // B+-tree-backed selectivity estimates are exact. Leaves whose
             // candidates a shared pass provided are settled already.
-            let pplan = plan_pred_with(trk, table, pred, opts.access, model, &provided)?;
+            let pplan =
+                plan_pred_with(trk, table, pred, opts.access, opts.compress, model, &provided)?;
             let model_ms = pplan.model_ms();
             // Phase 2: the parallel model only sees the scanning leaves
             // (index probes are a handful of node touches; never forked).
@@ -1362,10 +1378,15 @@ mod tests {
             &ExecOptions::cost_model(machine).with_access(crate::access::AccessMode::Scan),
         )
         .unwrap();
+        // Pin the compression policy: under `force` Auto would take the
+        // packed scan by fiat; under `on` the point probe out-prices it,
+        // which is the decision this test pins down.
         let auto = execute(
             &mut NullTracker,
             &plan,
-            &ExecOptions::cost_model(machine).with_access(crate::access::AccessMode::Auto),
+            &ExecOptions::cost_model(machine)
+                .with_access(crate::access::AccessMode::Auto)
+                .with_compress(CompressMode::On),
         )
         .unwrap();
         assert_eq!(auto.output, scan.output, "access paths must be bit-identical");
@@ -1391,6 +1412,7 @@ mod tests {
         // under forced parallelism; the group op shards its gather input.
         let opts = ExecOptions::cost_model(machine)
             .with_access(crate::access::AccessMode::Index)
+            .with_compress(CompressMode::On)
             .with_threads(Threads::Fixed(4));
         let par = execute(&mut NullTracker, &plan, &opts).unwrap();
         assert_eq!(par.output, scan.output);
@@ -1514,8 +1536,10 @@ mod tests {
 
     #[test]
     fn parallel_scan_select_shards_its_row_counters() {
+        // Enough rows that even the packed (frame-sharded) kernel splits
+        // into 4 chunks: 8 frames of 1024.
         let mut b = TableBuilder::new("wide", 0).column("qty", ColType::I32);
-        for i in 0..1_000i32 {
+        for i in 0..8_192i32 {
             b.push_row(&[Value::I32(i % 10)]).unwrap();
         }
         let t = b.finish();

@@ -50,7 +50,7 @@ pub mod reconstruct;
 pub mod select;
 pub mod shared;
 
-pub use access::{AccessDecision, AccessMode};
+pub use access::{AccessDecision, AccessMode, CompressMode};
 pub use exec::{
     execute, execute_with_scans, ExecOptions, ExecReport, Executed, Planner, QueryOutput, Threads,
 };

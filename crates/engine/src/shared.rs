@@ -29,8 +29,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use monet_core::compress::CompressedColumn;
 use monet_core::scan::ScanPred;
-use monet_core::storage::{Bat, Codes, Column, DecomposedTable};
+use monet_core::storage::{Bat, Codes, Column, DecomposedTable, Oid};
 
 use crate::plan::{LogicalPlan, PlanNode, Pred};
 use crate::select::CandList;
@@ -136,6 +137,13 @@ pub struct ScanRequest<'p> {
     pub rows: usize,
     /// Bytes per tuple in the scanned buffer.
     pub stride: usize,
+    /// The column's compressed representation, when one exists and can
+    /// evaluate this predicate directly — a cooperative pass may stream it
+    /// instead of the uncompressed buffer (results are bit-identical).
+    pub compressed: Option<&'p CompressedColumn>,
+    /// First OID of the base table (the compressed kernels emit
+    /// `seqbase + row`).
+    pub seqbase: Oid,
 }
 
 impl ScanRequest<'_> {
@@ -227,6 +235,7 @@ fn lower_leaf<'p>(
     let bat = table.bat(col).ok()?;
     // The predicate type was validated against the column at plan build;
     // the kernel re-checks anyway.
+    let compressed = table.compressed_of(col).filter(|cc| cc.supports(&pred.kernel_pred()));
     Some(ScanRequest {
         leaf: idx,
         bat,
@@ -236,6 +245,8 @@ fn lower_leaf<'p>(
         pred,
         rows: bat.len(),
         stride: bat.tail().tail_width(),
+        compressed,
+        seqbase: table.seqbase(),
     })
 }
 
@@ -324,6 +335,12 @@ mod tests {
         assert_eq!(reqs[0].rows, 100);
         assert_eq!(reqs[0].stride, 4);
         assert_eq!(reqs[1].stride, 1, "2-value dictionary encodes in one byte");
+        // qty spans 0..10 in one frame: a FOR representation rides along.
+        let cc = reqs[0].compressed.expect("small-range i32 column compresses");
+        assert!(cc.bits_per_value() < 32.0);
+        assert_eq!(reqs[0].seqbase, 0);
+        // The f64-free request set still lowers the dict column: packed codes.
+        assert!(reqs[1].compressed.is_some(), "2-entry dictionary packs to 1 bit");
     }
 
     #[test]

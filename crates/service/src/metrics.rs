@@ -112,6 +112,14 @@ pub struct ServiceMetrics {
     /// passes once per pass, per-query scan leaves once per leaf. The
     /// figure of merit cooperative scans push down.
     pub scan_rows_streamed: u64,
+    /// Bytes those kernels actually streamed from *compressed*
+    /// representations (packed/RLE/dictionary leaves, solo and
+    /// cooperative): `rows × bits-per-value / 8` per compressed pass.
+    pub compressed_bytes_streamed: u64,
+    /// Bytes compression kept off the memory bus: the uncompressed stream
+    /// (`rows × stride`) minus the compressed bytes, summed over every
+    /// compressed pass. The figure of merit packed scans push down.
+    pub bytes_saved: u64,
     /// Queries answered straight from the result cache.
     pub cache_hits: u64,
     /// Cache lookups that missed (and then executed).
@@ -147,6 +155,12 @@ pub struct SessionMetrics {
     /// Scan leaves of this session's queries that were answered by another
     /// query's cooperative pass (no scan ran on this session's behalf).
     pub scans_saved: u64,
+    /// Bytes this session's own packed-scan leaves streamed from
+    /// compressed representations.
+    pub compressed_bytes_streamed: u64,
+    /// Bytes this session's own packed-scan leaves kept off the memory bus
+    /// versus the uncompressed columns.
+    pub bytes_saved: u64,
     /// Sum of end-to-end latencies in milliseconds.
     pub total_ms: f64,
     /// Largest single end-to-end latency.

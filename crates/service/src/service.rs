@@ -8,10 +8,12 @@ use std::time::Instant;
 
 use costmodel::access::AccessPath;
 use costmodel::quote::{quote_ops, OpShape, QueryQuote};
+use engine::access::CompressMode;
 use engine::exec::{execute_with_scans, ExecOptions, ExecReport, Executed, QueryOutput, Threads};
 use engine::plan::{LogicalPlan, PlanNode, Pred};
 use engine::shared::{scan_requests, ScanRequest, ScanTicket};
 use memsim::{MachineConfig, NullTracker};
+use monet_core::compress::{multi_select_compressed, par_multi_select_compressed_counted};
 use monet_core::scan::{multi_select, par_multi_select_counted, ScanPred};
 
 use crate::config::ServiceConfig;
@@ -51,6 +53,8 @@ struct Inner {
     shared_scan_batches: u64,
     scans_saved: u64,
     scan_rows: u64,
+    compressed_bytes: u64,
+    bytes_saved: u64,
     cache_hits: u64,
     cache_misses: u64,
     latencies_ms: SampleWindow,
@@ -74,6 +78,8 @@ impl QueryService {
                 shared_scan_batches: 0,
                 scans_saved: 0,
                 scan_rows: 0,
+                compressed_bytes: 0,
+                bytes_saved: 0,
                 cache_hits: 0,
                 cache_misses: 0,
                 latencies_ms: SampleWindow::new(LATENCY_WINDOW),
@@ -135,6 +141,8 @@ impl QueryService {
             shared_scan_batches: st.shared_scan_batches,
             scans_saved: st.scans_saved,
             scan_rows_streamed: st.scan_rows,
+            compressed_bytes_streamed: st.compressed_bytes,
+            bytes_saved: st.bytes_saved,
             cache_hits: st.cache_hits,
             cache_misses: st.cache_misses,
             cache_evictions: st.cache.evictions,
@@ -283,22 +291,32 @@ impl QueryService {
                 return Err(ServiceError::Engine(e));
             }
         };
-        // Scan traffic this query streamed itself: scan-path leaves the
-        // shared mechanism did not cover (index probes stream nothing).
-        let self_scanned: u64 = executed
-            .report
-            .ops
-            .iter()
-            .map(|op| {
-                let scans =
-                    op.access.iter().filter(|d| !d.shared && d.path == AccessPath::Scan).count();
-                scans as u64 * op.rows_in as u64
-            })
-            .sum();
+        // Scan traffic this query streamed itself: scan-path leaves
+        // (uncompressed or packed) the shared mechanism did not cover —
+        // index probes stream nothing. Packed leaves additionally account
+        // the compressed bytes they streamed and the uncompressed bytes
+        // (`rows × stride`) the encoding kept off the bus.
+        let (mut self_scanned, mut packed_bytes, mut packed_saved) = (0u64, 0u64, 0u64);
+        for op in &executed.report.ops {
+            for d in op.access.iter().filter(|d| !d.shared) {
+                match d.path {
+                    AccessPath::Scan => self_scanned += op.rows_in as u64,
+                    AccessPath::PackedScan => {
+                        self_scanned += op.rows_in as u64;
+                        let cb = (op.rows_in as f64 * d.packed_bits / 8.0).ceil() as u64;
+                        packed_bytes += cb;
+                        packed_saved += (op.rows_in as u64 * d.stride as u64).saturating_sub(cb);
+                    }
+                    _ => {}
+                }
+            }
+        }
 
         let mut st = self.state.lock().expect("service lock");
         st.completed += 1;
         st.scan_rows += self_scanned;
+        st.compressed_bytes += packed_bytes;
+        st.bytes_saved += packed_saved;
         st.latencies_ms.push(total_ms);
         st.queue_waits_ms.push(queue_ms);
         st.board.forget(ticket);
@@ -316,6 +334,8 @@ impl QueryService {
         let sm = &mut st.sessions[session];
         sm.completed += 1;
         sm.scans_saved += provided_by_others as u64;
+        sm.compressed_bytes_streamed += packed_bytes;
+        sm.bytes_saved += packed_saved;
         sm.total_ms += total_ms;
         sm.max_ms = sm.max_ms.max(total_ms);
         drop(st);
@@ -336,11 +356,14 @@ impl QueryService {
 
     /// Execute claimed cooperative passes: one [`multi_select`] stream per
     /// batch (sharded over the lease when it is worth forking), feeding the
-    /// runner's own leaves directly and publishing everyone else's. Each
-    /// claim is guarded: if the pass fails — or a panic unwinds out of the
-    /// kernel — its keys are aborted back off the in-flight set so waiters
-    /// evaluate for themselves instead of blocking forever (the board-side
-    /// analogue of [`LeaseGuard`]).
+    /// runner's own leaves directly and publishing everyone else's. When the
+    /// anchored column carries a compressed representation that supports
+    /// every merged predicate (and `MONET_COMPRESS` does not say off), the
+    /// pass streams the compressed bytes instead — bit-identical lists,
+    /// fewer bytes on the bus. Each claim is guarded: if the pass fails — or
+    /// a panic unwinds out of the kernel — its keys are aborted back off the
+    /// in-flight set so waiters evaluate for themselves instead of blocking
+    /// forever (the board-side analogue of [`LeaseGuard`]).
     fn run_batches(
         &self,
         batches: &[crate::shared::Batch],
@@ -348,12 +371,24 @@ impl QueryService {
         threads: usize,
         ticket_lists: &mut ScanTicket,
     ) {
+        let compress = CompressMode::from_env().unwrap_or(CompressMode::On);
         for batch in batches {
             let mut claim = ClaimGuard { svc: self, batch, published: false };
             let req = &requests[batch.anchor];
             let preds: Vec<ScanPred> =
                 batch.preds.iter().map(|p| p.key.pred.kernel_pred()).collect();
-            let lists = if threads > 1 {
+            let cc = (compress != CompressMode::Off)
+                .then_some(req.compressed)
+                .flatten()
+                .filter(|cc| preds.iter().all(|p| cc.supports(p)));
+            let lists = if let Some(cc) = cc {
+                if threads > 1 {
+                    par_multi_select_compressed_counted(cc, req.seqbase, &preds, threads)
+                        .map(|(lists, _)| lists)
+                } else {
+                    multi_select_compressed(&mut NullTracker, cc, req.seqbase, &preds)
+                }
+            } else if threads > 1 {
                 par_multi_select_counted(req.bat, &preds, threads).map(|(lists, _)| lists)
             } else {
                 multi_select(&mut NullTracker, req.bat, &preds)
@@ -373,6 +408,11 @@ impl QueryService {
                 st.shared_scan_batches += 1;
                 st.scans_saved += batch.covered_leaves().saturating_sub(1) as u64;
                 st.scan_rows += batch.rows as u64;
+                if let Some(cc) = cc {
+                    let cb = (batch.rows as f64 * cc.bits_per_value() / 8.0).ceil() as u64;
+                    st.compressed_bytes += cb;
+                    st.bytes_saved += (batch.rows as u64 * req.stride as u64).saturating_sub(cb);
+                }
                 drop(st);
                 claim.published = true;
             }
@@ -512,9 +552,20 @@ pub fn quote_plan_covered(
     plan: &LogicalPlan<'_>,
     covered: &dyn Fn(usize) -> bool,
 ) -> QueryQuote {
+    // Leaves whose column carries a usable compressed representation quote
+    // at the packed stream width ([`OpShape::PackedSelect`]) — unless the
+    // `MONET_COMPRESS` policy knob turns compression off, in which case
+    // admission prices the uncompressed scans the engine will actually run.
+    let packed: HashMap<usize, f64> = match CompressMode::from_env() {
+        Some(CompressMode::Off) => HashMap::new(),
+        _ => scan_requests(plan)
+            .iter()
+            .filter_map(|r| r.compressed.map(|cc| (r.leaf, cc.bits_per_value())))
+            .collect(),
+    };
     let mut ops = Vec::new();
     let mut leaf = 0usize;
-    shapes_of(&plan.root, &mut ops, &mut leaf, covered);
+    shapes_of(&plan.root, &mut ops, &mut leaf, covered, &packed);
     quote_ops(machine, &ops)
 }
 
@@ -526,16 +577,19 @@ fn shapes_of(
     ops: &mut Vec<OpShape>,
     leaf: &mut usize,
     covered: &dyn Fn(usize) -> bool,
+    packed: &HashMap<usize, f64>,
 ) -> usize {
     match node {
         PlanNode::Scan { table } => table.len(),
         PlanNode::Filter { input, pred } => {
-            let rows = shapes_of(input, ops, leaf, covered);
+            let rows = shapes_of(input, ops, leaf, covered, packed);
             for stride in leaf_strides(node_table(input), pred) {
                 let idx = *leaf;
                 *leaf += 1;
                 ops.push(if covered(idx) {
                     OpShape::SharedSelect { rows }
+                } else if let Some(&bits) = packed.get(&idx) {
+                    OpShape::PackedSelect { rows, bits }
                 } else {
                     OpShape::Select { rows, stride }
                 });
@@ -543,14 +597,14 @@ fn shapes_of(
             (rows / 2).max(1)
         }
         PlanNode::Join { input, right, .. } => {
-            let outer = shapes_of(input, ops, leaf, covered);
-            let inner = shapes_of(right, ops, leaf, covered);
+            let outer = shapes_of(input, ops, leaf, covered, packed);
+            let inner = shapes_of(right, ops, leaf, covered, packed);
             ops.push(OpShape::Join { outer, inner });
             // Hit-rate <= 1 against the smaller side.
             outer.min(inner).max(1)
         }
         PlanNode::GroupAgg { input, key, aggs } => {
-            let rows = shapes_of(input, ops, leaf, covered);
+            let rows = shapes_of(input, ops, leaf, covered, packed);
             let columns = aggs.iter().filter(|a| a.column().is_some()).count();
             // A restricted or joined stream materializes each aggregated
             // column (plus the group key, when grouping) through a
@@ -793,6 +847,49 @@ mod tests {
             assert!(m.scan_rows_streamed < solo as u64, "{m:?}");
             let saved: u64 = svc.session_metrics().iter().map(|s| s.scans_saved).sum();
             assert!(saved >= 2, "beneficiaries record their saved scans");
+            if !matches!(CompressMode::from_env(), Some(CompressMode::Off)) {
+                // The cooperative qty pass streamed the packed codes.
+                assert!(m.compressed_bytes_streamed > 0, "{m:?}");
+                assert!(m.bytes_saved > 0, "{m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_scans_record_compressed_byte_savings() {
+        let t = item(50_000);
+        let svc = QueryService::new(ServiceConfig::new().with_budget(2).with_cache_bytes(0));
+        let session = svc.session();
+        let plan = Query::scan(&t)
+            .filter(Pred::range_i32("qty", 5, 20))
+            .agg(Agg::count())
+            .build()
+            .unwrap();
+        let handle = session.run(&plan).expect("runs");
+        // Identical rows whichever representation the leaf streamed.
+        let reference = ExecOptions::cost_model(memsim::profiles::origin2000())
+            .with_compress(CompressMode::Off);
+        let seq = execute(&mut NullTracker, &plan, &reference).unwrap();
+        assert_eq!(handle.output(), &seq.output);
+
+        let m = svc.metrics();
+        assert_eq!(m.scan_rows_streamed, 50_000, "the leaf streamed the column either way");
+        match CompressMode::from_env().unwrap_or(CompressMode::On) {
+            CompressMode::Off => {
+                assert_eq!(m.compressed_bytes_streamed, 0);
+                assert_eq!(m.bytes_saved, 0);
+            }
+            _ => {
+                // qty spans 0..50 — a packed representation far below 32
+                // bits/value, and no index competes, so auto takes it.
+                let cc = t.compressed_of("qty").expect("qty compresses");
+                let cb = (50_000f64 * cc.bits_per_value() / 8.0).ceil() as u64;
+                assert_eq!(m.compressed_bytes_streamed, cb, "{m:?}");
+                assert_eq!(m.bytes_saved, 50_000 * 4 - cb, "4-byte column stride");
+                let sm = svc.session_metrics();
+                assert_eq!(sm[0].compressed_bytes_streamed, cb);
+                assert_eq!(sm[0].bytes_saved, m.bytes_saved);
+            }
         }
     }
 

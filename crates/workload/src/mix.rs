@@ -238,9 +238,10 @@ const SHARED_BAND: (&str, i32, i32) = ("qty", 1, 50);
 
 /// Private columns (name, domain lo, domain hi — integer units) rotated
 /// over non-overlap clients: distinct buffers, so nothing merges between
-/// them. Eight entries keep an 8-client, zero-overlap population fully
-/// disjoint.
-const PRIVATE_BANDS: [(&str, i32, i32); 8] = [
+/// them. The first eight entries keep an 8-client, zero-overlap population
+/// fully disjoint; `batch` (sorted, run-64 clustered) gives the mix a
+/// run-length-encoded scan target.
+const PRIVATE_BANDS: [(&str, i32, i32); 9] = [
     ("date1", 9_000, 11_000),
     ("date2", 11_000, 12_000),
     ("supp", 1, 1_000),
@@ -249,6 +250,7 @@ const PRIVATE_BANDS: [(&str, i32, i32); 8] = [
     ("discnt", 0, 10),
     ("tax", 0, 8),
     ("price", 10, 500_000),
+    ("batch", 1, 8_000),
 ];
 
 impl OverlapMix {

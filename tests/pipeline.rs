@@ -124,7 +124,7 @@ fn reconstruct_roundtrip() {
         let (oid, v) = sub.bun(i);
         assert_eq!(oid, cand);
         let full = table.tuple(oid).unwrap();
-        assert_eq!(v, full[3], "qty is column 3");
+        assert_eq!(v, full[4], "qty is column 4");
         if let Value::I32(q) = v {
             assert!((1..=5).contains(&q));
         } else {
