@@ -55,6 +55,11 @@ options:
   --clients N   pin `service`/`shared` to one client count (default: sweep
                 1..8); the service thread budget comes from
                 MONET_SERVICE_THREADS (`shared` pins budget 1 internally)
+  --churn       run `shared` as the churn experiment instead: duplicate
+                storms (every client submits the identical plan — all but
+                one collapse into a single execution) and staggered
+                same-column clients (late arrivals attach to the running
+                chunked elevator pass), plus the sharing-off baseline
 ";
 
 fn main() -> ExitCode {
@@ -107,6 +112,7 @@ fn main() -> ExitCode {
                     _ => return usage_error("--clients requires a count >= 1"),
                 }
             }
+            "--churn" => opts.churn = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;

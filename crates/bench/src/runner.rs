@@ -75,6 +75,10 @@ pub struct RunOpts {
     /// Pin the `service` experiment to one client count (`--clients N`;
     /// `None` = sweep the scale's default client counts).
     pub clients: Option<usize>,
+    /// Run the `shared` experiment's churn variant (`--churn`): duplicate
+    /// storms that collapse into one execution and staggered clients that
+    /// attach to a running elevator pass.
+    pub churn: bool,
 }
 
 impl Default for RunOpts {
@@ -87,6 +91,7 @@ impl Default for RunOpts {
             threads: ThreadsOpt::Seq,
             access: None,
             clients: None,
+            churn: false,
         }
     }
 }

@@ -676,6 +676,146 @@ pub fn multi_select_compressed<M: MemTracker>(
     Ok(out)
 }
 
+/// Evaluate the row range `[row_lo, row_hi)` of a FOR-packed stream,
+/// clipping partial frames at both ends: a `TakeAll` frame emits only the
+/// clipped OID span, a `Test` frame unpacks once but tests only the
+/// clipped indices.
+#[allow(clippy::too_many_arguments)]
+fn for_chunk_rows<M: MemTracker>(
+    trk: &mut M,
+    fc: &ForColumn,
+    seqbase: Oid,
+    bounds: &[(i64, i64)],
+    row_lo: usize,
+    row_hi: usize,
+    out: &mut [Vec<Oid>],
+    scratch: &mut Vec<i32>,
+) {
+    let flo = row_lo / FRAME_LEN;
+    let fhi = row_hi.div_ceil(FRAME_LEN).min(fc.frames.len());
+    for f in flo..fhi {
+        let fr = fc.frames[f];
+        if M::ENABLED {
+            track_read(trk, &fc.frames[f]);
+        }
+        let (rlo, rhi) = fc.frame_rows(f);
+        let clo = rlo.max(row_lo);
+        let chi = rhi.min(row_hi);
+        if clo >= chi {
+            continue;
+        }
+        let fates: Vec<BlockFate> = bounds
+            .iter()
+            .map(|&(lo, hi)| classify(lo, hi, fr.base as i64, fr.max as i64))
+            .collect();
+        if fates.contains(&BlockFate::Test) {
+            if M::ENABLED {
+                track_read_slice(trk, fc.frame_words(f));
+            }
+            scratch.clear();
+            fc.unpack_frame(f, scratch);
+        }
+        for (k, fate) in fates.iter().enumerate() {
+            match fate {
+                BlockFate::Skip => {}
+                BlockFate::TakeAll => {
+                    out[k].extend((clo..chi).map(|i| seqbase + i as Oid));
+                }
+                BlockFate::Test => {
+                    let (lo, hi) = bounds[k];
+                    for (i, &v) in scratch[clo - rlo..chi - rlo].iter().enumerate() {
+                        if (lo..=hi).contains(&(v as i64)) {
+                            out[k].push(seqbase + (clo + i) as Oid);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Evaluate the row range `[row_lo, row_hi)` of an RLE stream, clipping
+/// the first and last runs to the range. Runs are sorted by `start`, so
+/// the first overlapping run is found by binary search.
+fn rle_chunk_rows<M: MemTracker>(
+    trk: &mut M,
+    rc: &RleColumn,
+    seqbase: Oid,
+    bounds: &[(i64, i64)],
+    row_lo: usize,
+    row_hi: usize,
+    out: &mut [Vec<Oid>],
+) {
+    let first = rc.runs.partition_point(|r| (r.start + r.len) as usize <= row_lo);
+    let last = rc.runs.partition_point(|r| (r.start as usize) < row_hi);
+    if first >= last {
+        return;
+    }
+    if M::ENABLED {
+        track_read_slice(trk, &rc.runs[first..last]);
+    }
+    for r in &rc.runs[first..last] {
+        let v = r.value as i64;
+        let clo = (r.start as usize).max(row_lo) as u32;
+        let chi = ((r.start + r.len) as usize).min(row_hi) as u32;
+        for (k, &(lo, hi)) in bounds.iter().enumerate() {
+            if (lo..=hi).contains(&v) {
+                out[k].extend((clo..chi).map(|i| seqbase + i));
+            }
+        }
+    }
+}
+
+/// Chunk-bounded [`multi_select_compressed`]: evaluate every predicate
+/// over the row range `[row_lo, row_hi)` only, clipping partial FOR frames
+/// and RLE runs at the chunk borders. Concatenating the lists of
+/// consecutive chunks in ascending `row_lo` order reproduces the one-shot
+/// kernel (and therefore the uncompressed scan) bit for bit — the
+/// compressed leg of the service's chunked elevator pass.
+pub fn multi_select_compressed_range<M: MemTracker>(
+    trk: &mut M,
+    cc: &CompressedColumn,
+    seqbase: Oid,
+    preds: &[ScanPred],
+    row_lo: usize,
+    row_hi: usize,
+) -> Result<Vec<Vec<Oid>>, StorageError> {
+    check_types(cc, preds)?;
+    let row_hi = row_hi.min(cc.len());
+    let row_lo = row_lo.min(row_hi);
+    let mut out: Vec<Vec<Oid>> = preds.iter().map(|_| Vec::new()).collect();
+    if preds.is_empty() || row_lo == row_hi {
+        return Ok(out);
+    }
+    if M::ENABLED {
+        trk.work(Work::ScanIter, ((row_hi - row_lo) * preds.len()) as u64);
+    }
+    let bounds: Vec<(i64, i64)> = preds.iter().map(pred_bounds).collect();
+    match cc {
+        CompressedColumn::For(fc) => {
+            let mut scratch = Vec::with_capacity(FRAME_LEN);
+            for_chunk_rows(trk, fc, seqbase, &bounds, row_lo, row_hi, &mut out, &mut scratch);
+        }
+        CompressedColumn::Dict(dc) => {
+            let mut scratch = Vec::with_capacity(FRAME_LEN);
+            for_chunk_rows(
+                trk,
+                &dc.packed,
+                seqbase,
+                &bounds,
+                row_lo,
+                row_hi,
+                &mut out,
+                &mut scratch,
+            );
+        }
+        CompressedColumn::Rle(rc) => {
+            rle_chunk_rows(trk, rc, seqbase, &bounds, row_lo, row_hi, &mut out)
+        }
+    }
+    Ok(out)
+}
+
 /// Sharded parallel [`multi_select_compressed`] (native-only; no tracker):
 /// the frame/run space splits into contiguous chunks, per-predicate lists
 /// merge thread-major — bit-identical to the sequential kernel (and to the
@@ -837,6 +977,63 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn row_ranged_chunks_concatenate_to_the_one_shot_kernel() {
+        let preds = [
+            ScanPred::RangeI32 { lo: 100, hi: 900 },
+            ScanPred::RangeI32 { lo: 0, hi: 5000 }, // full: TakeAll frames clipped
+            ScanPred::RangeI32 { lo: 7, hi: 7 },
+            ScanPred::RangeI32 { lo: 9000, hi: 9999 }, // empty: Skip frames
+        ];
+        for values in [uniform(30_011, 11), (0..30_011).map(|i| i / 64).collect::<Vec<i32>>()] {
+            let cc = CompressedColumn::encode(&Column::I32(values.clone())).unwrap();
+            let expect = reference(values, 500, &preds);
+            // Chunk borders deliberately misaligned with both the 1024-row
+            // frames and the 64-row runs.
+            for chunk in [1usize, 777, 1024, 4099, 30_011, 60_000] {
+                let mut acc: Vec<Vec<Oid>> = preds.iter().map(|_| Vec::new()).collect();
+                let mut lo = 0;
+                while lo < cc.len() {
+                    let hi = (lo + chunk).min(cc.len());
+                    let part =
+                        multi_select_compressed_range(&mut NullTracker, &cc, 500, &preds, lo, hi)
+                            .unwrap();
+                    for (k, list) in part.into_iter().enumerate() {
+                        acc[k].extend(list);
+                    }
+                    lo = hi;
+                }
+                assert_eq!(acc, expect, "{:?} chunk={chunk}", cc.encoding());
+            }
+        }
+    }
+
+    #[test]
+    fn row_ranged_dict_chunks_match_uncompressed() {
+        let strs: Vec<&str> = (0..5003).map(|i| ["AIR", "MAIL", "SHIP", "RAIL"][i % 4]).collect();
+        let sc = StrColumn::from_strs(strs);
+        let cc = CompressedColumn::encode(&Column::Str(sc.clone())).unwrap();
+        let bat = Bat::with_void_head(10, Column::Str(sc));
+        let preds = [ScanPred::EqCode { code: 2 }, ScanPred::EqCode { code: 0 }];
+        let expect = multi_select(&mut NullTracker, &bat, &preds).unwrap();
+        let mut acc: Vec<Vec<Oid>> = preds.iter().map(|_| Vec::new()).collect();
+        let mut lo = 0;
+        while lo < cc.len() {
+            let hi = (lo + 997).min(cc.len());
+            let part =
+                multi_select_compressed_range(&mut NullTracker, &cc, 10, &preds, lo, hi).unwrap();
+            for (k, list) in part.into_iter().enumerate() {
+                acc[k].extend(list);
+            }
+            lo = hi;
+        }
+        assert_eq!(acc, expect);
+        // Clamped and empty ranges are no-ops.
+        let empty =
+            multi_select_compressed_range(&mut NullTracker, &cc, 10, &preds, 9000, 9001).unwrap();
+        assert!(empty.iter().all(Vec::is_empty));
     }
 
     #[test]

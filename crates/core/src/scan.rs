@@ -169,6 +169,40 @@ pub fn multi_select<M: MemTracker>(
     Ok(out)
 }
 
+/// Chunk-bounded [`multi_select`]: evaluate every predicate over the row
+/// range `[lo, hi)` only. Concatenating the lists of consecutive chunks in
+/// ascending `lo` order reproduces the one-shot kernel bit for bit — this
+/// is the primitive the service's chunked *elevator* pass is built on,
+/// where riders can attach at chunk boundaries and wrap around. Under a
+/// counting tracker the chunk's tuples are charged once to the memory
+/// system and `(hi - lo) × K` predicate evaluations to the CPU.
+pub fn multi_select_range<M: MemTracker>(
+    trk: &mut M,
+    bat: &Bat,
+    preds: &[ScanPred],
+    lo: usize,
+    hi: usize,
+) -> Result<Vec<Vec<Oid>>, StorageError> {
+    check_types(bat.tail(), preds)?;
+    let hi = hi.min(bat.len());
+    let lo = lo.min(hi);
+    let mut out: Vec<Vec<Oid>> = preds.iter().map(|_| Vec::new()).collect();
+    if M::ENABLED {
+        match bat.tail() {
+            Column::I32(data) => data[lo..hi].iter().for_each(|v| track_read(trk, v)),
+            Column::F64(data) => data[lo..hi].iter().for_each(|v| track_read(trk, v)),
+            Column::Str(sc) => match &sc.codes {
+                Codes::U8(data) => data[lo..hi].iter().for_each(|v| track_read(trk, v)),
+                Codes::U16(data) => data[lo..hi].iter().for_each(|v| track_read(trk, v)),
+            },
+            _ => unreachable!("check_types rejected this column"),
+        }
+        trk.work(Work::ScanIter, ((hi - lo) * preds.len()) as u64);
+    }
+    scan_chunk(bat, preds, lo, hi, &mut out);
+    Ok(out)
+}
+
 /// Sharded parallel [`multi_select`] (native-only; no tracker): contiguous
 /// chunks, per-predicate thread-major merge — bit-identical to the
 /// sequential kernel at every thread count. Also returns each worker's
@@ -300,6 +334,48 @@ mod tests {
             );
             assert!(counts.len() <= threads.max(1));
         }
+    }
+
+    #[test]
+    fn chunked_ranges_concatenate_to_the_one_shot_kernel() {
+        let b = i32_bat(10_007);
+        let preds = [
+            ScanPred::RangeI32 { lo: 0, hi: 50 },
+            ScanPred::RangeI32 { lo: 13, hi: 13 },
+            ScanPred::RangeI32 { lo: 200, hi: 99 }, // empty
+        ];
+        let seq = multi_select(&mut NullTracker, &b, &preds).unwrap();
+        for chunk in [1usize, 97, 1024, 4096, 10_007, 20_000] {
+            let mut acc: Vec<Vec<Oid>> = preds.iter().map(|_| Vec::new()).collect();
+            let mut lo = 0;
+            while lo < b.len() {
+                let hi = (lo + chunk).min(b.len());
+                let part = multi_select_range(&mut NullTracker, &b, &preds, lo, hi).unwrap();
+                for (k, list) in part.into_iter().enumerate() {
+                    acc[k].extend(list);
+                }
+                lo = hi;
+            }
+            assert_eq!(acc, seq, "chunk={chunk}");
+        }
+        // Out-of-range and inverted bounds clamp to empty work.
+        let empty = multi_select_range(&mut NullTracker, &b, &preds, 20_000, 30_000).unwrap();
+        assert!(empty.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn range_kernel_charges_only_its_chunk() {
+        let b = i32_bat(50_000);
+        let preds = [ScanPred::RangeI32 { lo: 0, hi: 50 }, ScanPred::RangeI32 { lo: 10, hi: 60 }];
+        let run = |lo: usize, hi: usize| {
+            let mut trk = SimTracker::for_machine(memsim::profiles::origin2000());
+            multi_select_range(&mut trk, &b, &preds, lo, hi).unwrap();
+            trk.counters()
+        };
+        let half = run(0, 25_000);
+        let full = run(0, 50_000);
+        assert_eq!(half.reads * 2, full.reads, "memory charge follows the chunk");
+        assert!(half.cpu_ns < full.cpu_ns);
     }
 
     #[test]

@@ -77,6 +77,19 @@ pub enum OpShape {
         /// Tuples the covering pass evaluates this predicate over.
         rows: usize,
     },
+    /// A scan-select attaching to a chunked elevator pass that has already
+    /// streamed `missed` of its `rows` tuples: marginal CPU for the full
+    /// predicate, memory only for the wrap-around re-stream
+    /// ([`crate::shared::attach_cost`]).
+    AttachSelect {
+        /// Tuples the covering pass evaluates this predicate over.
+        rows: usize,
+        /// Bytes per tuple in the scanned column.
+        stride: usize,
+        /// Tuples the pass streamed before this query could attach — the
+        /// wrap-around distance the elevator must re-stream for it.
+        missed: usize,
+    },
 }
 
 impl OpShape {
@@ -89,8 +102,8 @@ impl OpShape {
             OpShape::Aggregate { rows, .. } => rows,
             OpShape::Gather { rows } => rows,
             // A covered select does no divisible scanning of its own — the
-            // covering pass owns the stream.
-            OpShape::SharedSelect { .. } => 0,
+            // covering pass owns the stream (and the wrap, for attaches).
+            OpShape::SharedSelect { .. } | OpShape::AttachSelect { .. } => 0,
         }
     }
 }
@@ -150,6 +163,10 @@ pub fn quote_ops(cfg: &MachineConfig, ops: &[OpShape]) -> QueryQuote {
             OpShape::Gather { rows } => scan_cost(&scan_model, rows.max(1), 8).total_ns(),
             OpShape::SharedSelect { rows } => {
                 crate::shared::marginal_pred_cost(&scan_model, rows.max(1)).total_ns()
+            }
+            OpShape::AttachSelect { rows, stride, missed } => {
+                crate::shared::attach_cost(&scan_model, rows.max(1), stride.max(1), missed)
+                    .total_ns()
             }
         };
         items += op.items();
@@ -213,6 +230,20 @@ mod tests {
             fresh.seq_ns
         );
         assert_eq!(covered.items, 0, "the covering pass owns the divisible work");
+    }
+
+    #[test]
+    fn attach_selects_quote_between_shared_and_fresh() {
+        let cfg = profiles::origin2000();
+        let rows = 1_000_000;
+        let fresh = quote_ops(&cfg, &[OpShape::Select { rows, stride: 4 }]);
+        let shared = quote_ops(&cfg, &[OpShape::SharedSelect { rows }]);
+        let early = quote_ops(&cfg, &[OpShape::AttachSelect { rows, stride: 4, missed: 0 }]);
+        let late = quote_ops(&cfg, &[OpShape::AttachSelect { rows, stride: 4, missed: rows / 2 }]);
+        assert_eq!(early.seq_ns, shared.seq_ns, "attach at pass start is pure marginal");
+        assert!(late.seq_ns > early.seq_ns, "the wrap re-stream costs memory");
+        assert!(late.seq_ns < fresh.seq_ns, "but still beats a fresh scan");
+        assert_eq!(late.items, 0, "the covering pass owns the divisible work");
     }
 
     #[test]

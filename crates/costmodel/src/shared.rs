@@ -51,6 +51,32 @@ pub fn marginal_pred_cost(m: &ModelMachine, rows: usize) -> ModelCost {
     ModelCost::assemble(rows as f64 * m.work.scan_iter_ns, 0.0, 0.0, 0.0, &m.lat)
 }
 
+/// The cost of *attaching* to a chunked elevator pass that has already
+/// streamed part of the column. The rider evaluates its predicate over all
+/// `rows` tuples (pure CPU, as every rider does), but the elevator must
+/// wrap around and re-stream only the `missed_rows` it passed before the
+/// rider boarded — that wrap traffic is the only new memory charge.
+///
+/// ```text
+/// attach(rows, missed) = CPU(rows) + Mem(missed, stride)
+/// ```
+///
+/// Boundary behavior anchors the model: attaching right at pass start
+/// (`missed_rows == 0`) degenerates to [`marginal_pred_cost`], and
+/// attaching at the very end (`missed_rows == rows`) prices a full fresh
+/// scan — nothing of the current cycle is reusable.
+pub fn attach_cost(m: &ModelMachine, rows: usize, stride: usize, missed_rows: usize) -> ModelCost {
+    let missed = missed_rows.min(rows) as f64;
+    let (l1, l2, tlb) = misses_per_iter(m, stride);
+    ModelCost::assemble(
+        rows as f64 * m.work.scan_iter_ns,
+        missed * l1,
+        missed * l2,
+        missed * tlb,
+        &m.lat,
+    )
+}
+
 /// Model-predicted speedup of merging K same-column scans into one pass
 /// (`solo / merged`; 1.0 when `k <= 1`).
 pub fn sharing_speedup(m: &ModelMachine, rows: usize, stride: usize, k: usize) -> f64 {
@@ -119,6 +145,37 @@ mod tests {
         let k3 = merged_scan_cost(&m, rows, 4, 3).total_ns();
         let k4 = merged_scan_cost(&m, rows, 4, 4).total_ns();
         assert!((k4 - k3 - marginal.total_ns()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn attach_cost_interpolates_between_marginal_and_a_fresh_scan() {
+        let m = origin();
+        let (rows, stride) = (1_000_000, 4);
+        // Board at pass start: pure marginal predicate.
+        assert_eq!(
+            attach_cost(&m, rows, stride, 0).total_ns(),
+            marginal_pred_cost(&m, rows).total_ns()
+        );
+        // Board at the very end: a full scan equivalent.
+        assert!(
+            (attach_cost(&m, rows, stride, rows).total_ns()
+                - scan_cost(&m, rows, stride).total_ns())
+            .abs()
+                < 1e-6
+        );
+        // Monotone in the wrap distance, and always at most a fresh scan.
+        let mut prev = 0.0;
+        for missed in [0usize, rows / 4, rows / 2, rows] {
+            let c = attach_cost(&m, rows, stride, missed).total_ns();
+            assert!(c >= prev, "missed={missed}");
+            assert!(c <= scan_cost(&m, rows, stride).total_ns() + 1e-6);
+            prev = c;
+        }
+        // Clamped: can't miss more than the column holds.
+        assert_eq!(
+            attach_cost(&m, rows, stride, rows * 2).total_ns(),
+            attach_cost(&m, rows, stride, rows).total_ns()
+        );
     }
 
     #[test]

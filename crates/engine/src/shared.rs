@@ -144,6 +144,11 @@ pub struct ScanRequest<'p> {
     /// First OID of the base table (the compressed kernels emit
     /// `seqbase + row`).
     pub seqbase: Oid,
+    /// True when the column carries at least one index. An uncontended
+    /// indexed leaf should stay with the executor's access planner (which
+    /// may answer it without streaming at all) instead of being folded
+    /// into an elevator pass.
+    pub indexed: bool,
 }
 
 impl ScanRequest<'_> {
@@ -247,6 +252,7 @@ fn lower_leaf<'p>(
         stride: bat.tail().tail_width(),
         compressed,
         seqbase: table.seqbase(),
+        indexed: table.indexes_on(col).next().is_some(),
     })
 }
 
@@ -341,6 +347,20 @@ mod tests {
         assert_eq!(reqs[0].seqbase, 0);
         // The f64-free request set still lowers the dict column: packed codes.
         assert!(reqs[1].compressed.is_some(), "2-entry dictionary packs to 1 bit");
+        assert!(!reqs[0].indexed, "no index on qty yet");
+    }
+
+    #[test]
+    fn indexed_columns_are_flagged() {
+        let mut t = table("fact");
+        t.create_index("qty", monet_core::IndexKind::CsBTree).unwrap();
+        let plan = Query::scan(&t)
+            .filter(Pred::range_i32("qty", 1, 5).and(Pred::eq_str("mode", "AIR")))
+            .build()
+            .unwrap();
+        let reqs = scan_requests(&plan);
+        assert!(reqs[0].indexed, "qty carries a btree");
+        assert!(!reqs[1].indexed, "mode does not");
     }
 
     #[test]

@@ -14,6 +14,10 @@ pub const DEFAULT_STARVATION_BOUND: usize = 4;
 /// this; `0` disables the cache).
 pub const DEFAULT_CACHE_BYTES: usize = 4 << 20;
 
+/// Default elevator chunk size in values (`MONET_SERVICE_CHUNK`; `0` runs
+/// every cooperative pass all-or-nothing, the pre-elevator behavior).
+pub const DEFAULT_CHUNK_ROWS: usize = 64 << 10;
+
 /// Configuration of a [`crate::QueryService`].
 ///
 /// Every field has an environment override so deployments can be tuned
@@ -26,6 +30,7 @@ pub const DEFAULT_CACHE_BYTES: usize = 4 << 20;
 /// | `starvation_bound` | `MONET_SERVICE_STARVE` | 4 |
 /// | `shared_scans` | `MONET_SERVICE_SHARE` (`0`/`off` disables) | on |
 /// | `cache_bytes` | `MONET_SERVICE_CACHE` (`0` off, `on`, or bytes) | 4 MiB |
+/// | `chunk_rows` | `MONET_SERVICE_CHUNK` (`0` one-shot, values, or `64k`/`1m`) | 64K values |
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceConfig {
     /// Machine whose memory hierarchy the admission quotes (and the
@@ -57,6 +62,14 @@ pub struct ServiceConfig {
     /// hook); a deployment that rebuilds tables mid-flight must run with
     /// the cache off.
     pub cache_bytes: usize,
+    /// Elevator chunk size in values: cooperative passes stream a column
+    /// in chunks of this many tuples, letting late arrivals attach at
+    /// chunk boundaries (and wrap around for the part they missed) and
+    /// letting the scheduler preempt a long pass between chunks. `0`
+    /// disables chunking — every pass runs one-shot, all-or-nothing, the
+    /// pre-elevator behavior. Results are bit-identical at every chunk
+    /// size.
+    pub chunk_rows: usize,
 }
 
 impl ServiceConfig {
@@ -71,6 +84,7 @@ impl ServiceConfig {
             starvation_bound: DEFAULT_STARVATION_BOUND,
             shared_scans: true,
             cache_bytes: DEFAULT_CACHE_BYTES,
+            chunk_rows: DEFAULT_CHUNK_ROWS,
         }
     }
 
@@ -103,6 +117,11 @@ impl ServiceConfig {
                         cfg.cache_bytes = n;
                     }
                 }
+            }
+        }
+        if let Ok(v) = std::env::var("MONET_SERVICE_CHUNK") {
+            if let Some(n) = parse_chunk(&v) {
+                cfg.chunk_rows = n;
             }
         }
         cfg
@@ -143,6 +162,12 @@ impl ServiceConfig {
         self.cache_bytes = bytes;
         self
     }
+
+    /// Set the elevator chunk size in values (`0` = one-shot passes).
+    pub fn with_chunk_rows(mut self, rows: usize) -> Self {
+        self.chunk_rows = rows;
+        self
+    }
 }
 
 impl Default for ServiceConfig {
@@ -153,6 +178,20 @@ impl Default for ServiceConfig {
 
 fn env_usize(key: &str) -> Option<usize> {
     std::env::var(key).ok()?.trim().parse().ok()
+}
+
+/// Parse a chunk-size spec: a plain value count, or one with a `k`/`m`
+/// suffix (`64k` = 65536 values, `1m` = 1048576). `0` means one-shot.
+fn parse_chunk(v: &str) -> Option<usize> {
+    let v = v.trim().to_ascii_lowercase();
+    let (digits, mult) = match v.strip_suffix('k') {
+        Some(d) => (d, 1usize << 10),
+        None => match v.strip_suffix('m') {
+            Some(d) => (d, 1usize << 20),
+            None => (v.as_str(), 1),
+        },
+    };
+    digits.parse::<usize>().ok().map(|n| n * mult)
 }
 
 #[cfg(test)]
@@ -168,6 +207,19 @@ mod tests {
         assert_eq!(cfg.machine.name, "origin2k");
         assert!(cfg.shared_scans, "cooperative scans default on");
         assert_eq!(cfg.cache_bytes, DEFAULT_CACHE_BYTES);
+        assert_eq!(cfg.chunk_rows, DEFAULT_CHUNK_ROWS);
+    }
+
+    #[test]
+    fn chunk_specs_parse_with_suffixes() {
+        assert_eq!(parse_chunk("0"), Some(0));
+        assert_eq!(parse_chunk("4096"), Some(4096));
+        assert_eq!(parse_chunk("64k"), Some(64 << 10));
+        assert_eq!(parse_chunk(" 64K "), Some(64 << 10));
+        assert_eq!(parse_chunk("1m"), Some(1 << 20));
+        assert_eq!(parse_chunk("banana"), None);
+        let cfg = ServiceConfig::new().with_chunk_rows(0);
+        assert_eq!(cfg.chunk_rows, 0, "zero = one-shot passes");
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //! ```text
 //! clients ──► Session::run(plan)
 //!                 │  result cache? (fingerprint hit → answer, no lease)
-//!                 │  quote = costmodel::quote (covered scans at marginal)
+//!                 │  identical plan in flight? → collapse: wait for the
+//!                 │    leader's Arc'd result (single-flight, no lease)
+//!                 │  quote = costmodel::quote (covered scans at marginal,
+//!                 │    mid-pass elevator attaches at marginal + wrap)
 //!                 ▼
 //!          ┌─ admission ─────────────────────────────┐
 //!          │ queue full?          → rejected         │
@@ -26,33 +29,46 @@
 //!          └────────────────┬────────────────────────┘
 //!                           ▼
 //!          claim cooperative passes (own leaves + every queued
-//!          same-column request) → one multi-predicate stream each,
-//!          publish candidate lists to their tickets
+//!          same-column request); short columns stream one-shot, long
+//!          ones run as chunked *elevators* — absorbing late arrivals at
+//!          chunk boundaries (riders wrap around for the prefix they
+//!          missed) and yielding the lease between chunks to cheaper
+//!          waiting queries; candidate lists publish to their tickets
 //!                           ▼
 //!          execute_with_scans(plan, ticket, thread_cap = lease)
 //!                           ▼
 //!          QueryHandle { output, ExecReport, SchedInfo }   (+ cache insert)
 //! ```
 //!
-//! * [`config`] — [`ServiceConfig`] and the `MONET_SERVICE_*` env knobs;
+//! * [`config`] — [`ServiceConfig`] and the `MONET_SERVICE_*` env knobs
+//!   (including `MONET_SERVICE_CHUNK`, the elevator chunk size);
 //! * [`sched`] — the pure admission/budget state machine (deterministic
 //!   unit tests live there);
-//! * [`service`] — [`QueryService`], [`Session`], [`QueryHandle`], and the
-//!   plan-to-quote walk;
+//! * [`service`] — [`QueryService`], [`Session`], [`QueryHandle`], the
+//!   single-flight table, the elevator runner, and the plan-to-quote walk;
 //! * `shared` (internal) — the cooperative-scan board (pending wants →
-//!   claimed passes → published lists) and the bounded LRU result cache
-//!   keyed by normalized plan fingerprint;
-//! * [`metrics`] — global and per-session counters (admission, shared-scan
-//!   batches and scans saved, cache hits/misses/evictions) with latency
-//!   percentiles.
+//!   claimed passes → published lists, plus per-column elevator cursors)
+//!   and the bounded LRU result cache keyed by normalized plan
+//!   fingerprint;
+//! * [`metrics`] — global and per-session counters (admission, collapse,
+//!   shared-scan batches, delivery-time saved scans, elevator attaches and
+//!   preemptions, cache hits/misses/evictions) with latency percentiles.
 //!
 //! **Determinism:** scheduling changes *when* and *how wide* a query runs,
 //! never *what* it computes — the executor is bit-identical at every
 //! thread count, a cooperative pass produces exactly the candidate lists
-//! solo scans would, and cached results replay deterministic executions —
-//! so any mix of concurrent queries returns exactly the rows a sequential
+//! solo scans would at every chunk size (an elevator rider's per-chunk
+//! partials concatenate, in row order, to the one-shot kernel's output),
+//! and cached or collapsed results share deterministic executions — so any
+//! mix of concurrent queries returns exactly the rows a sequential
 //! one-thread run would (asserted by `tests/service_stress.rs` at the
 //! workspace root).
+//!
+//! **Accounting invariant:** the global `scans_saved` counter equals the
+//! sum over sessions of `scans_saved + runner_covered` — every saved scan
+//! is attributed either to the beneficiary that picked the list up or to
+//! the runner that covered it, exactly once, on success and error paths
+//! alike.
 
 pub mod config;
 pub mod metrics;

@@ -91,7 +91,8 @@ pub struct ServiceMetrics {
     pub threads_in_use: usize,
     /// The most threads ever leased at once — must never exceed `budget`.
     pub high_water_threads: usize,
-    /// Queries submitted (admitted + queued + rejected + cache hits).
+    /// Queries submitted (admitted + queued + rejected + cache hits +
+    /// collapsed duplicates).
     pub submitted: u64,
     /// Queries that started immediately on submission.
     pub admitted_immediately: u64,
@@ -99,15 +100,28 @@ pub struct ServiceMetrics {
     pub queued: u64,
     /// Queries shed because the queue was full.
     pub rejected: u64,
+    /// Duplicate submissions collapsed into a concurrent identical query's
+    /// execution (single-flight): they neither executed nor entered
+    /// admission, they waited for the leader's result.
+    pub collapsed: u64,
     /// Queries that finished executing (cache hits count: the service
     /// answered them).
     pub completed: u64,
     /// Cooperative scan passes executed — each streamed one column once on
     /// behalf of every merged predicate leaf.
     pub shared_scan_batches: u64,
-    /// Solo column scans avoided by merging: for a pass covering `m`
-    /// predicate leaves (across queries), `m - 1` scans were saved.
+    /// Solo column scans avoided by merging: for a pass that ultimately
+    /// delivered `m` predicate leaves (claimed up front or attached
+    /// mid-pass), `m - 1` scans were saved. Counted at delivery time, so
+    /// elevator attaches are included and aborted passes are not.
     pub scans_saved: u64,
+    /// Predicate leaves that attached to an elevator pass already in
+    /// flight (at a chunk boundary, wrapping around for the part they
+    /// missed) rather than waiting for the next wave.
+    pub elevator_attaches: u64,
+    /// Times an elevator pass yielded its lease between chunks to a
+    /// cheaper waiting query and re-queued itself.
+    pub preemptions: u64,
     /// Tuples streamed through scan-select kernels service-wide — shared
     /// passes once per pass, per-query scan leaves once per leaf. The
     /// figure of merit cooperative scans push down.
@@ -155,6 +169,10 @@ pub struct SessionMetrics {
     /// Scan leaves of this session's queries that were answered by another
     /// query's cooperative pass (no scan ran on this session's behalf).
     pub scans_saved: u64,
+    /// Scan leaves of *other* sessions' queries this session's cooperative
+    /// passes covered while running them. Global `scans_saved` equals the
+    /// sum over sessions of `scans_saved + runner_covered`.
+    pub runner_covered: u64,
     /// Bytes this session's own packed-scan leaves streamed from
     /// compressed representations.
     pub compressed_bytes_streamed: u64,

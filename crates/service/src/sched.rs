@@ -119,6 +119,26 @@ impl Scheduler {
         self.dispatch()
     }
 
+    /// Re-queue a query that already held a lease and gave it back — a
+    /// preempted elevator runner yielding between chunks, or a query that
+    /// released its lease while waiting on an in-flight pass. Unlike
+    /// [`Scheduler::submit`] this never rejects (the query is already
+    /// admitted — shedding it now would lose work) and ignores the pause
+    /// gate's queue-limit bookkeeping. The caller should follow up with
+    /// `release(0)` to dispatch if threads are free.
+    pub fn requeue(&mut self, cost_ns: f64, desired_threads: usize) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.waiting.push(Ticket { id, cost_ns, desired: desired_threads, bypassed: 0 });
+        id
+    }
+
+    /// The cheapest cost quote among waiting queries (`None` when nobody
+    /// waits) — the elevator runner's preemption test between chunks.
+    pub fn cheapest_waiting_cost(&self) -> Option<f64> {
+        self.waiting.iter().map(|t| t.cost_ns).min_by(f64::total_cmp)
+    }
+
     /// Hold all future submissions in the queue, even while threads are
     /// free. Running queries are unaffected.
     pub fn pause(&mut self) {
@@ -322,6 +342,35 @@ mod tests {
         assert_eq!(grants[2], Grant { ticket: c, threads: 2 }, "last lease clamps to remainder");
         assert_eq!(s.in_use(), 4);
         assert_eq!(s.high_water(), 4);
+    }
+
+    #[test]
+    fn requeue_never_rejects_and_dispatches_when_threads_free() {
+        let mut s = Scheduler::new(1, 1, 4);
+        let _running = s.submit(1.0, 1);
+        assert!(matches!(s.submit(1.0, 1), Admission::Queued(_)));
+        assert_eq!(s.submit(1.0, 1), Admission::Rejected, "queue full for newcomers");
+        // A preempted runner must always get back in line, full queue or not.
+        let back = s.requeue(0.0, 1);
+        assert_eq!(s.waiting(), 2);
+        // With cost 0 it wins the next dispatch.
+        assert_eq!(s.release(1)[0].ticket, back);
+        // A requeue into a free budget is granted by the follow-up dispatch.
+        let mut s = Scheduler::new(1, 8, 4);
+        let id = s.requeue(5.0, 1);
+        assert_eq!(s.release(0), vec![Grant { ticket: id, threads: 1 }]);
+    }
+
+    #[test]
+    fn cheapest_waiting_cost_tracks_the_queue() {
+        let mut s = Scheduler::new(1, 8, 4);
+        assert_eq!(s.cheapest_waiting_cost(), None);
+        let _running = s.submit(1.0, 1);
+        s.submit(9e9, 1);
+        s.submit(1e3, 1);
+        assert_eq!(s.cheapest_waiting_cost(), Some(1e3));
+        s.release(1); // dispatches the cheap one
+        assert_eq!(s.cheapest_waiting_cost(), Some(9e9));
     }
 
     #[test]

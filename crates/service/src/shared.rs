@@ -7,16 +7,35 @@
 //! [`engine::shared::ScanRequest`]s. Queued queries *post* their requests;
 //! when a query becomes runnable it *claims* a batch: its own scan leaves
 //! plus every pending same-column request, merged into one cooperative
-//! pass ([`monet_core::scan::multi_select`]) that streams the column once.
-//! The runner executes the pass with **its own** column reference (equal
-//! [`engine::shared::ColumnId`]s mean equal bytes — tables are immutable
-//! and every requesting query is still blocked inside `run`, so the data
-//! outlives the pass), publishes each predicate's candidate list to the
-//! tickets that wanted it, and only then runs its own plan. Claimed keys
-//! are marked *in flight* so a concurrently granted query waits for the
-//! publication instead of re-streaming the column; if a pass aborts, its
-//! claims return to pending and waiters fall back to scanning themselves —
-//! sharing changes *who* streams a column, never *what* a query computes.
+//! pass that streams the column once. The runner executes the pass with
+//! **its own** column reference (equal [`engine::shared::ColumnId`]s mean
+//! equal bytes — tables are immutable and every requesting query is still
+//! blocked inside `run`, so the data outlives the pass), publishes each
+//! predicate's candidate list to the tickets that wanted it, and only then
+//! runs its own plan. Claimed keys are marked *in flight* so a
+//! concurrently granted query waits for the publication instead of
+//! re-streaming the column; if a pass aborts, its claims return to pending
+//! and waiters fall back to scanning themselves — sharing changes *who*
+//! streams a column, never *what* a query computes.
+//!
+//! ## Chunked elevator passes
+//!
+//! With a non-zero chunk size (`MONET_SERVICE_CHUNK`) a claimed pass runs
+//! as an *elevator*: the runner streams the column in fixed-size chunks
+//! ([`monet_core::scan::multi_select_range`] /
+//! [`monet_core::compress::multi_select_compressed_range`]) and, at every
+//! chunk boundary, absorbs newly posted same-column wants as fresh
+//! *riders* ([`ScanBoard::take_pending_for_col`]). A rider attaching
+//! mid-pass keeps riding past the end of the column — the cursor wraps to
+//! row zero and re-streams only the prefix the rider missed. Each rider's
+//! per-chunk partial lists, reassembled in ascending row order, are
+//! bit-identical to the one-shot kernel, so attach order can never change
+//! what a query computes. The per-column cursor is published on the board
+//! ([`ScanBoard::coverage`]) so admission quotes can price a mid-pass
+//! attach as marginal CPU plus only the wrap-around re-stream
+//! ([`costmodel::quote::OpShape::AttachSelect`]). A zero chunk size
+//! degenerates to the pre-elevator all-or-nothing pass: one chunk, no
+//! boundaries, no attaches.
 //!
 //! ## Result cache
 //!
@@ -28,13 +47,13 @@
 //! caching entirely. Execution is deterministic, so serving a cached
 //! result is bit-identical to re-running the plan.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
 use engine::exec::{Executed, QueryOutput};
 use engine::plan::{LogicalPlan, PlanNode};
-use engine::shared::{column_id, ScanRequest, ShareKey};
+use engine::shared::{column_id, ColumnId, ScanRequest, ShareKey};
 use monet_core::storage::{DecomposedTable, Oid};
 
 /// A shared candidate list (one predicate's matches, ascending OIDs).
@@ -43,9 +62,9 @@ pub(crate) type Cands = Arc<Vec<Oid>>;
 /// One query's interest in a [`ShareKey`]: deliver the list to this ticket
 /// at this global leaf index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Want {
-    ticket: u64,
-    leaf: usize,
+pub(crate) struct Want {
+    pub ticket: u64,
+    pub leaf: usize,
 }
 
 /// One distinct predicate of a claimed pass, and everyone it serves.
@@ -72,7 +91,10 @@ pub(crate) struct Batch {
 }
 
 impl Batch {
-    /// Leaves this pass covers across all queries (own + delivered).
+    /// Leaves this pass covers across all queries (own + delivered) *as
+    /// claimed* — an elevator may pick up more mid-pass, which is why the
+    /// runner accounts saved scans at delivery time, not from this.
+    #[cfg(test)]
     pub fn covered_leaves(&self) -> usize {
         self.preds.iter().map(|p| p.own_leaves.len() + p.others.len()).sum()
     }
@@ -91,12 +113,16 @@ pub(crate) struct Runnable {
     pub waits: Vec<ShareKey>,
 }
 
-/// The board: pending wants, in-flight claims, published deliveries.
+/// The board: pending wants, in-flight claims, published deliveries, and
+/// the per-column elevator cursors of passes currently streaming.
 #[derive(Debug, Default)]
 pub(crate) struct ScanBoard {
     pending: HashMap<ShareKey, Vec<Want>>,
     in_flight: HashMap<ShareKey, Vec<Want>>,
     ready: HashMap<u64, Vec<(usize, Cands)>>,
+    /// Rows already streamed in the current elevator cycle, per column —
+    /// the wrap distance a rider attaching *now* would pay.
+    progress: HashMap<ColumnId, usize>,
 }
 
 impl ScanBoard {
@@ -107,16 +133,34 @@ impl ScanBoard {
         }
     }
 
-    /// True when a pass covering `key` is pending or in flight — the
-    /// admission quote charges such leaves their CPU-side marginal cost
-    /// only.
-    pub fn covers(&self, key: &ShareKey) -> bool {
-        self.pending.contains_key(key) || self.in_flight.contains_key(key)
+    /// How a pass would cover `key`: `None` when nothing pending or in
+    /// flight matches (the query streams for itself), `Some(missed)` when
+    /// a pass covers it — `missed` is the wrap-around distance in rows
+    /// (zero for a pending pass that has not started, or an attach right
+    /// at pass start), the memory-side price of attaching
+    /// ([`costmodel::shared::attach_cost`]).
+    pub fn coverage(&self, key: &ShareKey) -> Option<usize> {
+        if self.in_flight.contains_key(key) {
+            return Some(self.progress.get(&key.col).copied().unwrap_or(0));
+        }
+        self.pending.contains_key(key).then_some(0)
     }
 
     /// True while a claimed pass owes `key` a publication.
     pub fn in_flight(&self, key: &ShareKey) -> bool {
         self.in_flight.contains_key(key)
+    }
+
+    /// Publish an elevator's position: `streamed` rows of the current
+    /// cycle are behind the cursor on `col` (what a rider attaching now
+    /// would have to wrap over).
+    pub fn set_progress(&mut self, col: ColumnId, streamed: usize) {
+        self.progress.insert(col, streamed);
+    }
+
+    /// Remove a finished elevator's cursor.
+    pub fn clear_progress(&mut self, col: &ColumnId) {
+        self.progress.remove(col);
     }
 
     /// Transition a query to runnable: withdraw its pending wants, collect
@@ -127,8 +171,21 @@ impl ScanBoard {
     /// A claim nobody else wants is *not* batched — the executor's access
     /// planner keeps choosing scan vs. index freely for uncontended
     /// leaves; passes exist to share streams between queries, not to
-    /// force one query's leaves through a full column scan.
-    pub fn runnable(&mut self, ticket: u64, requests: &[ScanRequest<'_>]) -> Runnable {
+    /// force one query's leaves through a full column scan. The exception
+    /// is chunked mode over a long, unindexed column (`chunk_rows > 0` and
+    /// `rows > chunk_rows`): there an own-only claim *does* open an
+    /// elevator, because late arrivals can attach to it mid-pass — the
+    /// churn scenario the elevator exists for.
+    ///
+    /// Batches come out ordered by the anchor leaf's position in
+    /// `requests`, and columns are grouped in first-appearance order, so
+    /// reports and metrics are identical run to run.
+    pub fn runnable(
+        &mut self,
+        ticket: u64,
+        requests: &[ScanRequest<'_>],
+        chunk_rows: usize,
+    ) -> Runnable {
         let mut out = Runnable::default();
         // Withdraw this query's own pending wants (it is about to either
         // receive, claim, or self-evaluate every leaf).
@@ -137,10 +194,14 @@ impl ScanBoard {
             !wants.is_empty()
         });
         out.ready = self.ready.remove(&ticket).unwrap_or_default();
-        let have: Vec<usize> = out.ready.iter().map(|(leaf, _)| *leaf).collect();
+        let have: HashSet<usize> = out.ready.iter().map(|(leaf, _)| *leaf).collect();
 
-        // Group this query's unserved leaves by column.
-        let mut by_col: HashMap<_, Vec<usize>> = HashMap::new();
+        // Group this query's unserved leaves by column, columns in
+        // first-appearance order (a HashMap iteration here would make
+        // batch order — and with it reports and metrics — vary run to
+        // run).
+        let mut cols: Vec<ColumnId> = Vec::new();
+        let mut by_col: HashMap<ColumnId, Vec<usize>> = HashMap::new();
         for (i, r) in requests.iter().enumerate() {
             if have.contains(&r.leaf) {
                 continue;
@@ -159,10 +220,17 @@ impl ScanBoard {
                 out.waits.push(key);
                 continue;
             }
-            by_col.entry(r.col).or_default().push(i);
+            by_col
+                .entry(r.col)
+                .or_insert_with(|| {
+                    cols.push(r.col);
+                    Vec::new()
+                })
+                .push(i);
         }
 
-        for (col, req_idxs) in by_col {
+        for col in cols {
+            let req_idxs = by_col.remove(&col).expect("grouped above");
             // Distinct predicates: the runner's own leaves first (stable
             // order), then every pending same-column want.
             let mut preds: Vec<BatchPred> = Vec::new();
@@ -177,16 +245,27 @@ impl ScanBoard {
                     }),
                 }
             }
-            let same_col: Vec<ShareKey> =
-                self.pending.keys().filter(|k| k.col == col).copied().collect();
-            for key in same_col {
-                let wants = self.pending.remove(&key).expect("key just listed");
+            let mut same_col: Vec<(ShareKey, Vec<Want>)> = Vec::new();
+            self.pending.retain(|key, wants| {
+                if key.col == col {
+                    same_col.push((*key, std::mem::take(wants)));
+                    false
+                } else {
+                    true
+                }
+            });
+            // Deterministic absorption order: by the oldest want.
+            same_col.sort_by_key(|(_, wants)| wants.first().map(|w| (w.ticket, w.leaf)));
+            for (key, wants) in same_col {
                 match preds.iter_mut().find(|p| p.key == key) {
                     Some(p) => p.others.extend(wants),
                     None => preds.push(BatchPred { key, own_leaves: Vec::new(), others: wants }),
                 }
             }
-            if preds.iter().all(|p| p.others.is_empty()) {
+            let anchor_req = &requests[req_idxs[0]];
+            let elevator_eligible =
+                chunk_rows > 0 && anchor_req.rows > chunk_rows && !anchor_req.indexed;
+            if preds.iter().all(|p| p.others.is_empty()) && !elevator_eligible {
                 // Nobody else wants these lists, so a pass would share
                 // nothing — leave the leaves to the access planner (a
                 // point predicate may be index territory; forcing a full
@@ -198,37 +277,70 @@ impl ScanBoard {
             for p in &preds {
                 self.in_flight.insert(p.key, p.others.clone());
             }
-            out.batches.push(Batch {
-                anchor: req_idxs[0],
-                preds,
-                rows: requests[req_idxs[0]].rows,
-            });
+            out.batches.push(Batch { anchor: req_idxs[0], preds, rows: anchor_req.rows });
         }
         out
+    }
+
+    /// Drain every pending want on `col` — the elevator runner calls this
+    /// at chunk boundaries to attach late arrivals as new riders. Returned
+    /// in deterministic (oldest-want-first) order; the caller must either
+    /// register each key back in flight ([`ScanBoard::claim_key`]) or
+    /// leave it unserved (in which case the wants are lost — don't).
+    pub fn take_pending_for_col(&mut self, col: &ColumnId) -> Vec<(ShareKey, Vec<Want>)> {
+        let mut taken: Vec<(ShareKey, Vec<Want>)> = Vec::new();
+        self.pending.retain(|key, wants| {
+            if key.col == *col {
+                taken.push((*key, std::mem::take(wants)));
+                false
+            } else {
+                true
+            }
+        });
+        taken.sort_by_key(|(_, wants)| wants.first().map(|w| (w.ticket, w.leaf)));
+        taken
+    }
+
+    /// Put `key` (back) in flight with `wants` registered for delivery —
+    /// attaching a rider mid-pass. Extends an existing registration
+    /// without duplicating wants.
+    pub fn claim_key(&mut self, key: ShareKey, wants: Vec<Want>) {
+        let entry = self.in_flight.entry(key).or_default();
+        for w in wants {
+            if !entry.contains(&w) {
+                entry.push(w);
+            }
+        }
+    }
+
+    /// Deliver one completed rider's list: every registered want receives
+    /// it and the in-flight mark clears. Returns the number of deliveries
+    /// to *other* tickets.
+    pub fn deliver(&mut self, key: &ShareKey, cands: &Cands) -> usize {
+        let wants = self.in_flight.remove(key).unwrap_or_default();
+        let delivered = wants.len();
+        for w in wants {
+            self.ready.entry(w.ticket).or_default().push((w.leaf, cands.clone()));
+        }
+        delivered
     }
 
     /// Publish a pass's lists: deliver to every registered want (including
     /// waiters that joined after the claim) and clear the in-flight marks.
     /// Returns the number of deliveries to *other* tickets.
     pub fn publish(&mut self, batch: &Batch, lists: &[Cands]) -> usize {
-        let mut delivered = 0usize;
-        for (p, cands) in batch.preds.iter().zip(lists) {
-            let wants = self.in_flight.remove(&p.key).unwrap_or_default();
-            delivered += wants.len();
-            for w in wants {
-                self.ready.entry(w.ticket).or_default().push((w.leaf, cands.clone()));
-            }
-        }
-        delivered
+        batch.preds.iter().zip(lists).map(|(p, cands)| self.deliver(&p.key, cands)).sum()
     }
 
-    /// Abort a claimed pass: claims return to pending so a future wave can
-    /// cover them; current waiters fall back to evaluating themselves.
-    pub fn abort(&mut self, batch: &Batch) {
-        for p in &batch.preds {
-            if let Some(wants) = self.in_flight.remove(&p.key) {
+    /// Abort claimed keys: they return to pending so a future wave can
+    /// cover them; current waiters fall back to evaluating themselves. By
+    /// key rather than by batch because elevator riders attach after the
+    /// batch was formed.
+    pub fn abort_keys(&mut self, keys: &[ShareKey]) {
+        for key in keys {
+            if let Some(wants) = self.in_flight.remove(key) {
                 if !wants.is_empty() {
-                    self.pending.entry(p.key).or_default().extend(wants);
+                    self.pending.entry(*key).or_default().extend(wants);
                 }
             }
         }
@@ -241,9 +353,12 @@ impl ScanBoard {
 
     /// Drop every residue of a finished ticket (stale wants from aborted
     /// passes, undelivered lists) so the board never accumulates state for
-    /// queries that already returned.
-    pub fn forget(&mut self, ticket: u64) {
-        self.ready.remove(&ticket);
+    /// queries that already returned. Returns the number of *delivered but
+    /// never consumed* lists dropped — the caller rolls those out of the
+    /// saved-scan counters so global and per-session accounting stay in
+    /// balance even on error paths.
+    pub fn forget(&mut self, ticket: u64) -> usize {
+        let dropped = self.ready.remove(&ticket).map(|lists| lists.len()).unwrap_or(0);
         self.pending.retain(|_, wants| {
             wants.retain(|w| w.ticket != ticket);
             !wants.is_empty()
@@ -251,6 +366,7 @@ impl ScanBoard {
         for wants in self.in_flight.values_mut() {
             wants.retain(|w| w.ticket != ticket);
         }
+        dropped
     }
 }
 
@@ -323,7 +439,10 @@ pub(crate) fn approx_bytes(e: &Executed) -> usize {
 }
 
 struct CacheEntry {
-    executed: Executed,
+    /// Shared, not owned: a hit hands out another reference instead of
+    /// deep-cloning result rows and report strings — the difference
+    /// between O(1) and O(result) on Zipf-hot hit paths.
+    executed: Arc<Executed>,
     cost_ms: f64,
     bytes: usize,
     last_used: u64,
@@ -354,19 +473,20 @@ impl ResultCache {
         self.entries.len()
     }
 
-    /// Look a fingerprint up, refreshing its recency. Returns the cached
-    /// execution and the cost quote recorded at insert time.
-    pub fn get(&mut self, key: &str) -> Option<(Executed, f64)> {
+    /// Look a fingerprint up, refreshing its recency. Returns a shared
+    /// reference to the cached execution (no deep copy) and the cost quote
+    /// recorded at insert time.
+    pub fn get(&mut self, key: &str) -> Option<(Arc<Executed>, f64)> {
         self.tick += 1;
         let tick = self.tick;
         let e = self.entries.get_mut(key)?;
         e.last_used = tick;
-        Some((e.executed.clone(), e.cost_ms))
+        Some((Arc::clone(&e.executed), e.cost_ms))
     }
 
     /// Insert a completed execution, evicting least-recently-used entries
     /// until the budget holds. Results too large to ever fit are skipped.
-    pub fn insert(&mut self, key: String, executed: &Executed, cost_ms: f64) {
+    pub fn insert(&mut self, key: String, executed: &Arc<Executed>, cost_ms: f64) {
         if self.cap == 0 {
             return;
         }
@@ -381,7 +501,7 @@ impl ResultCache {
         self.bytes += bytes;
         self.entries.insert(
             key,
-            CacheEntry { executed: executed.clone(), cost_ms, bytes, last_used: self.tick },
+            CacheEntry { executed: Arc::clone(executed), cost_ms, bytes, last_used: self.tick },
         );
         while self.bytes > self.cap {
             let lru = self
@@ -425,10 +545,10 @@ mod tests {
 
         let mut board = ScanBoard::default();
         board.post(7, &r2); // ticket 7 queues first
-        assert!(board.covers(&r2[0].key()));
+        assert_eq!(board.coverage(&r2[0].key()), Some(0), "pending covers at zero wrap cost");
 
         // Ticket 3 becomes runnable: it claims a 2-predicate pass.
-        let work = board.runnable(3, &r1);
+        let work = board.runnable(3, &r1, 0);
         assert!(work.ready.is_empty() && work.waits.is_empty());
         assert_eq!(work.batches.len(), 1);
         let batch = &work.batches[0];
@@ -439,14 +559,14 @@ mod tests {
         // A third runnable query wanting the in-flight key waits.
         let p3 = Query::scan(&t).filter(Pred::range_i32("qty", 3, 9)).build().unwrap();
         let r3 = scan_requests(&p3);
-        let work3 = board.runnable(9, &r3);
+        let work3 = board.runnable(9, &r3, 0);
         assert!(work3.batches.is_empty());
         assert_eq!(work3.waits, vec![r3[0].key()]);
 
         // Ticket 7 itself granted mid-flight: its want was already
         // absorbed into the claim, so becoming runnable must register it
         // for delivery exactly once, not twice.
-        let work7 = board.runnable(7, &r2);
+        let work7 = board.runnable(7, &r2, 0);
         assert!(work7.batches.is_empty());
         assert_eq!(work7.waits, vec![r2[0].key()]);
 
@@ -486,9 +606,14 @@ mod tests {
         let p = Query::scan(&t).filter(Pred::range_i32("qty", 1, 5)).build().unwrap();
         let r = scan_requests(&p);
         let mut board = ScanBoard::default();
-        let work = board.runnable(1, &r);
+        let work = board.runnable(1, &r, 0);
         assert!(work.batches.is_empty(), "nothing to share");
         assert!(!board.in_flight(&r[0].key()));
+        // Chunked mode doesn't change this for short columns: 200 rows fit
+        // in one chunk, so there is nothing for a late arrival to attach
+        // to mid-pass.
+        let work = board.runnable(1, &r, 64 << 10);
+        assert!(work.batches.is_empty(), "short columns stay with the access planner");
 
         // Two same-column leaves of ONE query share nothing either: the
         // access planner must stay free to pick index probes for them.
@@ -498,20 +623,81 @@ mod tests {
             .unwrap();
         let rm = scan_requests(&multi);
         assert_eq!(rm.len(), 2);
-        let work = board.runnable(5, &rm);
+        let work = board.runnable(5, &rm, 0);
         assert!(work.batches.is_empty(), "own-only multi-leaf claims are not forced to stream");
         assert!(!board.in_flight(&rm[0].key()));
 
         // Now with a pending want: claim, then abort — the want returns to
         // pending so a future wave can cover it.
         board.post(2, &r);
-        let work = board.runnable(1, &r);
+        let work = board.runnable(1, &r, 0);
         assert_eq!(work.batches.len(), 1);
-        board.abort(&work.batches[0]);
+        let keys: Vec<ShareKey> = work.batches[0].preds.iter().map(|p| p.key).collect();
+        board.abort_keys(&keys);
         assert!(!board.in_flight(&r[0].key()));
-        assert!(board.covers(&r[0].key()), "aborted wants are pending again");
+        assert_eq!(board.coverage(&r[0].key()), Some(0), "aborted wants are pending again");
         board.forget(2);
-        assert!(!board.covers(&r[0].key()), "forget clears a finished ticket's wants");
+        assert!(board.coverage(&r[0].key()).is_none(), "forget clears a finished ticket's wants");
+    }
+
+    #[test]
+    fn chunked_mode_opens_elevators_for_uncontended_long_columns() {
+        let mut b =
+            TableBuilder::new("big", 0).column("qty", ColType::I32).column("price", ColType::F64);
+        for i in 0..2000i32 {
+            b.push_row(&[Value::I32(i % 20), Value::F64(i as f64)]).unwrap();
+        }
+        let t = b.finish();
+        let p = Query::scan(&t).filter(Pred::range_i32("qty", 1, 5)).build().unwrap();
+        let r = scan_requests(&p);
+        let mut board = ScanBoard::default();
+        // rows (2000) > chunk (512): an own-only claim opens an elevator
+        // so late arrivals have something to attach to.
+        let work = board.runnable(1, &r, 512);
+        assert_eq!(work.batches.len(), 1);
+        assert!(board.in_flight(&r[0].key()));
+
+        // A rider posts mid-pass; the runner drains it at a boundary.
+        let p2 = Query::scan(&t).filter(Pred::range_i32("qty", 7, 9)).build().unwrap();
+        let r2 = scan_requests(&p2);
+        board.post(8, &r2);
+        board.set_progress(r[0].col, 1024);
+        assert_eq!(
+            board.coverage(&r2[0].key()),
+            Some(0),
+            "pending (not yet attached) quotes zero wrap"
+        );
+        let taken = board.take_pending_for_col(&r[0].col);
+        assert_eq!(taken.len(), 1);
+        assert_eq!(taken[0].0, r2[0].key());
+        board.claim_key(taken[0].0, taken[0].1.clone());
+        assert_eq!(
+            board.coverage(&r2[0].key()),
+            Some(1024),
+            "an in-flight attach prices the wrap distance"
+        );
+
+        // Delivery per rider: the late rider's list lands on its ticket.
+        let cands: Cands = Arc::new(vec![1, 2, 3]);
+        assert_eq!(board.deliver(&r2[0].key(), &cands), 1);
+        assert_eq!(board.take_ready(8).len(), 1);
+        board.clear_progress(&r[0].col);
+        assert!(board.coverage(&r2[0].key()).is_none());
+
+        // Indexed columns never elevator uncontended: the access planner
+        // may answer them without streaming at all.
+        let mut ti = {
+            let mut b = TableBuilder::new("idx", 0).column("qty", ColType::I32);
+            for i in 0..2000i32 {
+                b.push_row(&[Value::I32(i % 20)]).unwrap();
+            }
+            b.finish()
+        };
+        ti.create_index("qty", monet_core::IndexKind::CsBTree).unwrap();
+        let pi = Query::scan(&ti).filter(Pred::range_i32("qty", 1, 5)).build().unwrap();
+        let ri = scan_requests(&pi);
+        let work = board.runnable(2, &ri, 512);
+        assert!(work.batches.is_empty(), "indexed leaves stay with the access planner");
     }
 
     #[test]
@@ -536,7 +722,10 @@ mod tests {
         let t = table();
         let run = |lo: i32| {
             let p = Query::scan(&t).filter(Pred::range_i32("qty", lo, lo + 3)).build().unwrap();
-            (fingerprint(&p), execute(&mut NullTracker, &p, &ExecOptions::default()).unwrap())
+            (
+                fingerprint(&p),
+                Arc::new(execute(&mut NullTracker, &p, &ExecOptions::default()).unwrap()),
+            )
         };
         let (k1, e1) = run(0);
         let one = approx_bytes(&e1) + k1.len();

@@ -25,5 +25,5 @@ pub mod zipf;
 
 pub use gen::{join_pair, shuffle, unique_random_buns, unique_random_keys};
 pub use item::{item_rows, item_table, ItemRow, SHIPMODES};
-pub use mix::{OverlapMix, QueryMix, QuerySpec};
+pub use mix::{ChurnMix, OverlapMix, QueryMix, QuerySpec};
 pub use zipf::ZipfGenerator;

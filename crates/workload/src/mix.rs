@@ -289,6 +289,36 @@ impl OverlapMix {
     }
 }
 
+/// Specs for the service churn experiment (`repro shared --churn`): a
+/// duplicate *storm* (every client submits the byte-identical plan, so
+/// concurrent copies should collapse into one execution) and a *staggered*
+/// band population (every client filters the same hot column with
+/// *distinct* constants, so nothing collapses or caches — late arrivals
+/// can only win by attaching to the running elevator pass).
+///
+/// Stateless on purpose: both shapes are pure functions of `(seed, round,
+/// client)`, so a concurrent run replays sequentially spec by spec.
+#[derive(Debug)]
+pub struct ChurnMix;
+
+impl ChurnMix {
+    /// The storm plan for one round: identical across clients (that is the
+    /// point), distinct across rounds (so the result cache never answers a
+    /// later round's storm).
+    pub fn storm_spec(seed: u64, round: usize) -> QuerySpec {
+        let lo = 1 + ((seed as usize).wrapping_add(round * 7) % 30) as i32;
+        QuerySpec::Band { col: SHARED_BAND.0, lo, hi: lo + 15 }
+    }
+
+    /// The staggered band for one client: same contended column as every
+    /// other client, constants offset per client so each fingerprint is
+    /// unique in the population.
+    pub fn stagger_spec(seed: u64, client: usize) -> QuerySpec {
+        let lo = 1 + ((seed as usize).wrapping_add(client * 3) % 25) as i32;
+        QuerySpec::Band { col: SHARED_BAND.0, lo, hi: lo + 10 + client as i32 }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -368,6 +398,35 @@ mod tests {
             let QuerySpec::Band { col, .. } = spec else { panic!("band") };
             assert_ne!(col, "qty");
             spec.build(&item, &supp).expect("private band plans validate");
+        }
+    }
+
+    #[test]
+    fn churn_specs_are_deterministic_and_shaped_for_their_legs() {
+        let item = item_table(500, 1);
+        let supp = supplier(50);
+        // Storm: identical across clients by construction (no per-client
+        // input at all), distinct across rounds, always valid.
+        let storms: Vec<QuerySpec> = (0..6).map(|r| ChurnMix::storm_spec(9, r)).collect();
+        let distinct: std::collections::HashSet<_> =
+            storms.iter().map(|s| format!("{s:?}")).collect();
+        assert_eq!(distinct.len(), storms.len(), "rounds never repeat a storm: {storms:?}");
+        for s in &storms {
+            assert_eq!(ChurnMix::storm_spec(9, 0), ChurnMix::storm_spec(9, 0));
+            s.build(&item, &supp).expect("storm plans validate");
+        }
+        // Stagger: everyone on the shared column, every client a unique
+        // fingerprint (distinct constants), deterministic per client.
+        let bands: Vec<QuerySpec> = (0..8).map(|c| ChurnMix::stagger_spec(9, c)).collect();
+        let distinct: std::collections::HashSet<_> =
+            bands.iter().map(|s| format!("{s:?}")).collect();
+        assert_eq!(distinct.len(), bands.len(), "staggered bands never collide: {bands:?}");
+        for (c, s) in bands.iter().enumerate() {
+            assert_eq!(s, &ChurnMix::stagger_spec(9, c), "deterministic per (seed, client)");
+            let QuerySpec::Band { col, lo, hi } = s else { panic!("band") };
+            assert_eq!(*col, "qty", "everyone contends on the shared column");
+            assert!(*lo >= 1 && *hi <= 50, "bands stay in the qty domain");
+            s.build(&item, &supp).expect("stagger plans validate");
         }
     }
 

@@ -84,7 +84,10 @@ fn concurrent_sessions_are_bit_identical_to_sequential_single_thread() {
                         let plan = spec.build(item, supp).expect("mix plans validate");
                         match session.run(&plan) {
                             Ok(handle) => {
-                                leases.push((handle.sched.threads, handle.sched.cached));
+                                // Cache hits and collapsed duplicates both
+                                // answer without a lease.
+                                let leaseless = handle.sched.cached || handle.sched.collapsed;
+                                leases.push((handle.sched.threads, leaseless));
                                 outs.push(handle.into_executed().output);
                             }
                             Err(e) => panic!("session {c}: {e}"),
@@ -128,10 +131,15 @@ fn concurrent_sessions_are_bit_identical_to_sequential_single_thread() {
         m.high_water_threads
     );
     assert!(m.high_water_threads >= 1);
-    // Executed queries lease 1..=budget threads; cache hits (the Zipf-hot
-    // repeats — the default config caches) lease nothing at all.
+    // Executed queries lease 1..=budget threads; cache hits and collapsed
+    // duplicates (the Zipf-hot repeats — the default config caches) lease
+    // nothing at all.
     assert!(
-        leases.iter().all(|&(t, cached)| if cached { t == 0 } else { (1..=budget).contains(&t) }),
+        leases.iter().all(|&(t, leaseless)| if leaseless {
+            t == 0
+        } else {
+            (1..=budget).contains(&t)
+        }),
         "leases within budget: {leases:?}"
     );
     assert_eq!(m.latency.count as u64, m.completed);
@@ -140,6 +148,21 @@ fn concurrent_sessions_are_bit_identical_to_sequential_single_thread() {
     assert_eq!(sm.len(), SESSIONS);
     assert_eq!(sm.iter().map(|s| s.completed).sum::<u64>(), m.completed);
     assert!(sm.iter().all(|s| s.submitted == QUERIES_PER_SESSION as u64));
+    assert_counters_balance(&m, &sm);
+}
+
+/// The counter-consistency property: every globally counted saved scan is
+/// attributed to exactly one session — either the beneficiary picked the
+/// list up (`scans_saved`) or the runner covered it while streaming
+/// (`runner_covered`) — and the compressed-byte ledgers balance the same
+/// way. Holds at any timing, any chunk size, and across error paths.
+fn assert_counters_balance(m: &service::ServiceMetrics, sm: &[service::SessionMetrics]) {
+    let by_session: u64 = sm.iter().map(|s| s.scans_saved + s.runner_covered).sum();
+    assert_eq!(m.scans_saved, by_session, "saved-scan ledger must balance: {m:?}\n{sm:?}");
+    let bytes: u64 = sm.iter().map(|s| s.compressed_bytes_streamed).sum();
+    assert_eq!(m.compressed_bytes_streamed, bytes, "compressed-byte ledger: {m:?}\n{sm:?}");
+    let saved: u64 = sm.iter().map(|s| s.bytes_saved).sum();
+    assert_eq!(m.bytes_saved, saved, "bytes-saved ledger: {m:?}\n{sm:?}");
 }
 
 /// Shared scans + result cache under concurrency: one session warms the
@@ -229,14 +252,19 @@ fn shared_scans_and_cache_keep_concurrent_batches_bit_identical() {
     // The two sessions replaying the warmed stream hit the cache on every
     // query (their fingerprints were all inserted before they started).
     assert!(m.cache_hits >= 2 * queries as u64, "warmed replicas must hit: {m:?}");
-    assert_eq!(m.cache_hits + m.cache_misses, total, "every submission consulted the cache");
-    // Shared-scan bookkeeping: a pass only forms when it covers >= 2
-    // leaves, so every pass saved at least one scan; traffic was streamed.
+    // Every submission either consulted the cache or collapsed onto a
+    // concurrent identical execution before reaching it.
+    assert_eq!(m.cache_hits + m.cache_misses + m.collapsed, total, "{m:?}");
+    // Shared-scan bookkeeping: a one-shot pass only forms when it covers
+    // >= 2 leaves and an elevator charges its one stream against its
+    // deliveries, so saved scans keep pace with batches; traffic was
+    // streamed.
     assert!(m.scans_saved >= m.shared_scan_batches, "{m:?}");
     assert!(m.scan_rows_streamed > 0, "{m:?}");
     let sm = svc.session_metrics();
     assert_eq!(sm.iter().map(|s| s.completed).sum::<u64>(), total);
     assert_eq!(sm.iter().map(|s| s.cache_hits).sum::<u64>(), m.cache_hits);
+    assert_counters_balance(&m, &sm);
 }
 
 /// Overload behaviour: a queue limit of zero sheds every query that cannot
