@@ -40,6 +40,10 @@ commands:
   shared     cooperative shared scans + hot-result cache: scan-traffic
              reduction over client count x predicate overlap, cache hit
              rate on the Zipf-hot needle mix
+  trace      query lifecycle tracing + cost-model drift observatory:
+             replays a churn mix against a traced service, renders the
+             per-query timeline and drift table, and fails on any
+             lifecycle-DFA violation or out-of-band drift ratio
   all        everything above, in order
 
 options:
@@ -149,6 +153,7 @@ fn main() -> ExitCode {
             "compress" => figures::compress::run(&opts),
             "service" => figures::service::run(&opts),
             "shared" => figures::shared::run(&opts),
+            "trace" => figures::trace::run(&opts),
             _ => return false,
         }
         true
@@ -159,7 +164,7 @@ fn main() -> ExitCode {
             for name in [
                 "fig1", "fig3", "fig4", "fig9", "fig10", "fig11", "fig12", "fig13", "validate",
                 "select", "skew", "vm", "query", "parallel", "access", "compress", "service",
-                "shared",
+                "shared", "trace",
             ] {
                 println!("\n=== {name} ===\n");
                 run_one(name);

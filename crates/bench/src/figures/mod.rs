@@ -17,6 +17,7 @@ pub mod select_paths;
 pub mod service;
 pub mod shared;
 pub mod skew;
+pub mod trace;
 pub mod validate;
 pub mod vm;
 

@@ -64,7 +64,8 @@ pub fn run(opts: &RunOpts) {
     );
     let mut summary: Vec<(usize, f64, f64)> = Vec::new();
     for &clients in &client_counts {
-        let budgeted = run_budgeted(&item, &supplier, cfg, clients, queries_per_client, opts.seed);
+        let budgeted =
+            run_budgeted(&item, &supplier, cfg.clone(), clients, queries_per_client, opts.seed);
         let naive = run_naive(&item, &supplier, &cfg, clients, queries_per_client, opts.seed);
         assert!(
             budgeted.outputs.len() == naive.outputs.len()

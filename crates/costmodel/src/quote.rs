@@ -54,6 +54,10 @@ pub enum OpShape {
         rows: usize,
         /// Aggregated value columns.
         columns: usize,
+        /// True for grouped accumulation (per-tuple direct-indexed slot
+        /// update, priced at the hash-tuple work rate); false for scalar
+        /// aggregates (plain scan-iteration work per tuple and column).
+        grouped: bool,
     },
     /// A positional gather materializing `rows` tuples from one column.
     Gather {
@@ -92,7 +96,56 @@ pub enum OpShape {
     },
 }
 
+/// The kind of an [`OpShape`], with the cardinality payload erased — the
+/// key a residual monitor aggregates model-vs-actual ratios under (one
+/// calibration curve per kind, whatever the row counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ShapeKind {
+    /// [`OpShape::Select`].
+    Select,
+    /// [`OpShape::PackedSelect`].
+    PackedSelect,
+    /// [`OpShape::SharedSelect`].
+    SharedSelect,
+    /// [`OpShape::AttachSelect`].
+    AttachSelect,
+    /// [`OpShape::Join`].
+    Join,
+    /// [`OpShape::Aggregate`].
+    Aggregate,
+    /// [`OpShape::Gather`].
+    Gather,
+}
+
+impl ShapeKind {
+    /// Stable lowercase name (used in reports and JSONL).
+    pub fn name(self) -> &'static str {
+        match self {
+            ShapeKind::Select => "select",
+            ShapeKind::PackedSelect => "packed-select",
+            ShapeKind::SharedSelect => "shared-select",
+            ShapeKind::AttachSelect => "attach-select",
+            ShapeKind::Join => "join",
+            ShapeKind::Aggregate => "aggregate",
+            ShapeKind::Gather => "gather",
+        }
+    }
+}
+
 impl OpShape {
+    /// This shape's [`ShapeKind`].
+    pub fn kind(self) -> ShapeKind {
+        match self {
+            OpShape::Select { .. } => ShapeKind::Select,
+            OpShape::PackedSelect { .. } => ShapeKind::PackedSelect,
+            OpShape::SharedSelect { .. } => ShapeKind::SharedSelect,
+            OpShape::AttachSelect { .. } => ShapeKind::AttachSelect,
+            OpShape::Join { .. } => ShapeKind::Join,
+            OpShape::Aggregate { .. } => ShapeKind::Aggregate,
+            OpShape::Gather { .. } => ShapeKind::Gather,
+        }
+    }
+
     /// The number of uniform work items this operator fans out over.
     fn items(self) -> usize {
         match self {
@@ -136,6 +189,69 @@ impl QueryQuote {
     }
 }
 
+/// Price one operator shape sequentially, given prebuilt scan and join
+/// models (so [`quote_ops`] builds them once per plan).
+fn price_op(
+    scan_model: &ModelMachine,
+    join_model: &ModelMachine,
+    cfg: &MachineConfig,
+    op: OpShape,
+) -> f64 {
+    match op {
+        OpShape::Select { rows, stride } => {
+            scan_cost(scan_model, rows.max(1), stride.max(1)).total_ns()
+        }
+        OpShape::PackedSelect { rows, bits } => {
+            crate::scan::packed_scan_cost(scan_model, rows.max(1), bits).total_ns()
+        }
+        OpShape::Join { outer, inner } => {
+            // Same convention as the executor: the plan follows the
+            // inner (build) side, the price follows the larger operand.
+            let (plan, _) = best_plan(join_model, cfg, inner.max(1));
+            plan_cost(join_model, &plan, outer.max(inner).max(1) as f64).total_ns()
+        }
+        OpShape::Aggregate { rows, columns, grouped } => {
+            // One single-pass accumulation kernel: the memory side streams
+            // the key column (when grouping) plus every aggregated column;
+            // the CPU side is what the kernel charges per tuple — one
+            // direct-indexed slot update (hash-tuple work) when grouped,
+            // one scan iteration per tuple and stream when scalar.
+            let n = rows.max(1) as f64;
+            let streams = (columns + usize::from(grouped)).max(1) as f64;
+            let (l1, l2, tlb) = crate::scan::misses_per_iter(scan_model, 8);
+            let cpu = if grouped {
+                n * scan_model.work.hash_tuple_ns
+            } else {
+                n * streams * scan_model.work.scan_iter_ns
+            };
+            crate::machine::ModelCost::assemble(
+                cpu,
+                n * streams * l1,
+                n * streams * l2,
+                n * streams * tlb,
+                &scan_model.lat,
+            )
+            .total_ns()
+        }
+        OpShape::Gather { rows } => scan_cost(scan_model, rows.max(1), 8).total_ns(),
+        OpShape::SharedSelect { rows } => {
+            crate::shared::marginal_pred_cost(scan_model, rows.max(1)).total_ns()
+        }
+        OpShape::AttachSelect { rows, stride, missed } => {
+            crate::shared::attach_cost(scan_model, rows.max(1), stride.max(1), missed).total_ns()
+        }
+    }
+}
+
+/// The model's sequential price of a single operator shape in nanoseconds
+/// — the per-operator residual API: a drift monitor compares this number
+/// against the simulated counters execution actually charged the operator.
+pub fn op_cost_ns(cfg: &MachineConfig, op: OpShape) -> f64 {
+    let scan_model = ModelMachine::new(cfg);
+    let join_model = ModelMachine::with_params(cfg, ModelParams::implementation_matched());
+    price_op(&scan_model, &join_model, cfg, op)
+}
+
 /// Price a sequence of operator shapes on machine `cfg` into one
 /// [`QueryQuote`]. An empty slice quotes zero cost.
 pub fn quote_ops(cfg: &MachineConfig, ops: &[OpShape]) -> QueryQuote {
@@ -144,31 +260,7 @@ pub fn quote_ops(cfg: &MachineConfig, ops: &[OpShape]) -> QueryQuote {
     let mut seq_ns = 0.0;
     let mut items = 0usize;
     for &op in ops {
-        seq_ns += match op {
-            OpShape::Select { rows, stride } => {
-                scan_cost(&scan_model, rows.max(1), stride.max(1)).total_ns()
-            }
-            OpShape::PackedSelect { rows, bits } => {
-                crate::scan::packed_scan_cost(&scan_model, rows.max(1), bits).total_ns()
-            }
-            OpShape::Join { outer, inner } => {
-                // Same convention as the executor: the plan follows the
-                // inner (build) side, the price follows the larger operand.
-                let (plan, _) = best_plan(&join_model, cfg, inner.max(1));
-                plan_cost(&join_model, &plan, outer.max(inner).max(1) as f64).total_ns()
-            }
-            OpShape::Aggregate { rows, columns } => {
-                scan_cost(&scan_model, rows.max(1), 8).total_ns() * (columns + 1) as f64
-            }
-            OpShape::Gather { rows } => scan_cost(&scan_model, rows.max(1), 8).total_ns(),
-            OpShape::SharedSelect { rows } => {
-                crate::shared::marginal_pred_cost(&scan_model, rows.max(1)).total_ns()
-            }
-            OpShape::AttachSelect { rows, stride, missed } => {
-                crate::shared::attach_cost(&scan_model, rows.max(1), stride.max(1), missed)
-                    .total_ns()
-            }
-        };
+        seq_ns += price_op(&scan_model, &join_model, cfg, op);
         items += op.items();
     }
     QueryQuote { seq_ns, items, ops: ops.len() }
@@ -194,14 +286,14 @@ mod tests {
             &cfg,
             &[
                 OpShape::Select { rows: 10_000, stride: 4 },
-                OpShape::Aggregate { rows: 5_000, columns: 1 },
+                OpShape::Aggregate { rows: 5_000, columns: 1, grouped: true },
             ],
         );
         let big = quote_ops(
             &cfg,
             &[
                 OpShape::Select { rows: 1_000_000, stride: 4 },
-                OpShape::Aggregate { rows: 500_000, columns: 1 },
+                OpShape::Aggregate { rows: 500_000, columns: 1, grouped: true },
             ],
         );
         assert!(big.seq_ns > small.seq_ns * 10.0, "{} vs {}", big.seq_ns, small.seq_ns);
@@ -256,6 +348,29 @@ mod tests {
         // 32 bits/value is the uncompressed stream.
         let full = quote_ops(&cfg, &[OpShape::PackedSelect { rows: 1_000_000, bits: 32.0 }]);
         assert!((full.seq_ns - fresh.seq_ns).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_op_prices_sum_to_the_quote_and_kinds_are_stable() {
+        let cfg = profiles::origin2000();
+        let ops = [
+            OpShape::Select { rows: 100_000, stride: 4 },
+            OpShape::Join { outer: 50_000, inner: 1_000 },
+            OpShape::Gather { rows: 25_000 },
+            OpShape::Aggregate { rows: 25_000, columns: 2, grouped: true },
+            OpShape::SharedSelect { rows: 10_000 },
+        ];
+        let q = quote_ops(&cfg, &ops);
+        let summed: f64 = ops.iter().map(|&o| op_cost_ns(&cfg, o)).sum();
+        assert!((q.seq_ns - summed).abs() < 1e-6, "{} vs {summed}", q.seq_ns);
+        assert_eq!(ops[0].kind(), ShapeKind::Select);
+        assert_eq!(ops[1].kind(), ShapeKind::Join);
+        assert_eq!(ops[1].kind().name(), "join");
+        assert_eq!(OpShape::PackedSelect { rows: 1, bits: 3.0 }.kind(), ShapeKind::PackedSelect);
+        assert_eq!(
+            OpShape::AttachSelect { rows: 1, stride: 4, missed: 0 }.kind().name(),
+            "attach-select"
+        );
     }
 
     #[test]

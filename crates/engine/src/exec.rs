@@ -51,8 +51,10 @@
 use std::fmt;
 use std::sync::Arc;
 
+use costmodel::access::AccessPath;
 use costmodel::parallel::{algorithm_parallelizes, ParallelModel};
 use costmodel::plan::{best_plan, plan_cost};
+use costmodel::quote::OpShape;
 use costmodel::scan::scan_cost;
 use costmodel::ModelMachine;
 use costmodel::ModelParams;
@@ -234,6 +236,32 @@ fn threads_detail(threads: usize, speedup: Option<f64>) -> String {
     }
 }
 
+/// A structured annotation on an operator's execution — facts that used to
+/// live only in the free-text `detail` string, now matchable without string
+/// parsing. `detail` still renders them for humans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessNote {
+    /// `provided` of the filter's `total` predicate leaves consumed
+    /// candidate lists a cooperative shared-scan pass produced, so this
+    /// operator skipped that scan work.
+    SharedLeaves {
+        /// Leaves whose candidates arrived via the scan ticket.
+        provided: usize,
+        /// Total predicate leaves in the filter.
+        total: usize,
+    },
+}
+
+impl fmt::Display for AccessNote {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessNote::SharedLeaves { provided, total } => {
+                write!(f, "{provided}/{total} leaves via shared scan")
+            }
+        }
+    }
+}
+
 /// What one operator did.
 #[derive(Debug, Clone, Default)]
 pub struct OpReport {
@@ -251,6 +279,14 @@ pub struct OpReport {
     /// Selection operators: the access-path decision per predicate leaf
     /// (scan vs. which index, with both model quotes).
     pub access: Vec<AccessDecision>,
+    /// Structured annotations (e.g. shared-scan participation) — the
+    /// machine-readable form of facts `detail` renders as text.
+    pub notes: Vec<AccessNote>,
+    /// The cost-model shapes for the work this operator performed *itself*
+    /// (index probes and leaves fed by a shared pass are excluded): what the
+    /// model would quote for exactly the kernels that ran. Drift monitors
+    /// compare these quotes against observed counters.
+    pub shapes: Vec<OpShape>,
     /// Parallel runs: this operator's row counters sharded per thread
     /// (select: matches produced per chunk, summed over scanning leaves;
     /// gather/ungrouped aggregate: input rows per chunk; join: result pairs
@@ -525,10 +561,14 @@ fn exec_node<'a, M: MemTracker>(
                 Some(prior) => intersect(&prior, &selected),
                 None => selected,
             };
-            let shared_note = match pplan.provided_leaves() {
-                0 => String::new(),
-                p => format!("; {p}/{nleaves} leaves via shared scan"),
-            };
+            let mut notes = Vec::new();
+            if pplan.provided_leaves() > 0 {
+                notes.push(AccessNote::SharedLeaves {
+                    provided: pplan.provided_leaves(),
+                    total: nleaves,
+                });
+            }
+            let shared_note: String = notes.iter().map(|n| format!("; {n}")).collect();
             let detail = if pplan.uses_index() || pplan.provided_leaves() > 0 {
                 format!(
                     "select [{pred}] via {}; model {model_ms:.2} ms{}{shared_note}",
@@ -541,13 +581,32 @@ fn exec_node<'a, M: MemTracker>(
                     threads_detail(threads, speedup)
                 )
             };
+            let access = pplan.decisions();
+            // Only the scans this operator ran itself are model-attributable
+            // work: index probes touch a handful of nodes and shared leaves
+            // were scanned elsewhere, so neither belongs in the drift ledger.
+            let shapes = access
+                .iter()
+                .filter(|d| !d.shared)
+                .filter_map(|d| match d.path {
+                    AccessPath::Scan => {
+                        Some(OpShape::Select { rows: table.len(), stride: d.stride })
+                    }
+                    AccessPath::PackedScan => {
+                        Some(OpShape::PackedSelect { rows: table.len(), bits: d.packed_bits })
+                    }
+                    _ => None,
+                })
+                .collect();
             report.ops.push(OpReport {
                 op: format!("select({})", table.name()),
                 rows_in: table.len(),
                 rows_out: merged.len(),
                 detail,
                 counters: delta(trk, before),
-                access: pplan.decisions(),
+                access,
+                notes,
+                shapes,
                 rows_per_thread: shards,
             });
             Ok(Output::Stream(Stream::Table { table, cands: Some(merged) }))
@@ -593,6 +652,7 @@ fn exec_node<'a, M: MemTracker>(
                     threads_detail(threads, speedup)
                 ),
                 counters: delta(trk, before),
+                shapes: vec![OpShape::Join { outer, inner }],
                 rows_per_thread: join_shards,
                 ..OpReport::default()
             });
@@ -657,12 +717,24 @@ fn exec_node<'a, M: MemTracker>(
                 QueryOutput::Groups(g) => g.len(),
                 _ => 1,
             };
+            // Mirror the quote's shape decomposition: one positional gather
+            // per materialized column (plus the key) before the
+            // accumulation pass; unrestricted scans borrow in place.
+            let columns = aggs.iter().filter(|a| a.column().is_some()).count();
+            let mut shapes = Vec::new();
+            if materializes {
+                for _ in 0..columns + usize::from(key.is_some()) {
+                    shapes.push(OpShape::Gather { rows: rows_in });
+                }
+            }
+            shapes.push(OpShape::Aggregate { rows: rows_in, columns, grouped: key.is_some() });
             report.ops.push(OpReport {
                 op,
                 rows_in,
                 rows_out,
                 detail,
                 counters: delta(trk, before),
+                shapes,
                 rows_per_thread: shards,
                 ..OpReport::default()
             });
@@ -1597,8 +1669,19 @@ mod tests {
             let fed = execute_with_scans(&mut NullTracker, &plan, &opts, &ticket).unwrap();
             assert!(fed.output.bitwise_eq(&solo.output), "{threads:?}");
             let sel = fed.report.ops.iter().find(|o| o.op.starts_with("select")).unwrap();
+            assert_eq!(
+                sel.notes,
+                vec![AccessNote::SharedLeaves { provided: 2, total: 2 }],
+                "{}",
+                sel.detail
+            );
             assert!(sel.detail.contains("2/2 leaves via shared scan"), "{}", sel.detail);
             assert!(sel.access.iter().all(|d| d.shared), "{:?}", sel.access);
+            assert!(
+                sel.shapes.is_empty(),
+                "shared leaves carry no self-owned work: {:?}",
+                sel.shapes
+            );
             assert!(sel.rows_per_thread.is_none(), "no scan work ran here");
         }
 
@@ -1609,8 +1692,10 @@ mod tests {
             execute_with_scans(&mut NullTracker, &plan, &ExecOptions::default(), &partial).unwrap();
         assert!(fed.output.bitwise_eq(&solo.output));
         let sel = fed.report.ops.iter().find(|o| o.op.starts_with("select")).unwrap();
+        assert_eq!(sel.notes, vec![AccessNote::SharedLeaves { provided: 1, total: 2 }]);
         assert!(sel.detail.contains("1/2 leaves via shared scan"), "{}", sel.detail);
         assert_eq!(sel.access.iter().filter(|d| d.shared).count(), 1);
+        assert_eq!(sel.shapes.len(), 1, "the unprovided leaf scanned here: {:?}", sel.shapes);
     }
 
     #[test]

@@ -52,7 +52,8 @@ pub mod shared;
 
 pub use access::{AccessDecision, AccessMode, CompressMode};
 pub use exec::{
-    execute, execute_with_scans, ExecOptions, ExecReport, Executed, Planner, QueryOutput, Threads,
+    execute, execute_with_scans, AccessNote, ExecOptions, ExecReport, Executed, OpReport, Planner,
+    QueryOutput, Threads,
 };
 pub use join::{join_bats, JoinIndex};
 pub use plan::{Agg, LogicalPlan, PlanError, Pred, Query};

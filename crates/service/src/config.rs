@@ -1,6 +1,7 @@
 //! Service configuration and the `MONET_SERVICE_*` environment knobs.
 
 use memsim::MachineConfig;
+use obs::TraceMode;
 
 /// How many queries may wait in the admission queue before new submissions
 /// are rejected, by default.
@@ -18,6 +19,10 @@ pub const DEFAULT_CACHE_BYTES: usize = 4 << 20;
 /// every cooperative pass all-or-nothing, the pre-elevator behavior).
 pub const DEFAULT_CHUNK_ROWS: usize = 64 << 10;
 
+/// Default drift band: a shape whose EWMA actual/model ratio leaves
+/// `[1/band, band]` is flagged by the drift observatory.
+pub const DEFAULT_DRIFT_BAND: f64 = 2.0;
+
 /// Configuration of a [`crate::QueryService`].
 ///
 /// Every field has an environment override so deployments can be tuned
@@ -31,7 +36,9 @@ pub const DEFAULT_CHUNK_ROWS: usize = 64 << 10;
 /// | `shared_scans` | `MONET_SERVICE_SHARE` (`0`/`off` disables) | on |
 /// | `cache_bytes` | `MONET_SERVICE_CACHE` (`0` off, `on`, or bytes) | 4 MiB |
 /// | `chunk_rows` | `MONET_SERVICE_CHUNK` (`0` one-shot, values, or `64k`/`1m`) | 64K values |
-#[derive(Debug, Clone, Copy)]
+/// | `trace` | `MONET_TRACE` (`0` off, `on`/`ring`, `stderr`, or a path) | off |
+/// | `drift_band` | `MONET_DRIFT_BAND` (ratio >= 1) | 2.0 |
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Machine whose memory hierarchy the admission quotes (and the
     /// executor's physical decisions) are priced against.
@@ -70,6 +77,18 @@ pub struct ServiceConfig {
     /// pre-elevator behavior. Results are bit-identical at every chunk
     /// size.
     pub chunk_rows: usize,
+    /// Query lifecycle tracing ([`obs::TraceMode`]). Off by default: the
+    /// submit path then carries no trace state at all and runs exactly the
+    /// pre-observability code. When enabled, every query's lifecycle is
+    /// recorded as logically-timestamped events in per-session rings
+    /// (exported as JSONL for `stderr`/file modes), kernels run under the
+    /// memory simulator so per-chunk counters are deterministic, and the
+    /// drift observatory compares model quotes against simulated cost.
+    pub trace: TraceMode,
+    /// Drift band for the observatory: a shape whose EWMA actual/model
+    /// ratio leaves `[1/band, band]` is flagged in
+    /// [`crate::QueryService::drift`] reports.
+    pub drift_band: f64,
 }
 
 impl ServiceConfig {
@@ -85,6 +104,8 @@ impl ServiceConfig {
             shared_scans: true,
             cache_bytes: DEFAULT_CACHE_BYTES,
             chunk_rows: DEFAULT_CHUNK_ROWS,
+            trace: TraceMode::Off,
+            drift_band: DEFAULT_DRIFT_BAND,
         }
     }
 
@@ -122,6 +143,16 @@ impl ServiceConfig {
         if let Ok(v) = std::env::var("MONET_SERVICE_CHUNK") {
             if let Some(n) = parse_chunk(&v) {
                 cfg.chunk_rows = n;
+            }
+        }
+        if let Ok(v) = std::env::var("MONET_TRACE") {
+            cfg.trace = TraceMode::parse(&v);
+        }
+        if let Ok(v) = std::env::var("MONET_DRIFT_BAND") {
+            if let Ok(b) = v.trim().parse::<f64>() {
+                if b.is_finite() && b >= 1.0 {
+                    cfg.drift_band = b;
+                }
             }
         }
         cfg
@@ -168,6 +199,18 @@ impl ServiceConfig {
         self.chunk_rows = rows;
         self
     }
+
+    /// Set the lifecycle trace mode.
+    pub fn with_trace(mut self, mode: TraceMode) -> Self {
+        self.trace = mode;
+        self
+    }
+
+    /// Set the drift band (clamped to >= 1; `band = 1` flags any drift).
+    pub fn with_drift_band(mut self, band: f64) -> Self {
+        self.drift_band = if band.is_finite() { band.max(1.0) } else { DEFAULT_DRIFT_BAND };
+        self
+    }
 }
 
 impl Default for ServiceConfig {
@@ -208,6 +251,19 @@ mod tests {
         assert!(cfg.shared_scans, "cooperative scans default on");
         assert_eq!(cfg.cache_bytes, DEFAULT_CACHE_BYTES);
         assert_eq!(cfg.chunk_rows, DEFAULT_CHUNK_ROWS);
+        assert_eq!(cfg.trace, TraceMode::Off, "tracing defaults off");
+        assert_eq!(cfg.drift_band, DEFAULT_DRIFT_BAND);
+    }
+
+    #[test]
+    fn trace_and_drift_builders() {
+        let cfg = ServiceConfig::new().with_trace(TraceMode::Ring).with_drift_band(1.5);
+        assert!(cfg.trace.enabled());
+        assert_eq!(cfg.drift_band, 1.5);
+        let cfg = cfg.with_drift_band(0.3);
+        assert_eq!(cfg.drift_band, 1.0, "band clamps to >= 1");
+        let cfg = cfg.with_drift_band(f64::NAN);
+        assert_eq!(cfg.drift_band, DEFAULT_DRIFT_BAND, "NaN falls back to the default");
     }
 
     #[test]

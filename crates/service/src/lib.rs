@@ -52,7 +52,21 @@
 //!   fingerprint;
 //! * [`metrics`] — global and per-session counters (admission, collapse,
 //!   shared-scan batches, delivery-time saved scans, elevator attaches and
-//!   preemptions, cache hits/misses/evictions) with latency percentiles.
+//!   preemptions, cache hits/misses/evictions) with latency percentiles
+//!   from mergeable per-session [`obs::LogHistogram`]s.
+//!
+//! **Observability** ([`obs`]): with [`ServiceConfig::trace`] on
+//! (`MONET_TRACE=on|stderr|<path>`), every submitted query records a
+//! [`obs::QueryTrace`] — logically-timestamped lifecycle events (admitted,
+//! queued, lease granted, chunk done, elevator attach, preempted,
+//! collapsed, cache hit, shed, per-operator completion, delivered) —
+//! retrievable via [`QueryService::traces`] and exportable as JSONL.
+//! Tracing runs kernels under the [`memsim`] simulator (sequentially;
+//! results stay bit-identical), and the simulated counters feed the
+//! cost-model drift observatory ([`QueryService::drift`]): per-shape EWMA
+//! ratios of simulated-actual vs model-quoted time, flagged when they
+//! leave [`ServiceConfig::drift_band`]. With tracing off (the default) the
+//! submit path carries no observability state at all.
 //!
 //! **Determinism:** scheduling changes *when* and *how wide* a query runs,
 //! never *what* it computes — the executor is bit-identical at every
@@ -78,6 +92,7 @@ mod shared;
 
 pub use config::ServiceConfig;
 pub use metrics::{LatencySummary, SampleWindow, ServiceMetrics, SessionMetrics};
+pub use obs::TraceMode;
 pub use sched::{Admission, Grant, Scheduler};
 pub use service::{quote_plan, quote_plan_covered, QueryHandle, QueryService, SchedInfo, Session};
 

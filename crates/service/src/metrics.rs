@@ -18,6 +18,19 @@ pub struct LatencySummary {
     pub max_ms: f64,
 }
 
+impl From<obs::HistSummary> for LatencySummary {
+    fn from(h: obs::HistSummary) -> Self {
+        Self {
+            count: h.count,
+            mean_ms: h.mean,
+            p50_ms: h.p50,
+            p95_ms: h.p95,
+            p99_ms: h.p99,
+            max_ms: h.max,
+        }
+    }
+}
+
 impl LatencySummary {
     /// Summarize `samples` (order irrelevant; empty yields all zeros).
     pub fn of(samples: &[f64]) -> Self {
@@ -144,13 +157,21 @@ pub struct ServiceMetrics {
     pub cache_bytes: usize,
     /// Resident entries in the result cache.
     pub cache_entries: usize,
-    /// End-to-end latency (submission to result) over the most recent
-    /// completed queries (a bounded [`SampleWindow`], so `count` caps at
-    /// the window size even as `completed` grows).
+    /// End-to-end latency (submission to result) over *every* completed
+    /// query: per-session log-bucketed histograms ([`obs::LogHistogram`])
+    /// merged into one distribution, so `count` tracks `completed` exactly
+    /// while memory stays bounded. Percentiles carry the histogram's
+    /// relative error (under 5%); `count`, `mean_ms`, and `max_ms` are
+    /// exact.
     pub latency: LatencySummary,
     /// Time spent waiting in the admission queue (0 for immediate starts),
-    /// over the same window.
+    /// same histogram treatment.
     pub queue_wait: LatencySummary,
+    /// Wall time of individual elevator chunk passes (empty when chunking
+    /// is off or no cooperative pass ran) — the grain the scheduler can
+    /// preempt at, so its tail bounds how long a cheap query waits behind
+    /// a streaming one.
+    pub chunk_latency: LatencySummary,
 }
 
 /// Per-session accounting, one row per [`crate::Session`].
@@ -214,6 +235,35 @@ mod tests {
         one.push(1.0);
         one.push(2.0);
         assert_eq!(one.samples(), &[2.0]);
+    }
+
+    #[test]
+    fn sample_window_memory_is_bounded_at_a_million_samples() {
+        // Regression guard for the unbounded-history failure mode the
+        // window (and the histograms that superseded it for service
+        // metrics) exist to prevent: a long-running service must not
+        // accumulate per-sample state.
+        let mut w = SampleWindow::new(4096);
+        for i in 0..1_000_000u64 {
+            w.push(i as f64);
+        }
+        assert_eq!(w.samples().len(), 4096, "retention caps at the window size");
+        assert!(w.buf.capacity() <= 4096, "no hidden growth past the cap");
+        let s = w.summary();
+        assert_eq!(s.count, 4096);
+        assert_eq!(s.max_ms, 999_999.0, "the newest samples are the ones retained");
+    }
+
+    #[test]
+    fn latency_summary_converts_from_histogram_summaries() {
+        let mut h = obs::LogHistogram::new();
+        for v in [1.0, 2.0, 4.0] {
+            h.record(v);
+        }
+        let s: LatencySummary = h.summary().into();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.max_ms, 4.0);
+        assert!((s.mean_ms - 7.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -24,28 +24,32 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use costmodel::access::AccessPath;
-use costmodel::quote::{quote_ops, OpShape, QueryQuote};
-use costmodel::scan::scan_cost;
+use costmodel::quote::{op_cost_ns, quote_ops, OpShape, QueryQuote, ShapeKind};
+use costmodel::scan::{packed_scan_cost, scan_cost};
+use costmodel::shared::{marginal_pred_cost, merged_scan_cost};
 use costmodel::ModelMachine;
 use engine::access::CompressMode;
 use engine::exec::{execute_with_scans, ExecOptions, ExecReport, Executed, QueryOutput, Threads};
 use engine::plan::{LogicalPlan, PlanNode, Pred};
 use engine::shared::{scan_requests, ColumnId, ScanRequest, ScanTicket, ShareKey};
-use memsim::{MachineConfig, NullTracker};
+use memsim::{EventCounters, MachineConfig, NullTracker, SimTracker};
 use monet_core::compress::{
     multi_select_compressed, multi_select_compressed_range, par_multi_select_compressed_counted,
 };
 use monet_core::scan::{multi_select, multi_select_range, par_multi_select_counted, ScanPred};
 use monet_core::storage::Oid;
+use obs::{
+    DriftMonitor, DriftReport, LogHistogram, QueryTrace, TraceBuilder, TraceEvent, TraceSink,
+};
 
 use crate::config::ServiceConfig;
-use crate::metrics::{SampleWindow, ServiceMetrics, SessionMetrics};
+use crate::metrics::{ServiceMetrics, SessionMetrics};
 use crate::sched::{Admission, Scheduler};
 use crate::shared::{fingerprint, Batch, Cands, ResultCache, Runnable, ScanBoard};
 use crate::ServiceError;
 
-/// How many recent latency samples the metric percentiles cover.
-const LATENCY_WINDOW: usize = 4096;
+/// How many completed traces each session's ring retains under tracing.
+const TRACE_RING_CAP: usize = 1024;
 
 /// A multi-session query service over a global thread budget.
 ///
@@ -56,8 +60,32 @@ const LATENCY_WINDOW: usize = 4096;
 /// the scheduling trace. See the [crate docs](crate) for the architecture.
 pub struct QueryService {
     cfg: ServiceConfig,
+    /// Tracing + drift observatory; `None` when `cfg.trace` is off, and
+    /// then the submit path carries no observability state at all.
+    obs: Option<ServiceObs>,
     state: Mutex<Inner>,
     cv: Condvar,
+}
+
+/// The observability side-car: the trace sink (its own internal locks) and
+/// the drift monitor. Lock order: never take `QueryService::state` while
+/// holding the drift lock.
+struct ServiceObs {
+    sink: TraceSink,
+    drift: Mutex<DriftMonitor>,
+}
+
+/// One session's latency histograms ([`obs::LogHistogram`]): bounded
+/// memory however many queries run, merged into the global distributions
+/// by [`QueryService::metrics`].
+#[derive(Default)]
+struct SessionHists {
+    /// End-to-end latency (submission to result), milliseconds.
+    latency: LogHistogram,
+    /// Admission-queue wait, milliseconds (executed queries only).
+    queue_wait: LogHistogram,
+    /// Wall time of individual elevator chunk passes, milliseconds.
+    chunk: LogHistogram,
 }
 
 /// One in-progress execution other identical submissions can collapse
@@ -101,9 +129,9 @@ struct Inner {
     bytes_saved: u64,
     cache_hits: u64,
     cache_misses: u64,
-    latencies_ms: SampleWindow,
-    queue_waits_ms: SampleWindow,
     sessions: Vec<SessionMetrics>,
+    /// Parallel to `sessions`: per-session latency histograms.
+    hists: Vec<SessionHists>,
 }
 
 /// Settle a leader's flight: on success store the shared result for the
@@ -128,7 +156,10 @@ fn finish_flight(st: &mut Inner, fp: &str, result: Option<(Arc<Executed>, f64)>)
 impl QueryService {
     /// Start a service with the given configuration.
     pub fn new(cfg: ServiceConfig) -> Self {
+        let obs = TraceSink::new(&cfg.trace, TRACE_RING_CAP)
+            .map(|sink| ServiceObs { sink, drift: Mutex::new(DriftMonitor::new(cfg.drift_band)) });
         Self {
+            obs,
             state: Mutex::new(Inner {
                 sched: Scheduler::new(cfg.budget, cfg.queue_limit, cfg.starvation_bound),
                 grants: HashMap::new(),
@@ -150,9 +181,8 @@ impl QueryService {
                 bytes_saved: 0,
                 cache_hits: 0,
                 cache_misses: 0,
-                latencies_ms: SampleWindow::new(LATENCY_WINDOW),
-                queue_waits_ms: SampleWindow::new(LATENCY_WINDOW),
                 sessions: Vec::new(),
+                hists: Vec::new(),
             }),
             cv: Condvar::new(),
             cfg,
@@ -170,6 +200,11 @@ impl QueryService {
         let mut st = self.state.lock().expect("service lock");
         let id = st.sessions.len();
         st.sessions.push(SessionMetrics { session: id, ..SessionMetrics::default() });
+        st.hists.push(SessionHists::default());
+        if let Some(o) = &self.obs {
+            // Under the state lock, so ring index == session id.
+            o.sink.register_session();
+        }
         Session { svc: self, id }
     }
 
@@ -197,6 +232,16 @@ impl QueryService {
     /// Snapshot the service-wide metrics.
     pub fn metrics(&self) -> ServiceMetrics {
         let st = self.state.lock().expect("service lock");
+        // Merge the per-session histograms into global distributions —
+        // exact by construction (elementwise bucket addition).
+        let mut latency = LogHistogram::new();
+        let mut queue_wait = LogHistogram::new();
+        let mut chunk = LogHistogram::new();
+        for h in &st.hists {
+            latency.merge(&h.latency);
+            queue_wait.merge(&h.queue_wait);
+            chunk.merge(&h.chunk);
+        }
         ServiceMetrics {
             budget: st.sched.budget(),
             threads_in_use: st.sched.in_use(),
@@ -223,14 +268,131 @@ impl QueryService {
             cache_evictions: st.cache.evictions,
             cache_bytes: st.cache.bytes(),
             cache_entries: st.cache.len(),
-            latency: st.latencies_ms.summary(),
-            queue_wait: st.queue_waits_ms.summary(),
+            latency: latency.summary().into(),
+            queue_wait: queue_wait.summary().into(),
+            chunk_latency: chunk.summary().into(),
         }
     }
 
     /// Snapshot every session's accounting.
     pub fn session_metrics(&self) -> Vec<SessionMetrics> {
         self.state.lock().expect("service lock").sessions.clone()
+    }
+
+    /// Snapshot every retained lifecycle trace, ordered by query id.
+    /// Empty unless [`ServiceConfig::trace`] enabled tracing.
+    pub fn traces(&self) -> Vec<QueryTrace> {
+        self.obs.as_ref().map(|o| o.sink.traces()).unwrap_or_default()
+    }
+
+    /// Snapshot the cost-model drift observatory: per-shape-kind EWMA
+    /// residuals of simulated-actual vs model-quoted time, with kinds
+    /// outside `[1/band, band]` flagged. Empty (no rows) unless tracing is
+    /// on — residuals need the simulator's counters.
+    pub fn drift(&self) -> DriftReport {
+        match &self.obs {
+            Some(o) => o.drift.lock().expect("drift lock").report(),
+            None => DriftReport { band: self.cfg.drift_band, rows: Vec::new() },
+        }
+    }
+
+    /// Record one lifecycle event, when tracing is on.
+    fn tpush(&self, tb: &mut Option<TraceBuilder>, event: TraceEvent) {
+        if let (Some(tb), Some(o)) = (tb.as_mut(), self.obs.as_ref()) {
+            tb.push(&o.sink, event);
+        }
+    }
+
+    /// Complete a trace: ring + optional JSONL line. Call with the state
+    /// lock released — the sink writes to its export stream inline.
+    fn tfinish(&self, tb: Option<TraceBuilder>) {
+        if let (Some(tb), Some(o)) = (tb, self.obs.as_ref()) {
+            o.sink.finish(tb);
+        }
+    }
+
+    /// Fold a successful execution into the trace (per-operator `OpDone`
+    /// events plus the `Delivered` terminal) and feed the drift
+    /// observatory: each operator's model price (summed over its
+    /// [`OpShape`]s) against the simulated counters the tracing run
+    /// attributed to it, split proportionally across the shapes.
+    fn observe_delivery(
+        &self,
+        tb: &mut Option<TraceBuilder>,
+        executed: &Executed,
+        total_ms: f64,
+        queue_ms: f64,
+    ) {
+        let Some(o) = &self.obs else { return };
+        let mut actual_total = 0.0;
+        let mut drift = o.drift.lock().expect("drift lock");
+        for op in &executed.report.ops {
+            let sim = op.counters;
+            if let Some(c) = &sim {
+                actual_total += c.elapsed_ns();
+            }
+            // Drift wants apples to apples: skip operators whose work the
+            // model cannot see (no self-owned shapes) or that ran on an
+            // index path (priced per probe, not per scan shape).
+            let indexed = op.access.iter().any(|d| d.path.is_index());
+            if let Some(c) = (!op.shapes.is_empty() && !indexed).then_some(sim).flatten() {
+                let models: Vec<f64> =
+                    op.shapes.iter().map(|&s| op_cost_ns(&self.cfg.machine, s)).collect();
+                let model_total: f64 = models.iter().sum();
+                let actual = c.elapsed_ns();
+                if model_total > 0.0 && actual > 0.0 {
+                    for (shape, m) in op.shapes.iter().zip(&models) {
+                        drift.record(shape.kind(), *m, actual * m / model_total);
+                    }
+                }
+            }
+            self.tpush(
+                tb,
+                TraceEvent::OpDone {
+                    op: op.op.clone(),
+                    rows_in: op.rows_in,
+                    rows_out: op.rows_out,
+                    sim,
+                },
+            );
+        }
+        drop(drift);
+        let rows = match &executed.output {
+            QueryOutput::Groups(g) => g.len(),
+            QueryOutput::Aggregates(a) => a.len(),
+            QueryOutput::Oids(o) => o.len(),
+            QueryOutput::JoinIndex(j) => j.len(),
+        };
+        self.tpush(tb, TraceEvent::Delivered { total_ms, queue_ms, actual_ns: actual_total, rows });
+    }
+
+    /// Feed one cooperative scan pass (or elevator chunk) into the drift
+    /// observatory: the shared-scan model price for streaming `rows` rows
+    /// under `k` merged predicates — packed stream plus per-predicate CPU
+    /// margin when compressed — against the chunk's simulated counters.
+    fn record_pass_drift(
+        &self,
+        rows: usize,
+        stride: usize,
+        k: usize,
+        bits: Option<f64>,
+        counters: &EventCounters,
+    ) {
+        let Some(o) = &self.obs else { return };
+        let model = ModelMachine::new(&self.cfg.machine);
+        let rows = rows.max(1);
+        let (kind, model_ns) = match bits {
+            Some(bits) => (
+                ShapeKind::PackedSelect,
+                packed_scan_cost(&model, rows, bits).total_ns()
+                    + k.saturating_sub(1) as f64 * marginal_pred_cost(&model, rows).total_ns(),
+            ),
+            None => (
+                ShapeKind::Select,
+                merged_scan_cost(&model, rows, stride.max(1), k.max(1)).total_ns(),
+            ),
+        };
+        o.drift.lock().expect("drift lock").record(kind, model_ns, counters.elapsed_ns());
     }
 
     fn run_plan(
@@ -241,6 +403,7 @@ impl QueryService {
         let submitted_at = Instant::now();
         let requests = if self.cfg.shared_scans { scan_requests(plan) } else { Vec::new() };
         let fp = (self.cfg.cache_bytes > 0).then(|| fingerprint(plan));
+        let mut tb = self.obs.as_ref().map(|o| o.sink.begin(session));
 
         let mut st = self.state.lock().expect("service lock");
         st.sessions[session].submitted += 1;
@@ -258,12 +421,15 @@ impl QueryService {
                     st.cache_hits += 1;
                     st.completed += 1;
                     let total_ms = submitted_at.elapsed().as_secs_f64() * 1e3;
-                    st.latencies_ms.push(total_ms);
+                    st.hists[session].latency.record(total_ms);
                     let sm = &mut st.sessions[session];
                     sm.cache_hits += 1;
                     sm.completed += 1;
                     sm.total_ms += total_ms;
                     sm.max_ms = sm.max_ms.max(total_ms);
+                    self.tpush(&mut tb, TraceEvent::CacheHit);
+                    drop(st);
+                    self.tfinish(tb);
                     return Ok(QueryHandle {
                         executed,
                         sched: SchedInfo {
@@ -308,11 +474,14 @@ impl QueryService {
                             st.collapsed += 1;
                             st.completed += 1;
                             let total_ms = submitted_at.elapsed().as_secs_f64() * 1e3;
-                            st.latencies_ms.push(total_ms);
+                            st.hists[session].latency.record(total_ms);
                             let sm = &mut st.sessions[session];
                             sm.completed += 1;
                             sm.total_ms += total_ms;
                             sm.max_ms = sm.max_ms.max(total_ms);
+                            self.tpush(&mut tb, TraceEvent::Collapsed { leader: id });
+                            drop(st);
+                            self.tfinish(tb);
                             return Ok(QueryHandle {
                                 executed,
                                 sched: SchedInfo {
@@ -357,6 +526,14 @@ impl QueryService {
         let quote =
             quote_plan_covered(&self.cfg.machine, plan, &|leaf| covered.get(&leaf).copied());
         let desired = quote.best_threads(&self.cfg.machine, self.cfg.budget).threads;
+        self.tpush(
+            &mut tb,
+            TraceEvent::Admitted {
+                quote_ms: quote.seq_ms(),
+                ops: quote.ops,
+                covered: covered.len(),
+            },
+        );
 
         // Admission (under the lock): run now, wait for a lease, or shed.
         // Queued tickets post their scan leaves to the board so a runnable
@@ -369,12 +546,15 @@ impl QueryService {
             Admission::Rejected => {
                 st.rejected += 1;
                 st.sessions[session].rejected += 1;
+                self.tpush(&mut tb, TraceEvent::Shed);
                 drop(st);
+                self.tfinish(tb);
                 return Err(ServiceError::Overloaded { queue_limit: self.cfg.queue_limit });
             }
             Admission::Queued(ticket) => {
                 st.board.post(ticket, &requests);
                 st.queued += 1;
+                self.tpush(&mut tb, TraceEvent::Queued { depth: st.sched.waiting() });
                 loop {
                     if let Some(threads) = st.grants.remove(&ticket) {
                         break (ticket, threads, true);
@@ -383,6 +563,7 @@ impl QueryService {
                 }
             }
         };
+        self.tpush(&mut tb, TraceEvent::LeaseGranted { threads });
         // Runnable: harvest lists already published for this ticket, claim
         // cooperative passes over this plan's scan columns (absorbing every
         // queued same-column request), and note keys another runner is
@@ -411,7 +592,7 @@ impl QueryService {
         // Run the claimed passes (under the lease) and publish their lists
         // *before* waiting on anyone else's — every runner publishes first,
         // so waits always resolve.
-        self.run_batches(session, &work.batches, &requests, &lease, &mut ticket_lists);
+        self.run_batches(session, &work.batches, &requests, &lease, &mut ticket_lists, &mut tb);
         if !work.waits.is_empty() {
             let mut st = self.state.lock().expect("service lock");
             if work.waits.iter().any(|k| st.board.in_flight(k)) {
@@ -421,6 +602,7 @@ impl QueryService {
                 // idling ours here could deadlock the pool (and wastes
                 // budget besides). Re-acquire at cost 0 once the lists
                 // arrive.
+                self.tpush(&mut tb, TraceEvent::Preempted { remaining_ms: 0.0 });
                 let held = lease.threads.get();
                 lease.threads.set(0);
                 for grant in st.sched.release(held) {
@@ -439,6 +621,7 @@ impl QueryService {
                     st = self.cv.wait(st).expect("service lock");
                 };
                 lease.threads.set(got);
+                self.tpush(&mut tb, TraceEvent::LeaseGranted { threads: got });
             }
             // Delivered lists land under this ticket; a leaf whose pass
             // aborted simply stays unprovided and is evaluated below.
@@ -451,7 +634,16 @@ impl QueryService {
         let opts = ExecOptions::cost_model(self.cfg.machine)
             .with_threads(Threads::Auto)
             .with_thread_cap(lease.threads.get().max(1));
-        let result = execute_with_scans(&mut NullTracker, plan, &opts, &ticket_lists);
+        // Tracing runs the executor under the memory simulator so every
+        // operator report carries deterministic counters (the executor
+        // pins simulated runs to one thread; results are bit-identical).
+        let result = match &self.obs {
+            Some(_) => {
+                let mut trk = SimTracker::for_machine(self.cfg.machine);
+                execute_with_scans(&mut trk, plan, &opts, &ticket_lists)
+            }
+            None => execute_with_scans(&mut NullTracker, plan, &opts, &ticket_lists),
+        };
         let total_ms = submitted_at.elapsed().as_secs_f64() * 1e3;
         let final_threads = lease.threads.get();
         drop(lease);
@@ -459,6 +651,7 @@ impl QueryService {
         let executed = match result {
             Ok(e) => Arc::new(e),
             Err(e) => {
+                self.tpush(&mut tb, TraceEvent::Failed { error: e.to_string() });
                 let mut st = self.state.lock().expect("service lock");
                 // Roll deliveries this query consumed (or never will) out
                 // of the global saved-scan counter: its session never
@@ -467,9 +660,13 @@ impl QueryService {
                 let dropped = st.board.forget(ticket) + provided_by_others;
                 st.scans_saved = st.scans_saved.saturating_sub(dropped as u64);
                 drop(st);
+                self.tfinish(tb);
                 return Err(ServiceError::Engine(e));
             }
         };
+        if self.obs.is_some() {
+            self.observe_delivery(&mut tb, &executed, total_ms, queue_ms);
+        }
         // Scan traffic this query streamed itself: scan-path leaves
         // (uncompressed or packed) the shared mechanism did not cover —
         // index probes stream nothing. Packed leaves additionally account
@@ -496,8 +693,8 @@ impl QueryService {
         st.scan_rows += self_scanned;
         st.compressed_bytes += packed_bytes;
         st.bytes_saved += packed_saved;
-        st.latencies_ms.push(total_ms);
-        st.queue_waits_ms.push(queue_ms);
+        st.hists[session].latency.record(total_ms);
+        st.hists[session].queue_wait.record(queue_ms);
         let dropped = st.board.forget(ticket);
         st.scans_saved = st.scans_saved.saturating_sub(dropped as u64);
         if let Some(fp) = flight.fp.take() {
@@ -521,6 +718,7 @@ impl QueryService {
         sm.max_ms = sm.max_ms.max(total_ms);
         drop(st);
         self.cv.notify_all();
+        self.tfinish(tb);
 
         Ok(QueryHandle {
             executed,
@@ -556,15 +754,16 @@ impl QueryService {
         requests: &[ScanRequest<'_>],
         lease: &LeaseGuard<'_>,
         ticket_lists: &mut ScanTicket,
+        tb: &mut Option<TraceBuilder>,
     ) {
         for batch in batches {
             let req = &requests[batch.anchor];
             let chunk =
                 if self.cfg.chunk_rows == 0 { batch.rows.max(1) } else { self.cfg.chunk_rows };
             if chunk >= batch.rows {
-                self.run_one_shot(session, batch, req, lease.threads.get(), ticket_lists);
+                self.run_one_shot(session, batch, req, lease.threads.get(), ticket_lists, tb);
             } else {
-                self.run_elevator(session, batch, req, chunk, lease, ticket_lists);
+                self.run_elevator(session, batch, req, chunk, lease, ticket_lists, tb);
             }
             self.cv.notify_all();
         }
@@ -582,6 +781,7 @@ impl QueryService {
         req: &ScanRequest<'_>,
         threads: usize,
         ticket_lists: &mut ScanTicket,
+        tb: &mut Option<TraceBuilder>,
     ) {
         let compress = CompressMode::from_env().unwrap_or(CompressMode::On);
         let mut claim =
@@ -591,7 +791,16 @@ impl QueryService {
             .then_some(req.compressed)
             .flatten()
             .filter(|cc| preds.iter().all(|p| cc.supports(p)));
-        let lists = if let Some(cc) = cc {
+        // Tracing streams the pass under the simulator (sequentially — the
+        // simulator counts a single stream) for deterministic counters;
+        // the lists are bit-identical to the parallel kernels'.
+        let mut sim = self.obs.as_ref().map(|_| SimTracker::for_machine(self.cfg.machine));
+        let lists = if let Some(trk) = sim.as_mut() {
+            match cc {
+                Some(cc) => multi_select_compressed(trk, cc, req.seqbase, &preds),
+                None => multi_select(trk, req.bat, &preds),
+            }
+        } else if let Some(cc) = cc {
             if threads > 1 {
                 par_multi_select_compressed_counted(cc, req.seqbase, &preds, threads)
                     .map(|(lists, _)| lists)
@@ -607,6 +816,26 @@ impl QueryService {
         // were checked against these very columns); the guard's Drop
         // aborts the claims so waiters evaluate for themselves.
         if let Ok(lists) = lists {
+            if let Some(trk) = &sim {
+                let counters = trk.counters();
+                self.record_pass_drift(
+                    batch.rows,
+                    req.stride,
+                    preds.len(),
+                    cc.map(|c| c.bits_per_value()),
+                    &counters,
+                );
+                self.tpush(
+                    tb,
+                    TraceEvent::ChunkDone {
+                        col: format!("{}.{}", req.table, req.column),
+                        lo: 0,
+                        hi: batch.rows,
+                        preds: preds.len(),
+                        sim: Some(counters),
+                    },
+                );
+            }
             let lists: Vec<Cands> = lists.into_iter().map(Arc::new).collect();
             for (p, cands) in batch.preds.iter().zip(&lists) {
                 for &leaf in &p.own_leaves {
@@ -642,6 +871,7 @@ impl QueryService {
     /// lists, concatenated in ascending row order, are exactly the
     /// one-shot kernel's output — chunking changes scheduling, never
     /// results.
+    #[allow(clippy::too_many_arguments)] // one call site; the pass needs the whole claim context
     fn run_elevator(
         &self,
         session: usize,
@@ -650,6 +880,7 @@ impl QueryService {
         chunk: usize,
         lease: &LeaseGuard<'_>,
         ticket_lists: &mut ScanTicket,
+        tb: &mut Option<TraceBuilder>,
     ) {
         struct Rider {
             key: ShareKey,
@@ -691,18 +922,56 @@ impl QueryService {
             let hi = (cursor + chunk).min(rows);
             let preds: Vec<ScanPred> = riders.iter().map(|r| r.key.pred.kernel_pred()).collect();
             let cc = cc_col.filter(|cc| preds.iter().all(|p| cc.supports(p)));
-            // Stream the chunk without the service lock.
-            let lists = match cc {
-                Some(cc) => {
-                    multi_select_compressed_range(&mut NullTracker, cc, req.seqbase, &preds, lo, hi)
+            // Stream the chunk without the service lock — under the
+            // simulator when tracing, so the ChunkDone event carries
+            // deterministic counters.
+            let chunk_started = Instant::now();
+            let mut sim = self.obs.as_ref().map(|_| SimTracker::for_machine(self.cfg.machine));
+            let lists = if let Some(trk) = sim.as_mut() {
+                match cc {
+                    Some(cc) => multi_select_compressed_range(trk, cc, req.seqbase, &preds, lo, hi),
+                    None => multi_select_range(trk, req.bat, &preds, lo, hi),
                 }
-                None => multi_select_range(&mut NullTracker, req.bat, &preds, lo, hi),
+            } else {
+                match cc {
+                    Some(cc) => multi_select_compressed_range(
+                        &mut NullTracker,
+                        cc,
+                        req.seqbase,
+                        &preds,
+                        lo,
+                        hi,
+                    ),
+                    None => multi_select_range(&mut NullTracker, req.bat, &preds, lo, hi),
+                }
             };
+            let chunk_ms = chunk_started.elapsed().as_secs_f64() * 1e3;
             // Unreachable for validated plans; the guard aborts the
             // remaining claims (delivered riders stay delivered).
             let Ok(lists) = lists else { return };
+            if let Some(trk) = &sim {
+                let counters = trk.counters();
+                self.record_pass_drift(
+                    hi - lo,
+                    req.stride,
+                    preds.len(),
+                    cc.map(|c| c.bits_per_value()),
+                    &counters,
+                );
+                self.tpush(
+                    tb,
+                    TraceEvent::ChunkDone {
+                        col: format!("{}.{}", req.table, req.column),
+                        lo,
+                        hi,
+                        preds: preds.len(),
+                        sim: Some(counters),
+                    },
+                );
+            }
 
             let mut st = self.state.lock().expect("service lock");
+            st.hists[session].chunk.record(chunk_ms);
             for (r, part) in riders.iter_mut().zip(lists) {
                 r.parts.push((lo, part));
             }
@@ -725,8 +994,10 @@ impl QueryService {
             // a want whose predicate already rides (even one completing
             // right now) just registers for that rider's delivery — no
             // extra streaming at all.
+            let mut attached = 0usize;
             for (key, wants) in st.board.take_pending_for_col(&req.col) {
                 st.elevator_attaches += wants.len() as u64;
+                attached += wants.len();
                 let joined = riders.iter().any(|r| r.key == key);
                 st.board.claim_key(key, wants);
                 if !joined {
@@ -738,6 +1009,16 @@ impl QueryService {
                         parts: Vec::new(),
                     });
                 }
+            }
+            if attached > 0 {
+                self.tpush(
+                    tb,
+                    TraceEvent::ElevatorAttached {
+                        col: format!("{}.{}", req.table, req.column),
+                        chunk: cursor,
+                        riders: attached,
+                    },
+                );
             }
 
             // Deliver riders that have now seen every row: their parts,
@@ -808,6 +1089,7 @@ impl QueryService {
                 && st.sched.cheapest_waiting_cost().is_some_and(|c| c < remaining_ns)
             {
                 st.preemptions += 1;
+                self.tpush(tb, TraceEvent::Preempted { remaining_ms: remaining_ns / 1e6 });
                 let give = lease.threads.get();
                 let tkt = st.sched.requeue(remaining_ns, give.max(1));
                 for grant in st.sched.release(give) {
@@ -821,6 +1103,7 @@ impl QueryService {
                     st = self.cv.wait(st).expect("service lock");
                 };
                 lease.threads.set(got);
+                self.tpush(tb, TraceEvent::LeaseGranted { threads: got });
             }
             drop(st);
         }
@@ -1062,7 +1345,7 @@ fn shapes_of(
                     ops.push(OpShape::Gather { rows });
                 }
             }
-            ops.push(OpShape::Aggregate { rows, columns });
+            ops.push(OpShape::Aggregate { rows, columns, grouped: key.is_some() });
             rows
         }
     }
@@ -1601,5 +1884,88 @@ mod tests {
         // The failed leader's flight was settled, not stranded: the same
         // bad plan fails again (a stuck flight would hang this call).
         assert!(matches!(session.run(&bad), Err(ServiceError::Engine(_))));
+    }
+
+    #[test]
+    fn tracing_records_valid_lifecycles_and_identical_results() {
+        use obs::{validate_lifecycle, Terminal};
+        let t = item(50_000);
+        let plan = Query::scan(&t)
+            .filter(Pred::range_i32("qty", 10, 30))
+            .group_by("shipmode")
+            .agg(Agg::sum("price"))
+            .agg(Agg::count())
+            .build()
+            .unwrap();
+        // Small chunks force the cooperative pass through the elevator.
+        let cfg = ServiceConfig::new()
+            .with_budget(2)
+            .with_cache_bytes(1 << 20)
+            .with_chunk_rows(8 << 10)
+            .with_trace(obs::TraceMode::Ring);
+        let plain = QueryService::new(cfg.clone().with_trace(obs::TraceMode::Off));
+        let traced = QueryService::new(cfg);
+        let baseline = plain.session().run(&plan).expect("untraced run");
+        let ts = traced.session();
+        let first = ts.run(&plan).expect("traced run");
+        let hit = ts.run(&plan).expect("cache hit");
+        assert!(
+            first.output().bitwise_eq(baseline.output()) && hit.sched.cached,
+            "tracing must not change results"
+        );
+
+        let traces = traced.traces();
+        assert_eq!(traces.len(), 2);
+        let terms: Vec<Terminal> =
+            traces.iter().map(|t| validate_lifecycle(t).expect("DFA-valid")).collect();
+        assert_eq!(terms, vec![Terminal::Delivered, Terminal::CacheHit]);
+        let first_trace = &traces[0];
+        let names: Vec<&str> = first_trace.events.iter().map(|e| e.event.name()).collect();
+        assert!(names.contains(&"Admitted") && names.contains(&"LeaseGranted"), "{names:?}");
+        assert!(names.contains(&"ChunkDone"), "elevator chunks must be traced: {names:?}");
+        assert!(names.contains(&"OpDone") && names.last() == Some(&"Delivered"), "{names:?}");
+        assert!(first_trace.to_jsonl().contains("\"ev\":\"ChunkDone\""));
+
+        // The untraced service records no traces and reports no drift.
+        assert!(plain.traces().is_empty());
+        assert!(plain.drift().rows.is_empty());
+        // The traced one fed the observatory; on the calibrated model the
+        // shared-scan and operator residuals stay within a factor 2.
+        let drift = traced.drift();
+        assert!(!drift.rows.is_empty());
+        for r in &drift.rows {
+            assert!(
+                r.drift.ewma > 0.5 && r.drift.ewma < 2.0,
+                "{} drifted: {:?}",
+                r.kind.name(),
+                r.drift
+            );
+        }
+        // Chunk latencies landed in the histogram-backed metric.
+        assert!(traced.metrics().chunk_latency.count > 0);
+    }
+
+    #[test]
+    fn traced_shed_and_collapse_lifecycles_validate() {
+        use obs::{validate_lifecycle, Terminal};
+        let t = item(2_000);
+        let svc = QueryService::new(
+            ServiceConfig::new()
+                .with_budget(1)
+                .with_queue_limit(0)
+                .with_cache_bytes(0)
+                .with_trace(obs::TraceMode::Ring),
+        );
+        let session = svc.session();
+        let plan = Query::scan(&t).filter(Pred::range_i32("qty", 0, 10)).build().unwrap();
+        // With admission paused and a zero-length queue, a submission is
+        // shed immediately — the Shed terminal.
+        svc.pause_admission();
+        assert!(matches!(session.run(&plan), Err(ServiceError::Overloaded { .. })));
+        svc.resume_admission();
+        session.run(&plan).expect("runs after resume");
+        let terms: Vec<Terminal> =
+            svc.traces().iter().map(|t| validate_lifecycle(t).expect("DFA-valid")).collect();
+        assert_eq!(terms, vec![Terminal::Shed, Terminal::Delivered]);
     }
 }

@@ -1,0 +1,198 @@
+//! Lifecycle-DFA properties for query tracing under concurrency: every
+//! trace the service emits — across delivered, cache-hit, collapsed, and
+//! shed outcomes, produced by racing sessions — must validate against the
+//! legal lifecycle automaton ([`obs::validate_lifecycle`]), and the
+//! terminal census must agree exactly with what the submitting sessions
+//! observed through [`service::SchedInfo`] and [`service::ServiceError`].
+//! Tracing also must not bend the determinism contract: every traced
+//! result stays bit-identical to a single-thread untraced replay.
+
+use std::collections::BTreeMap;
+
+use engine::exec::{execute, ExecOptions, Threads};
+use memsim::{profiles, NullTracker};
+use obs::{validate_lifecycle, Terminal, TraceMode};
+use service::{QueryService, ServiceConfig, ServiceError};
+use workload::{item_table, ChurnMix, QueryMix};
+
+const SEED: u64 = 20260808;
+const SESSIONS: usize = 5;
+const QUERIES_PER_SESSION: usize = 6;
+
+fn supplier(n: usize) -> monet_core::storage::DecomposedTable {
+    use monet_core::storage::{ColType, TableBuilder, Value};
+    let mut b =
+        TableBuilder::new("supplier", 0).column("id", ColType::I32).column("rating", ColType::F64);
+    for i in 1..=n {
+        b.push_row(&[Value::I32(i as i32), Value::F64((i % 7) as f64 / 2.0)]).unwrap();
+    }
+    b.finish()
+}
+
+/// Concurrent mixed batch: one trace per submission, all DFA-valid, and
+/// the trace terminals reconcile 1:1 with the session-observed outcomes
+/// (cache hits, collapses, deliveries) — while results stay bit-identical
+/// to sequential untraced replays.
+#[test]
+fn concurrent_terminals_match_the_lifecycle_dfa() {
+    let item = item_table(20_000, SEED);
+    let supp = supplier(300);
+    let svc = QueryService::new(
+        ServiceConfig::new()
+            .with_budget(2)
+            .with_queue_limit(SESSIONS * QUERIES_PER_SESSION)
+            .with_starvation_bound(2)
+            .with_trace(TraceMode::Ring),
+    );
+
+    // (cached, collapsed) per query, plus each session's outputs in order.
+    let mut observed: Vec<(bool, bool)> = Vec::new();
+    let mut outputs = Vec::new();
+    std::thread::scope(|s| {
+        let (svc, item, supp) = (&svc, &item, &supp);
+        let handles: Vec<_> = (0..SESSIONS)
+            .map(|c| {
+                s.spawn(move || {
+                    let session = svc.session();
+                    let mut mix = QueryMix::for_client(SEED, c);
+                    let mut flags = Vec::new();
+                    let mut outs = Vec::new();
+                    for _ in 0..QUERIES_PER_SESSION {
+                        let plan = mix.next_spec().build(item, supp).expect("mix plans validate");
+                        let handle = session.run(&plan).expect("nothing is shed at this queue");
+                        flags.push((handle.sched.cached, handle.sched.collapsed));
+                        outs.push(handle.into_executed().output);
+                    }
+                    (c, flags, outs)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (c, flags, outs) = h.join().expect("session thread panicked");
+            observed.extend(flags);
+            outputs.push((c, outs));
+        }
+    });
+
+    let traces = svc.traces();
+    assert_eq!(traces.len(), SESSIONS * QUERIES_PER_SESSION, "one trace per submission");
+
+    let mut census: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for t in &traces {
+        let term = validate_lifecycle(t)
+            .unwrap_or_else(|e| panic!("lifecycle DFA violation: {e}\n{}", t.to_jsonl()));
+        *census.entry(term_key(term)).or_default() += 1;
+    }
+    let count = |f: fn(&(bool, bool)) -> bool| observed.iter().filter(|o| f(o)).count();
+    let (hits, collapses) = (count(|o| o.0), count(|o| o.1));
+    assert_eq!(census.get("cache-hit").copied().unwrap_or(0), hits, "{census:?}");
+    assert_eq!(census.get("collapsed").copied().unwrap_or(0), collapses, "{census:?}");
+    assert_eq!(
+        census.get("delivered").copied().unwrap_or(0),
+        observed.len() - hits - collapses,
+        "{census:?}"
+    );
+    assert_eq!(census.get("shed"), None, "{census:?}");
+    assert_eq!(census.get("failed"), None, "{census:?}");
+
+    // Logical timestamps are globally unique: the clock is shared, so no
+    // two events anywhere in the run may collide.
+    let mut stamps: Vec<u64> = traces.iter().flat_map(|t| t.events.iter().map(|e| e.t)).collect();
+    let before = stamps.len();
+    stamps.sort_unstable();
+    stamps.dedup();
+    assert_eq!(stamps.len(), before, "logical timestamps must be globally unique");
+
+    // Determinism through tracing: replay each session's stream untraced,
+    // single-threaded, and demand bitwise equality.
+    let seq = ExecOptions::cost_model(profiles::origin2000()).with_threads(Threads::Fixed(1));
+    for (c, outs) in &outputs {
+        let mut mix = QueryMix::for_client(SEED, *c);
+        for (q, got) in outs.iter().enumerate() {
+            let plan = mix.next_spec().build(&item, &supp).unwrap();
+            let want = execute(&mut NullTracker, &plan, &seq).unwrap().output;
+            assert!(got.bitwise_eq(&want), "session {c} query {q}: traced result differs");
+        }
+    }
+}
+
+/// Overload: with admission paused and a two-slot queue, a racing wave of
+/// distinct queries sheds all but two — and the shed lifecycles validate
+/// (`Admitted → Shed`) right alongside the delivered ones.
+#[test]
+fn shed_terminals_validate_under_an_overloaded_queue() {
+    let item = item_table(8_000, SEED);
+    let supp = supplier(100);
+    let clients = SESSIONS;
+    let queue = 2usize;
+    let svc = QueryService::new(
+        ServiceConfig::new()
+            .with_budget(1)
+            .with_queue_limit(queue)
+            .with_cache_bytes(0)
+            .with_trace(TraceMode::Ring),
+    );
+
+    svc.pause_admission();
+    let mut delivered = 0usize;
+    let mut shed = 0usize;
+    std::thread::scope(|s| {
+        let (svc, item, supp) = (&svc, &item, &supp);
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                s.spawn(move || {
+                    // Distinct constants per client, so nothing collapses
+                    // into a single flight and the queue really fills.
+                    let plan =
+                        ChurnMix::stagger_spec(SEED, c).build(item, supp).expect("spec validates");
+                    match svc.session().run(&plan) {
+                        Ok(h) => {
+                            assert!(!h.sched.cached && !h.sched.collapsed);
+                            Ok(())
+                        }
+                        Err(ServiceError::Overloaded { queue_limit }) => Err(queue_limit),
+                        Err(e) => panic!("client {c}: unexpected error {e}"),
+                    }
+                })
+            })
+            .collect();
+        // Sheds return immediately; the queued survivors block on the
+        // gate. Release it once exactly `clients - queue` rejections have
+        // landed, so the census is deterministic.
+        while svc.metrics().rejected < (clients - queue) as u64 {
+            std::thread::yield_now();
+        }
+        svc.resume_admission();
+        for h in handles {
+            match h.join().expect("client panicked") {
+                Ok(()) => delivered += 1,
+                Err(limit) => {
+                    assert_eq!(limit, queue);
+                    shed += 1;
+                }
+            }
+        }
+    });
+    assert_eq!((delivered, shed), (queue, clients - queue));
+
+    let traces = svc.traces();
+    assert_eq!(traces.len(), clients, "shed submissions leave traces too");
+    let mut census: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for t in &traces {
+        let term = validate_lifecycle(t)
+            .unwrap_or_else(|e| panic!("lifecycle DFA violation: {e}\n{}", t.to_jsonl()));
+        *census.entry(term_key(term)).or_default() += 1;
+    }
+    assert_eq!(census.get("shed"), Some(&shed), "{census:?}");
+    assert_eq!(census.get("delivered"), Some(&delivered), "{census:?}");
+}
+
+fn term_key(t: Terminal) -> &'static str {
+    match t {
+        Terminal::Delivered => "delivered",
+        Terminal::CacheHit => "cache-hit",
+        Terminal::Collapsed => "collapsed",
+        Terminal::Shed => "shed",
+        Terminal::Failed => "failed",
+    }
+}
