@@ -44,6 +44,10 @@ commands:
              replays a churn mix against a traced service, renders the
              per-query timeline and drift table, and fails on any
              lifecycle-DFA violation or out-of-band drift ratio
+  shard      hash-sharded execution: virtual throughput + tail latency
+             over shard counts on the Zipf-hot-shard mix, cost-placed vs
+             round-robin with replicas on/off; asserts bit-identical
+             merges, placer wins, budget held, and drift in band
   all        everything above, in order
 
 options:
@@ -154,6 +158,7 @@ fn main() -> ExitCode {
             "service" => figures::service::run(&opts),
             "shared" => figures::shared::run(&opts),
             "trace" => figures::trace::run(&opts),
+            "shard" => figures::shard::run(&opts),
             _ => return false,
         }
         true
@@ -164,7 +169,7 @@ fn main() -> ExitCode {
             for name in [
                 "fig1", "fig3", "fig4", "fig9", "fig10", "fig11", "fig12", "fig13", "validate",
                 "select", "skew", "vm", "query", "parallel", "access", "compress", "service",
-                "shared", "trace",
+                "shared", "trace", "shard",
             ] {
                 println!("\n=== {name} ===\n");
                 run_one(name);

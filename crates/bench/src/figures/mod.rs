@@ -15,6 +15,7 @@ pub mod par_scaling;
 pub mod query_pipeline;
 pub mod select_paths;
 pub mod service;
+pub mod shard;
 pub mod shared;
 pub mod skew;
 pub mod trace;

@@ -49,10 +49,12 @@ pub mod compress;
 pub mod index;
 pub mod join;
 pub mod scan;
+pub mod shard;
 pub mod storage;
 pub mod strategy;
 
 pub use compress::{pick_encoding, CompressedColumn, Encoding};
 pub use index::{ColumnIndex, CsBTree, HashIndex, IndexKind};
 pub use join::{Bun, OidPair};
+pub use shard::{shard_of, ShardStats, ShardedTable, TableShard};
 pub use storage::{Bat, Column, Oid, Value};

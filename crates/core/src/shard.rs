@@ -1,0 +1,341 @@
+//! Hash partitioning of a [`DecomposedTable`] into shards.
+//!
+//! The paper treats layout as a function of the memory hierarchy; this
+//! module climbs one rung further and makes *placement* a layout decision
+//! too. A [`ShardedTable`] splits a decomposed table into `S` hash shards
+//! on an `i32` partition key. Each shard is itself a full
+//! [`DecomposedTable`] — per-shard columns, compressed representations and
+//! a replica of the parent's index catalog — so every existing kernel runs
+//! on a shard unchanged.
+//!
+//! Two invariants make sharded execution bit-identical to unsharded
+//! execution (see `engine::dist`):
+//!
+//! * **Shared dictionaries.** Shard string columns *gather the parent's
+//!   codes and clone the parent's dictionary* rather than re-interning.
+//!   Codes are therefore globally consistent: a grouped result merged in
+//!   ascending code order reproduces the unsharded group order, and a
+//!   selection constant missing from the dictionary is missing from every
+//!   shard alike.
+//! * **Monotone OID maps.** Shard tables are rebased to seqbase 0, and each
+//!   shard carries the ascending list of global OIDs its rows came from
+//!   ([`TableShard::oids`]); local OID `i` is global OID `oids[i]`, so
+//!   per-shard outputs map back into parent OID space order-preservingly.
+
+use crate::compress::CompressedColumn;
+use crate::storage::{
+    Bat, Codes, Column, DecomposedTable, NamedBat, Oid, StorageError, StrColumn, ValueType,
+};
+
+/// The multiplicative hash assigning a partition-key value to a shard.
+/// Fibonacci hashing on the key's bit pattern — the same family the
+/// paper's radix algorithms use — taken from the high word so low-entropy
+/// keys still spread.
+#[inline]
+pub fn shard_of(key: i32, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    let h = (key as u32 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((h >> 32) as usize) % shards
+}
+
+/// One hash shard of a [`ShardedTable`].
+#[derive(Debug, Clone)]
+pub struct TableShard {
+    /// The shard's rows as a self-contained decomposed table (seqbase 0,
+    /// dictionaries shared with the parent, indexes and compressed columns
+    /// rebuilt per shard).
+    pub table: DecomposedTable,
+    /// Ascending global (parent) OID of each local row: local OID `i` in
+    /// `table` is parent OID `oids[i]`.
+    pub oids: Vec<Oid>,
+}
+
+/// Per-shard row statistics — what a placement layer keys on.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Rows per shard.
+    pub rows: Vec<usize>,
+    /// Largest shard's share relative to the uniform share
+    /// (`max_rows * shards / total`); 1.0 = perfectly even, higher = skew.
+    pub skew: f64,
+}
+
+/// A [`DecomposedTable`] hash-partitioned on one `i32` key column.
+#[derive(Debug, Clone)]
+pub struct ShardedTable {
+    name: String,
+    key: String,
+    shards: Vec<TableShard>,
+}
+
+impl ShardedTable {
+    /// Partition `parent` into `shards` hash shards on `key` (an `i32`
+    /// column — the joinable key type). Every shard replicates the
+    /// parent's index catalog and rebuilds compressed representations over
+    /// its own rows.
+    pub fn partition(
+        parent: &DecomposedTable,
+        key: &str,
+        shards: usize,
+    ) -> Result<Self, StorageError> {
+        let shards = shards.max(1);
+        let key_bat = parent.bat(key)?;
+        let keys = key_bat.tail().as_i32().ok_or(StorageError::TypeMismatch {
+            expected: ValueType::I32,
+            got: key_bat.tail().value_type(),
+        })?;
+
+        // Rows per shard, in ascending position order — the monotone OID
+        // map the merge relies on.
+        let mut rows: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        for (pos, &k) in keys.iter().enumerate() {
+            rows[shard_of(k, shards)].push(pos);
+        }
+
+        let built = rows
+            .into_iter()
+            .enumerate()
+            .map(|(h, rows)| {
+                let cols = parent
+                    .columns()
+                    .iter()
+                    .map(|c| NamedBat {
+                        name: c.name.clone(),
+                        bat: Bat::with_void_head(0, gather(c.bat.tail(), &rows))
+                            .with_props(c.bat.props()),
+                    })
+                    .collect();
+                let mut table = DecomposedTable::from_parts(
+                    format!("{}[{h}/{shards}]", parent.name()),
+                    0,
+                    rows.len(),
+                    cols,
+                );
+                // Replicate the parent's index catalog; the shard has the
+                // same column types, so every build succeeds.
+                for idx in parent.indexes() {
+                    table.create_index(&idx.column, idx.index.kind())?;
+                }
+                table.build_compressed();
+                let oids: Vec<Oid> =
+                    rows.iter().map(|&pos| parent.seqbase() + pos as Oid).collect();
+                Ok(TableShard { table, oids })
+            })
+            .collect::<Result<Vec<_>, StorageError>>()?;
+
+        Ok(Self { name: parent.name().to_owned(), key: key.to_owned(), shards: built })
+    }
+
+    /// The parent table's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The partition-key column.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// All shards, in shard order.
+    pub fn shards(&self) -> &[TableShard] {
+        &self.shards
+    }
+
+    /// Shard `i`.
+    pub fn shard(&self, i: usize) -> &TableShard {
+        &self.shards[i]
+    }
+
+    /// Total rows across shards (the parent's row count).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.table.len()).sum()
+    }
+
+    /// True when the parent had no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Per-shard row counts and the skew factor.
+    pub fn stats(&self) -> ShardStats {
+        let rows: Vec<usize> = self.shards.iter().map(|s| s.table.len()).collect();
+        let total: usize = rows.iter().sum();
+        let max = rows.iter().copied().max().unwrap_or(0);
+        let skew = if total == 0 { 1.0 } else { max as f64 * rows.len() as f64 / total as f64 };
+        ShardStats { rows, skew }
+    }
+
+    /// The shard with the most rows (ties to the lowest index).
+    pub fn hottest(&self) -> usize {
+        self.shards
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| a.table.len().cmp(&b.table.len()).then(ib.cmp(ia)))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+/// Gather `col` at `rows`. String columns keep the parent's dictionary and
+/// gather codes at the parent width — the invariant that makes shard
+/// results merge bit-identically (see the module docs).
+fn gather(col: &Column, rows: &[usize]) -> Column {
+    match col {
+        Column::U8(v) => Column::U8(rows.iter().map(|&i| v[i]).collect()),
+        Column::U16(v) => Column::U16(rows.iter().map(|&i| v[i]).collect()),
+        Column::I32(v) => Column::I32(rows.iter().map(|&i| v[i]).collect()),
+        Column::I64(v) => Column::I64(rows.iter().map(|&i| v[i]).collect()),
+        Column::F64(v) => Column::F64(rows.iter().map(|&i| v[i]).collect()),
+        Column::Oid(v) => Column::Oid(rows.iter().map(|&i| v[i]).collect()),
+        Column::Str(sc) => Column::Str(StrColumn {
+            codes: match &sc.codes {
+                Codes::U8(v) => Codes::U8(rows.iter().map(|&i| v[i]).collect()),
+                Codes::U16(v) => Codes::U16(rows.iter().map(|&i| v[i]).collect()),
+            },
+            dict: sc.dict.clone(),
+        }),
+    }
+}
+
+/// How many bytes of column data one shard's compressed representations
+/// save versus uncompressed tails (reporting helper for figures).
+pub fn compressed_savings(shard: &TableShard) -> usize {
+    shard
+        .table
+        .columns()
+        .iter()
+        .filter_map(|c| {
+            let cc: &CompressedColumn = shard.table.compressed_of(&c.name)?;
+            cc.uncompressed_bytes().checked_sub(cc.compressed_bytes())
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexKind;
+    use crate::storage::{ColType, TableBuilder, Value};
+
+    fn table(n: usize) -> DecomposedTable {
+        let mut b = TableBuilder::new("t", 500)
+            .column("k", ColType::I32)
+            .column("price", ColType::F64)
+            .column("mode", ColType::Str);
+        for i in 0..n {
+            b.push_row(&[
+                Value::I32((i % 37) as i32),
+                Value::F64(i as f64 * 0.5),
+                Value::from(["AIR", "SHIP", "MAIL"][i % 3]),
+            ])
+            .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn partition_covers_every_row_exactly_once() {
+        let t = table(1000);
+        for s in [1, 2, 4, 7] {
+            let st = ShardedTable::partition(&t, "k", s).unwrap();
+            assert_eq!(st.shard_count(), s);
+            assert_eq!(st.len(), 1000);
+            let mut seen: Vec<Oid> = st.shards().iter().flat_map(|sh| sh.oids.clone()).collect();
+            seen.sort_unstable();
+            let expect: Vec<Oid> = (0..1000).map(|i| 500 + i as Oid).collect();
+            assert_eq!(seen, expect);
+            for sh in st.shards() {
+                assert!(sh.oids.windows(2).all(|w| w[0] < w[1]), "oid maps ascend");
+                assert_eq!(sh.table.seqbase(), 0);
+                assert_eq!(sh.table.len(), sh.oids.len());
+            }
+        }
+    }
+
+    #[test]
+    fn rows_land_on_their_hash_shard_with_values_intact() {
+        let t = table(300);
+        let st = ShardedTable::partition(&t, "k", 4).unwrap();
+        for sh in st.shards() {
+            let keys = sh.table.bat("k").unwrap().tail().as_i32().unwrap().to_vec();
+            for (local, &global) in sh.oids.iter().enumerate() {
+                assert_eq!(
+                    shard_of(keys[local], 4),
+                    st.shards().iter().position(|x| std::ptr::eq(x, sh)).unwrap()
+                );
+                assert_eq!(t.tuple(global).unwrap(), sh.table.tuple(local as Oid).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn shard_dictionaries_are_shared_with_the_parent() {
+        let t = table(300);
+        let parent_dict = t.bat("mode").unwrap().tail().as_str_col().unwrap().dict.clone();
+        let st = ShardedTable::partition(&t, "k", 4).unwrap();
+        for sh in st.shards() {
+            let sc = sh.table.bat("mode").unwrap().tail().as_str_col().unwrap();
+            assert_eq!(sc.dict, parent_dict, "codes must stay parent-compatible");
+        }
+    }
+
+    #[test]
+    fn indexes_and_compression_replicate_per_shard() {
+        let mut t = table(4000);
+        t.create_index("k", IndexKind::Hash).unwrap();
+        t.create_index("k", IndexKind::CsBTree).unwrap();
+        let st = ShardedTable::partition(&t, "k", 3).unwrap();
+        for sh in st.shards() {
+            assert_eq!(sh.table.indexes().len(), 2);
+            assert!(sh.table.index_of("k", IndexKind::Hash).is_some());
+            // mode has 3 distinct values over thousands of rows: dictionary
+            // compression survives sharding.
+            assert!(sh.table.compressed_of("mode").is_some());
+        }
+    }
+
+    #[test]
+    fn empty_and_single_shard_edges() {
+        let t = table(50);
+        let st = ShardedTable::partition(&t, "k", 1).unwrap();
+        assert_eq!(st.shard(0).table.len(), 50);
+        assert_eq!(st.stats().skew, 1.0);
+
+        // A constant key puts every row in one shard; the rest are empty.
+        let mut b = TableBuilder::new("c", 0).column("k", ColType::I32);
+        for _ in 0..20 {
+            b.push_row(&[Value::I32(7)]).unwrap();
+        }
+        let c = b.finish();
+        let st = ShardedTable::partition(&c, "k", 4).unwrap();
+        let stats = st.stats();
+        assert_eq!(stats.rows.iter().sum::<usize>(), 20);
+        assert_eq!(stats.rows.iter().filter(|&&r| r == 0).count(), 3);
+        assert_eq!(stats.skew, 4.0);
+        assert_eq!(st.shard(st.hottest()).table.len(), 20);
+
+        // An empty parent shards into S empty shards.
+        let e = TableBuilder::new("e", 0).column("k", ColType::I32).finish();
+        let st = ShardedTable::partition(&e, "k", 4).unwrap();
+        assert!(st.is_empty());
+        assert_eq!(st.shard_count(), 4);
+    }
+
+    #[test]
+    fn non_i32_keys_are_rejected() {
+        let t = table(10);
+        assert!(matches!(
+            ShardedTable::partition(&t, "price", 2),
+            Err(StorageError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            ShardedTable::partition(&t, "ghost", 2),
+            Err(StorageError::NoSuchColumn(_))
+        ));
+    }
+}

@@ -117,6 +117,15 @@ impl DecomposedTable {
             self.cols.iter().map(|c| CompressedColumn::encode(c.bat.tail())).collect();
     }
 
+    /// Assemble a table from pre-built void-headed columns (all of length
+    /// `len`). Crate-internal: the sharding layer ([`crate::shard`]) gathers
+    /// parent columns directly — keeping shard dictionaries code-compatible
+    /// with the parent — instead of re-interning through [`TableBuilder`].
+    pub(crate) fn from_parts(name: String, seqbase: Oid, len: usize, cols: Vec<NamedBat>) -> Self {
+        debug_assert!(cols.iter().all(|c| c.bat.len() == len));
+        Self { name, seqbase, len, cols, indexes: Vec::new(), compressed: Vec::new() }
+    }
+
     /// Reconstruct logical tuple `oid` (positional; O(columns)).
     pub fn tuple(&self, oid: Oid) -> Option<Vec<Value>> {
         let pos = oid.checked_sub(self.seqbase)? as usize;

@@ -94,6 +94,13 @@ pub enum OpShape {
         /// wrap-around distance the elevator must re-stream for it.
         missed: usize,
     },
+    /// The coordinator-side merge of `rows` shard-partial result tuples
+    /// (k-way ordered interleave plus per-group combination): per-tuple
+    /// merge work over an 8-byte stream.
+    Merge {
+        /// Shard-partial tuples merged.
+        rows: usize,
+    },
 }
 
 /// The kind of an [`OpShape`], with the cardinality payload erased — the
@@ -115,6 +122,8 @@ pub enum ShapeKind {
     Aggregate,
     /// [`OpShape::Gather`].
     Gather,
+    /// [`OpShape::Merge`].
+    Merge,
 }
 
 impl ShapeKind {
@@ -128,6 +137,7 @@ impl ShapeKind {
             ShapeKind::Join => "join",
             ShapeKind::Aggregate => "aggregate",
             ShapeKind::Gather => "gather",
+            ShapeKind::Merge => "merge",
         }
     }
 }
@@ -143,6 +153,7 @@ impl OpShape {
             OpShape::Join { .. } => ShapeKind::Join,
             OpShape::Aggregate { .. } => ShapeKind::Aggregate,
             OpShape::Gather { .. } => ShapeKind::Gather,
+            OpShape::Merge { .. } => ShapeKind::Merge,
         }
     }
 
@@ -154,6 +165,9 @@ impl OpShape {
             OpShape::Join { outer, inner } => outer + inner,
             OpShape::Aggregate { rows, .. } => rows,
             OpShape::Gather { rows } => rows,
+            // The ordered interleave is inherently sequential — it exists
+            // to reproduce the unsharded accumulation order.
+            OpShape::Merge { .. } => 0,
             // A covered select does no divisible scanning of its own — the
             // covering pass owns the stream (and the wrap, for attaches).
             OpShape::SharedSelect { .. } | OpShape::AttachSelect { .. } => 0,
@@ -239,6 +253,21 @@ fn price_op(
         }
         OpShape::AttachSelect { rows, stride, missed } => {
             crate::shared::attach_cost(scan_model, rows.max(1), stride.max(1), missed).total_ns()
+        }
+        OpShape::Merge { rows } => {
+            // One 8-byte stream over the shard partials, charged at the
+            // calibrated merge-tuple work rate (the same constant the
+            // sort-merge model uses for its interleave phase).
+            let n = rows.max(1) as f64;
+            let (l1, l2, tlb) = crate::scan::misses_per_iter(scan_model, 8);
+            crate::machine::ModelCost::assemble(
+                n * scan_model.work.merge_tuple_ns,
+                n * l1,
+                n * l2,
+                n * tlb,
+                &scan_model.lat,
+            )
+            .total_ns()
         }
     }
 }

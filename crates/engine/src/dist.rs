@@ -1,0 +1,915 @@
+//! Sharded (distributed) execution of logical plans.
+//!
+//! [`lower`] splits one [`LogicalPlan`] into `S` shard-local *stream* plans
+//! over a [`ShardedTable`]'s shards (the root `GroupAgg`, when present, is
+//! held back for the coordinator), [`execute_shard`] runs one shard plan
+//! through the stock executor and reduces its stream to a [`ShardPartial`],
+//! and [`merge`] deterministically combines the partials into exactly the
+//! output the unsharded run produces — **bit-identical**, including the
+//! floating-point bits of every `f64` sum, at any shard count × thread
+//! count.
+//!
+//! The staging is deliberate: a placement layer (see `service`) can quote
+//! each shard plan per replica, lease threads per shard task, and run
+//! [`execute_shard`] wherever the cost model routes it; only [`merge`] must
+//! see all partials.
+//!
+//! # Why the merge is exact
+//!
+//! * **Selections** — shard tables are rebased to seqbase 0 with monotone
+//!   local→global OID maps, so per-shard OID lists map back sorted and the
+//!   merged union is the unsharded ascending OID list.
+//! * **Joins** — the executor emits join indexes in canonical `(left,
+//!   right)` order. A join whose sides are co-partitioned on the join keys
+//!   puts every matching pair inside one shard (equal keys hash to the same
+//!   shard), so the union of per-shard pair sets *is* the global pair set;
+//!   re-sorting the mapped pairs reproduces the canonical order.
+//! * **Exact aggregates** — `COUNT`, integer `SUM` (i64), `MIN`/`MAX`
+//!   combine per group associatively, so shard partials add up exactly.
+//! * **`f64` sums** — floating-point addition is *not* associative, so
+//!   shard partials are never combined. Instead each shard returns its
+//!   surviving `(sort key, value)` rows — sort key = global OID for table
+//!   streams, packed global `(left, right)` for join streams — and the
+//!   coordinator accumulates them in global sort order: exactly the
+//!   addition order of the unsharded kernel.
+//! * **Dictionaries** — shard string columns share the parent's dictionary
+//!   ([`monet_core::shard`]), so group codes are globally consistent and a
+//!   merge ascending by code reproduces the unsharded group order.
+
+use costmodel::quote::OpShape;
+use memsim::{EventCounters, MemTracker};
+use monet_core::join::OidPair;
+use monet_core::shard::{ShardedTable, TableShard};
+use monet_core::storage::{Column, DecomposedTable, Oid};
+
+use crate::exec::{
+    execute, AggValue, ExecOptions, ExecReport, Executed, GroupRow, OpReport, QueryOutput,
+};
+use crate::plan::{Agg, LogicalPlan, PlanError, PlanNode};
+use crate::reconstruct::{fetch_f64, fetch_i32, fetch_str, fetch_u8};
+use crate::EngineError;
+
+/// How the coordinator turns shard partials into the final output.
+#[derive(Debug, Clone)]
+enum MergeShape {
+    /// Stream of table rows: k-way merge of ascending global OID lists.
+    Oids,
+    /// Stream of join pairs: k-way merge in canonical `(left, right)` order.
+    Pairs,
+    /// Root aggregation, grouped by `key` when present.
+    Agg { key: Option<String>, aggs: Vec<Agg> },
+}
+
+/// Per-shard table references for OID mapping and partial gathers.
+struct ShardCtx<'a> {
+    left: &'a TableShard,
+    right: Option<&'a TableShard>,
+}
+
+/// A plan lowered onto a set of sharded tables: one stream plan per shard
+/// plus the merge recipe.
+pub struct Lowered<'a> {
+    /// The shard-local stream plans, in shard order. Each is an ordinary
+    /// [`LogicalPlan`] over that shard's tables — quotable by
+    /// `costmodel::quote` and executable by [`execute`] anywhere.
+    pub plans: Vec<LogicalPlan<'a>>,
+    ctx: Vec<ShardCtx<'a>>,
+    merge: MergeShape,
+}
+
+impl Lowered<'_> {
+    /// Number of shards this plan was lowered onto.
+    pub fn shard_count(&self) -> usize {
+        self.plans.len()
+    }
+}
+
+/// The leftmost base table of a stream subtree and, for joins, the right
+/// base table.
+fn base_tables<'a>(
+    node: &PlanNode<'a>,
+) -> Result<(&'a DecomposedTable, Option<&'a DecomposedTable>), EngineError> {
+    match node {
+        PlanNode::Scan { table } => Ok((table, None)),
+        PlanNode::Filter { input, .. } => base_tables(input),
+        PlanNode::Join { input, right, .. } => {
+            let (lt, nested) = base_tables(input)?;
+            let (rt, rnested) = base_tables(right)?;
+            if nested.is_some() || rnested.is_some() {
+                return Err(EngineError::Plan(PlanError::Unsupported("nested joins")));
+            }
+            Ok((lt, Some(rt)))
+        }
+        PlanNode::GroupAgg { .. } => {
+            Err(EngineError::Plan(PlanError::Unsupported("aggregation below another operator")))
+        }
+    }
+}
+
+/// Rebuild `node` with every base-table reference substituted by the shard
+/// table registered under the same name.
+fn subst<'a>(node: &PlanNode<'a>, map: &[(&str, &'a DecomposedTable)]) -> PlanNode<'a> {
+    match node {
+        PlanNode::Scan { table } => {
+            let t = map
+                .iter()
+                .find(|(n, _)| *n == table.name())
+                .map(|(_, t)| *t)
+                .expect("lower registered every base table");
+            PlanNode::Scan { table: t }
+        }
+        PlanNode::Filter { input, pred } => {
+            PlanNode::Filter { input: Box::new(subst(input, map)), pred: pred.clone() }
+        }
+        PlanNode::Join { input, right, left_col, right_col } => PlanNode::Join {
+            input: Box::new(subst(input, map)),
+            right: Box::new(subst(right, map)),
+            left_col: left_col.clone(),
+            right_col: right_col.clone(),
+        },
+        PlanNode::GroupAgg { .. } => unreachable!("base_tables rejected nested aggregation"),
+    }
+}
+
+/// Lower `plan` onto `tables` (the sharded versions of the plan's base
+/// tables, matched by table name): one stream plan per shard plus the merge
+/// recipe.
+///
+/// Requirements checked here:
+/// * every base table of the plan has a sharded counterpart of the same
+///   name and row count;
+/// * all sharded tables agree on the shard count;
+/// * a join's sides are **co-partitioned on the join keys** (left table
+///   sharded on `left_col`, right on `right_col`) — the property that makes
+///   the per-shard joins' union equal the global join.
+pub fn lower<'a>(
+    plan: &LogicalPlan<'a>,
+    tables: &[&'a ShardedTable],
+) -> Result<Lowered<'a>, EngineError> {
+    let (stream_root, merge) = match &plan.root {
+        PlanNode::GroupAgg { input, key, aggs } => {
+            (&**input, MergeShape::Agg { key: key.clone(), aggs: aggs.clone() })
+        }
+        other @ PlanNode::Join { .. } => (other, MergeShape::Pairs),
+        other => (other, MergeShape::Oids),
+    };
+    let merge = match (merge, stream_root) {
+        (MergeShape::Oids, PlanNode::Join { .. }) => MergeShape::Pairs,
+        (m, _) => m,
+    };
+
+    let (lt, rt) = base_tables(stream_root)?;
+    let find = |t: &DecomposedTable| -> Result<&'a ShardedTable, EngineError> {
+        let st = tables.iter().find(|s| s.name() == t.name()).copied().ok_or(EngineError::Plan(
+            PlanError::Unsupported("no sharded table registered for a plan table"),
+        ))?;
+        if st.len() != t.len() {
+            return Err(EngineError::Plan(PlanError::Unsupported(
+                "sharded table does not match the plan table's rows",
+            )));
+        }
+        Ok(st)
+    };
+    let ls = find(lt)?;
+    let rs = rt.map(&find).transpose()?;
+
+    if let Some(rs) = rs {
+        if rs.shard_count() != ls.shard_count() {
+            return Err(EngineError::Plan(PlanError::Unsupported(
+                "joined tables are sharded to different shard counts",
+            )));
+        }
+        if let PlanNode::Join { left_col, right_col, .. } = stream_root {
+            if ls.key() != left_col || rs.key() != right_col {
+                return Err(EngineError::Plan(PlanError::Unsupported(
+                    "join requires shards co-partitioned on the join keys",
+                )));
+            }
+        }
+    }
+
+    let s = ls.shard_count();
+    let mut plans = Vec::with_capacity(s);
+    let mut ctx = Vec::with_capacity(s);
+    for i in 0..s {
+        let mut map: Vec<(&str, &'a DecomposedTable)> = vec![(ls.name(), &ls.shard(i).table)];
+        if let (Some(rt), Some(rs)) = (rt, rs) {
+            map.push((rt.name(), &rs.shard(i).table));
+        }
+        plans.push(LogicalPlan { root: subst(stream_root, &map) });
+        ctx.push(ShardCtx { left: ls.shard(i), right: rs.map(|r| r.shard(i)) });
+    }
+    Ok(Lowered { plans, ctx, merge })
+}
+
+/// One scalar aggregate's shard partial.
+#[derive(Debug, Clone)]
+enum AggPartial {
+    /// Row count (exact combine: sum).
+    Count(usize),
+    /// Integer sum in `i64` (exact combine: sum).
+    SumI64(i64),
+    /// Minimum (exact combine: min of present values).
+    Min(Option<i32>),
+    /// Maximum (exact combine: max).
+    Max(Option<i32>),
+    /// `f64` sum rows: `(global sort key, value)`, ascending by key. Never
+    /// combined — the coordinator re-accumulates in global order.
+    SumF64(Vec<(u64, f64)>),
+}
+
+/// A grouped aggregation's shard partial. Exact aggregates are combined
+/// per group code; `f64` sums stay as ordered rows.
+#[derive(Debug, Clone)]
+struct GroupPartial {
+    /// Direct-index domain (256 or 65536), identical across shards because
+    /// shard key columns share the parent's code width.
+    domain: usize,
+    /// Rows per group code.
+    counts: Vec<u64>,
+    /// Per `Min` aggregate, per code.
+    mins: Vec<Vec<Option<i32>>>,
+    /// Per `Max` aggregate, per code.
+    maxs: Vec<Vec<Option<i32>>>,
+    /// Global sort key per surviving row, ascending.
+    sortkeys: Vec<u64>,
+    /// Group code per surviving row.
+    codes: Vec<u32>,
+    /// Per `Sum` aggregate: value per surviving row.
+    sum_cols: Vec<Vec<f64>>,
+}
+
+/// What a shard's stream reduced to, in global OID space.
+#[derive(Debug, Clone)]
+enum PartialRows {
+    Oids(Vec<Oid>),
+    Pairs(Vec<OidPair>),
+    /// Root aggregation: the stream was consumed into agg partials.
+    Scalar(Vec<AggPartial>),
+    Grouped(GroupPartial),
+}
+
+/// One shard's contribution to a sharded execution.
+pub struct ShardPartial {
+    rows: PartialRows,
+    /// Stream rows this shard's plan produced (pre-aggregation).
+    stream_rows: usize,
+    /// The shard plan's per-operator execution report.
+    pub report: ExecReport,
+    /// Simulated counters the partial-building gathers consumed (attributed
+    /// to the merge operator in the merged report).
+    gather_counters: Option<EventCounters>,
+}
+
+/// Pack a global join pair into one ordered sort key.
+#[inline]
+fn pair_key(l: Oid, r: Oid) -> u64 {
+    ((l as u64) << 32) | r as u64
+}
+
+fn delta<M: MemTracker>(trk: &M, before: Option<EventCounters>) -> Option<EventCounters> {
+    match (trk.counters_snapshot(), before) {
+        (Some(after), Some(before)) => Some(after - before),
+        _ => None,
+    }
+}
+
+/// Execute shard `idx` of a lowered plan through the stock executor and
+/// reduce its stream to a [`ShardPartial`]. Runs anywhere: the caller
+/// chooses tracker, machine, thread cap and placement per shard.
+pub fn execute_shard<M: MemTracker>(
+    trk: &mut M,
+    lowered: &Lowered<'_>,
+    idx: usize,
+    opts: &ExecOptions,
+) -> Result<ShardPartial, EngineError> {
+    let run = execute(trk, &lowered.plans[idx], opts)?;
+    let ctx = &lowered.ctx[idx];
+    let before = trk.counters_snapshot();
+
+    // The stream plan's local output → per-side local OIDs + global sort
+    // keys. Shard OID maps are monotone, so local ascending order maps to
+    // global ascending order with no re-sort.
+    let (left_locals, right_locals, sortkeys): (Vec<Oid>, Option<Vec<Oid>>, Vec<u64>) =
+        match &run.output {
+            QueryOutput::Oids(locals) => {
+                let keys = locals.iter().map(|&l| ctx.left.oids[l as usize] as u64).collect();
+                (locals.clone(), None, keys)
+            }
+            QueryOutput::JoinIndex(pairs) => {
+                let right = ctx.right.expect("join stream has a right shard");
+                let keys = pairs
+                    .iter()
+                    .map(|p| pair_key(ctx.left.oids[p.left as usize], right.oids[p.right as usize]))
+                    .collect();
+                (
+                    pairs.iter().map(|p| p.left).collect(),
+                    Some(pairs.iter().map(|p| p.right).collect()),
+                    keys,
+                )
+            }
+            _ => unreachable!("lowered shard plans are stream-only"),
+        };
+    let stream_rows = left_locals.len();
+
+    // Resolve a column to its shard table and the local OIDs of its side
+    // (left-first, mirroring the executor's resolve_col).
+    let side = |col: &str| -> (&DecomposedTable, &[Oid]) {
+        match ctx.right {
+            Some(right) if ctx.left.table.bat(col).is_err() => {
+                (&right.table, right_locals.as_deref().expect("right side implies join stream"))
+            }
+            _ => (&ctx.left.table, &left_locals),
+        }
+    };
+
+    let rows = match &lowered.merge {
+        MergeShape::Oids => {
+            PartialRows::Oids(left_locals.iter().map(|&l| ctx.left.oids[l as usize]).collect())
+        }
+        MergeShape::Pairs => {
+            let right = ctx.right.expect("pair merge implies join stream");
+            let rl = right_locals.as_ref().expect("pair merge implies join stream");
+            PartialRows::Pairs(
+                left_locals
+                    .iter()
+                    .zip(rl)
+                    .map(|(&l, &r)| OidPair {
+                        left: ctx.left.oids[l as usize],
+                        right: right.oids[r as usize],
+                    })
+                    .collect(),
+            )
+        }
+        MergeShape::Agg { key: None, aggs } => {
+            let mut partials = Vec::with_capacity(aggs.len());
+            for agg in aggs {
+                let p = match agg {
+                    Agg::Count => AggPartial::Count(stream_rows),
+                    Agg::Sum(col) => {
+                        let (table, locals) = side(col);
+                        let bat = table.bat(col)?;
+                        match bat.tail() {
+                            Column::F64(_) => {
+                                let vals = fetch_f64(trk, bat, locals)?;
+                                AggPartial::SumF64(sortkeys.iter().copied().zip(vals).collect())
+                            }
+                            _ => {
+                                let vals = fetch_i32(trk, bat, locals)?;
+                                AggPartial::SumI64(vals.into_iter().map(i64::from).sum())
+                            }
+                        }
+                    }
+                    Agg::Min(col) => {
+                        let (table, locals) = side(col);
+                        let vals = fetch_i32(trk, table.bat(col)?, locals)?;
+                        AggPartial::Min(vals.into_iter().min())
+                    }
+                    Agg::Max(col) => {
+                        let (table, locals) = side(col);
+                        let vals = fetch_i32(trk, table.bat(col)?, locals)?;
+                        AggPartial::Max(vals.into_iter().max())
+                    }
+                };
+                partials.push(p);
+            }
+            PartialRows::Scalar(partials)
+        }
+        MergeShape::Agg { key: Some(key), aggs } => {
+            let (key_table, key_locals) = side(key);
+            let key_bat = key_table.bat(key)?;
+            let (codes, domain): (Vec<u32>, usize) = match key_bat.tail() {
+                Column::Str(_) => {
+                    let sc = fetch_str(trk, key_bat, key_locals)?;
+                    let domain = if sc.codes.width() == 1 { 256 } else { 65536 };
+                    ((0..sc.len()).map(|i| sc.codes.get(i)).collect(), domain)
+                }
+                Column::U8(_) => {
+                    (fetch_u8(trk, key_bat, key_locals)?.into_iter().map(u32::from).collect(), 256)
+                }
+                other => {
+                    return Err(EngineError::UnsupportedType {
+                        op: "group key",
+                        ty: other.value_type(),
+                    })
+                }
+            };
+            let mut counts = vec![0u64; domain];
+            for &c in &codes {
+                counts[c as usize] += 1;
+            }
+            let mut mins = Vec::new();
+            let mut maxs = Vec::new();
+            let mut sum_cols = Vec::new();
+            for agg in aggs {
+                match agg {
+                    Agg::Sum(col) => {
+                        let (table, locals) = side(col);
+                        let bat = table.bat(col)?;
+                        let vals: Vec<f64> = match bat.tail() {
+                            Column::F64(_) => fetch_f64(trk, bat, locals)?,
+                            // i32 → f64 is exact, matching the unsharded
+                            // kernel's gather.
+                            _ => {
+                                fetch_i32(trk, bat, locals)?.into_iter().map(|v| v as f64).collect()
+                            }
+                        };
+                        sum_cols.push(vals);
+                    }
+                    Agg::Min(col) => {
+                        let (table, locals) = side(col);
+                        let vals = fetch_i32(trk, table.bat(col)?, locals)?;
+                        let mut per_code = vec![None; domain];
+                        for (&c, v) in codes.iter().zip(vals) {
+                            let slot: &mut Option<i32> = &mut per_code[c as usize];
+                            *slot = Some(slot.map_or(v, |m: i32| m.min(v)));
+                        }
+                        mins.push(per_code);
+                    }
+                    Agg::Max(col) => {
+                        let (table, locals) = side(col);
+                        let vals = fetch_i32(trk, table.bat(col)?, locals)?;
+                        let mut per_code = vec![None; domain];
+                        for (&c, v) in codes.iter().zip(vals) {
+                            let slot: &mut Option<i32> = &mut per_code[c as usize];
+                            *slot = Some(slot.map_or(v, |m: i32| m.max(v)));
+                        }
+                        maxs.push(per_code);
+                    }
+                    Agg::Count => {}
+                }
+            }
+            PartialRows::Grouped(GroupPartial {
+                domain,
+                counts,
+                mins,
+                maxs,
+                sortkeys: sortkeys.clone(),
+                codes,
+                sum_cols,
+            })
+        }
+    };
+
+    Ok(ShardPartial { rows, stream_rows, report: run.report, gather_counters: delta(trk, before) })
+}
+
+/// Strip shard suffixes (`[h/S]`) out of an operator label so per-shard op
+/// names merge under the parent table's name.
+fn strip_shard_suffix(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'[' {
+            // Swallow "[digits/digits]" only.
+            let mut j = i + 1;
+            while j < bytes.len() && bytes[j].is_ascii_digit() {
+                j += 1;
+            }
+            if j > i + 1 && j < bytes.len() && bytes[j] == b'/' {
+                let mut k = j + 1;
+                while k < bytes.len() && bytes[k].is_ascii_digit() {
+                    k += 1;
+                }
+                if k > j + 1 && k < bytes.len() && bytes[k] == b']' {
+                    i = k + 1;
+                    continue;
+                }
+            }
+        }
+        out.push(bytes[i] as char);
+        i += 1;
+    }
+    out
+}
+
+/// Merge shard partials into the final result. The merged report carries
+/// one operator per shard-plan operator (rows and simulated counters summed
+/// across shards, with the per-shard counters preserved in
+/// [`OpReport::counters_per_shard`]) plus one coordinator `merge` operator.
+pub fn merge(lowered: &Lowered<'_>, partials: Vec<ShardPartial>) -> Result<Executed, EngineError> {
+    assert_eq!(partials.len(), lowered.shard_count(), "one partial per shard");
+    let n = partials.len();
+
+    let output = match &lowered.merge {
+        MergeShape::Oids => {
+            let mut all: Vec<Oid> = partials
+                .iter()
+                .flat_map(|p| match &p.rows {
+                    PartialRows::Oids(v) => v.iter().copied(),
+                    _ => unreachable!("oid merge over oid partials"),
+                })
+                .collect();
+            // Per-shard lists are ascending and disjoint; one sort is the
+            // k-way merge.
+            all.sort_unstable();
+            QueryOutput::Oids(all)
+        }
+        MergeShape::Pairs => {
+            let mut all: Vec<OidPair> = partials
+                .iter()
+                .flat_map(|p| match &p.rows {
+                    PartialRows::Pairs(v) => v.iter().copied(),
+                    _ => unreachable!("pair merge over pair partials"),
+                })
+                .collect();
+            all.sort_unstable_by_key(|p| (p.left, p.right));
+            QueryOutput::JoinIndex(all)
+        }
+        MergeShape::Agg { key: None, aggs } => {
+            let mut values = Vec::with_capacity(aggs.len());
+            for i in 0..aggs.len() {
+                let combined = partials.iter().fold(None::<AggPartial>, |acc, p| {
+                    let PartialRows::Scalar(parts) = &p.rows else {
+                        unreachable!("scalar merge over scalar partials")
+                    };
+                    Some(combine_scalar(acc, &parts[i]))
+                });
+                values.push(finish_scalar(combined.expect("at least one shard")));
+            }
+            QueryOutput::Aggregates(values)
+        }
+        MergeShape::Agg { key: Some(key), aggs } => {
+            let groups: Vec<&GroupPartial> = partials
+                .iter()
+                .map(|p| match &p.rows {
+                    PartialRows::Grouped(g) => g,
+                    _ => unreachable!("grouped merge over grouped partials"),
+                })
+                .collect();
+            let domain = groups.iter().map(|g| g.domain).max().unwrap_or(256);
+
+            // Exact per-group combines.
+            let mut counts = vec![0u64; domain];
+            for g in &groups {
+                for (c, &v) in g.counts.iter().enumerate() {
+                    counts[c] += v;
+                }
+            }
+            let n_min = groups[0].mins.len();
+            let n_max = groups[0].maxs.len();
+            let n_sum = groups[0].sum_cols.len();
+            let mut mins = vec![vec![None; domain]; n_min];
+            let mut maxs = vec![vec![None; domain]; n_max];
+            for g in &groups {
+                for (a, col) in g.mins.iter().enumerate() {
+                    for (c, v) in col.iter().enumerate() {
+                        if let Some(v) = v {
+                            let slot = &mut mins[a][c];
+                            *slot = Some(slot.map_or(*v, |m: i32| m.min(*v)));
+                        }
+                    }
+                }
+                for (a, col) in g.maxs.iter().enumerate() {
+                    for (c, v) in col.iter().enumerate() {
+                        if let Some(v) = v {
+                            let slot = &mut maxs[a][c];
+                            *slot = Some(slot.map_or(*v, |m: i32| m.max(*v)));
+                        }
+                    }
+                }
+            }
+
+            // f64 sums: accumulate every surviving row in global sort-key
+            // order — the unsharded kernel's exact addition order.
+            let mut order: Vec<(u64, u32, u32)> = Vec::new();
+            for (s, g) in groups.iter().enumerate() {
+                order.extend(g.sortkeys.iter().enumerate().map(|(r, &k)| (k, s as u32, r as u32)));
+            }
+            order.sort_unstable_by_key(|&(k, _, _)| k);
+            let mut sums = vec![vec![0.0f64; domain]; n_sum];
+            for &(_, s, r) in &order {
+                let g = groups[s as usize];
+                let code = g.codes[r as usize] as usize;
+                for (a, col) in g.sum_cols.iter().enumerate() {
+                    sums[a][code] += col[r as usize];
+                }
+            }
+
+            // Decode via the shared dictionary (shard 0's key column — all
+            // shards clone the parent dict).
+            let (key_table, _) =
+                if lowered.ctx[0].left.table.bat(key).is_ok() || lowered.ctx[0].right.is_none() {
+                    (&lowered.ctx[0].left.table, true)
+                } else {
+                    (&lowered.ctx[0].right.expect("checked").table, false)
+                };
+            let key_bat = key_table.bat(key)?;
+            let decode = |code: u32| -> String {
+                match key_bat.tail() {
+                    Column::Str(sc) => sc.dict.decode(code).to_owned(),
+                    _ => code.to_string(),
+                }
+            };
+
+            let mut rows = Vec::new();
+            for code in 0..domain {
+                if counts[code] == 0 {
+                    continue;
+                }
+                let (mut si, mut mi, mut ma) = (0, 0, 0);
+                let values = aggs
+                    .iter()
+                    .map(|agg| match agg {
+                        Agg::Sum(_) => {
+                            let v = AggValue::F64(sums[si][code]);
+                            si += 1;
+                            v
+                        }
+                        Agg::Min(_) => {
+                            let v = AggValue::MaybeI32(mins[mi][code]);
+                            mi += 1;
+                            v
+                        }
+                        Agg::Max(_) => {
+                            let v = AggValue::MaybeI32(maxs[ma][code]);
+                            ma += 1;
+                            v
+                        }
+                        Agg::Count => AggValue::Count(counts[code] as usize),
+                    })
+                    .collect();
+                rows.push(GroupRow { key: decode(code as u32), values });
+            }
+            QueryOutput::Groups(rows)
+        }
+    };
+
+    // ----- merged report -----
+    let mut report = ExecReport { ops: Vec::new(), planner: partials[0].report.planner };
+    let op_count = partials[0].report.ops.len();
+    debug_assert!(partials.iter().all(|p| p.report.ops.len() == op_count));
+    for j in 0..op_count {
+        let first = &partials[0].report.ops[j];
+        let per_shard: Vec<Option<EventCounters>> =
+            partials.iter().map(|p| p.report.ops[j].counters).collect();
+        let merged_counters =
+            per_shard.iter().try_fold(EventCounters::default(), |acc, c| c.map(|c| acc + c));
+        report.ops.push(OpReport {
+            op: strip_shard_suffix(&first.op),
+            rows_in: partials.iter().map(|p| p.report.ops[j].rows_in).sum(),
+            rows_out: partials.iter().map(|p| p.report.ops[j].rows_out).sum(),
+            detail: format!("sharded x{n}: {}", strip_shard_suffix(&first.detail)),
+            counters: merged_counters,
+            access: partials.iter().flat_map(|p| p.report.ops[j].access.clone()).collect(),
+            notes: partials.iter().flat_map(|p| p.report.ops[j].notes.clone()).collect(),
+            shapes: partials.iter().flat_map(|p| p.report.ops[j].shapes.clone()).collect(),
+            rows_per_thread: None,
+            counters_per_shard: per_shard.iter().any(Option::is_some).then_some(per_shard),
+        });
+    }
+    let merged_rows: usize = partials.iter().map(|p| p.stream_rows).sum();
+    let rows_out = match &output {
+        QueryOutput::Groups(g) => g.len(),
+        QueryOutput::Aggregates(a) => a.len(),
+        QueryOutput::Oids(o) => o.len(),
+        QueryOutput::JoinIndex(p) => p.len(),
+    };
+    let gather_per_shard: Vec<Option<EventCounters>> =
+        partials.iter().map(|p| p.gather_counters).collect();
+    let gather_total =
+        gather_per_shard.iter().try_fold(EventCounters::default(), |acc, c| c.map(|c| acc + c));
+    let what = match &lowered.merge {
+        MergeShape::Oids => "k-way OID interleave",
+        MergeShape::Pairs => "canonical (left, right) pair interleave",
+        MergeShape::Agg { key: None, .. } => "exact partial combine + ordered f64 accumulation",
+        MergeShape::Agg { key: Some(_), .. } => {
+            "per-group exact combine + ordered f64 accumulation"
+        }
+    };
+    report.ops.push(OpReport {
+        op: format!("merge[{n} shards]"),
+        rows_in: merged_rows,
+        rows_out,
+        detail: format!("coordinator: {what}"),
+        counters: gather_total,
+        shapes: vec![OpShape::Merge { rows: merged_rows }],
+        counters_per_shard: gather_per_shard
+            .iter()
+            .any(Option::is_some)
+            .then_some(gather_per_shard),
+        ..OpReport::default()
+    });
+
+    Ok(Executed { output, report })
+}
+
+/// Lower, execute every shard sequentially under one tracker, and merge —
+/// the single-machine convenience entry point. For placed execution run
+/// [`lower`] / [`execute_shard`] / [`merge`] yourself.
+pub fn execute_sharded<M: MemTracker>(
+    trk: &mut M,
+    plan: &LogicalPlan<'_>,
+    tables: &[&ShardedTable],
+    opts: &ExecOptions,
+) -> Result<Executed, EngineError> {
+    let lowered = lower(plan, tables)?;
+    let partials = (0..lowered.shard_count())
+        .map(|i| execute_shard(trk, &lowered, i, opts))
+        .collect::<Result<Vec<_>, _>>()?;
+    merge(&lowered, partials)
+}
+
+fn combine_scalar(acc: Option<AggPartial>, p: &AggPartial) -> AggPartial {
+    match acc {
+        None => p.clone(),
+        Some(acc) => match (acc, p) {
+            (AggPartial::Count(a), AggPartial::Count(b)) => AggPartial::Count(a + b),
+            (AggPartial::SumI64(a), AggPartial::SumI64(b)) => AggPartial::SumI64(a + b),
+            (AggPartial::Min(a), AggPartial::Min(b)) => AggPartial::Min(match (a, *b) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (x, y) => x.or(y),
+            }),
+            (AggPartial::Max(a), AggPartial::Max(b)) => AggPartial::Max(match (a, *b) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (x, y) => x.or(y),
+            }),
+            (AggPartial::SumF64(mut a), AggPartial::SumF64(b)) => {
+                a.extend(b.iter().copied());
+                AggPartial::SumF64(a)
+            }
+            _ => unreachable!("shards agree on aggregate kinds"),
+        },
+    }
+}
+
+fn finish_scalar(p: AggPartial) -> AggValue {
+    match p {
+        AggPartial::Count(c) => AggValue::Count(c),
+        AggPartial::SumI64(s) => AggValue::I64(s),
+        AggPartial::Min(m) => AggValue::MaybeI32(m),
+        AggPartial::Max(m) => AggValue::MaybeI32(m),
+        AggPartial::SumF64(mut rows) => {
+            // Global sort order = the unsharded accumulation order.
+            rows.sort_unstable_by_key(|&(k, _)| k);
+            let mut sum = 0.0f64;
+            for (_, v) in rows {
+                sum += v;
+            }
+            AggValue::F64(sum)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{Pred, Query};
+    use memsim::{NullTracker, SimTracker};
+    use monet_core::storage::{ColType, TableBuilder, Value};
+
+    fn item(n: usize) -> DecomposedTable {
+        let mut b = TableBuilder::new("item", 1000)
+            .column("supp", ColType::I32)
+            .column("qty", ColType::I32)
+            .column("price", ColType::F64)
+            .column("shipmode", ColType::Str);
+        for i in 0..n {
+            b.push_row(&[
+                Value::I32((i * 7 % 50) as i32),
+                Value::I32((i % 10) as i32),
+                Value::F64(i as f64 * 0.37),
+                Value::from(["AIR", "SHIP", "MAIL", "RAIL"][i % 4]),
+            ])
+            .unwrap();
+        }
+        b.finish()
+    }
+
+    fn supplier(n: usize) -> DecomposedTable {
+        let mut b = TableBuilder::new("supplier", 0)
+            .column("id", ColType::I32)
+            .column("rating", ColType::I32);
+        for i in 0..n {
+            b.push_row(&[Value::I32(i as i32), Value::I32((i * 13 % 97) as i32)]).unwrap();
+        }
+        b.finish()
+    }
+
+    fn assert_sharded_matches(plan: &LogicalPlan<'_>, tables: &[&ShardedTable]) {
+        let opts = ExecOptions::default();
+        let solo = execute(&mut NullTracker, plan, &opts).unwrap();
+        let sharded = execute_sharded(&mut NullTracker, plan, tables, &opts).unwrap();
+        assert!(
+            solo.output.bitwise_eq(&sharded.output),
+            "sharded diverged:\n{:?}\nvs\n{:?}",
+            solo.output,
+            sharded.output
+        );
+    }
+
+    #[test]
+    fn select_join_and_groups_merge_bit_identically() {
+        let item = item(2000);
+        let supp = supplier(50);
+        for s in [1, 3, 4] {
+            let is = ShardedTable::partition(&item, "supp", s).unwrap();
+            let ss = ShardedTable::partition(&supp, "id", s).unwrap();
+            let tables: Vec<&ShardedTable> = vec![&is, &ss];
+
+            let select = Query::scan(&item).filter(Pred::range_i32("qty", 2, 7)).build().unwrap();
+            assert_sharded_matches(&select, &tables);
+
+            let join = Query::scan(&item)
+                .filter(Pred::range_i32("qty", 1, 8))
+                .join(&supp, ("supp", "id"))
+                .build()
+                .unwrap();
+            assert_sharded_matches(&join, &tables);
+
+            let grouped = Query::scan(&item)
+                .filter(Pred::range_i32("qty", 0, 8))
+                .group_by("shipmode")
+                .agg(Agg::sum("price"))
+                .agg(Agg::min("qty"))
+                .agg(Agg::max("qty"))
+                .agg(Agg::count())
+                .build()
+                .unwrap();
+            assert_sharded_matches(&grouped, &tables);
+
+            let grouped_join = Query::scan(&item)
+                .join(&supp, ("supp", "id"))
+                .group_by("shipmode")
+                .agg(Agg::sum("price"))
+                .agg(Agg::sum("rating"))
+                .agg(Agg::count())
+                .build()
+                .unwrap();
+            assert_sharded_matches(&grouped_join, &tables);
+
+            let scalar = Query::scan(&item)
+                .filter(Pred::eq_str("shipmode", "AIR"))
+                .agg(Agg::sum("price"))
+                .agg(Agg::sum("qty"))
+                .agg(Agg::min("qty"))
+                .agg(Agg::count())
+                .build()
+                .unwrap();
+            assert_sharded_matches(&scalar, &tables);
+        }
+    }
+
+    #[test]
+    fn co_partitioning_is_required_for_joins() {
+        let item = item(100);
+        let supp = supplier(10);
+        let is = ShardedTable::partition(&item, "qty", 2).unwrap(); // wrong key
+        let ss = ShardedTable::partition(&supp, "id", 2).unwrap();
+        let plan = Query::scan(&item).join(&supp, ("supp", "id")).build().unwrap();
+        let err = lower(&plan, &[&is, &ss]).err().expect("co-partition check must fail");
+        assert!(matches!(err, EngineError::Plan(PlanError::Unsupported(_))), "{err:?}");
+
+        // Mismatched shard counts are rejected too.
+        let is = ShardedTable::partition(&item, "supp", 2).unwrap();
+        let ss3 = ShardedTable::partition(&supp, "id", 3).unwrap();
+        assert!(lower(&plan, &[&is, &ss3]).is_err());
+    }
+
+    #[test]
+    fn merged_report_sums_per_shard_counters_to_tracker_totals() {
+        let item = item(1500);
+        let is = ShardedTable::partition(&item, "supp", 4).unwrap();
+        let plan = Query::scan(&item)
+            .filter(Pred::range_i32("qty", 1, 6))
+            .group_by("shipmode")
+            .agg(Agg::sum("price"))
+            .agg(Agg::count())
+            .build()
+            .unwrap();
+        let mut trk = SimTracker::new(memsim::MemorySystem::new(memsim::profiles::origin2000()));
+        let before = trk.counters_snapshot().unwrap();
+        let run = execute_sharded(&mut trk, &plan, &[&is], &ExecOptions::default()).unwrap();
+        let total = trk.counters_snapshot().unwrap() - before;
+
+        // Every op that consumed simulated events carries per-shard counters
+        // that sum to its merged counters, and the op totals sum to the
+        // tracker's grand total (ops that did no tracked work — e.g. the
+        // scan placeholder — carry none on either level).
+        let mut acc = EventCounters::default();
+        let mut counted_ops = 0;
+        for op in &run.report.ops {
+            let Some(merged) = op.counters else {
+                assert!(op.counters_per_shard.is_none(), "op {}", op.op);
+                continue;
+            };
+            counted_ops += 1;
+            let shards = op.counters_per_shard.as_ref().expect("sharded run");
+            let shard_sum =
+                shards.iter().fold(EventCounters::default(), |a, c| a + c.expect("simulated"));
+            assert_eq!(shard_sum, merged, "op {}", op.op);
+            acc += merged;
+        }
+        assert!(counted_ops >= 2, "select + merge must both carry counters");
+        assert_eq!(acc, total, "per-op counters must sum to the tracker total");
+    }
+
+    #[test]
+    fn shard_suffixes_are_stripped_in_merged_reports() {
+        assert_eq!(strip_shard_suffix("scan(item[0/4])"), "scan(item)");
+        assert_eq!(strip_shard_suffix("select(item[12/16])"), "select(item)");
+        assert_eq!(strip_shard_suffix("join[supp = id]"), "join[supp = id]");
+        assert_eq!(strip_shard_suffix("scan(item[x/4])"), "scan(item[x/4])");
+    }
+}

@@ -294,6 +294,12 @@ pub struct OpReport {
     /// accumulated per group-domain slice). `rows_out` stays the merged
     /// total; sequential runs carry `None`.
     pub rows_per_thread: Option<Vec<usize>>,
+    /// Sharded runs (`crate::dist`): this operator's simulated counters per
+    /// table shard, in shard order. `counters` stays the merged total (the
+    /// per-shard deltas sum to it — shards execute sequentially under one
+    /// tracker), so global SimTracker accounting is unchanged; unsharded
+    /// runs carry `None`.
+    pub counters_per_shard: Option<Vec<Option<EventCounters>>>,
 }
 
 /// Per-operator execution trace, returned alongside every query result.
@@ -608,6 +614,7 @@ fn exec_node<'a, M: MemTracker>(
                 notes,
                 shapes,
                 rows_per_thread: shards,
+                ..OpReport::default()
             });
             Ok(Output::Stream(Stream::Table { table, cands: Some(merged) }))
         }
@@ -636,11 +643,18 @@ fn exec_node<'a, M: MemTracker>(
             } else {
                 (1, None)
             };
-            let (pairs, join_shards) = if threads > 1 {
+            let (mut pairs, join_shards) = if threads > 1 {
                 par_join_bats_with_plan_sharded(lbat.as_bat(), rbat.as_bat(), &jplan, threads)?
             } else {
                 (join_bats_with_plan(trk, lbat.as_bat(), rbat.as_bat(), &jplan)?, None)
             };
+            // Canonical output order: every join algorithm (and thread
+            // count) emits the same pair set, but in its own cluster order.
+            // Sorting by (left, right) makes the join index — and every
+            // downstream f64 accumulation order — independent of the
+            // physical plan, which is what lets co-partitioned shard joins
+            // merge bit-identically (see `crate::dist`).
+            pairs.sort_unstable_by_key(|p| (p.left, p.right));
 
             report.ops.push(OpReport {
                 op: format!("join[{left_col} = {right_col}]"),

@@ -31,6 +31,10 @@
 //!   ([`costmodel::plan::best_plan`], [`costmodel::parallel`]) and returning
 //!   an [`exec::ExecReport`] with per-operator rows and simulated miss
 //!   counts; parallel execution is bit-identical to sequential;
+//! * [`dist`] — **sharded execution**: lowers one logical plan onto the hash
+//!   shards of a [`monet_core::shard::ShardedTable`] (one stream plan per
+//!   shard plus a coordinator merge) with results bit-identical to the
+//!   unsharded run at any shard count — including `f64` sum bits;
 //! * [`query`] — `grouped_sum_where`, the original composed pipeline, kept
 //!   as a thin compatibility wrapper over the builder + executor.
 //!
@@ -40,6 +44,7 @@
 pub mod access;
 pub mod aggregate;
 pub mod candidates;
+pub mod dist;
 pub mod exec;
 pub mod group;
 pub mod join;
@@ -51,6 +56,7 @@ pub mod select;
 pub mod shared;
 
 pub use access::{AccessDecision, AccessMode, CompressMode};
+pub use dist::{execute_shard, execute_sharded, lower, merge, Lowered, ShardPartial};
 pub use exec::{
     execute, execute_with_scans, AccessNote, ExecOptions, ExecReport, Executed, OpReport, Planner,
     QueryOutput, Threads,

@@ -124,6 +124,22 @@ pub fn modern() -> MachineConfig {
     }
 }
 
+/// Derive a profile whose memory-hierarchy latencies are scaled by `factor`
+/// (geometry and CPU work costs unchanged).
+///
+/// This models a *placement* of the same hardware under different memory
+/// conditions — a remote or contended replica of a shard sees the same
+/// caches but pays more per miss — and is what the sharded-execution placer
+/// feeds to the cost model so shard plans are priced per copy.
+pub fn with_latency_scale(mut cfg: MachineConfig, factor: f64) -> MachineConfig {
+    cfg.lat = Latencies {
+        l2_ns: cfg.lat.l2_ns * factor,
+        mem_ns: cfg.lat.mem_ns * factor,
+        tlb_ns: cfg.lat.tlb_ns * factor,
+    };
+    cfg
+}
+
 /// The four machines of Figure 3, oldest last (matching the figure legend).
 pub fn figure3_machines() -> Vec<MachineConfig> {
     vec![origin2000(), sun_ultra450(), sun_ultra1(), sun_lx()]
@@ -158,6 +174,18 @@ mod tests {
         assert_eq!(ms[2].l2.line, 64);
         assert!(ms[3].l1.is_none());
         assert_eq!(ms[3].l2.line, 16);
+    }
+
+    #[test]
+    fn latency_scale_touches_only_latencies() {
+        let base = origin2000();
+        let far = with_latency_scale(origin2000(), 1.5);
+        assert!((far.lat.mem_ns - base.lat.mem_ns * 1.5).abs() < 1e-9);
+        assert!((far.lat.l2_ns - base.lat.l2_ns * 1.5).abs() < 1e-9);
+        assert!((far.lat.tlb_ns - base.lat.tlb_ns * 1.5).abs() < 1e-9);
+        assert_eq!(far.work.scan_iter_ns, base.work.scan_iter_ns);
+        assert_eq!(far.l2.line, base.l2.line);
+        assert_eq!(far.name, base.name);
     }
 
     #[test]

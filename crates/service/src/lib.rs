@@ -85,12 +85,14 @@
 //! alike.
 
 pub mod config;
+pub mod dist;
 pub mod metrics;
 pub mod sched;
 pub mod service;
 mod shared;
 
 pub use config::ServiceConfig;
+pub use dist::{CopyId, CopyStats, PlacePolicy, PlacedRun, ShardCluster};
 pub use metrics::{LatencySummary, SampleWindow, ServiceMetrics, SessionMetrics};
 pub use obs::TraceMode;
 pub use sched::{Admission, Grant, Scheduler};

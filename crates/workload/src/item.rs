@@ -76,6 +76,36 @@ pub fn item_rows(n: usize, seed: u64) -> Vec<ItemRow> {
 /// Build the vertically decomposed Item table of `n` rows (Fig. 4's right
 /// side: one void-headed BAT per column, strings byte-encoded).
 pub fn item_table(n: usize, seed: u64) -> DecomposedTable {
+    build_item_table(item_rows(n, seed))
+}
+
+/// [`item_rows`] with the `supp` column re-drawn from a Zipf distribution
+/// of exponent `skew` over the same `1..=1_000` supplier domain (`skew = 0`
+/// is uniform, `skew ≈ 1` classic Zipf). Joins against a supplier table
+/// keyed `1..=1_000` keep hit-rate one; hash-sharding the table on `supp`
+/// concentrates the hot supplier's rows — and the queries that touch them —
+/// on one shard, the workload the replicated shard placer is built for.
+pub fn item_rows_skewed(n: usize, seed: u64, skew: f64) -> Vec<ItemRow> {
+    let mut rows = item_rows(n, seed);
+    if skew > 0.0 {
+        let mut zipf = crate::zipf::ZipfGenerator::new(1_000, skew, seed ^ 0x5ca1e);
+        // Shuffled rank→supplier map: the hot supplier is not simply id 1.
+        let mut dict: Vec<i32> = (1..=1_000).collect();
+        crate::gen::shuffle(&mut dict, seed ^ 0xd1c7);
+        for r in rows.iter_mut() {
+            r.supp = dict[zipf.sample()];
+        }
+    }
+    rows
+}
+
+/// [`item_table`] built from [`item_rows_skewed`]: the shard-skew knob of
+/// the sharded-execution experiments.
+pub fn item_table_skewed(n: usize, seed: u64, skew: f64) -> DecomposedTable {
+    build_item_table(item_rows_skewed(n, seed, skew))
+}
+
+fn build_item_table(rows: Vec<ItemRow>) -> DecomposedTable {
     let mut b = TableBuilder::new("Item", 1000)
         .column("order", ColType::I32)
         .column("batch", ColType::I32)
@@ -90,7 +120,7 @@ pub fn item_table(n: usize, seed: u64) -> DecomposedTable {
         .column("date1", ColType::I32)
         .column("date2", ColType::I32)
         .column("comment", ColType::Str);
-    for r in item_rows(n, seed) {
+    for r in rows {
         b.push_row(&[
             Value::I32(r.order),
             Value::I32(r.batch),
@@ -160,6 +190,21 @@ mod tests {
         let cc = t.compressed_of("batch").expect("a sorted run-64 column compresses");
         assert_eq!(cc.encoding(), monet_core::compress::Encoding::Rle);
         assert!(cc.bits_per_value() < 4.0, "runs of 64 store ~1.5 bits/value");
+    }
+
+    #[test]
+    fn skewed_supp_concentrates_one_shard() {
+        let t = item_table_skewed(4_000, 9, 1.0);
+        let sharded = monet_core::shard::ShardedTable::partition(&t, "supp", 4).unwrap();
+        let skewed = sharded.stats();
+        assert!(skewed.skew > 1.3, "Zipf supp must produce a hot shard (skew {})", skewed.skew);
+        let u = item_table_skewed(4_000, 9, 0.0);
+        let us = monet_core::shard::ShardedTable::partition(&u, "supp", 4).unwrap();
+        assert!(us.stats().skew < skewed.skew, "skew knob off must be flatter");
+        // The supplier domain is unchanged, so hit-rate-1 joins still hold.
+        assert!(item_rows_skewed(200, 1, 1.0).iter().all(|r| (1..=1_000).contains(&r.supp)));
+        // skew = 0 is exactly the uniform table.
+        assert_eq!(item_rows_skewed(50, 2, 0.0), item_rows(50, 2));
     }
 
     #[test]

@@ -24,6 +24,6 @@ pub mod mix;
 pub mod zipf;
 
 pub use gen::{join_pair, shuffle, unique_random_buns, unique_random_keys};
-pub use item::{item_rows, item_table, ItemRow, SHIPMODES};
-pub use mix::{ChurnMix, OverlapMix, QueryMix, QuerySpec};
+pub use item::{item_rows, item_rows_skewed, item_table, item_table_skewed, ItemRow, SHIPMODES};
+pub use mix::{ChurnMix, OverlapMix, QueryMix, QuerySpec, ShardMix};
 pub use zipf::ZipfGenerator;

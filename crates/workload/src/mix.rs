@@ -289,6 +289,48 @@ impl OverlapMix {
     }
 }
 
+/// The sharded-execution workload: a [`QueryMix`] spec stream paired with
+/// the **shard-skew knob** — the Item fact table is built with its `supp`
+/// partition keys drawn Zipf(`skew`) ([`crate::item_table_skewed`]), so
+/// hash-sharding on `supp` concentrates the hot supplier's rows on one
+/// shard. Every spec the stream draws lowers onto `(Item sharded on supp,
+/// supplier sharded on id)`: selections and aggregates shard trivially and
+/// the supplier join is co-partitioned on its keys by construction.
+#[derive(Debug)]
+pub struct ShardMix {
+    mix: QueryMix,
+    skew: f64,
+}
+
+impl ShardMix {
+    /// A deterministic spec stream with the given partition-key skew
+    /// (`0.0` = uniform shards, `1.0` = classic Zipf → one hot shard).
+    pub fn new(seed: u64, skew: f64) -> Self {
+        Self { mix: QueryMix::for_client(seed, 0), skew }
+    }
+
+    /// The configured partition-key skew exponent.
+    pub fn skew(&self) -> f64 {
+        self.skew
+    }
+
+    /// Build the `n`-row Item fact table this workload runs against, with
+    /// the skew knob applied to the `supp` partition keys.
+    pub fn item_table(&self, n: usize, seed: u64) -> DecomposedTable {
+        crate::item::item_table_skewed(n, seed, self.skew)
+    }
+
+    /// Draw the next spec (delegates to the underlying [`QueryMix`]).
+    pub fn next_spec(&mut self) -> QuerySpec {
+        self.mix.next_spec()
+    }
+
+    /// The first `n` specs of this stream.
+    pub fn take(&mut self, n: usize) -> Vec<QuerySpec> {
+        self.mix.take(n)
+    }
+}
+
 /// Specs for the service churn experiment (`repro shared --churn`): a
 /// duplicate *storm* (every client submits the byte-identical plan, so
 /// concurrent copies should collapse into one execution) and a *staggered*
@@ -427,6 +469,21 @@ mod tests {
             assert_eq!(*col, "qty", "everyone contends on the shared column");
             assert!(*lo >= 1 && *hi <= 50, "bands stay in the qty domain");
             s.build(&item, &supp).expect("stagger plans validate");
+        }
+    }
+
+    #[test]
+    fn shard_mix_specs_all_lower_onto_co_partitioned_shards() {
+        let mut mix = ShardMix::new(13, 1.0);
+        let item = mix.item_table(2_000, 13);
+        let supp = supplier(1_000);
+        let is = monet_core::shard::ShardedTable::partition(&item, "supp", 4).unwrap();
+        let ss = monet_core::shard::ShardedTable::partition(&supp, "id", 4).unwrap();
+        assert!(is.stats().skew > 1.3, "the knob must produce a hot shard");
+        for spec in mix.take(60) {
+            let plan = spec.build(&item, &supp).expect("spec validates");
+            engine::dist::lower(&plan, &[&is, &ss])
+                .unwrap_or_else(|e| panic!("{spec:?} must lower onto shards: {e}"));
         }
     }
 
