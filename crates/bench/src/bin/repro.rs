@@ -68,6 +68,10 @@ options:
                 one collapse into a single execution) and staggered
                 same-column clients (late arrivals attach to the running
                 chunked elevator pass), plus the sharing-off baseline
+  --pushdown    add the candidate-pushdown series to `compress`: a needle
+                AND wide-leaf conjunction simulated in both leaf orders,
+                restricted later leaves vs full-column passes, and the
+                engine planner's chosen order checked against the simulator
 ";
 
 fn main() -> ExitCode {
@@ -121,6 +125,7 @@ fn main() -> ExitCode {
                 }
             }
             "--churn" => opts.churn = true,
+            "--pushdown" => opts.pushdown = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;

@@ -79,6 +79,11 @@ pub struct RunOpts {
     /// storms that collapse into one execution and staggered clients that
     /// attach to a running elevator pass.
     pub churn: bool,
+    /// Add the `compress` experiment's candidate-pushdown series
+    /// (`--pushdown`): a needle-AND-wide conjunction evaluated in both leaf
+    /// orders, restricted later leaves vs full-column passes, with the
+    /// engine planner's chosen order checked against the simulator.
+    pub pushdown: bool,
 }
 
 impl Default for RunOpts {
@@ -92,6 +97,7 @@ impl Default for RunOpts {
             access: None,
             clients: None,
             churn: false,
+            pushdown: false,
         }
     }
 }

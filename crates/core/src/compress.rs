@@ -192,6 +192,26 @@ impl ForColumn {
     pub fn compressed_bytes(&self) -> usize {
         self.frames.len() * std::mem::size_of::<Frame>() + self.words.len() * 8
     }
+
+    /// Metadata-only estimate of how many values fall in `[lo, hi]`: each
+    /// frame contributes its row count scaled by the overlap of `[lo, hi]`
+    /// with `[base, max]` under a uniform-occupancy assumption. Touches
+    /// only the frame headers — selectivity sniffing for planners, never a
+    /// payload read.
+    pub fn estimate_range(&self, lo: i32, hi: i32) -> usize {
+        let mut est = 0.0f64;
+        for (f, fr) in self.frames.iter().enumerate() {
+            let olo = lo.max(fr.base) as i64;
+            let ohi = hi.min(fr.max) as i64;
+            if olo > ohi {
+                continue;
+            }
+            let (a, b) = self.frame_rows(f);
+            let width = (fr.max as i64 - fr.base as i64 + 1) as f64;
+            est += (b - a) as f64 * (ohi - olo + 1) as f64 / width;
+        }
+        est.round() as usize
+    }
 }
 
 /// One run of a [`RleColumn`]: `len` consecutive tuples of `value` starting
@@ -296,6 +316,12 @@ impl DictColumn {
     /// Exact heap bytes of the compressed representation.
     pub fn compressed_bytes(&self) -> usize {
         self.packed.compressed_bytes()
+    }
+
+    /// Metadata-only estimate of how many codes equal `code` (see
+    /// [`ForColumn::estimate_range`]).
+    pub fn estimate_eq(&self, code: u32) -> usize {
+        self.packed.estimate_range(code as i32, code as i32)
     }
 }
 
@@ -466,6 +492,29 @@ impl CompressedColumn {
             CompressedColumn::For(c) => c.decode(),
             CompressedColumn::Rle(c) => c.decode(),
             CompressedColumn::Dict(c) => c.decode(),
+        }
+    }
+
+    /// Metadata-only estimate of how many values satisfy `pred`, reading
+    /// frame headers / runs but never the payload: FOR frames scale their
+    /// row count by uniform range overlap, RLE runs count exactly, dict
+    /// frames likewise over the code stream. `None` when this
+    /// representation cannot evaluate `pred` — the caller falls back to
+    /// whatever prior it has.
+    pub fn estimate_matches(&self, pred: &ScanPred) -> Option<usize> {
+        match (self, pred) {
+            (CompressedColumn::For(c), ScanPred::RangeI32 { lo, hi }) => {
+                Some(c.estimate_range(*lo, *hi))
+            }
+            (CompressedColumn::Rle(c), ScanPred::RangeI32 { lo, hi }) => Some(
+                c.runs()
+                    .iter()
+                    .filter(|r| *lo <= r.value && r.value <= *hi)
+                    .map(|r| r.len as usize)
+                    .sum(),
+            ),
+            (CompressedColumn::Dict(c), ScanPred::EqCode { code }) => Some(c.estimate_eq(*code)),
+            _ => None,
         }
     }
 
@@ -816,6 +865,182 @@ pub fn multi_select_compressed_range<M: MemTracker>(
     Ok(out)
 }
 
+/// Evaluate only the candidate rows that fall in a FOR-packed stream,
+/// grouped by frame: each *touched* frame pays its header read, and only
+/// frames the min/max metadata cannot settle unpack their payload. A
+/// `TakeAll` frame emits its candidates without unpacking; a `Skip` frame
+/// emits nothing.
+fn for_chunk_cands<M: MemTracker>(
+    trk: &mut M,
+    fc: &ForColumn,
+    seqbase: Oid,
+    bounds: &[(i64, i64)],
+    cands: &[Oid],
+    out: &mut [Vec<Oid>],
+    scratch: &mut Vec<i32>,
+) {
+    let mut i = 0usize;
+    while i < cands.len() {
+        let row = (cands[i] - seqbase) as usize;
+        let f = row / FRAME_LEN;
+        let fr = fc.frames[f];
+        if M::ENABLED {
+            track_read(trk, &fc.frames[f]);
+        }
+        let (rlo, rhi) = fc.frame_rows(f);
+        // The frame's candidate group: ascending OIDs make it contiguous.
+        let end = i + cands[i..].partition_point(|&c| ((c - seqbase) as usize) < rhi);
+        let fates: Vec<BlockFate> = bounds
+            .iter()
+            .map(|&(lo, hi)| classify(lo, hi, fr.base as i64, fr.max as i64))
+            .collect();
+        if fates.contains(&BlockFate::Test) {
+            if M::ENABLED {
+                track_read_slice(trk, fc.frame_words(f));
+            }
+            scratch.clear();
+            fc.unpack_frame(f, scratch);
+        }
+        for (k, fate) in fates.iter().enumerate() {
+            match fate {
+                BlockFate::Skip => {}
+                BlockFate::TakeAll => out[k].extend_from_slice(&cands[i..end]),
+                BlockFate::Test => {
+                    let (lo, hi) = bounds[k];
+                    for &c in &cands[i..end] {
+                        let v = scratch[(c - seqbase) as usize - rlo];
+                        if (lo..=hi).contains(&(v as i64)) {
+                            out[k].push(c);
+                        }
+                    }
+                }
+            }
+        }
+        i = end;
+    }
+}
+
+/// Evaluate only the candidate rows that fall in an RLE stream: runs and
+/// candidates are both ascending, so the two merge in one pass, and only
+/// the *touched* runs pay their 12-byte read — runs without a surviving
+/// candidate are never fetched.
+fn rle_chunk_cands<M: MemTracker>(
+    trk: &mut M,
+    rc: &RleColumn,
+    seqbase: Oid,
+    bounds: &[(i64, i64)],
+    cands: &[Oid],
+    out: &mut [Vec<Oid>],
+) {
+    let mut r = match cands.first() {
+        Some(&c) => {
+            rc.runs.partition_point(|run| (run.start + run.len) as usize <= (c - seqbase) as usize)
+        }
+        None => return,
+    };
+    let mut i = 0usize;
+    while i < cands.len() && r < rc.runs.len() {
+        let run = rc.runs[r];
+        if M::ENABLED {
+            track_read(trk, &rc.runs[r]);
+        }
+        let run_end = (run.start + run.len) as usize;
+        let end = i + cands[i..].partition_point(|&c| ((c - seqbase) as usize) < run_end);
+        let v = run.value as i64;
+        for (k, &(lo, hi)) in bounds.iter().enumerate() {
+            if (lo..=hi).contains(&v) {
+                out[k].extend_from_slice(&cands[i..end]);
+            }
+        }
+        i = end;
+        r += 1;
+        if i < cands.len() {
+            // Jump over runs no candidate touches.
+            let row = (cands[i] - seqbase) as usize;
+            r += rc.runs[r..].partition_point(|run| (run.start + run.len) as usize <= row);
+        }
+    }
+}
+
+/// Candidate-restricted [`multi_select_compressed`] — the pushdown entry
+/// point. `cands` is an ascending OID list a prior predicate leaf already
+/// produced; each returned list is exactly *full-column result ∩ `cands`*,
+/// in ascending OID order, so intersecting leaf results in any evaluation
+/// order is bit-identical to full-column evaluation. The kernel jumps
+/// directly to the FOR/dict frames and RLE runs containing surviving
+/// candidates: untouched blocks pay nothing at all (not even metadata),
+/// touched frames pay their header plus — only when min/max cannot settle
+/// every predicate — their packed payload, and the CPU is charged one
+/// [`Work::ScanIter`] per *candidate* (not per tuple) per predicate.
+pub fn multi_select_compressed_cands<M: MemTracker>(
+    trk: &mut M,
+    cc: &CompressedColumn,
+    seqbase: Oid,
+    preds: &[ScanPred],
+    cands: &[Oid],
+) -> Result<Vec<Vec<Oid>>, StorageError> {
+    check_types(cc, preds)?;
+    let mut out: Vec<Vec<Oid>> = preds.iter().map(|_| Vec::new()).collect();
+    if preds.is_empty() || cands.is_empty() {
+        return Ok(out);
+    }
+    debug_assert!(cands.windows(2).all(|w| w[0] < w[1]), "candidates ascend");
+    debug_assert!(
+        cands.iter().all(|&c| c >= seqbase && ((c - seqbase) as usize) < cc.len()),
+        "candidates address rows of this column"
+    );
+    if M::ENABLED {
+        trk.work(Work::ScanIter, (cands.len() * preds.len()) as u64);
+    }
+    let bounds: Vec<(i64, i64)> = preds.iter().map(pred_bounds).collect();
+    match cc {
+        CompressedColumn::For(fc) => {
+            let mut scratch = Vec::with_capacity(FRAME_LEN);
+            for_chunk_cands(trk, fc, seqbase, &bounds, cands, &mut out, &mut scratch);
+        }
+        CompressedColumn::Dict(dc) => {
+            let mut scratch = Vec::with_capacity(FRAME_LEN);
+            for_chunk_cands(trk, &dc.packed, seqbase, &bounds, cands, &mut out, &mut scratch);
+        }
+        CompressedColumn::Rle(rc) => rle_chunk_cands(trk, rc, seqbase, &bounds, cands, &mut out),
+    }
+    Ok(out)
+}
+
+/// The number of distinct blocks (FOR/dict frames or RLE runs) an ascending
+/// candidate list touches — the exact block count
+/// [`multi_select_compressed_cands`] charges metadata for, and the quantity
+/// `costmodel::scan::cand_packed_scan_cost` estimates from |candidates|.
+pub fn touched_blocks(cc: &CompressedColumn, seqbase: Oid, cands: &[Oid]) -> usize {
+    let mut n = 0usize;
+    match cc {
+        CompressedColumn::For(_) | CompressedColumn::Dict(_) => {
+            let mut last = usize::MAX;
+            for &c in cands {
+                let f = (c - seqbase) as usize / FRAME_LEN;
+                if f != last {
+                    n += 1;
+                    last = f;
+                }
+            }
+        }
+        CompressedColumn::Rle(rc) => {
+            let mut r = 0usize;
+            for &c in cands {
+                let row = (c - seqbase) as usize;
+                r += rc.runs[r..].partition_point(|run| (run.start + run.len) as usize <= row);
+                if r < rc.runs.len() && (rc.runs[r].start as usize) <= row {
+                    // First candidate in this run counts it; later ones
+                    // advance past it before counting again.
+                    n += 1;
+                    r += 1;
+                }
+            }
+        }
+    }
+    n
+}
+
 /// Sharded parallel [`multi_select_compressed`] (native-only; no tracker):
 /// the frame/run space splits into contiguous chunks, per-predicate lists
 /// merge thread-major — bit-identical to the sequential kernel (and to the
@@ -1100,6 +1325,106 @@ mod tests {
         // the full scan take-alls every frame and reads *no* payload.
         assert!(c_narrow.line_accesses < 500, "{}", c_narrow.line_accesses);
         assert!(c_full.line_accesses < 200, "{}", c_full.line_accesses);
+    }
+
+    /// `full ∩ cands`, both ascending — the contract the candidate kernels
+    /// must reproduce exactly.
+    fn intersect_ref(full: &[Oid], cands: &[Oid]) -> Vec<Oid> {
+        full.iter().copied().filter(|o| cands.binary_search(o).is_ok()).collect()
+    }
+
+    #[test]
+    fn candidate_kernels_return_exactly_full_intersect_cands() {
+        let preds = [
+            ScanPred::RangeI32 { lo: 100, hi: 900 },
+            ScanPred::RangeI32 { lo: 0, hi: 5000 }, // full: TakeAll frames
+            ScanPred::RangeI32 { lo: 7, hi: 7 },
+            ScanPred::RangeI32 { lo: 9000, hi: 9999 }, // empty: Skip frames
+        ];
+        let seqbase = 500;
+        for values in [uniform(30_011, 11), (0..30_011).map(|i| i / 64).collect::<Vec<i32>>()] {
+            let n = values.len();
+            let cc = CompressedColumn::encode(&Column::I32(values.clone())).unwrap();
+            let full = multi_select_compressed(&mut NullTracker, &cc, seqbase, &preds).unwrap();
+            let cand_shapes: Vec<Vec<Oid>> = vec![
+                vec![],                                                     // empty
+                (0..n).map(|i| seqbase + i as Oid).collect(),               // all-pass
+                (0..n).step_by(1013).map(|i| seqbase + i as Oid).collect(), // sparse
+                (2048..2300).map(|i| seqbase + i as Oid).collect(),         // one dense cluster
+                vec![seqbase, seqbase + (n as Oid) - 1],                    // both ends
+            ];
+            for cands in &cand_shapes {
+                let got =
+                    multi_select_compressed_cands(&mut NullTracker, &cc, seqbase, &preds, cands)
+                        .unwrap();
+                for (k, list) in got.iter().enumerate() {
+                    assert_eq!(
+                        *list,
+                        intersect_ref(&full[k], cands),
+                        "{:?} pred {k} |cands|={}",
+                        cc.encoding(),
+                        cands.len()
+                    );
+                }
+            }
+        }
+        // Dict: same contract over packed codes.
+        let strs: Vec<&str> = (0..5003).map(|i| ["AIR", "MAIL", "SHIP", "RAIL"][i % 4]).collect();
+        let cc = CompressedColumn::encode(&Column::Str(StrColumn::from_strs(strs))).unwrap();
+        let preds = [ScanPred::EqCode { code: 2 }, ScanPred::EqCode { code: 0 }];
+        let full = multi_select_compressed(&mut NullTracker, &cc, 10, &preds).unwrap();
+        let cands: Vec<Oid> = (0..5003).step_by(7).map(|i| 10 + i as Oid).collect();
+        let got = multi_select_compressed_cands(&mut NullTracker, &cc, 10, &preds, &cands).unwrap();
+        for (k, list) in got.iter().enumerate() {
+            assert_eq!(*list, intersect_ref(&full[k], &cands), "dict pred {k}");
+        }
+    }
+
+    #[test]
+    fn candidate_kernel_touches_only_candidate_blocks() {
+        // 100 frames; candidates confined to two of them.
+        let values = uniform(102_400, 5);
+        let cc = CompressedColumn::encode(&Column::I32(values)).unwrap();
+        assert_eq!(cc.encoding(), Encoding::For);
+        let preds = [ScanPred::RangeI32 { lo: 2048, hi: 4095 }]; // straddles every frame
+        let cands: Vec<Oid> = (3 * 1024..4 * 1024).chain(71 * 1024..72 * 1024).collect();
+        assert_eq!(touched_blocks(&cc, 0, &cands), 2);
+        let run_full = || {
+            let mut trk = SimTracker::for_machine(memsim::profiles::origin2000());
+            multi_select_compressed(&mut trk, &cc, 0, &preds).unwrap();
+            trk.counters()
+        };
+        let run_cands = || {
+            let mut trk = SimTracker::for_machine(memsim::profiles::origin2000());
+            multi_select_compressed_cands(&mut trk, &cc, 0, &preds, &cands).unwrap();
+            trk.counters()
+        };
+        let (full, restricted) = (run_full(), run_cands());
+        assert!(
+            restricted.l2_misses * 10 <= full.l2_misses,
+            "2/100 frames touched must stream >=10x fewer bytes ({} vs {})",
+            restricted.l2_misses,
+            full.l2_misses
+        );
+        assert!(restricted.cpu_ns < full.cpu_ns / 10.0, "CPU follows |cands|, not rows");
+
+        // RLE: touched runs only.
+        let clustered: Vec<i32> = (0..102_400).map(|i| i / 64).collect();
+        let rc = CompressedColumn::encode(&Column::I32(clustered)).unwrap();
+        assert_eq!(rc.encoding(), Encoding::Rle);
+        let sparse: Vec<Oid> = (0..102_400).step_by(6400).collect();
+        assert_eq!(touched_blocks(&rc, 0, &sparse), sparse.len(), "one run per sparse candidate");
+        let dense: Vec<Oid> = (128..192).collect(); // inside one 64-row run
+        assert_eq!(touched_blocks(&rc, 0, &dense), 1);
+        let got = multi_select_compressed_cands(
+            &mut NullTracker,
+            &rc,
+            0,
+            &[ScanPred::RangeI32 { lo: 0, hi: 5 }],
+            &dense,
+        )
+        .unwrap();
+        assert_eq!(got[0], dense, "run value 2 passes, all candidates survive");
     }
 
     #[test]

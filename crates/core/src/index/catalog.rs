@@ -19,7 +19,7 @@
 //! which is the equality-selectivity estimate (`len / distinct`) the cost
 //! model prices hash and T-tree probes with.
 
-use memsim::MemTracker;
+use memsim::{MemTracker, Work};
 
 use crate::storage::{Bat, Oid, StorageError};
 
@@ -170,6 +170,55 @@ impl ColumnIndex {
             _ => None,
         }
     }
+
+    /// Candidate-restricted [`Self::lookup_eq`] — the pushdown probe
+    /// variant. Probes as usual but emits only OIDs present in `cands` (an
+    /// ascending list a prior predicate leaf produced), so the caller's
+    /// sort-back-to-OID-order pays for the surviving entries instead of
+    /// the full match set. Each probe-emitted entry is charged one
+    /// [`Work::ScanIter`] for its membership test.
+    pub fn lookup_eq_cands<M: MemTracker>(
+        &self,
+        trk: &mut M,
+        key: u32,
+        cands: &[Oid],
+        mut on_match: impl FnMut(Oid),
+    ) {
+        let mut probed = 0u64;
+        self.lookup_eq(trk, key, |o| {
+            probed += 1;
+            if cands.binary_search(&o).is_ok() {
+                on_match(o);
+            }
+        });
+        if M::ENABLED {
+            trk.work(Work::ScanIter, probed);
+        }
+    }
+
+    /// Candidate-restricted [`Self::lookup_range`]: like
+    /// [`Self::lookup_eq_cands`], but over `lo ≤ key ≤ hi`. Returns `false`
+    /// (without probing) when the backend has no range support.
+    pub fn lookup_range_cands<M: MemTracker>(
+        &self,
+        trk: &mut M,
+        lo: u32,
+        hi: u32,
+        cands: &[Oid],
+        mut on_match: impl FnMut(Oid),
+    ) -> bool {
+        let mut probed = 0u64;
+        let ok = self.lookup_range(trk, lo, hi, |o| {
+            probed += 1;
+            if cands.binary_search(&o).is_ok() {
+                on_match(o);
+            }
+        });
+        if M::ENABLED {
+            trk.work(Work::ScanIter, probed);
+        }
+        ok
+    }
 }
 
 #[cfg(test)]
@@ -221,6 +270,26 @@ mod tests {
             assert_eq!(idx.count_range(&mut NullTracker, lo, hi), None);
             assert!(idx.btree().is_none());
         }
+    }
+
+    #[test]
+    fn candidate_restricted_probes_filter_to_the_list() {
+        for kind in [IndexKind::CsBTree, IndexKind::Hash, IndexKind::TTree] {
+            let idx = ColumnIndex::build(&bat(), kind).unwrap();
+            let mut out = vec![];
+            idx.lookup_eq_cands(&mut NullTracker, key_of_i32(4), &[10, 15], |o| out.push(o));
+            out.sort_unstable();
+            assert_eq!(out, vec![10, 15], "{}", kind.name());
+            let mut none = vec![];
+            idx.lookup_eq_cands(&mut NullTracker, key_of_i32(4), &[], |o| none.push(o));
+            assert!(none.is_empty(), "empty candidate list restricts to nothing");
+        }
+        let b = ColumnIndex::build(&bat(), IndexKind::CsBTree).unwrap();
+        let (lo, hi) = crate::index::keys::key_range_i32(-1, 4);
+        let mut out = vec![];
+        assert!(b.lookup_range_cands(&mut NullTracker, lo, hi, &[11, 12, 13], |o| out.push(o)));
+        out.sort_unstable();
+        assert_eq!(out, vec![11, 12], "full range hits {{10,11,12,14,15}}, cands clip it");
     }
 
     #[test]

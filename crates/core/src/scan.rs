@@ -203,6 +203,95 @@ pub fn multi_select_range<M: MemTracker>(
     Ok(out)
 }
 
+/// Candidate-restricted [`multi_select`] — the pushdown entry point for
+/// uncompressed columns. `cands` is an ascending OID list a prior
+/// predicate leaf already produced; each returned list is exactly
+/// *full-column result ∩ `cands`*, in ascending OID order, so leaf results
+/// intersect to the same set in any evaluation order. The kernel
+/// gather-tests only the candidate rows: under a counting tracker the
+/// memory system is charged one read per *candidate* (candidates ascend,
+/// so the touches are a forward sweep whose effective stride the cache
+/// simulation prices naturally) and the CPU one [`Work::ScanIter`] per
+/// candidate per predicate.
+pub fn multi_select_cands<M: MemTracker>(
+    trk: &mut M,
+    bat: &Bat,
+    preds: &[ScanPred],
+    cands: &[Oid],
+) -> Result<Vec<Vec<Oid>>, StorageError> {
+    check_types(bat.tail(), preds)?;
+    let mut out: Vec<Vec<Oid>> = preds.iter().map(|_| Vec::new()).collect();
+    if preds.is_empty() || cands.is_empty() {
+        return Ok(out);
+    }
+    debug_assert!(cands.windows(2).all(|w| w[0] < w[1]), "candidates ascend");
+    if M::ENABLED {
+        trk.work(Work::ScanIter, (cands.len() * preds.len()) as u64);
+    }
+    match bat.tail() {
+        Column::I32(data) => {
+            for &c in cands {
+                let Some(i) = bat.find_oid(c) else { continue };
+                let v = &data[i];
+                if M::ENABLED {
+                    track_read(trk, v);
+                }
+                for (p, list) in preds.iter().zip(out.iter_mut()) {
+                    if let ScanPred::RangeI32 { lo, hi } = p {
+                        if (*lo..=*hi).contains(v) {
+                            list.push(c);
+                        }
+                    }
+                }
+            }
+        }
+        Column::F64(data) => {
+            for &c in cands {
+                let Some(i) = bat.find_oid(c) else { continue };
+                let v = &data[i];
+                if M::ENABLED {
+                    track_read(trk, v);
+                }
+                for (p, list) in preds.iter().zip(out.iter_mut()) {
+                    if let ScanPred::RangeF64 { lo, hi } = p {
+                        if *v >= *lo && *v <= *hi {
+                            list.push(c);
+                        }
+                    }
+                }
+            }
+        }
+        Column::Str(sc) => {
+            for &c in cands {
+                let Some(i) = bat.find_oid(c) else { continue };
+                let code_at = match &sc.codes {
+                    Codes::U8(data) => {
+                        if M::ENABLED {
+                            track_read(trk, &data[i]);
+                        }
+                        u32::from(data[i])
+                    }
+                    Codes::U16(data) => {
+                        if M::ENABLED {
+                            track_read(trk, &data[i]);
+                        }
+                        u32::from(data[i])
+                    }
+                };
+                for (p, list) in preds.iter().zip(out.iter_mut()) {
+                    if let ScanPred::EqCode { code } = p {
+                        if code_at == *code {
+                            list.push(c);
+                        }
+                    }
+                }
+            }
+        }
+        _ => unreachable!("check_types rejected this column"),
+    }
+    Ok(out)
+}
+
 /// Sharded parallel [`multi_select`] (native-only; no tracker): contiguous
 /// chunks, per-predicate thread-major merge — bit-identical to the
 /// sequential kernel at every thread count. Also returns each worker's
@@ -376,6 +465,61 @@ mod tests {
         let full = run(0, 50_000);
         assert_eq!(half.reads * 2, full.reads, "memory charge follows the chunk");
         assert!(half.cpu_ns < full.cpu_ns);
+    }
+
+    #[test]
+    fn candidate_restricted_scan_is_full_intersect_cands() {
+        let b = i32_bat(10_007);
+        let preds = [
+            ScanPred::RangeI32 { lo: 0, hi: 50 },
+            ScanPred::RangeI32 { lo: 13, hi: 13 },
+            ScanPred::RangeI32 { lo: 200, hi: 99 }, // empty
+        ];
+        let full = multi_select(&mut NullTracker, &b, &preds).unwrap();
+        let shapes: Vec<Vec<Oid>> = vec![
+            vec![],
+            (0..10_007).map(|i| 100 + i as Oid).collect(), // all-pass
+            (0..10_007).step_by(97).map(|i| 100 + i as Oid).collect(),
+            vec![100, 100 + 10_006],
+        ];
+        for cands in &shapes {
+            let got = multi_select_cands(&mut NullTracker, &b, &preds, cands).unwrap();
+            for (k, list) in got.iter().enumerate() {
+                let want: Vec<Oid> =
+                    full[k].iter().copied().filter(|o| cands.binary_search(o).is_ok()).collect();
+                assert_eq!(*list, want, "pred {k} |cands|={}", cands.len());
+            }
+        }
+        // Str and F64 columns take the same path.
+        let strs: Vec<&str> = (0..300).map(|i| ["AIR", "MAIL", "SHIP"][i % 3]).collect();
+        let s = Bat::with_void_head(50, Column::Str(StrColumn::from_strs(strs)));
+        let preds = [ScanPred::EqCode { code: 1 }];
+        let full = multi_select(&mut NullTracker, &s, &preds).unwrap();
+        let cands: Vec<Oid> = (0..300).step_by(2).map(|i| 50 + i as Oid).collect();
+        let got = multi_select_cands(&mut NullTracker, &s, &preds, &cands).unwrap();
+        let want: Vec<Oid> =
+            full[0].iter().copied().filter(|o| cands.binary_search(o).is_ok()).collect();
+        assert_eq!(got[0], want);
+    }
+
+    #[test]
+    fn candidate_restricted_scan_charges_per_candidate() {
+        let b = i32_bat(50_000);
+        let preds = [ScanPred::RangeI32 { lo: 0, hi: 50 }];
+        let full = {
+            let mut trk = SimTracker::for_machine(memsim::profiles::origin2000());
+            multi_select(&mut trk, &b, &preds).unwrap();
+            trk.counters()
+        };
+        let cands: Vec<Oid> = (0..50_000).step_by(500).map(|i| 100 + i as Oid).collect();
+        let restricted = {
+            let mut trk = SimTracker::for_machine(memsim::profiles::origin2000());
+            multi_select_cands(&mut trk, &b, &preds, &cands).unwrap();
+            trk.counters()
+        };
+        assert_eq!(restricted.reads as usize, cands.len(), "one read per candidate");
+        assert!(restricted.l2_misses * 10 <= full.l2_misses, "sparse candidates skip lines");
+        assert!(restricted.cpu_ns < full.cpu_ns / 100.0, "CPU follows |cands|");
     }
 
     #[test]

@@ -112,6 +112,12 @@ pub struct SelectQuery {
     /// when one exists *and* can answer this predicate directly — enables
     /// the [`AccessPath::PackedScan`] quote.
     pub packed_bits: Option<f64>,
+    /// Number of surviving candidates threaded into this leaf from earlier
+    /// conjunction leaves (`None` = full-column evaluation). When set, scan
+    /// paths are priced per candidate ([`crate::scan::cand_scan_cost`] /
+    /// [`crate::scan::cand_packed_scan_cost`]) and index probes keep their
+    /// full traversal but emit and sort only the expected survivors.
+    pub cands: Option<usize>,
 }
 
 /// A priced access path.
@@ -204,35 +210,70 @@ pub fn ttree_eq_cost(
     )
 }
 
+/// Expected survivors of intersecting `matches` qualifying rows with a
+/// `k`-entry candidate list over `rows` rows (independence assumption),
+/// never exceeding either input.
+pub fn restricted_matches(rows: usize, matches: usize, k: usize) -> usize {
+    let est = (matches as f64 * k as f64 / rows.max(1) as f64).ceil() as usize;
+    est.min(matches).min(k)
+}
+
+/// Adjust a full index quote for candidate restriction: the structure
+/// traversal (memory) is unchanged, but the CPU term becomes one membership
+/// test per probe-emitted entry plus emit+sort-back over only the expected
+/// survivors — the `k·log₂ k` sort saving that makes restricted probes
+/// cheap. Exposed for the engine's conjunction planner, which reprices
+/// already-chosen index leaves at arbitrary candidate counts.
+pub fn restrict_index_cost(
+    m: &ModelMachine,
+    mut full: ModelCost,
+    probed: usize,
+    kept: usize,
+) -> ModelCost {
+    full.cpu_ns = probed as f64 * m.work.scan_iter_ns + emit_ns(m, kept);
+    full
+}
+
 /// Price every access path available for `q`: always [`AccessPath::Scan`],
 /// then [`AccessPath::PackedScan`] when the column has a usable compressed
 /// representation, plus one entry per usable index in `indexes` (range
-/// predicates can only use B+-trees; eq predicates use all three).
+/// predicates can only use B+-trees; eq predicates use all three). A
+/// [`SelectQuery::cands`] list switches every path to its restricted
+/// pricing.
 pub fn quotes(m: &ModelMachine, q: &SelectQuery, indexes: &[IndexShape]) -> Vec<Quote> {
-    let mut out =
-        vec![Quote { path: AccessPath::Scan, cost: scan_select_cost(m, q.rows, q.stride) }];
+    let kept = q.cands.map(|k| restricted_matches(q.rows, q.matches, k));
+    let scan = match q.cands {
+        Some(k) => crate::scan::cand_scan_cost(m, q.rows, q.stride, k),
+        None => scan_select_cost(m, q.rows, q.stride),
+    };
+    let mut out = vec![Quote { path: AccessPath::Scan, cost: scan }];
     if let Some(bits) = q.packed_bits {
-        out.push(Quote {
-            path: AccessPath::PackedScan,
-            cost: crate::scan::packed_scan_cost(m, q.rows, bits),
-        });
+        let cost = match q.cands {
+            Some(k) => crate::scan::cand_packed_scan_cost(m, q.rows, bits, k),
+            None => crate::scan::packed_scan_cost(m, q.rows, bits),
+        };
+        out.push(Quote { path: AccessPath::PackedScan, cost });
     }
+    let restrict = |cost: ModelCost| match kept {
+        Some(kept) => restrict_index_cost(m, cost, q.matches, kept),
+        None => cost,
+    };
     for shape in indexes {
         match shape {
             IndexShape::Btree { height } => {
                 let path = if q.eq { AccessPath::BtreeEq } else { AccessPath::BtreeRange };
-                out.push(Quote { path, cost: btree_cost(m, *height, q.matches) });
+                out.push(Quote { path, cost: restrict(btree_cost(m, *height, q.matches)) });
             }
             IndexShape::Hash if q.eq => {
                 out.push(Quote {
                     path: AccessPath::HashEq,
-                    cost: hash_eq_cost(m, q.rows, q.matches),
+                    cost: restrict(hash_eq_cost(m, q.rows, q.matches)),
                 });
             }
             IndexShape::TTree { node_capacity } if q.eq => {
                 out.push(Quote {
                     path: AccessPath::TTreeEq,
-                    cost: ttree_eq_cost(m, q.rows, *node_capacity, q.matches),
+                    cost: restrict(ttree_eq_cost(m, q.rows, *node_capacity, q.matches)),
                 });
             }
             _ => {} // hash / T-tree cannot answer range predicates
@@ -269,7 +310,14 @@ mod tests {
         // 1M rows, 1 match: any index path beats the full scan by orders of
         // magnitude, and the hash probe is the cheapest eq path.
         let m = origin();
-        let q = SelectQuery { rows: 1_000_000, stride: 4, matches: 1, eq: true, packed_bits: None };
+        let q = SelectQuery {
+            rows: 1_000_000,
+            stride: 4,
+            matches: 1,
+            eq: true,
+            packed_bits: None,
+            cands: None,
+        };
         let qs = quotes(&m, &q, &SHAPES);
         assert_eq!(qs.len(), 4);
         let best = cheapest(&qs);
@@ -288,6 +336,7 @@ mod tests {
             matches: 800_000,
             eq: false,
             packed_bits: None,
+            cands: None,
         };
         let best = cheapest(&quotes(&m, &q, &SHAPES));
         assert_eq!(best.path, AccessPath::Scan);
@@ -296,7 +345,14 @@ mod tests {
     #[test]
     fn range_predicates_only_use_the_btree() {
         let m = origin();
-        let q = SelectQuery { rows: 100_000, stride: 4, matches: 10, eq: false, packed_bits: None };
+        let q = SelectQuery {
+            rows: 100_000,
+            stride: 4,
+            matches: 10,
+            eq: false,
+            packed_bits: None,
+            cands: None,
+        };
         let qs = quotes(&m, &q, &SHAPES);
         assert_eq!(qs.len(), 2);
         assert_eq!(qs[1].path, AccessPath::BtreeRange);
@@ -347,8 +403,14 @@ mod tests {
         // quote back — the tentpole's access-path flip.
         let m = origin();
         let rows = 1 << 20;
-        let q =
-            SelectQuery { rows, stride: 4, matches: rows * 3 / 100, eq: false, packed_bits: None };
+        let q = SelectQuery {
+            rows,
+            stride: 4,
+            matches: rows * 3 / 100,
+            eq: false,
+            packed_bits: None,
+            cands: None,
+        };
         let shapes = [IndexShape::Btree { height: 7 }];
         let plain = cheapest(&quotes(&m, &q, &shapes));
         assert_eq!(
@@ -369,6 +431,51 @@ mod tests {
     }
 
     #[test]
+    fn restricted_quotes_reward_a_selective_candidate_list() {
+        let m = origin();
+        let rows = 1 << 20;
+        let full = SelectQuery {
+            rows,
+            stride: 4,
+            matches: rows / 10,
+            eq: true,
+            packed_bits: Some(8.0),
+            cands: None,
+        };
+        let pushed = SelectQuery { cands: Some(rows / 1000), ..full };
+        let fq = quotes(&m, &full, &SHAPES);
+        let pq = quotes(&m, &pushed, &SHAPES);
+        assert_eq!(fq.len(), pq.len());
+        // Every path gets cheaper (or at worst equal) under restriction.
+        for (f, p) in fq.iter().zip(&pq) {
+            assert_eq!(f.path, p.path);
+            assert!(
+                p.cost.total_ns() <= f.cost.total_ns() + 1e-6,
+                "{}: {} > {}",
+                p.path.name(),
+                p.cost.total_ns(),
+                f.cost.total_ns()
+            );
+        }
+        // The scan paths collapse by roughly the candidate fraction; the
+        // index paths keep their traversal so they shrink less.
+        assert!(pq[0].cost.total_ns() * 10.0 < fq[0].cost.total_ns());
+        assert!(pq[1].cost.total_ns() * 5.0 < fq[1].cost.total_ns());
+        // An all-pass candidate list changes nothing for index emit counts.
+        let allpass = SelectQuery { cands: Some(rows), ..full };
+        let aq = quotes(&m, &allpass, &SHAPES);
+        let bt = |qs: &[Quote]| {
+            qs.iter().find(|q| q.path == AccessPath::BtreeEq).unwrap().cost.total_ns()
+        };
+        // Restricted adds the membership filter on top of the full emit.
+        assert!(bt(&aq) >= bt(&fq));
+        // Expected-survivor estimator basics.
+        assert_eq!(restricted_matches(1000, 100, 0), 0);
+        assert_eq!(restricted_matches(1000, 100, 1000), 100);
+        assert_eq!(restricted_matches(1000, 100, 10), 1);
+    }
+
+    #[test]
     fn crossover_exists_and_is_interior() {
         // Sweeping selectivity at fixed C must flip the btree/scan ordering
         // exactly once, strictly inside (0, 1) — the Figure-3-style regime
@@ -379,7 +486,8 @@ mod tests {
         let mut flips = 0;
         for pct in 1..=100 {
             let matches = rows * pct / 100;
-            let q = SelectQuery { rows, stride: 4, matches, eq: false, packed_bits: None };
+            let q =
+                SelectQuery { rows, stride: 4, matches, eq: false, packed_bits: None, cands: None };
             let best = cheapest(&quotes(&m, &q, &[IndexShape::Btree { height: 7 }]));
             let index_wins = best.path.is_index();
             if index_wins != last_index_wins {

@@ -94,6 +94,27 @@ pub enum OpShape {
         /// wrap-around distance the elevator must re-stream for it.
         missed: usize,
     },
+    /// A candidate-restricted scan-select: `cands` survivors of earlier
+    /// conjunction leaves gather-tested against a `rows`-tuple column
+    /// ([`crate::scan::cand_scan_cost`]).
+    CandSelect {
+        /// Tuples in the column (locality denominator).
+        rows: usize,
+        /// Bytes per tuple in the scanned column.
+        stride: usize,
+        /// Surviving candidates actually evaluated.
+        cands: usize,
+    },
+    /// A candidate-restricted select over a compressed column: only frames
+    /// holding survivors are decoded ([`crate::scan::cand_packed_scan_cost`]).
+    CandPackedSelect {
+        /// Tuples in the column.
+        rows: usize,
+        /// Stored bits per value of the compressed representation.
+        bits: f64,
+        /// Surviving candidates actually evaluated.
+        cands: usize,
+    },
     /// The coordinator-side merge of `rows` shard-partial result tuples
     /// (k-way ordered interleave plus per-group combination): per-tuple
     /// merge work over an 8-byte stream.
@@ -116,6 +137,10 @@ pub enum ShapeKind {
     SharedSelect,
     /// [`OpShape::AttachSelect`].
     AttachSelect,
+    /// [`OpShape::CandSelect`].
+    CandSelect,
+    /// [`OpShape::CandPackedSelect`].
+    CandPackedSelect,
     /// [`OpShape::Join`].
     Join,
     /// [`OpShape::Aggregate`].
@@ -134,6 +159,8 @@ impl ShapeKind {
             ShapeKind::PackedSelect => "packed-select",
             ShapeKind::SharedSelect => "shared-select",
             ShapeKind::AttachSelect => "attach-select",
+            ShapeKind::CandSelect => "cand-select",
+            ShapeKind::CandPackedSelect => "cand-packed-select",
             ShapeKind::Join => "join",
             ShapeKind::Aggregate => "aggregate",
             ShapeKind::Gather => "gather",
@@ -150,6 +177,8 @@ impl OpShape {
             OpShape::PackedSelect { .. } => ShapeKind::PackedSelect,
             OpShape::SharedSelect { .. } => ShapeKind::SharedSelect,
             OpShape::AttachSelect { .. } => ShapeKind::AttachSelect,
+            OpShape::CandSelect { .. } => ShapeKind::CandSelect,
+            OpShape::CandPackedSelect { .. } => ShapeKind::CandPackedSelect,
             OpShape::Join { .. } => ShapeKind::Join,
             OpShape::Aggregate { .. } => ShapeKind::Aggregate,
             OpShape::Gather { .. } => ShapeKind::Gather,
@@ -171,6 +200,9 @@ impl OpShape {
             // A covered select does no divisible scanning of its own — the
             // covering pass owns the stream (and the wrap, for attaches).
             OpShape::SharedSelect { .. } | OpShape::AttachSelect { .. } => 0,
+            // Restricted leaves run sequentially: candidate lists are small
+            // by construction, so fork overhead would dominate.
+            OpShape::CandSelect { .. } | OpShape::CandPackedSelect { .. } => 0,
         }
     }
 }
@@ -253,6 +285,12 @@ fn price_op(
         }
         OpShape::AttachSelect { rows, stride, missed } => {
             crate::shared::attach_cost(scan_model, rows.max(1), stride.max(1), missed).total_ns()
+        }
+        OpShape::CandSelect { rows, stride, cands } => {
+            crate::scan::cand_scan_cost(scan_model, rows.max(1), stride.max(1), cands).total_ns()
+        }
+        OpShape::CandPackedSelect { rows, bits, cands } => {
+            crate::scan::cand_packed_scan_cost(scan_model, rows.max(1), bits, cands).total_ns()
         }
         OpShape::Merge { rows } => {
             // One 8-byte stream over the shard partials, charged at the
@@ -399,6 +437,29 @@ mod tests {
         assert_eq!(
             OpShape::AttachSelect { rows: 1, stride: 4, missed: 0 }.kind().name(),
             "attach-select"
+        );
+    }
+
+    #[test]
+    fn restricted_selects_quote_below_their_full_passes() {
+        let cfg = profiles::origin2000();
+        let rows = 1_000_000;
+        let fresh = quote_ops(&cfg, &[OpShape::Select { rows, stride: 4 }]);
+        let cand = quote_ops(&cfg, &[OpShape::CandSelect { rows, stride: 4, cands: rows / 1000 }]);
+        assert!(cand.seq_ns * 10.0 < fresh.seq_ns, "{} !<< {}", cand.seq_ns, fresh.seq_ns);
+        assert_eq!(cand.items, 0, "restricted leaves run sequentially");
+        let packed = quote_ops(&cfg, &[OpShape::PackedSelect { rows, bits: 8.0 }]);
+        let cand_packed =
+            quote_ops(&cfg, &[OpShape::CandPackedSelect { rows, bits: 8.0, cands: rows / 1000 }]);
+        assert!(cand_packed.seq_ns * 5.0 < packed.seq_ns);
+        assert_eq!(cand_packed.items, 0);
+        assert_eq!(
+            OpShape::CandSelect { rows: 1, stride: 4, cands: 1 }.kind().name(),
+            "cand-select"
+        );
+        assert_eq!(
+            OpShape::CandPackedSelect { rows: 1, bits: 3.0, cands: 1 }.kind().name(),
+            "cand-packed-select"
         );
     }
 

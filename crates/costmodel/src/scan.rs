@@ -51,6 +51,96 @@ pub fn packed_scan_cost(m: &ModelMachine, iters: usize, bits_per_value: f64) -> 
     ModelCost::assemble(n * m.work.scan_iter_ns, n * l1, n * l2, n * tlb, &m.lat)
 }
 
+/// Values per compressed frame — mirrors `monet_core::compress::FRAME_LEN`.
+/// `costmodel` does not depend on `monet-core`, so the constant is
+/// duplicated here; the engine's access-planner tests assert the two stay
+/// equal.
+pub const FRAME_LEN: usize = 1024;
+
+/// Expected number of distinct blocks touched by `k` candidates spread over
+/// `blocks` equal blocks (uniform occupancy): `B·(1 − (1 − 1/B)^k)`. Ramps
+/// linearly (≈ k) while candidates are sparse and saturates at `B` once
+/// every block holds one — the "frames touched ≈ distinct frames among
+/// candidates" estimate the pushdown planner prices restricted packed
+/// evaluation with.
+pub fn expected_touched_blocks(blocks: usize, k: usize) -> f64 {
+    if blocks == 0 || k == 0 {
+        return 0.0;
+    }
+    let b = blocks as f64;
+    b * (1.0 - (1.0 - 1.0 / b).powf(k as f64))
+}
+
+/// Candidate-restricted scan pricing: `k` surviving candidates gather-tested
+/// against a `rows`-value column stored at byte `stride`
+/// (`core::scan::multi_select_cands`). Candidates ascend, so the touches are
+/// one forward sweep at effective stride `stride·rows/k`; the §2 ramp then
+/// prices the locality — a dense list rides the cache lines like a scan, a
+/// sparse one pays a full miss per touch. CPU follows `k`, not `rows`.
+pub fn cand_scan_cost(m: &ModelMachine, rows: usize, stride: usize, k: usize) -> ModelCost {
+    if k == 0 {
+        return ModelCost::assemble(0.0, 0.0, 0.0, 0.0, &m.lat);
+    }
+    let n = k as f64;
+    let eff = stride as f64 * rows.max(1) as f64 / n;
+    let l1 = (eff / m.l1_line).min(1.0);
+    let l2 = (eff / m.l2_line).min(1.0);
+    let tlb = (eff / m.page).min(1.0);
+    ModelCost::assemble(n * m.work.scan_iter_ns, n * l1, n * l2, n * tlb, &m.lat)
+}
+
+/// Candidate-restricted packed-scan pricing
+/// (`core::compress::multi_select_compressed_cands`): the kernel jumps to
+/// the frames containing candidates and streams a touched frame's payload
+/// once, so memory is charged for `expected_touched_blocks` frames of
+/// [`FRAME_LEN`] values at the packed bit width while CPU follows `k`.
+pub fn cand_packed_scan_cost(
+    m: &ModelMachine,
+    rows: usize,
+    bits_per_value: f64,
+    k: usize,
+) -> ModelCost {
+    if k == 0 {
+        return ModelCost::assemble(0.0, 0.0, 0.0, 0.0, &m.lat);
+    }
+    let blocks = rows.div_ceil(FRAME_LEN).max(1);
+    let streamed = (expected_touched_blocks(blocks, k) * FRAME_LEN as f64).min(rows as f64);
+    let (l1, l2, tlb) = packed_misses_per_iter(m, bits_per_value / 8.0);
+    ModelCost::assemble(
+        k as f64 * m.work.scan_iter_ns,
+        streamed * l1,
+        streamed * l2,
+        streamed * tlb,
+        &m.lat,
+    )
+}
+
+/// [`cand_packed_scan_cost`] with the touched-frame count known exactly —
+/// validation against a concrete candidate list, where the caller counted
+/// the frames the restricted kernel will stream (e.g.
+/// `monet_core::compress::touched_blocks`). A clustered list touches far
+/// fewer frames than the uniform-occupancy expectation prices.
+pub fn cand_packed_scan_cost_touched(
+    m: &ModelMachine,
+    rows: usize,
+    bits_per_value: f64,
+    k: usize,
+    touched: usize,
+) -> ModelCost {
+    if k == 0 {
+        return ModelCost::assemble(0.0, 0.0, 0.0, 0.0, &m.lat);
+    }
+    let streamed = ((touched * FRAME_LEN) as f64).min(rows as f64);
+    let (l1, l2, tlb) = packed_misses_per_iter(m, bits_per_value / 8.0);
+    ModelCost::assemble(
+        k as f64 * m.work.scan_iter_ns,
+        streamed * l1,
+        streamed * l2,
+        streamed * tlb,
+        &m.lat,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +214,45 @@ mod tests {
         // 12 bits/value streams 8/3x fewer bytes: the stall terms scale.
         let c12 = packed_scan_cost(&m, 100_000, 12.0);
         assert!((c12.l2_misses - plain.l2_misses * 12.0 / 32.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn touched_blocks_ramp_linearly_then_saturate() {
+        assert_eq!(expected_touched_blocks(0, 10), 0.0);
+        assert_eq!(expected_touched_blocks(100, 0), 0.0);
+        // Sparse: ~one block per candidate.
+        let sparse = expected_touched_blocks(1000, 10);
+        assert!((9.9..=10.0).contains(&sparse), "{sparse}");
+        // Dense: saturates at the block count.
+        let dense = expected_touched_blocks(10, 10_000);
+        assert!((9.99..=10.0).contains(&dense), "{dense}");
+    }
+
+    #[test]
+    fn cand_costs_interpolate_between_free_and_full() {
+        let m = origin();
+        let rows = 100_000;
+        // All-pass candidates degenerate to (at least) the full scan's
+        // memory bill; CPU is identical.
+        let full = scan_cost(&m, rows, 4);
+        let all = cand_scan_cost(&m, rows, 4, rows);
+        assert!((all.cpu_ns - full.cpu_ns).abs() < 1e-6);
+        assert!(all.total_ns() >= full.total_ns() - 1e-6);
+        // Cost grows monotonically with |cands| and vanishes at zero.
+        assert_eq!(cand_scan_cost(&m, rows, 4, 0).total_ns(), 0.0);
+        let mut prev = 0.0;
+        for k in [10, 100, 1000, 10_000, rows] {
+            let c = cand_scan_cost(&m, rows, 4, k).total_ns();
+            assert!(c > prev, "k={k}");
+            prev = c;
+        }
+        // Packed: a selective list prices far below the full packed scan —
+        // 50 candidates touch ~40 of the ~98 frames (memory) but only 50
+        // values of CPU.
+        let packed_full = packed_scan_cost(&m, rows, 12.0);
+        let packed_few = cand_packed_scan_cost(&m, rows, 12.0, 50);
+        assert!(packed_few.total_ns() * 2.0 < packed_full.total_ns());
+        assert_eq!(cand_packed_scan_cost(&m, rows, 12.0, 0).total_ns(), 0.0);
     }
 
     #[test]

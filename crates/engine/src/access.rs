@@ -28,15 +28,19 @@ use std::fmt;
 use std::sync::Arc;
 
 use costmodel::access::{
-    cheapest, quotes, sort_rounds, AccessPath, IndexShape, Quote, SelectQuery,
+    cheapest, quotes, restrict_index_cost, restricted_matches, sort_rounds, AccessPath, IndexShape,
+    Quote, SelectQuery,
 };
+use costmodel::machine::ModelCost;
+use costmodel::scan::{cand_packed_scan_cost, cand_scan_cost, expected_touched_blocks};
 use costmodel::ModelMachine;
 use memsim::{MemTracker, Work};
 use monet_core::compress::{
-    multi_select_compressed, par_multi_select_compressed_counted, CompressedColumn,
+    multi_select_compressed, multi_select_compressed_cands, par_multi_select_compressed_counted,
+    CompressedColumn,
 };
 use monet_core::index::{key_range_i32, ColumnIndex, IndexKind};
-use monet_core::scan::ScanPred;
+use monet_core::scan::{multi_select_cands, ScanPred};
 use monet_core::storage::DecomposedTable;
 
 use crate::plan::Pred;
@@ -131,6 +135,49 @@ impl CompressMode {
     }
 }
 
+/// Whether the executor threads candidate lists through the remaining
+/// leaves of a pure-AND conjunction (the selectivity-ordered pushdown the
+/// paper's bandwidth argument calls for: a later leaf only touches the
+/// frames/rows earlier leaves left alive). The `MONET_PUSHDOWN` environment
+/// variable sets the default of every [`crate::exec::ExecOptions`]. Results
+/// are bit-identical either way — intersection is order-independent — only
+/// the bytes streamed change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushdownMode {
+    /// Every leaf evaluates against the full column (the pre-pushdown
+    /// executor, and the reference for bit-identity tests).
+    Off,
+    /// Multi-leaf AND filters are planned as one conjunction: cheapest
+    /// effective leaf first, its survivors threaded into the rest (the
+    /// default).
+    On,
+}
+
+impl PushdownMode {
+    /// Parse a `MONET_PUSHDOWN`-style value (`0`/`off` | `1`/`on`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "0" | "off" => Some(PushdownMode::Off),
+            "1" | "on" => Some(PushdownMode::On),
+            _ => None,
+        }
+    }
+
+    /// The mode pinned by the `MONET_PUSHDOWN` environment variable, if set
+    /// to a valid value.
+    pub fn from_env() -> Option<Self> {
+        std::env::var("MONET_PUSHDOWN").ok().and_then(|s| Self::parse(&s))
+    }
+
+    /// Display name (`off` | `on`).
+    pub fn name(self) -> &'static str {
+        match self {
+            PushdownMode::Off => "off",
+            PushdownMode::On => "on",
+        }
+    }
+}
+
 /// One predicate leaf's access-path decision, as emitted into the
 /// [`crate::exec::OpReport`].
 #[derive(Debug, Clone, PartialEq)]
@@ -158,18 +205,26 @@ pub struct AccessDecision {
     /// Byte stride of the uncompressed column (what a plain scan of this
     /// leaf would stream per tuple; 0 for provided leaves).
     pub stride: usize,
+    /// Planned candidates threaded into this leaf from earlier conjunction
+    /// leaves (`None` = full-column evaluation; the first leaf of an
+    /// ordered conjunction is always `None`).
+    pub cands_in: Option<usize>,
+    /// Model-estimated bytes the candidate restriction avoids streaming
+    /// versus full-column evaluation of the same path (0 for unrestricted
+    /// leaves and index probes, which stream no column).
+    pub bytes_saved: f64,
 }
 
 impl fmt::Display for AccessDecision {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.shared {
-            write!(f, "{}=shared-scan ({} rows provided)", self.column, self.matches_est)
+            write!(f, "{}=shared-scan ({} rows provided)", self.column, self.matches_est)?;
         } else if self.path == AccessPath::PackedScan {
             write!(
                 f,
                 "{}=packed-scan {:.1} bits/val {:.3} ms (scan {:.3} ms)",
                 self.column, self.packed_bits, self.predicted_ms, self.scan_ms
-            )
+            )?;
         } else if self.path.is_index() {
             write!(
                 f,
@@ -179,10 +234,14 @@ impl fmt::Display for AccessDecision {
                 self.predicted_ms,
                 self.scan_ms,
                 self.matches_est
-            )
+            )?;
         } else {
-            write!(f, "{}=scan", self.column)
+            write!(f, "{}=scan", self.column)?;
         }
+        if let Some(k) = self.cands_in {
+            write!(f, " [pushdown {k} cands, ~{:.0} B saved]", self.bytes_saved)?;
+        }
+        Ok(())
     }
 }
 
@@ -214,6 +273,10 @@ struct LeafPlan {
     /// The scan quote in ns when the leaf will scan (input to the
     /// thread-count decision); 0 for index leaves.
     scan_work_ns: f64,
+    /// The full quote of the chosen path when it is index-backed — what
+    /// the conjunction planner reprices via
+    /// [`costmodel::access::restrict_index_cost`]; `None` otherwise.
+    index_cost: Option<ModelCost>,
 }
 
 /// A fully planned predicate: one [`LeafPlan`] per leaf, in evaluation
@@ -221,6 +284,11 @@ struct LeafPlan {
 #[derive(Debug, Clone)]
 pub(crate) struct PredPlan {
     leaves: Vec<LeafPlan>,
+    /// Pushdown evaluation order over pure-AND conjunctions: a permutation
+    /// of in-order leaf positions (first entry evaluates full, the rest
+    /// restricted to the running survivor list). `None` = in-order tree
+    /// evaluation with full-column leaves.
+    order: Option<Vec<usize>>,
 }
 
 impl PredPlan {
@@ -254,6 +322,18 @@ impl PredPlan {
     pub fn detail(&self) -> String {
         let parts: Vec<String> = self.leaves.iter().map(|l| l.decision.to_string()).collect();
         parts.join(", ")
+    }
+
+    /// The pushdown evaluation order (in-order leaf positions), when the
+    /// conjunction planner ordered this predicate.
+    pub fn order(&self) -> Option<&[usize]> {
+        self.order.as_deref()
+    }
+
+    /// Per-leaf planned candidate counts, in in-order leaf position (the
+    /// [`AccessDecision::cands_in`] column, for reports).
+    pub fn cands_in(&self) -> Vec<Option<usize>> {
+        self.leaves.iter().map(|l| l.decision.cands_in).collect()
     }
 }
 
@@ -341,24 +421,188 @@ fn action_for(path: AccessPath, col: &str, klo: u32, khi: u32) -> LeafAction {
     }
 }
 
+/// True when the predicate tree is a pure conjunction (only `And` internal
+/// nodes) — the shape whose leaves may be freely reordered and candidate-
+/// restricted without changing the result set.
+pub fn is_pure_and(pred: &Pred) -> bool {
+    match pred {
+        Pred::And(a, b) => is_pure_and(a) && is_pure_and(b),
+        Pred::Or(..) => false,
+        _ => true,
+    }
+}
+
 /// Resolve one [`AccessDecision`] + action per predicate leaf, with
 /// externally provided candidate lists: `provided[i]`, when `Some`,
 /// short-circuits leaf `i` (in-order position within this predicate) to
 /// consume that list — no pricing, no probing, zero cost. Pass `&[]` for
 /// plain planning. Selectivity estimates that probe a B+-tree are tracked
 /// against `trk` (planning cost is execution cost).
+///
+/// Under [`PushdownMode::On`], a multi-leaf pure-AND predicate is then
+/// planned *as one conjunction*: the leaf order minimizing the modelled
+/// total (first leaf full, later leaves restricted to the running survivor
+/// list) is searched exhaustively (≤ [`MAX_EXHAUSTIVE_LEAVES`] leaves;
+/// rank-greedy beyond), and each restricted leaf's planned candidate count
+/// and bytes saved are recorded on its [`AccessDecision`].
+#[allow(clippy::too_many_arguments)] // the planner's full policy surface
 pub(crate) fn plan_pred_with<M: MemTracker>(
     trk: &mut M,
     table: &DecomposedTable,
     pred: &Pred,
     mode: AccessMode,
     compress: CompressMode,
+    pushdown: PushdownMode,
     model: &ModelMachine,
     provided: &[Option<Arc<CandList>>],
 ) -> Result<PredPlan, EngineError> {
     let mut leaves = Vec::with_capacity(leaf_count(pred));
     plan_rec(trk, table, pred, mode, compress, model, provided, &mut leaves)?;
-    Ok(PredPlan { leaves })
+    // Nothing to push down when every leaf is already settled by a shared
+    // pass — the evaluation just intersects the provided lists.
+    let unsettled =
+        leaves.iter().any(|lp| !matches!(lp.action, LeafAction::Provided(_) | LeafAction::Empty));
+    let order =
+        (pushdown == PushdownMode::On && leaves.len() > 1 && unsettled && is_pure_and(pred))
+            .then(|| plan_conjunction(model, table, &mut leaves));
+    Ok(PredPlan { leaves, order })
+}
+
+/// Leaf count up to which the conjunction planner searches every
+/// permutation; predicates with more leaves fall back to rank-greedy
+/// ordering (`cost / (1 − selectivity)`, the classical adjacent-exchange
+/// criterion).
+const MAX_EXHAUSTIVE_LEAVES: usize = 6;
+
+/// Estimated selectivity of one planned leaf (fraction of rows surviving).
+fn leaf_selectivity(lp: &LeafPlan, rows: usize) -> f64 {
+    match &lp.action {
+        LeafAction::Empty => 0.0,
+        LeafAction::Provided(c) => c.len() as f64 / rows.max(1) as f64,
+        _ if lp.decision.matches_est > 0 => {
+            (lp.decision.matches_est as f64 / rows.max(1) as f64).min(1.0)
+        }
+        // No index informed this leaf: the conventional half-survive guess.
+        _ => 0.5,
+    }
+}
+
+/// Model quote (ms) of evaluating one planned leaf restricted to `k`
+/// candidates, keeping the already-chosen path family.
+fn restricted_ms(model: &ModelMachine, lp: &LeafPlan, rows: usize, k: usize) -> f64 {
+    match &lp.action {
+        LeafAction::Empty | LeafAction::Provided(_) => 0.0,
+        LeafAction::Scan => cand_scan_cost(model, rows, lp.decision.stride.max(1), k).total_ms(),
+        LeafAction::Packed { .. } => {
+            cand_packed_scan_cost(model, rows, lp.decision.packed_bits, k).total_ms()
+        }
+        LeafAction::BtreeRange { .. } | LeafAction::IndexEq { .. } => {
+            let full = lp.index_cost.expect("index leaves carry their full quote");
+            let probed = lp.decision.matches_est;
+            restrict_index_cost(model, full, probed, restricted_matches(rows, probed, k)).total_ms()
+        }
+    }
+}
+
+/// Model-estimated bytes one restricted leaf avoids streaming versus its
+/// full-column evaluation (0 for index probes — they stream no column).
+fn bytes_saved_est(lp: &LeafPlan, rows: usize, k: usize) -> f64 {
+    let frame_len = costmodel::scan::FRAME_LEN;
+    match &lp.action {
+        LeafAction::Scan => (rows.saturating_sub(k) as f64) * lp.decision.stride.max(1) as f64,
+        LeafAction::Packed { .. } => {
+            let blocks = rows.div_ceil(frame_len).max(1);
+            let streamed = (expected_touched_blocks(blocks, k) * frame_len as f64).min(rows as f64);
+            (rows as f64 - streamed) * lp.decision.packed_bits / 8.0
+        }
+        _ => 0.0,
+    }
+}
+
+/// Order the leaves of a pure-AND conjunction for candidate pushdown and
+/// annotate each restricted leaf's decision with its planned candidate
+/// count and bytes saved. Returns the evaluation order (in-order leaf
+/// positions).
+fn plan_conjunction(
+    model: &ModelMachine,
+    table: &DecomposedTable,
+    leaves: &mut [LeafPlan],
+) -> Vec<usize> {
+    let rows = table.len();
+    let n = leaves.len();
+    // Total modelled cost of one order, plus the candidate count entering
+    // each leaf (`None` for the full-evaluated first leaf).
+    let cost_of = |order: &[usize]| -> (f64, Vec<Option<usize>>) {
+        let mut total = 0.0;
+        let mut k: Option<usize> = None;
+        let mut cands_in = vec![None; n];
+        for &i in order {
+            let lp = &leaves[i];
+            cands_in[i] = k;
+            total += match k {
+                None => lp.decision.predicted_ms,
+                Some(k) => restricted_ms(model, lp, rows, k),
+            };
+            // The epsilon keeps an exact product (e.g. rows · len/rows for a
+            // provided leaf) from ceiling one past its integer value.
+            let survivors =
+                (k.unwrap_or(rows) as f64 * leaf_selectivity(lp, rows) - 1e-6).ceil().max(0.0);
+            k = Some((survivors as usize).min(rows));
+        }
+        (total, cands_in)
+    };
+    let mut best: Vec<usize> = (0..n).collect();
+    let mut best_ms = cost_of(&best).0;
+    if n <= MAX_EXHAUSTIVE_LEAVES {
+        let mut perm: Vec<usize> = (0..n).collect();
+        permute(&mut perm, 0, &mut |order| {
+            let ms = cost_of(order).0;
+            if ms < best_ms {
+                best_ms = ms;
+                best.copy_from_slice(order);
+            }
+        });
+    } else {
+        // Rank-greedy: order by cost per unit of disqualification.
+        let mut ranked: Vec<usize> = (0..n).collect();
+        ranked.sort_by(|&a, &b| {
+            let rank = |i: usize| {
+                let lp = &leaves[i];
+                lp.decision.predicted_ms / (1.0 - leaf_selectivity(lp, rows) + 1e-9)
+            };
+            rank(a).total_cmp(&rank(b))
+        });
+        if cost_of(&ranked).0 < best_ms {
+            best = ranked;
+        }
+    }
+    let best_cands = cost_of(&best).1;
+    for (lp, k) in leaves.iter_mut().zip(&best_cands) {
+        lp.decision.cands_in = *k;
+        if let Some(k) = *k {
+            let ms = restricted_ms(model, lp, rows, k);
+            lp.decision.bytes_saved = bytes_saved_est(lp, rows, k);
+            // The leaf now runs restricted: report (and price) that work,
+            // not the full-column quote it will no longer do. Restricted
+            // leaves run sequentially — their quote is not fan-out work.
+            lp.decision.predicted_ms = ms;
+            lp.scan_work_ns = 0.0;
+        }
+    }
+    best
+}
+
+/// Visit every permutation of `items[at..]` (Heap-style recursive swap).
+fn permute(items: &mut Vec<usize>, at: usize, visit: &mut impl FnMut(&[usize])) {
+    if at == items.len() {
+        visit(items);
+        return;
+    }
+    for i in at..items.len() {
+        items.swap(at, i);
+        permute(items, at + 1, visit);
+        items.swap(at, i);
+    }
 }
 
 /// The [`LeafPlan`] of a leaf whose candidates a shared pass already
@@ -375,9 +619,12 @@ fn provided_leaf(col: &str, cands: Arc<CandList>) -> LeafPlan {
             shared: true,
             packed_bits: 0.0,
             stride: 0,
+            cands_in: None,
+            bytes_saved: 0.0,
         },
         action: LeafAction::Provided(cands),
         scan_work_ns: 0.0,
+        index_cost: None,
     }
 }
 
@@ -415,17 +662,25 @@ fn plan_rec<M: MemTracker>(
             // F64 columns carry no indexes (no u32 key mapping) and no
             // compressed representation: always a plain scan.
             table.bat(col)?;
-            out.push(scan_leaf(model, table, col, 8, None, compress, mode));
+            out.push(scan_leaf(model, table, col, 8, None, compress, mode, 0));
             Ok(())
         }
         Pred::RangeI32 { col, lo, hi } => {
             table.bat(col)?;
             let eq = lo == hi;
-            let packed =
-                packed_candidate(table, col, ScanPred::RangeI32 { lo: *lo, hi: *hi }, compress);
+            let kernel_pred = ScanPred::RangeI32 { lo: *lo, hi: *hi };
+            let packed = packed_candidate(table, col, kernel_pred, compress);
             let usable = usable_indexes(table, col, eq);
             if mode == AccessMode::Scan || usable.is_empty() {
-                out.push(scan_leaf(model, table, col, 4, packed, compress, mode));
+                // No index to count with: sniff the compressed metadata
+                // (frame min/max, runs) for a selectivity estimate. This
+                // reads headers only, so it's free even when the compress
+                // policy keeps the evaluation on the uncompressed path.
+                let est = table
+                    .compressed_of(col)
+                    .and_then(|cc| cc.estimate_matches(&kernel_pred))
+                    .unwrap_or(0);
+                out.push(scan_leaf(model, table, col, 4, packed, compress, mode, est));
                 return Ok(());
             }
             let (klo, khi) = key_range_i32(*lo, *hi);
@@ -448,7 +703,16 @@ fn plan_rec<M: MemTracker>(
                 .and_then(|code| packed_candidate(table, col, ScanPred::EqCode { code }, compress));
             let usable = usable_indexes(table, col, true);
             if mode == AccessMode::Scan || usable.is_empty() {
-                out.push(scan_leaf(model, table, col, stride, packed, compress, mode));
+                let est = sc
+                    .dict
+                    .code_of(value)
+                    .and_then(|code| {
+                        table
+                            .compressed_of(col)
+                            .and_then(|cc| cc.estimate_matches(&ScanPred::EqCode { code }))
+                    })
+                    .unwrap_or(0);
+                out.push(scan_leaf(model, table, col, stride, packed, compress, mode, est));
                 return Ok(());
             }
             let Some(code) = sc.dict.code_of(value) else {
@@ -478,6 +742,9 @@ fn plan_rec<M: MemTracker>(
 /// A leaf that never probes an index (no usable one, or `Scan` mode): a
 /// plain scan — or the packed scan over the compressed representation when
 /// the policy allows it and the model (or `force`) prefers it.
+/// `matches_est` is a metadata-sniffed selectivity estimate (compressed
+/// frame/run headers); 0 when no estimator applies.
+#[allow(clippy::too_many_arguments)] // mirrors plan_rec's policy surface
 fn scan_leaf(
     model: &ModelMachine,
     table: &DecomposedTable,
@@ -486,6 +753,7 @@ fn scan_leaf(
     packed: Option<(&CompressedColumn, ScanPred)>,
     compress: CompressMode,
     mode: AccessMode,
+    matches_est: usize,
 ) -> LeafPlan {
     let rows = table.len();
     let scan_ms = costmodel::access::scan_select_cost(model, rows, stride).total_ms();
@@ -505,13 +773,16 @@ fn scan_leaf(
                     path: AccessPath::PackedScan,
                     predicted_ms: packed_ms,
                     scan_ms,
-                    matches_est: 0,
+                    matches_est,
                     shared: false,
                     packed_bits: bits,
                     stride,
+                    cands_in: None,
+                    bytes_saved: 0.0,
                 },
                 action: LeafAction::Packed { col: col.to_owned(), pred },
                 scan_work_ns: packed_ms * 1e6,
+                index_cost: None,
             };
         }
     }
@@ -521,13 +792,16 @@ fn scan_leaf(
             path: AccessPath::Scan,
             predicted_ms: scan_ms,
             scan_ms,
-            matches_est: 0,
+            matches_est,
             shared: false,
             packed_bits: 0.0,
             stride,
+            cands_in: None,
+            bytes_saved: 0.0,
         },
         action: LeafAction::Scan,
         scan_work_ns: scan_ms * 1e6,
+        index_cost: None,
     }
 }
 
@@ -579,6 +853,7 @@ fn priced_leaf(
         matches,
         eq,
         packed_bits: packed.map(|(cc, _)| cc.bits_per_value()),
+        cands: None,
     };
     let shapes: Vec<IndexShape> = usable.iter().map(|(_, s)| *s).collect();
     let all = quotes(model, &q, &shapes);
@@ -610,9 +885,12 @@ fn priced_leaf(
                 0.0
             },
             stride,
+            cands_in: None,
+            bytes_saved: 0.0,
         },
         action,
         scan_work_ns: if chosen.path.is_index() { 0.0 } else { chosen.cost.total_ms() * 1e6 },
+        index_cost: chosen.path.is_index().then_some(chosen.cost),
     }
 }
 
@@ -644,13 +922,124 @@ pub(crate) fn eval_planned<M: MemTracker>(
     plan: &PredPlan,
     threads: usize,
 ) -> Result<(CandList, Option<Vec<usize>>), EngineError> {
-    let mut cursor = 0usize;
     let mut shards = ShardAcc { counts: Vec::new() };
-    let cands = eval_rec(trk, table, pred, plan, &mut cursor, threads, &mut shards)?;
-    debug_assert_eq!(cursor, plan.leaves.len(), "every leaf consumed");
+    let cands = if let Some(order) = plan.order() {
+        eval_ordered(trk, table, pred, plan, order, threads, &mut shards)?
+    } else {
+        let mut cursor = 0usize;
+        let out = eval_rec(trk, table, pred, plan, &mut cursor, threads, &mut shards)?;
+        debug_assert_eq!(cursor, plan.leaves.len(), "every leaf consumed");
+        out
+    };
     // No shard vector sequentially, nor when no scanning leaf ran (a pure
     // index-path select does no per-thread work to account).
     Ok((cands, (threads > 1 && !shards.counts.is_empty()).then_some(shards.counts)))
+}
+
+/// In-order leaf predicates of a tree (the positions `PredPlan.leaves`
+/// indexes by).
+fn collect_leaves<'p>(pred: &'p Pred, out: &mut Vec<&'p Pred>) {
+    match pred {
+        Pred::And(a, b) | Pred::Or(a, b) => {
+            collect_leaves(a, out);
+            collect_leaves(b, out);
+        }
+        leaf => out.push(leaf),
+    }
+}
+
+/// Pushdown evaluation of a pure-AND conjunction: the first leaf in `order`
+/// evaluates full (parallelizable), every later leaf evaluates restricted
+/// to the running survivor list via the candidate kernels. Each restricted
+/// kernel returns exactly (full result ∩ candidates), so the running list
+/// *is* the conjunction so far — bit-identical to intersecting full-leaf
+/// results in any order. An empty running list short-circuits the rest.
+fn eval_ordered<M: MemTracker>(
+    trk: &mut M,
+    table: &DecomposedTable,
+    pred: &Pred,
+    plan: &PredPlan,
+    order: &[usize],
+    threads: usize,
+    shards: &mut ShardAcc,
+) -> Result<CandList, EngineError> {
+    let mut leaf_preds = Vec::with_capacity(plan.leaves.len());
+    collect_leaves(pred, &mut leaf_preds);
+    debug_assert_eq!(leaf_preds.len(), plan.leaves.len(), "order over all leaves");
+    let mut running: Option<CandList> = None;
+    for &i in order {
+        let lp = &plan.leaves[i];
+        running = Some(match running {
+            None => eval_leaf(trk, table, leaf_preds[i], lp, threads, shards)?,
+            Some(cur) => {
+                if cur.is_empty() {
+                    return Ok(cur);
+                }
+                eval_leaf_cands(trk, table, leaf_preds[i], lp, &cur)?
+            }
+        });
+    }
+    Ok(running.unwrap_or_default())
+}
+
+/// Evaluate one leaf restricted to an ascending candidate list, returning
+/// exactly (full leaf result ∩ `cands`) in OID order.
+fn eval_leaf_cands<M: MemTracker>(
+    trk: &mut M,
+    table: &DecomposedTable,
+    leaf: &Pred,
+    lp: &LeafPlan,
+    cands: &CandList,
+) -> Result<CandList, EngineError> {
+    match &lp.action {
+        LeafAction::Empty => Ok(CandList::new()),
+        LeafAction::Provided(p) => Ok(crate::candidates::intersect(p, cands)),
+        LeafAction::Scan => {
+            let (col, spred) = match leaf {
+                Pred::RangeI32 { col, lo, hi } => (col, ScanPred::RangeI32 { lo: *lo, hi: *hi }),
+                Pred::RangeF64 { col, lo, hi } => (col, ScanPred::RangeF64 { lo: *lo, hi: *hi }),
+                Pred::EqStr { col, value } => {
+                    let bat = table.bat(col)?;
+                    let sc = bat.tail().as_str_col().ok_or(EngineError::UnsupportedType {
+                        op: "pushdown eval",
+                        ty: bat.tail().value_type(),
+                    })?;
+                    match sc.dict.code_of(value) {
+                        Some(code) => (col, ScanPred::EqCode { code }),
+                        None => return Ok(CandList::new()),
+                    }
+                }
+                Pred::And(..) | Pred::Or(..) => unreachable!("leaf evaluation"),
+            };
+            let mut lists = multi_select_cands(trk, table.bat(col)?, &[spred], cands)?;
+            Ok(lists.remove(0))
+        }
+        LeafAction::Packed { col, pred } => {
+            let cc = table.compressed_of(col).expect("planned packed leaf has a compressed column");
+            let mut lists = multi_select_compressed_cands(
+                trk,
+                cc,
+                table.seqbase(),
+                std::slice::from_ref(pred),
+                cands,
+            )?;
+            Ok(lists.remove(0))
+        }
+        LeafAction::BtreeRange { col, lo, hi } => {
+            let idx = table
+                .index_of(col, IndexKind::CsBTree)
+                .expect("planned btree leaf has a btree index");
+            let mut out = CandList::new();
+            idx.lookup_range_cands(trk, *lo, *hi, cands, |o| out.push(o));
+            finish_index_leaf(trk, out)
+        }
+        LeafAction::IndexEq { col, kind, key } => {
+            let idx = table.index_of(col, *kind).expect("planned index leaf has its index");
+            let mut out = CandList::new();
+            idx.lookup_eq_cands(trk, *key, cands, |o| out.push(o));
+            finish_index_leaf(trk, out)
+        }
+    }
 }
 
 fn eval_rec<M: MemTracker>(
@@ -823,15 +1212,19 @@ mod tests {
         ModelMachine::new(&profiles::origin2000())
     }
 
+    const PD_OFF: PushdownMode = PushdownMode::Off;
+
     fn run(
         t: &DecomposedTable,
         pred: &Pred,
         mode: AccessMode,
         compress: CompressMode,
+        pushdown: PushdownMode,
         threads: usize,
     ) -> CandList {
         let m = model();
-        let plan = plan_pred_with(&mut NullTracker, t, pred, mode, compress, &m, &[]).unwrap();
+        let plan =
+            plan_pred_with(&mut NullTracker, t, pred, mode, compress, pushdown, &m, &[]).unwrap();
         eval_planned(&mut NullTracker, t, pred, &plan, threads).unwrap().0
     }
 
@@ -849,17 +1242,20 @@ mod tests {
             Pred::range_f64("x", 1.0, 2.0).and(Pred::range_i32("k", 0, 0)),
         ];
         for pred in &preds {
-            let reference = run(&t, pred, AccessMode::Scan, CompressMode::Off, 1);
+            let reference = run(&t, pred, AccessMode::Scan, CompressMode::Off, PD_OFF, 1);
             for mode in [AccessMode::Scan, AccessMode::Index, AccessMode::Auto] {
                 for compress in [CompressMode::Off, CompressMode::On, CompressMode::Force] {
-                    for threads in [1usize, 4] {
-                        assert_eq!(
-                            run(&t, pred, mode, compress, threads),
-                            reference,
-                            "pred={pred} mode={} compress={} threads={threads}",
-                            mode.name(),
-                            compress.name()
-                        );
+                    for pushdown in [PushdownMode::Off, PushdownMode::On] {
+                        for threads in [1usize, 4] {
+                            assert_eq!(
+                                run(&t, pred, mode, compress, pushdown, threads),
+                                reference,
+                                "pred={pred} mode={} compress={} pushdown={} threads={threads}",
+                                mode.name(),
+                                compress.name(),
+                                pushdown.name()
+                            );
+                        }
                     }
                 }
             }
@@ -877,6 +1273,7 @@ mod tests {
             &pred,
             AccessMode::Auto,
             CompressMode::On,
+            PD_OFF,
             &m,
             &[],
         )
@@ -896,14 +1293,24 @@ mod tests {
         for (t, mode) in [(&bare, AccessMode::Auto), (&table(true), AccessMode::Scan)] {
             let pred = Pred::range_i32("k", 7, 7).and(Pred::eq_str("s", "AIR"));
             // Compression on: still no index probes (packed scans are scans).
-            let plan = plan_pred_with(&mut NullTracker, t, &pred, mode, CompressMode::On, &m, &[])
-                .unwrap();
+            let plan =
+                plan_pred_with(&mut NullTracker, t, &pred, mode, CompressMode::On, PD_OFF, &m, &[])
+                    .unwrap();
             assert!(!plan.uses_index());
             assert!(plan.decisions().iter().all(|d| !d.path.is_index()));
             assert!(plan.scan_work_ns() > 0.0);
             // Compression off: the exact pre-compression plan shape.
-            let plan = plan_pred_with(&mut NullTracker, t, &pred, mode, CompressMode::Off, &m, &[])
-                .unwrap();
+            let plan = plan_pred_with(
+                &mut NullTracker,
+                t,
+                &pred,
+                mode,
+                CompressMode::Off,
+                PD_OFF,
+                &m,
+                &[],
+            )
+            .unwrap();
             assert!(plan.decisions().iter().all(|d| d.path == AccessPath::Scan));
         }
     }
@@ -919,6 +1326,7 @@ mod tests {
             &Pred::range_i32("k", -20, 20),
             AccessMode::Index,
             CompressMode::On,
+            PD_OFF,
             &m,
             &[],
         )
@@ -931,6 +1339,7 @@ mod tests {
             &Pred::range_f64("x", 0.0, 1.0),
             AccessMode::Index,
             CompressMode::On,
+            PD_OFF,
             &m,
             &[],
         )
@@ -949,6 +1358,7 @@ mod tests {
             &pred,
             AccessMode::Auto,
             CompressMode::On,
+            PD_OFF,
             &m,
             &[],
         )
@@ -971,9 +1381,17 @@ mod tests {
         let m = model();
         let pred = Pred::range_i32("k", -5, 5).and(Pred::eq_str("s", "AIR"));
         for mode in [AccessMode::Scan, AccessMode::Index, AccessMode::Auto] {
-            let plan =
-                plan_pred_with(&mut NullTracker, &t, &pred, mode, CompressMode::Force, &m, &[])
-                    .unwrap();
+            let plan = plan_pred_with(
+                &mut NullTracker,
+                &t,
+                &pred,
+                mode,
+                CompressMode::Force,
+                PD_OFF,
+                &m,
+                &[],
+            )
+            .unwrap();
             for d in plan.decisions() {
                 assert_eq!(d.path, AccessPath::PackedScan, "mode={} {d:?}", mode.name());
                 assert!(d.packed_bits > 0.0 && d.packed_bits < 8.0 * d.stride as f64, "{d:?}");
@@ -988,6 +1406,7 @@ mod tests {
             &Pred::range_i32("k", -5, 5),
             AccessMode::Auto,
             CompressMode::Force,
+            PD_OFF,
             &m,
             &[],
         )
@@ -1012,6 +1431,7 @@ mod tests {
             &pred,
             AccessMode::Auto,
             CompressMode::On,
+            PD_OFF,
             &m,
             &[],
         )
@@ -1026,6 +1446,7 @@ mod tests {
             &pred,
             AccessMode::Auto,
             CompressMode::Off,
+            PD_OFF,
             &m,
             &[],
         )
@@ -1038,6 +1459,7 @@ mod tests {
             &pred,
             AccessMode::Scan,
             CompressMode::On,
+            PD_OFF,
             &m,
             &[],
         )
@@ -1059,5 +1481,85 @@ mod tests {
         assert_eq!(CompressMode::parse("force"), Some(CompressMode::Force));
         assert_eq!(CompressMode::parse("ON"), None);
         assert_eq!(CompressMode::parse(""), None);
+        assert_eq!(PushdownMode::parse("0"), Some(PushdownMode::Off));
+        assert_eq!(PushdownMode::parse("off"), Some(PushdownMode::Off));
+        assert_eq!(PushdownMode::parse("1"), Some(PushdownMode::On));
+        assert_eq!(PushdownMode::parse("on"), Some(PushdownMode::On));
+        assert_eq!(PushdownMode::parse("ON"), None);
+        assert_eq!(PushdownMode::parse(""), None);
+    }
+
+    #[test]
+    fn costmodel_frame_len_mirrors_the_kernel() {
+        // `costmodel` has no dependency on `monet-core`, so the frame length
+        // its restricted-packed pricing assumes is duplicated there. Keep
+        // the two in lock step.
+        assert_eq!(costmodel::scan::FRAME_LEN, monet_core::compress::FRAME_LEN);
+    }
+
+    #[test]
+    fn conjunction_planner_orders_the_selective_leaf_first() {
+        // One needle leaf (point range, ~10 of 500 rows) conjoined with two
+        // wide leaves. Under pushdown the planner must run the needle first
+        // and restrict both wide leaves to its survivors.
+        let t = table(false);
+        let m = model();
+        let pred = Pred::range_f64("x", 0.0, 40.0)
+            .and(Pred::eq_str("s", "AIR"))
+            .and(Pred::range_i32("k", 7, 7));
+        let plan = plan_pred_with(
+            &mut NullTracker,
+            &t,
+            &pred,
+            AccessMode::Scan,
+            CompressMode::Off,
+            PushdownMode::On,
+            &m,
+            &[],
+        )
+        .unwrap();
+        let order = plan.order().expect("pure-AND multi-leaf filters get an order");
+        assert_eq!(order[0], 2, "needle leaf (k = 7) evaluated first: {order:?}");
+        let cands = plan.cands_in();
+        assert_eq!(cands[2], None, "first-in-order leaf runs its full pass");
+        for i in [0usize, 1] {
+            let k = cands[i].expect("later leaves are restricted");
+            assert!(k < t.len(), "restricted to fewer than all rows");
+            let d = &plan.decisions()[i];
+            assert_eq!(d.cands_in, Some(k));
+            assert!(d.bytes_saved > 0.0, "{d:?}");
+        }
+        assert_eq!(plan.decisions()[2].cands_in, None);
+        assert_eq!(plan.decisions()[2].bytes_saved, 0.0);
+        // Restricted leaves run sequentially: only the first leaf fans out.
+        assert!(plan.scan_work_ns() > 0.0);
+        // Off: no order, no restriction annotations.
+        let off = plan_pred_with(
+            &mut NullTracker,
+            &t,
+            &pred,
+            AccessMode::Scan,
+            CompressMode::Off,
+            PD_OFF,
+            &m,
+            &[],
+        )
+        .unwrap();
+        assert!(off.order().is_none());
+        assert!(off.decisions().iter().all(|d| d.cands_in.is_none()));
+        // OR trees are never reordered even under On.
+        let disj = Pred::range_i32("k", 7, 7).or(Pred::eq_str("s", "AIR"));
+        let plan = plan_pred_with(
+            &mut NullTracker,
+            &t,
+            &disj,
+            AccessMode::Scan,
+            CompressMode::Off,
+            PushdownMode::On,
+            &m,
+            &[],
+        )
+        .unwrap();
+        assert!(plan.order().is_none());
     }
 }

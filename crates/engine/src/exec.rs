@@ -65,6 +65,7 @@ use monet_core::strategy::{heuristic_plan, JoinPlan};
 
 use crate::access::{
     eval_planned, leaf_count, plan_pred_with, AccessDecision, AccessMode, CompressMode,
+    PushdownMode,
 };
 use crate::aggregate::{max_i32, min_i32, par_max_i32, par_min_i32, par_sum_i32, sum_f64, sum_i32};
 use crate::candidates::intersect;
@@ -144,6 +145,12 @@ pub struct ExecOptions {
     /// every setting; only the bytes streamed (and hence the model's path
     /// choices) change.
     pub compress: CompressMode,
+    /// Candidate-list pushdown policy for multi-leaf AND filters (off / on).
+    /// The constructors default to [`PushdownMode::On`] unless the
+    /// `MONET_PUSHDOWN` environment variable pins a mode. Results are
+    /// bit-identical at every setting; only the leaf order and the bytes
+    /// later leaves stream change.
+    pub pushdown: PushdownMode,
 }
 
 impl ExecOptions {
@@ -156,6 +163,7 @@ impl ExecOptions {
             access: AccessMode::from_env().unwrap_or(AccessMode::Auto),
             thread_cap: None,
             compress: CompressMode::from_env().unwrap_or(CompressMode::On),
+            pushdown: PushdownMode::from_env().unwrap_or(PushdownMode::On),
         }
     }
 
@@ -179,6 +187,12 @@ impl ExecOptions {
     /// Set the compressed-column policy (overriding `MONET_COMPRESS`).
     pub fn with_compress(mut self, compress: CompressMode) -> Self {
         self.compress = compress;
+        self
+    }
+
+    /// Set the candidate-pushdown policy (overriding `MONET_PUSHDOWN`).
+    pub fn with_pushdown(mut self, pushdown: PushdownMode) -> Self {
+        self.pushdown = pushdown;
         self
     }
 
@@ -239,7 +253,7 @@ fn threads_detail(threads: usize, speedup: Option<f64>) -> String {
 /// A structured annotation on an operator's execution — facts that used to
 /// live only in the free-text `detail` string, now matchable without string
 /// parsing. `detail` still renders them for humans.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AccessNote {
     /// `provided` of the filter's `total` predicate leaves consumed
     /// candidate lists a cooperative shared-scan pass produced, so this
@@ -250,6 +264,17 @@ pub enum AccessNote {
         /// Total predicate leaves in the filter.
         total: usize,
     },
+    /// The planner ordered this AND filter's leaves for candidate-list
+    /// pushdown: each leaf after the first evaluated only the survivors of
+    /// the leaves before it.
+    Pushdown {
+        /// Chosen evaluation order, as indices into the filter's leaves in
+        /// predicate order.
+        order: Vec<usize>,
+        /// Per leaf (predicate order): the candidate-list size it consumed,
+        /// `None` for the leaf that ran its full pass.
+        cands_in: Vec<Option<usize>>,
+    },
 }
 
 impl fmt::Display for AccessNote {
@@ -257,6 +282,16 @@ impl fmt::Display for AccessNote {
         match self {
             AccessNote::SharedLeaves { provided, total } => {
                 write!(f, "{provided}/{total} leaves via shared scan")
+            }
+            AccessNote::Pushdown { order, cands_in } => {
+                let order: Vec<String> = order.iter().map(|i| i.to_string()).collect();
+                let restricted = cands_in.iter().filter(|k| k.is_some()).count();
+                write!(
+                    f,
+                    "pushdown order [{}], {restricted}/{} leaves restricted",
+                    order.join(","),
+                    cands_in.len()
+                )
             }
         }
     }
@@ -556,8 +591,16 @@ fn exec_node<'a, M: MemTracker>(
             // table's attached indexes, priced by costmodel::access) —
             // B+-tree-backed selectivity estimates are exact. Leaves whose
             // candidates a shared pass provided are settled already.
-            let pplan =
-                plan_pred_with(trk, table, pred, opts.access, opts.compress, model, &provided)?;
+            let pplan = plan_pred_with(
+                trk,
+                table,
+                pred,
+                opts.access,
+                opts.compress,
+                opts.pushdown,
+                model,
+                &provided,
+            )?;
             let model_ms = pplan.model_ms();
             // Phase 2: the parallel model only sees the scanning leaves
             // (index probes are a handful of node touches; never forked).
@@ -572,6 +615,12 @@ fn exec_node<'a, M: MemTracker>(
                 notes.push(AccessNote::SharedLeaves {
                     provided: pplan.provided_leaves(),
                     total: nleaves,
+                });
+            }
+            if let Some(order) = pplan.order() {
+                notes.push(AccessNote::Pushdown {
+                    order: order.to_vec(),
+                    cands_in: pplan.cands_in(),
                 });
             }
             let shared_note: String = notes.iter().map(|n| format!("; {n}")).collect();
@@ -594,13 +643,21 @@ fn exec_node<'a, M: MemTracker>(
             let shapes = access
                 .iter()
                 .filter(|d| !d.shared)
-                .filter_map(|d| match d.path {
-                    AccessPath::Scan => {
+                .filter_map(|d| match (d.path, d.cands_in) {
+                    (AccessPath::Scan, None) => {
                         Some(OpShape::Select { rows: table.len(), stride: d.stride })
                     }
-                    AccessPath::PackedScan => {
+                    (AccessPath::PackedScan, None) => {
                         Some(OpShape::PackedSelect { rows: table.len(), bits: d.packed_bits })
                     }
+                    (AccessPath::Scan, Some(cands)) => {
+                        Some(OpShape::CandSelect { rows: table.len(), stride: d.stride, cands })
+                    }
+                    (AccessPath::PackedScan, Some(cands)) => Some(OpShape::CandPackedSelect {
+                        rows: table.len(),
+                        bits: d.packed_bits,
+                        cands,
+                    }),
                     _ => None,
                 })
                 .collect();
@@ -1702,11 +1759,24 @@ mod tests {
         // A partial ticket: one leaf provided, the other evaluated here.
         let mut partial = ScanTicket::new();
         partial.provide(reqs[0].leaf, ticket.get(reqs[0].leaf).unwrap().clone());
-        let fed =
-            execute_with_scans(&mut NullTracker, &plan, &ExecOptions::default(), &partial).unwrap();
+        // Pin pushdown on: the note assertions below must hold on the
+        // MONET_PUSHDOWN=0 CI legs too.
+        let opts = ExecOptions::default().with_pushdown(PushdownMode::On);
+        let fed = execute_with_scans(&mut NullTracker, &plan, &opts, &partial).unwrap();
         assert!(fed.output.bitwise_eq(&solo.output));
         let sel = fed.report.ops.iter().find(|o| o.op.starts_with("select")).unwrap();
-        assert_eq!(sel.notes, vec![AccessNote::SharedLeaves { provided: 1, total: 2 }]);
+        // The provided leaf costs nothing, so the pushdown planner orders it
+        // first and restricts the unprovided leaf to its survivors.
+        let provided_n = ticket.get(reqs[0].leaf).unwrap().len();
+        assert_eq!(
+            sel.notes,
+            vec![
+                AccessNote::SharedLeaves { provided: 1, total: 2 },
+                AccessNote::Pushdown { order: vec![0, 1], cands_in: vec![None, Some(provided_n)] },
+            ],
+            "{}",
+            sel.detail
+        );
         assert!(sel.detail.contains("1/2 leaves via shared scan"), "{}", sel.detail);
         assert_eq!(sel.access.iter().filter(|d| d.shared).count(), 1);
         assert_eq!(sel.shapes.len(), 1, "the unprovided leaf scanned here: {:?}", sel.shapes);

@@ -55,7 +55,7 @@ pub mod reconstruct;
 pub mod select;
 pub mod shared;
 
-pub use access::{AccessDecision, AccessMode, CompressMode};
+pub use access::{AccessDecision, AccessMode, CompressMode, PushdownMode};
 pub use dist::{execute_shard, execute_sharded, lower, merge, Lowered, ShardPartial};
 pub use exec::{
     execute, execute_with_scans, AccessNote, ExecOptions, ExecReport, Executed, OpReport, Planner,

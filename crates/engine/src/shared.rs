@@ -33,6 +33,7 @@ use monet_core::compress::CompressedColumn;
 use monet_core::scan::ScanPred;
 use monet_core::storage::{Bat, Codes, Column, DecomposedTable, Oid};
 
+use crate::access::{is_pure_and, leaf_count, PushdownMode};
 use crate::plan::{LogicalPlan, PlanNode, Pred};
 use crate::select::CandList;
 
@@ -149,6 +150,13 @@ pub struct ScanRequest<'p> {
     /// may answer it without streaming at all) instead of being folded
     /// into an elevator pass.
     pub indexed: bool,
+    /// True when this leaf is a non-first in-order leaf of a multi-leaf
+    /// pure-AND filter and candidate pushdown is on (`MONET_PUSHDOWN`,
+    /// default on): the executor's conjunction planner will evaluate it
+    /// restricted to an earlier leaf's survivors, so a cooperative pass
+    /// that streamed the full column for it would do work the solo plan
+    /// avoids. Schedulers should leave restricted leaves off the board.
+    pub restricted: bool,
 }
 
 impl ScanRequest<'_> {
@@ -186,11 +194,21 @@ fn walk<'p>(node: &'p PlanNode<'_>, leaf: &mut usize, out: &mut Vec<ScanRequest<
         PlanNode::Filter { input, pred } => {
             walk(input, leaf, out);
             let table = base_table(input);
+            // Leaves the conjunction planner will candidate-restrict: every
+            // leaf but the first of a multi-leaf pure-AND filter. The first
+            // in-order leaf stays shareable — when an elevator pass provides
+            // it, the planner orders it first (it costs nothing) and pushes
+            // its survivors through the rest.
+            let mark = PushdownMode::from_env().unwrap_or(PushdownMode::On) == PushdownMode::On
+                && is_pure_and(pred)
+                && leaf_count(pred) > 1;
+            let first = *leaf;
             leaves_in_order(pred, &mut |p| {
                 let idx = *leaf;
                 *leaf += 1;
                 if let Some(t) = table {
-                    if let Some(req) = lower_leaf(t, p, idx) {
+                    if let Some(mut req) = lower_leaf(t, p, idx) {
+                        req.restricted = mark && idx > first;
                         out.push(req);
                     }
                 }
@@ -253,6 +271,7 @@ fn lower_leaf<'p>(
         compressed,
         seqbase: table.seqbase(),
         indexed: table.indexes_on(col).next().is_some(),
+        restricted: false,
     })
 }
 
@@ -380,6 +399,30 @@ mod tests {
         let t2 = table("fact");
         let p3 = Query::scan(&t2).filter(Pred::range_i32("qty", 2, 4)).build().unwrap();
         assert_ne!(r1[0].key(), scan_requests(&p3)[0].key());
+    }
+
+    #[test]
+    fn later_and_leaves_are_marked_restricted() {
+        let t = table("fact");
+        let plan = Query::scan(&t)
+            .filter(Pred::range_i32("qty", 1, 5).and(Pred::eq_str("mode", "AIR")))
+            .build()
+            .unwrap();
+        let reqs = scan_requests(&plan);
+        // The mark follows the session policy, so this test stays green on
+        // the MONET_PUSHDOWN=0 CI legs too.
+        let on = PushdownMode::from_env().unwrap_or(PushdownMode::On) == PushdownMode::On;
+        assert!(!reqs[0].restricted, "first in-order leaf stays shareable");
+        assert_eq!(reqs[1].restricted, on, "the pushdown planner will restrict this leaf");
+        // OR trees are never reordered: every leaf runs its full pass.
+        let plan = Query::scan(&t)
+            .filter(Pred::range_i32("qty", 1, 5).or(Pred::eq_str("mode", "AIR")))
+            .build()
+            .unwrap();
+        assert!(scan_requests(&plan).iter().all(|r| !r.restricted));
+        // Single-leaf filters have nothing to push into.
+        let plan = Query::scan(&t).filter(Pred::range_i32("qty", 1, 5)).build().unwrap();
+        assert!(!scan_requests(&plan)[0].restricted);
     }
 
     #[test]

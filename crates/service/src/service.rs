@@ -28,7 +28,7 @@ use costmodel::quote::{op_cost_ns, quote_ops, OpShape, QueryQuote, ShapeKind};
 use costmodel::scan::{packed_scan_cost, scan_cost};
 use costmodel::shared::{marginal_pred_cost, merged_scan_cost};
 use costmodel::ModelMachine;
-use engine::access::CompressMode;
+use engine::access::{is_pure_and, CompressMode, PushdownMode};
 use engine::exec::{execute_with_scans, ExecOptions, ExecReport, Executed, QueryOutput, Threads};
 use engine::plan::{LogicalPlan, PlanNode, Pred};
 use engine::shared::{scan_requests, ColumnId, ScanRequest, ScanTicket, ShareKey};
@@ -401,7 +401,15 @@ impl QueryService {
         plan: &LogicalPlan<'_>,
     ) -> Result<QueryHandle, ServiceError> {
         let submitted_at = Instant::now();
-        let requests = if self.cfg.shared_scans { scan_requests(plan) } else { Vec::new() };
+        // Restricted leaves (the conjunction planner will evaluate them
+        // against an earlier leaf's survivors) stay off the shared-scan
+        // board: a cooperative full-column pass for them would stream bytes
+        // the solo plan never touches.
+        let requests: Vec<ScanRequest<'_>> = if self.cfg.shared_scans {
+            scan_requests(plan).into_iter().filter(|r| !r.restricted).collect()
+        } else {
+            Vec::new()
+        };
         let fp = (self.cfg.cache_bytes > 0).then(|| fingerprint(plan));
         let mut tb = self.obs.as_ref().map(|o| o.sink.begin(session));
 
@@ -1309,19 +1317,32 @@ fn shapes_of(
         PlanNode::Scan { table } => table.len(),
         PlanNode::Filter { input, pred } => {
             let rows = shapes_of(input, ops, leaf, covered, packed);
-            for stride in leaf_strides(node_table(input), pred) {
+            let strides = leaf_strides(node_table(input), pred);
+            // Under pushdown, later leaves of a multi-leaf pure-AND filter
+            // evaluate only the running survivor list — quote them at the
+            // restricted shapes, halving the candidates per prior leaf (the
+            // same prior the post-filter estimate below uses).
+            let pushdown = PushdownMode::from_env().unwrap_or(PushdownMode::On) == PushdownMode::On
+                && strides.len() > 1
+                && is_pure_and(pred);
+            for (pos, stride) in strides.into_iter().enumerate() {
                 let idx = *leaf;
                 *leaf += 1;
+                let bits = packed.get(&idx).copied();
                 ops.push(match covered(idx) {
                     Some(0) => OpShape::SharedSelect { rows },
                     Some(missed) => OpShape::AttachSelect { rows, stride, missed },
-                    None => {
-                        if let Some(&bits) = packed.get(&idx) {
-                            OpShape::PackedSelect { rows, bits }
-                        } else {
-                            OpShape::Select { rows, stride }
+                    None if pushdown && pos > 0 => {
+                        let cands = (rows >> pos.min(63)).max(1);
+                        match bits {
+                            Some(bits) => OpShape::CandPackedSelect { rows, bits, cands },
+                            None => OpShape::CandSelect { rows, stride, cands },
                         }
                     }
+                    None => match bits {
+                        Some(bits) => OpShape::PackedSelect { rows, bits },
+                        None => OpShape::Select { rows, stride },
+                    },
                 });
             }
             (rows / 2).max(1)

@@ -66,6 +66,24 @@ pub enum QuerySpec {
         /// Inclusive `qty` band end.
         hi: i32,
     },
+    /// The pushdown showcase: one needle `supp` point conjoined with two
+    /// wide bands over compressed columns — `batch` (sorted in runs of 64,
+    /// so RLE) and `date1` (narrow local ranges, so frame-of-reference).
+    /// The needle is *last* in predicate order: only a conjunction planner
+    /// that reorders leaves and threads the survivor list gets the wide
+    /// leaves down to a handful of touched frames.
+    Selective {
+        /// The `supp` needle (an equality point, `lo == hi`).
+        supp: i32,
+        /// Inclusive wide `batch` band start.
+        batch_lo: i32,
+        /// Inclusive wide `batch` band end.
+        batch_hi: i32,
+        /// Inclusive wide `date1` band start.
+        date_lo: i32,
+        /// Inclusive wide `date1` band end.
+        date_hi: i32,
+    },
     /// A single-leaf scan band for the shared-scan overlap sweep
     /// ([`OverlapMix`]): overlapping clients all filter the contended
     /// `qty` column (one shared buffer), private clients filter distinct
@@ -90,6 +108,7 @@ impl QuerySpec {
             QuerySpec::SupplierJoin { .. } => "join",
             QuerySpec::Extremes { .. } => "extremes",
             QuerySpec::Sweep { .. } => "sweep",
+            QuerySpec::Selective { .. } => "selective",
             QuerySpec::Band { .. } => "band",
         }
     }
@@ -133,6 +152,17 @@ impl QuerySpec {
                 .agg(Agg::min("qty"))
                 .agg(Agg::max("qty"))
                 .build(),
+            QuerySpec::Selective { supp, batch_lo, batch_hi, date_lo, date_hi } => {
+                Query::scan(item)
+                    .filter(
+                        Pred::range_i32("batch", *batch_lo, *batch_hi)
+                            .and(Pred::range_i32("date1", *date_lo, *date_hi))
+                            .and(Pred::range_i32("supp", *supp, *supp)),
+                    )
+                    .agg(Agg::sum("price"))
+                    .agg(Agg::count())
+                    .build()
+            }
             QuerySpec::Band { col, lo, hi } => {
                 let pred = if matches!(*col, "discnt" | "tax" | "price") {
                     Pred::range_f64(col, f64::from(*lo) / 100.0, f64::from(*hi) / 100.0)
@@ -184,10 +214,10 @@ impl QueryMix {
     }
 
     /// Draw the next spec. Roughly: half cheap point/drill queries, the
-    /// rest medium joins and expensive sweeps.
+    /// rest medium joins, selective conjunctions, and expensive sweeps.
     pub fn next_spec(&mut self) -> QuerySpec {
         let qty_of = Self::qty_of;
-        match self.rng.random_range(0..10u32) {
+        match self.rng.random_range(0..11u32) {
             0..=2 => {
                 let lo = self.rng.random_range(0..=8u32) as f64 / 100.0;
                 QuerySpec::Drill { lo, hi: lo + 0.02 }
@@ -203,6 +233,17 @@ impl QueryMix {
             8 => {
                 let lo = self.rng.random_range(0..=6u32) as f64 / 100.0;
                 QuerySpec::Extremes { lo, hi: lo + 0.04 }
+            }
+            9 => {
+                let batch_lo = 1 + self.rng.random_range(0..=3_000u32) as i32;
+                let date_lo = 9_000 + self.rng.random_range(0..=600u32) as i32;
+                QuerySpec::Selective {
+                    supp: self.rng.random_range(1..=1_000u32) as i32,
+                    batch_lo,
+                    batch_hi: batch_lo + 4_000,
+                    date_lo,
+                    date_hi: date_lo + 1_000,
+                }
             }
             _ => QuerySpec::Sweep { lo: 1, hi: self.rng.random_range(25..=50u32) as i32 },
         }
@@ -399,9 +440,34 @@ mod tests {
             seen.insert(spec.label());
             spec.build(&item, &supp).expect("every generated spec validates");
         }
-        for label in ["drill", "needle", "join", "extremes", "sweep"] {
+        for label in ["drill", "needle", "join", "extremes", "sweep", "selective"] {
             assert!(seen.contains(label), "200 draws never produced {label:?}");
         }
+    }
+
+    #[test]
+    fn selective_spec_is_a_needle_behind_wide_compressed_bands() {
+        let item = item_table(4_000, 1);
+        let supp = supplier(100);
+        let spec = QuerySpec::Selective {
+            supp: 7,
+            batch_lo: 1,
+            batch_hi: 40,
+            date_lo: 9_000,
+            date_hi: 10_000,
+        };
+        assert_eq!(spec.label(), "selective");
+        let plan = spec.build(&item, &supp).expect("selective plans validate");
+        let reqs = engine::shared::scan_requests(&plan);
+        assert_eq!(reqs.len(), 3);
+        // The wide leaves ride compressed representations...
+        assert_eq!(reqs[0].column, "batch");
+        assert!(reqs[0].compressed.is_some(), "batch is run-clustered: RLE");
+        assert_eq!(reqs[1].column, "date1");
+        assert!(reqs[1].compressed.is_some(), "date1 has narrow local ranges: FOR");
+        // ...and the needle sits last in predicate order, so only leaf
+        // reordering can evaluate it first.
+        assert_eq!(reqs[2].column, "supp");
     }
 
     #[test]
